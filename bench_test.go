@@ -1,0 +1,309 @@
+package muve
+
+// This file exposes one testing.B benchmark per table and figure of the
+// paper's evaluation (driving internal/bench at reduced scale — run
+// cmd/muvebench without -fast for paper-scale numbers) plus
+// micro-benchmarks of the hot components and ablation benches for the
+// design choices called out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"muve/internal/bench"
+	"muve/internal/core"
+	"muve/internal/merge"
+	"muve/internal/nlq"
+	"muve/internal/phonetic"
+	"muve/internal/sqldb"
+	"muve/internal/usermodel"
+	"muve/internal/workload"
+)
+
+var benchCfg = bench.Config{Fast: true, Seed: 1}
+
+// runExperiment benches one experiment end to end.
+func runExperiment(b *testing.B, run func(bench.Config, io.Writer) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := run(benchCfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func experimentByID(b *testing.B, id string) bench.Experiment {
+	b.Helper()
+	for _, e := range bench.Experiments() {
+		if e.ID == id {
+			return e
+		}
+	}
+	b.Fatalf("unknown experiment %q", id)
+	return bench.Experiment{}
+}
+
+// --- One bench per paper artifact ----------------------------------------
+
+func BenchmarkFig3UserStudy(b *testing.B)     { runExperiment(b, experimentByID(b, "fig3").Run) }
+func BenchmarkTable1Correlation(b *testing.B) { runExperiment(b, experimentByID(b, "table1").Run) }
+func BenchmarkFig6Solvers(b *testing.B)       { runExperiment(b, experimentByID(b, "fig6").Run) }
+func BenchmarkFig7Merging(b *testing.B)       { runExperiment(b, experimentByID(b, "fig7").Run) }
+func BenchmarkFig8CostBound(b *testing.B)     { runExperiment(b, experimentByID(b, "fig8").Run) }
+func BenchmarkFig9Progressive(b *testing.B)   { runExperiment(b, experimentByID(b, "fig9").Run) }
+func BenchmarkFig10ApproxError(b *testing.B)  { runExperiment(b, experimentByID(b, "fig10").Run) }
+func BenchmarkFig11FTime(b *testing.B)        { runExperiment(b, experimentByID(b, "fig11").Run) }
+func BenchmarkFig12Baseline(b *testing.B)     { runExperiment(b, experimentByID(b, "fig12").Run) }
+func BenchmarkFig13Ratings(b *testing.B)      { runExperiment(b, experimentByID(b, "fig13").Run) }
+
+// --- Component micro-benchmarks -------------------------------------------
+
+func BenchmarkDoubleMetaphone(b *testing.B) {
+	words := []string{"brooklyn", "complaint", "heating", "manhattan", "staten island"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		phonetic.DoubleMetaphone(words[i%len(words)])
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		phonetic.JaroWinkler("PRKLN", "PRNKS")
+	}
+}
+
+func BenchmarkPhoneticTopK(b *testing.B) {
+	ix := phonetic.NewIndex()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		ix.Add(fmt.Sprintf("value-%c%c%d", 'a'+rng.Intn(26), 'a'+rng.Intn(26), i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopK("valye-ab17", 20)
+	}
+}
+
+// benchTable builds (once) a mid-size flights table for executor benches.
+func benchTable(b *testing.B, rows int) *sqldb.DB {
+	b.Helper()
+	tbl, err := workload.Build(workload.Flights, rows, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	return db
+}
+
+func BenchmarkExecEqualityScan(b *testing.B) {
+	db := benchTable(b, 200_000)
+	q := sqldb.MustParse("SELECT avg(dep_delay) FROM flights WHERE origin = 'JFK'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecMergedGroupBy(b *testing.B) {
+	db := benchTable(b, 200_000)
+	q := sqldb.MustParse("SELECT avg(dep_delay), origin FROM flights WHERE origin IN ('JFK','LGA','EWR','ORD','ATL') GROUP BY origin")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecSampled1Pct(b *testing.B) {
+	db := benchTable(b, 200_000)
+	q := sqldb.MustParse("SELECT avg(dep_delay) FROM flights WHERE origin = 'JFK'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ExecSampled(q, 0.01, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchInstance builds a planning instance of the given size.
+func benchInstance(b *testing.B, nCands, rows, widthPx int) *core.Instance {
+	b.Helper()
+	tbl, err := workload.Build(workload.NYC311, 4000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := nlq.BuildCatalog(tbl, 0)
+	gen := nlq.NewGenerator(cat)
+	gen.MaxCandidates = nCands
+	cands, err := gen.Candidates(sqldb.MustParse(
+		"SELECT avg(response_hours) FROM requests WHERE borough = 'Brooklyn' AND complaint_type = 'Noise'"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &core.Instance{
+		Candidates: cands,
+		Screen:     core.Screen{WidthPx: widthPx, Rows: rows, PxPerBar: 48, PxPerChar: 7},
+		Model:      usermodel.DefaultModel(),
+	}
+}
+
+func BenchmarkGreedySolver20Candidates(b *testing.B) {
+	in := benchInstance(b, 20, 1, 1024)
+	g := &core.GreedySolver{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkILPSolver8Candidates(b *testing.B) {
+	in := benchInstance(b, 8, 1, 600)
+	s := &core.ILPSolver{Timeout: 5 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTextToMultiSQL(b *testing.B) {
+	tbl, err := workload.Build(workload.NYC311, 4000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := nlq.NewPipeline(nlq.BuildCatalog(tbl, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Run("how many noise complaints in brucklyn"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndAsk(b *testing.B) {
+	tbl, err := workload.Build(workload.NYC311, 20_000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := New(db, "requests", WithWidth(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask("average response hours for heating in the bronx"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design choices from DESIGN.md) ---------------------
+
+// Ablation 3: the polish step of the greedy algorithm.
+func BenchmarkAblationGreedyPolish(b *testing.B) {
+	in := benchInstance(b, 20, 2, 1440)
+	for _, skip := range []bool{false, true} {
+		name := "with-polish"
+		if skip {
+			name = "no-polish"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := &core.GreedySolver{SkipPolish: skip}
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := g.Solve(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = st.Cost
+			}
+			b.ReportMetric(cost, "est-ms-cost")
+		})
+	}
+}
+
+// Ablation 2: density-greedy (Yu et al. knapsack rule) vs plain marginal
+// gain (Nemhauser cardinality rule).
+func BenchmarkAblationGreedySelectionRule(b *testing.B) {
+	in := benchInstance(b, 20, 1, 700)
+	for _, plain := range []bool{false, true} {
+		name := "density"
+		if plain {
+			name = "plain-gain"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := &core.GreedySolver{PlainGain: plain}
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := g.Solve(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = st.Cost
+			}
+			b.ReportMetric(cost, "est-ms-cost")
+		})
+	}
+}
+
+// Ablation 6: merge decision by cost model vs never merging, measured as
+// end-to-end execution time of a 15-candidate set.
+func BenchmarkAblationMergeDecision(b *testing.B) {
+	db := benchTable(b, 100_000)
+	tbl, _ := db.Table("flights")
+	cat := nlq.BuildCatalog(tbl, 0)
+	gen := nlq.NewGenerator(cat)
+	gen.MaxCandidates = 15
+	cands, err := gen.Candidates(sqldb.MustParse("SELECT avg(dep_delay) FROM flights WHERE origin = 'JFK'"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]sqldb.Query, len(cands))
+	for i, c := range cands {
+		queries[i] = c.Query
+	}
+	b.Run("merged", func(b *testing.B) {
+		plan := mergePlan(b, db, queries)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Execute(db, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := executeSeparately(db, queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// mergePlan builds a merge plan, failing the bench on error paths.
+func mergePlan(b *testing.B, db *sqldb.DB, queries []sqldb.Query) merge.Plan {
+	b.Helper()
+	return merge.BuildPlan(db, queries)
+}
+
+// executeSeparately runs all queries unmerged.
+func executeSeparately(db *sqldb.DB, queries []sqldb.Query) (map[int]merge.Result, error) {
+	return merge.ExecuteSeparately(db, queries)
+}

@@ -1,0 +1,94 @@
+// Command muvebench regenerates the paper's evaluation: every table and
+// figure of Section 9 plus the Section 4 user-study artifacts, printed as
+// text tables whose rows mirror the paper's plot series.
+//
+// Usage:
+//
+//	muvebench [flags] [experiment...]
+//	  -fast        run at reduced scale (seconds instead of minutes)
+//	  -seed n      experiment seed (default 1)
+//	  -list        list experiment ids and exit
+//
+// With no positional arguments every experiment runs in paper order.
+// Otherwise pass ids such as "fig6 table1".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"muve/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muvebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fastFlag = flag.Bool("fast", false, "run at reduced scale")
+		seedFlag = flag.Int64("seed", 1, "experiment seed")
+		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir   = flag.String("csvdir", "", "also write <experiment>.csv files into this directory (re-executes each experiment)")
+	)
+	flag.Parse()
+	cfg := bench.Config{Fast: *fastFlag, Seed: *seedFlag}
+
+	all := bench.Experiments()
+	if *listFlag {
+		for _, e := range all {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+
+	writeCSV := func(e bench.Experiment) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return e.RunCSV(cfg, f)
+	}
+
+	ids := flag.Args()
+	selected := all
+	if len(ids) > 0 {
+		byID := map[string]bench.Experiment{}
+		for _, e := range all {
+			byID[e.ID] = e
+		}
+		selected = nil
+		for _, id := range ids {
+			e, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		fmt.Printf("==== %s ====\n\n", e.Name)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			return err
+		}
+		if err := writeCSV(e); err != nil {
+			return fmt.Errorf("writing CSV for %s: %w", e.ID, err)
+		}
+		fmt.Printf("\n(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

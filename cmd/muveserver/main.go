@@ -1,0 +1,180 @@
+// Command muveserver serves MUVE over HTTP: a minimal web front end that
+// answers natural-language queries with SVG multiplots, the closest
+// equivalent of the browser demo the paper presents (Figure 2).
+//
+// Endpoints:
+//
+//	GET /                      query form + rendered multiplot
+//	GET /ask?q=...             SVG multiplot for the query
+//	GET /ask.json?q=...        candidate distribution as JSON
+//	GET /trend?q=...&by=col    SVG line chart (trend extension)
+//	GET /healthz               liveness probe
+//
+// Usage:
+//
+//	muveserver [-addr :8080] [-dataset nyc311] [-rows 50000] [-solver greedy]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"muve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muveserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addrFlag    = flag.String("addr", ":8080", "listen address")
+		datasetFlag = flag.String("dataset", "nyc311", "synthetic data set: ads|dob|nyc311|flights")
+		rowsFlag    = flag.Int("rows", 50_000, "synthetic row count")
+		solverFlag  = flag.String("solver", "greedy", "planner: greedy|ilp|ilp-inc")
+		widthFlag   = flag.Int("width", 1024, "planned screen width in pixels")
+		seedFlag    = flag.Int64("seed", 1, "data seed")
+	)
+	flag.Parse()
+
+	ds, err := workload.ByName(*datasetFlag)
+	if err != nil {
+		return err
+	}
+	tbl, err := workload.Build(ds, *rowsFlag, *seedFlag)
+	if err != nil {
+		return err
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	solver := muve.SolverGreedy
+	switch *solverFlag {
+	case "greedy":
+	case "ilp":
+		solver = muve.SolverILP
+	case "ilp-inc":
+		solver = muve.SolverILPIncremental
+	default:
+		return fmt.Errorf("unknown solver %q", *solverFlag)
+	}
+	sys, err := muve.New(db, ds.String(),
+		muve.WithSolver(solver),
+		muve.WithWidth(*widthFlag))
+	if err != nil {
+		return err
+	}
+
+	mux := newMux(sys, ds.String(), tbl.NumRows())
+
+	srv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("muveserver listening on %s (table %s, %d rows, %s solver)",
+		*addrFlag, ds.String(), tbl.NumRows(), *solverFlag)
+	return srv.ListenAndServe()
+}
+
+// newMux builds the HTTP handler tree for a configured system.
+func newMux(sys *muve.System, tableName string, numRows int) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
+		q := strings.TrimSpace(r.URL.Query().Get("q"))
+		if q == "" {
+			http.Error(w, "missing ?q=", http.StatusBadRequest)
+			return
+		}
+		ans, err := sys.Ask(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, ans.SVG())
+	})
+	mux.HandleFunc("/ask.json", func(w http.ResponseWriter, r *http.Request) {
+		q := strings.TrimSpace(r.URL.Query().Get("q"))
+		if q == "" {
+			http.Error(w, "missing ?q=", http.StatusBadRequest)
+			return
+		}
+		ans, err := sys.Ask(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		type candJSON struct {
+			SQL  string  `json:"sql"`
+			Prob float64 `json:"prob"`
+		}
+		out := struct {
+			Transcript string     `json:"transcript"`
+			TopQuery   string     `json:"top_query"`
+			Headline   string     `json:"headline"`
+			Candidates []candJSON `json:"candidates"`
+			PlanMS     float64    `json:"planning_ms"`
+		}{
+			Transcript: ans.Transcript,
+			TopQuery:   ans.TopQuery.SQL(),
+			Headline:   ans.Headline,
+			PlanMS:     float64(ans.Stats.Duration.Microseconds()) / 1000,
+		}
+		for _, c := range ans.Candidates {
+			out.Candidates = append(out.Candidates, candJSON{SQL: c.Query.SQL(), Prob: c.Prob})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			log.Printf("encoding response: %v", err)
+		}
+	})
+	mux.HandleFunc("/trend", func(w http.ResponseWriter, r *http.Request) {
+		q := strings.TrimSpace(r.URL.Query().Get("q"))
+		by := strings.TrimSpace(r.URL.Query().Get("by"))
+		if q == "" || by == "" {
+			http.Error(w, "missing ?q= or ?by=", http.StatusBadRequest)
+			return
+		}
+		ans, err := sys.TrendText(q, by)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, ans.SVG())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		q := strings.TrimSpace(r.URL.Query().Get("q"))
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!doctype html><title>MUVE</title>
+<h1>MUVE — robust voice querying</h1>
+<p>Table <b>%s</b> (%d rows). Ask in natural language, e.g.
+<i>how many noise complaints in brucklyn</i>.</p>
+<form><input name="q" size="60" value="%s" autofocus><button>Ask</button></form>`,
+			html.EscapeString(tableName), numRows, html.EscapeString(q))
+		if q != "" {
+			fmt.Fprintf(w, `<p><img alt="multiplot" src="/ask?q=%s"></p>`,
+				html.EscapeString(strings.ReplaceAll(q, " ", "+")))
+		}
+	})
+	return mux
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"muve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tbl, err := workload.Build(workload.NYC311, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := muve.New(db, "requests", muve.WithWidth(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(sys, "requests", tbl.NumRows()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// fetch GETs a URL and returns status, content type, and body.
+func fetch(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	status, _, body := fetch(t, srv.URL+"/healthz")
+	if status != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", status, body)
+	}
+}
+
+func TestAskSVG(t *testing.T) {
+	srv := testServer(t)
+	status, ct, body := fetch(t, srv.URL+"/ask?q=how+many+noise+complaints+in+brooklyn")
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if ct != "image/svg+xml" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.HasPrefix(body, "<svg") || !strings.Contains(body, "</svg>") {
+		t.Errorf("body not SVG: %.60s", body)
+	}
+}
+
+func TestAskMissingQuery(t *testing.T) {
+	srv := testServer(t)
+	if status, _, _ := fetch(t, srv.URL+"/ask"); status != 400 {
+		t.Errorf("missing q status = %d", status)
+	}
+	if status, _, _ := fetch(t, srv.URL+"/ask.json"); status != 400 {
+		t.Errorf("missing q status = %d", status)
+	}
+}
+
+func TestAskJSON(t *testing.T) {
+	srv := testServer(t)
+	status, ct, body := fetch(t, srv.URL+"/ask.json?q=how+many+complaints+in+queens")
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var out struct {
+		Transcript string `json:"transcript"`
+		TopQuery   string `json:"top_query"`
+		Candidates []struct {
+			SQL  string  `json:"sql"`
+			Prob float64 `json:"prob"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TopQuery == "" || len(out.Candidates) == 0 {
+		t.Errorf("response = %+v", out)
+	}
+	sum := 0.0
+	for _, c := range out.Candidates {
+		sum += c.Prob
+		if !strings.HasPrefix(c.SQL, "SELECT") {
+			t.Errorf("candidate SQL = %q", c.SQL)
+		}
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("candidate probabilities sum to %v", sum)
+	}
+}
+
+func TestIndexPageEscapesQuery(t *testing.T) {
+	srv := testServer(t)
+	status, _, body := fetch(t, srv.URL+"/?q=%3Cscript%3Ealert(1)%3C/script%3E")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	if strings.Contains(body, "<script>alert") {
+		t.Error("query echoed without escaping")
+	}
+	if !strings.Contains(body, "MUVE") {
+		t.Error("index page missing title")
+	}
+}
+
+func TestUnknownPath404(t *testing.T) {
+	srv := testServer(t)
+	if status, _, _ := fetch(t, srv.URL+"/nope"); status != 404 {
+		t.Errorf("unknown path status = %d", status)
+	}
+}
+
+func TestTrendEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, ct, body := fetch(t, srv.URL+"/trend?q=how+many+complaints&by=year")
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if ct != "image/svg+xml" || !strings.Contains(body, "<polyline") {
+		t.Errorf("trend response wrong: ct=%q", ct)
+	}
+	if status, _, _ := fetch(t, srv.URL+"/trend?q=x"); status != 400 {
+		t.Errorf("missing by status = %d", status)
+	}
+	if status, _, _ := fetch(t, srv.URL+"/trend?q=count&by=nope"); status != 422 {
+		t.Errorf("bad group column status = %d", status)
+	}
+}

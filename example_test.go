@@ -1,0 +1,60 @@
+package muve_test
+
+import (
+	"fmt"
+	"log"
+
+	"muve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+// Example demonstrates the complete pipeline: a misheard voice query over
+// a synthetic 311 table produces a multiplot covering both the Brooklyn
+// and the phonetically confusable Bronx interpretation.
+func Example() {
+	tbl, err := workload.Build(workload.NYC311, 5000, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := muve.New(db, "requests", muve.WithWidth(1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := sys.Ask("how many noise complaints in brucklyn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.TopQuery.SQL())
+	fmt.Println(len(ans.Candidates) > 1)
+	// Output:
+	// SELECT count(*) FROM requests WHERE complaint_type = 'Noise' AND borough = 'Brooklyn'
+	// true
+}
+
+// ExampleSystem_AskQuery shows the programmatic entry point: hand MUVE a
+// SQL query directly and receive the candidate distribution it would
+// disambiguate.
+func ExampleSystem_AskQuery() {
+	tbl, err := workload.Build(workload.NYC311, 5000, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := muve.New(db, "requests", muve.WithWidth(900), muve.WithMaxCandidates(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := sys.AskQuery(sqldb.MustParse("SELECT count(*) FROM requests WHERE borough = 'Queens'"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(ans.Candidates))
+	fmt.Println(ans.Candidates[0].Query.SQL())
+	// Output:
+	// 5
+	// SELECT count(*) FROM requests WHERE borough = 'Queens'
+}

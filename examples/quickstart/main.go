@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete MUVE program.
+//
+// It builds a synthetic NYC-311 table, stands up a MUVE system over it,
+// asks one deliberately misheard voice query, and prints the resulting
+// multiplot: results for the most likely interpretations, the likeliest
+// highlighted in red.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"muve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func main() {
+	// 1. Data: 50k synthetic 311 service requests (use sqldb.LoadCSV for
+	//    your own data).
+	tbl, err := workload.Build(workload.NYC311, 50_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+
+	// 2. System: defaults everywhere (greedy planner, phone-width screen).
+	sys, err := muve.New(db, "requests", muve.WithWidth(1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask. "brucklyn" is what speech recognition made of "Brooklyn";
+	//    MUVE covers both Brooklyn and the phonetically close Bronx.
+	ans, err := sys.Ask("how many noise complaints in brucklyn")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transcript:        %s\n", ans.Transcript)
+	fmt.Printf("most likely query: %s\n", ans.TopQuery.SQL())
+	fmt.Printf("candidates:        %d interpretations\n\n", len(ans.Candidates))
+	for i, c := range ans.Candidates {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(ans.Candidates)-3)
+			break
+		}
+		fmt.Printf("  %.2f  %s\n", c.Prob, c.Query.SQL())
+	}
+	fmt.Println()
+	fmt.Println(ans.ANSI())
+}

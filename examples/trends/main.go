@@ -1,0 +1,47 @@
+// Trend queries: the paper's Section 11 extension. MUVE's multiplots
+// cover single-number aggregates; queries grouped by one dimension (time
+// series and per-category profiles) render as line charts instead.
+//
+// Run with:
+//
+//	go run ./examples/trends
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"muve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func main() {
+	tbl, err := workload.Build(workload.Flights, 300_000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := muve.New(db, "flights")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Structured entry: an explicit GROUP BY query.
+	ans, err := sys.Trend(sqldb.MustParse(
+		"SELECT avg(dep_delay), month FROM flights WHERE origin = 'JFK' GROUP BY month"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.ANSI())
+
+	// Voice entry: the transcript picks the aggregate and predicates; the
+	// caller names the trend dimension.
+	ans, err = sys.TrendText("average arr delay for carrier Delta", "month")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n\n", ans.Query.SQL())
+	fmt.Println(ans.ANSI())
+}

@@ -1,0 +1,3 @@
+module muve
+
+go 1.22

@@ -1,0 +1,110 @@
+package muve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+// TestEndToEndMatrix smoke-tests the full pipeline — speech noise,
+// translation, candidate generation, planning, merged execution,
+// rendering — across every synthetic data set and both planners. Each
+// cell must produce a screen-fitting multiplot whose most likely bar
+// carries a real executed value.
+func TestEndToEndMatrix(t *testing.T) {
+	queriesByDataset := map[workload.Dataset][]string{
+		workload.Ads:     {"how many contacts via email", "average cost for retail in the northeast"},
+		workload.DOB:     {"how many plumbing jobs in brooklyn", "maximum initial cost for demolition"},
+		workload.NYC311:  {"how many noise complaints in queens", "average response hours for heating"},
+		workload.Flights: {"average dep delay for origin JFK", "how many flights with carrier delta"},
+	}
+	for _, ds := range workload.AllDatasets {
+		ds := ds
+		t.Run(ds.String(), func(t *testing.T) {
+			tbl, err := workload.Build(ds, 4000, int64(ds)+50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := sqldb.NewDB()
+			db.Register(tbl)
+			for _, solver := range []SolverKind{SolverGreedy, SolverILP} {
+				sys, err := New(db, ds.String(),
+					WithWidth(1024),
+					WithSolver(solver),
+					WithILPTimeout(200_000_000), // 200ms
+					WithSpeechNoise(0.15, 9),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, text := range queriesByDataset[ds] {
+					ans, err := sys.Ask(text)
+					if err != nil {
+						t.Fatalf("%s/%s %q: %v", ds, solver, text, err)
+					}
+					if len(ans.Candidates) == 0 {
+						t.Fatalf("%s %q: no candidates", ds, text)
+					}
+					if ans.Multiplot.NumPlots() == 0 {
+						t.Errorf("%s/%s %q: empty multiplot", ds, solver, text)
+						continue
+					}
+					if !ans.Multiplot.FitsScreen(sys.cfg.Screen) {
+						t.Errorf("%s %q: overflowing multiplot", ds, text)
+					}
+					// At least one bar holds an executed value.
+					hasValue := false
+					for _, pl := range ans.Multiplot.Plots() {
+						for _, e := range pl.Entries {
+							if !math.IsNaN(e.Value) {
+								hasValue = true
+							}
+						}
+					}
+					if !hasValue {
+						t.Errorf("%s %q: no executed values", ds, text)
+					}
+					// Rendering both ways never fails structurally.
+					if !strings.Contains(ans.ANSIPlain(), "│") {
+						t.Errorf("%s %q: ANSI render broken", ds, text)
+					}
+					if !strings.HasPrefix(ans.SVG(), "<svg") {
+						t.Errorf("%s %q: SVG render broken", ds, text)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEndToEndCostNeverExceedsMiss asserts a global invariant of the whole
+// stack: any planned multiplot's expected cost is bounded by the miss
+// penalty (showing something can never be modeled as worse than showing
+// nothing, by construction of the solvers).
+func TestEndToEndCostNeverExceedsMiss(t *testing.T) {
+	tbl, err := workload.Build(workload.NYC311, 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := New(db, "requests", WithWidth(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{
+		"how many complaints", "average response hours in brooklyn",
+		"maximum response hours for sewer", "count of graffiti reports",
+	} {
+		ans, err := sys.Ask(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Stats.Cost > sys.cfg.Model.EmptyCost()+1e-9 {
+			t.Errorf("%q: cost %v exceeds miss penalty %v", text, ans.Stats.Cost, sys.cfg.Model.EmptyCost())
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 9). Each experiment has a Run function returning
+// structured results plus a Print method emitting rows shaped like the
+// paper's plots; cmd/muvebench drives them all and bench_test.go exposes
+// each as a testing.B benchmark.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	RunFig3     user study: perception time vs visualization features
+//	RunTable1   Pearson correlation analysis of the same study
+//	RunFig6     greedy vs ILP solver comparison on 311 data
+//	RunFig7     query merging vs separate execution
+//	RunFig8     disambiguation cost vs processing-cost bound
+//	RunFig9     interactivity-threshold misses vs data size (7 methods)
+//	RunFig10    relative error of initial approximate multiplots
+//	RunFig11    F-Time vs T-Time per presentation method
+//	RunFig12    simulated user study: MUVE vs drop-down baseline
+//	RunFig13    simulated ratings (latency/clarity) per method
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/nlq"
+	"muve/internal/sqldb"
+	"muve/internal/usermodel"
+	"muve/internal/workload"
+)
+
+// Config scales the experiments. The zero value (Fast=false) runs at
+// paper-like scale, which takes minutes; Fast mode shrinks query counts,
+// data sizes, and timeouts to keep unit tests and -bench runs quick while
+// preserving every qualitative shape.
+type Config struct {
+	Fast bool
+	Seed int64
+}
+
+// n picks full or fast scale.
+func (c Config) n(full, fast int) int {
+	if c.Fast {
+		return fast
+	}
+	return full
+}
+
+// d picks full or fast durations.
+func (c Config) d(full, fast time.Duration) time.Duration {
+	if c.Fast {
+		return fast
+	}
+	return full
+}
+
+// dThroughput is the emulated backend scan throughput for the user-study
+// experiments (rows per second); fast mode uses a higher rate so tests
+// stay quick while preserving the latency ordering.
+func (c Config) dThroughput() float64 {
+	if c.Fast {
+		// Fast mode shrinks the data 40x; shrink the emulated backend
+		// further so the latency ordering still shows.
+		return 5e4
+	}
+	return 2e6
+}
+
+// rng returns the experiment RNG.
+func (c Config) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*7919 + salt))
+}
+
+// table is a minimal fixed-width table printer for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtCI formats a mean with its 95% half width.
+func fmtCI(mean, delta float64) string {
+	return fmt.Sprintf("%.1f ±%.1f", mean, delta)
+}
+
+// candidateSet builds a planner instance from a generated query: the
+// query's phonetic candidate distribution plus the index of the correct
+// (original) interpretation.
+func candidateSet(cat *nlq.Catalog, q sqldb.Query, nCands int, screen core.Screen) (*core.Instance, int, error) {
+	gen := nlq.NewGenerator(cat)
+	gen.MaxCandidates = nCands
+	cands, err := gen.Candidates(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	correct := -1
+	want := q.SQL()
+	for i, c := range cands {
+		if c.Query.SQL() == want {
+			correct = i
+			break
+		}
+	}
+	in := &core.Instance{
+		Candidates: cands,
+		Screen:     screen,
+		Model:      usermodel.DefaultModel(),
+	}
+	return in, correct, nil
+}
+
+// screenWithWidth is the experiments' default screen at a given pixel
+// width.
+func screenWithWidth(px, rows int) core.Screen {
+	return core.Screen{WidthPx: px, Rows: rows, PxPerBar: 48, PxPerChar: 7}
+}
+
+// sortedKeys returns map keys in sorted order (deterministic printing).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildTable is a cached workload build (experiments share data sets).
+var tableCache = map[string]*sqldb.Table{}
+
+// dataset returns a (possibly cached) synthetic table.
+func dataset(d workload.Dataset, rows int, seed int64) (*sqldb.Table, error) {
+	key := fmt.Sprintf("%s/%d/%d", d, rows, seed)
+	if t, ok := tableCache[key]; ok {
+		return t, nil
+	}
+	t, err := workload.Build(d, rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	tableCache[key] = t
+	return t, nil
+}
+
+// newDB wraps one table in a fresh database.
+func newDB(t *sqldb.Table) *sqldb.DB {
+	db := sqldb.NewDB()
+	db.Register(t)
+	return db
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVWriter is implemented by every experiment result: WriteCSV emits the
+// series in machine-readable form so figures can be re-plotted with any
+// tool. Columns mirror the paper's plot axes.
+type CSVWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// writeCSV is the shared emitter.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteCSV emits per-level observations of each feature sweep.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, s := range r.Sweeps {
+		for i, ci := range s.LevelMeans() {
+			rows = append(rows, []string{
+				s.Feature.String(), f(s.Levels[i]), f(ci.Mean), f(ci.Delta), strconv.Itoa(ci.N),
+			})
+		}
+	}
+	return writeCSV(w, []string{"feature", "level", "mean_ms", "ci95_ms", "n"}, rows)
+}
+
+// WriteCSV emits the correlation table.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i, feat := range r.Features {
+		c := r.Correlations[i]
+		rows = append(rows, []string{feat.String(), f(c.R2), f(c.P), strconv.Itoa(c.N)})
+	}
+	return writeCSV(w, []string{"feature", "r2", "p", "n"}, rows)
+}
+
+// WriteCSV emits one row per (setting, solver) cell.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Setting.Dimension, strconv.Itoa(p.Setting.Value), p.Solver,
+			f(p.OptTime.Mean), f(p.OptTime.Delta),
+			f(p.TimeoutRatio),
+			f(p.CostDelta.Mean), f(p.CostDelta.Delta),
+		})
+	}
+	return writeCSV(w, []string{
+		"dimension", "value", "solver",
+		"opt_time_ms", "opt_time_ci95", "timeout_ratio", "cost_delta_ms", "cost_delta_ci95",
+	}, rows)
+}
+
+// WriteCSV emits the two execution-strategy bars.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{
+		{"separate", f(r.Separate.Mean), f(r.Separate.Delta), f(r.EstSeparate)},
+		{"merged", f(r.Merged.Mean), f(r.Merged.Delta), f(r.EstMerged)},
+	}
+	return writeCSV(w, []string{"method", "exec_s", "ci95_s", "optimizer_estimate"}, rows)
+}
+
+// WriteCSV emits the bound-sweep frontier.
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Method, f(p.BoundFrac),
+			f(p.DisambCost.Mean), f(p.DisambCost.Delta),
+			f(p.ProcCost.Mean), f(p.ProcCost.Delta),
+			f(p.OptTime.Mean), f(p.OptTime.Delta),
+		})
+	}
+	return writeCSV(w, []string{
+		"method", "bound_frac",
+		"disamb_cost_ms", "disamb_ci95", "proc_cost", "proc_ci95", "opt_time_ms", "opt_time_ci95",
+	}, rows)
+}
+
+// writeSweepCSV shares the Figures 9-11 emitter.
+func writeSweepCSV(w io.Writer, s *ProgSweepResult) error {
+	header := []string{
+		"size_frac", "rows", "method",
+		"ftime_s", "ftime_ci95", "ttime_s", "ttime_ci95",
+		"init_rel_error", "init_rel_error_ci95", "updates",
+	}
+	for _, th := range s.Thresholds {
+		header = append(header, fmt.Sprintf("miss_ratio_%s", th))
+	}
+	var rows [][]string
+	for _, c := range s.Cells {
+		row := []string{
+			f(c.SizeFrac), strconv.Itoa(c.Rows), c.Method,
+			f(c.FTime.Mean), f(c.FTime.Delta),
+			f(c.TTime.Mean), f(c.TTime.Delta),
+			f(c.InitialRelError.Mean), f(c.InitialRelError.Delta),
+			f(c.Updates),
+		}
+		for _, th := range s.Thresholds {
+			row = append(row, f(c.MissRatio[th]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the full sweep (miss ratios per threshold).
+func (r *Fig9Result) WriteCSV(w io.Writer) error { return writeSweepCSV(w, r.Sweep) }
+
+// WriteCSV emits the full sweep (the error columns are Figure 10's).
+func (r *Fig10Result) WriteCSV(w io.Writer) error { return writeSweepCSV(w, r.Sweep) }
+
+// WriteCSV emits the full sweep (the F-/T-Time columns are Figure 11's).
+func (r *Fig11Result) WriteCSV(w io.Writer) error { return writeSweepCSV(w, r.Sweep) }
+
+// WriteCSV emits one row per (dataset, method) bar.
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{c.Dataset, c.Method, f(c.Time.Mean), f(c.Time.Delta)})
+	}
+	return writeCSV(w, []string{"dataset", "method", "time_s", "ci95_s"}, rows)
+}
+
+// WriteCSV emits one row per (dataset, method) rating pair.
+func (r *Fig13Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Dataset, c.Method,
+			f(c.Latency.Mean), f(c.Latency.Delta),
+			f(c.Clarity.Mean), f(c.Clarity.Delta),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "method", "latency_rating", "latency_ci95", "clarity_rating", "clarity_ci95",
+	}, rows)
+}
+
+// WriteCSV emits one row per planner variant.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Planner,
+			f(p.Cost.Mean), f(p.Cost.Delta),
+			f(p.Coverage.Mean), f(p.Coverage.Delta),
+			f(p.OptTime.Mean), f(p.OptTime.Delta),
+		})
+	}
+	return writeCSV(w, []string{
+		"planner", "cost_ms", "cost_ci95", "coverage", "coverage_ci95", "opt_time_ms", "opt_time_ci95",
+	}, rows)
+}

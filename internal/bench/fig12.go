@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/nlq"
+	"muve/internal/stats"
+	"muve/internal/usermodel"
+	"muve/internal/workload"
+)
+
+// Fig12Cell is one (dataset, method) bar of Figure 12.
+type Fig12Cell struct {
+	Dataset string
+	Method  string // "MUVE" or "Baseline"
+	// Time is the end-to-end disambiguation time in seconds (system
+	// latency plus simulated user time).
+	Time stats.CI
+}
+
+// Fig12Result reproduces Figure 12: the comparative user study. Ten
+// simulated users each issue 30 queries — 10 per data set, alternating
+// between MUVE (find the result in the multiplot) and a DataTone-style
+// baseline (resolve ambiguous elements via drop-downs). The first data
+// set (311 requests) is warm-up and discarded; averages are reported for
+// advertisement and DOB data, as in the paper.
+type Fig12Result struct {
+	Cells []Fig12Cell
+	Users int
+}
+
+// RunFig12 simulates the study.
+func RunFig12(cfg Config) (*Fig12Result, error) {
+	nUsers := cfg.n(10, 3)
+	perDataset := cfg.n(10, 2)
+	rng := cfg.rng(12)
+	model := usermodel.DefaultModel()
+	baselineCfg := usermodel.DefaultBaseline()
+
+	type ds struct {
+		d      workload.Dataset
+		warmup bool
+	}
+	sets := []ds{{workload.NYC311, true}, {workload.Ads, false}, {workload.DOB, false}}
+
+	times := map[string]map[string][]float64{} // dataset -> method -> secs
+	for _, s := range sets {
+		if s.warmup {
+			continue
+		}
+		times[s.d.String()] = map[string][]float64{"MUVE": nil, "Baseline": nil}
+	}
+
+	for _, s := range sets {
+		tbl, err := dataset(s.d, cfg.n(30_000, 2_000), cfg.Seed+int64(s.d))
+		if err != nil {
+			return nil, err
+		}
+		cat := nlq.BuildCatalog(tbl, 0)
+		gen := workload.NewQueryGen(tbl, rng)
+		for u := 0; u < nUsers; u++ {
+			worker := usermodel.NewWorker(model, rng)
+			useMUVE := u%2 == 0 // half of participants start with MUVE
+			for qn := 0; qn < perDataset; qn++ {
+				q := gen.Random(1)
+				var secs float64
+				if useMUVE {
+					in, correct, err := candidateSet(cat, q, 12, screenWithWidth(1024, 1))
+					if err != nil {
+						return nil, err
+					}
+					g := &core.GreedySolver{}
+					start := time.Now()
+					m, _, err := g.Solve(in)
+					if err != nil {
+						return nil, err
+					}
+					sysLatency := time.Since(start).Seconds()
+					userMS := worker.Disambiguate(m.Layout(correct))
+					secs = sysLatency + userMS/1000
+				} else {
+					secs = worker.Resolve(baselineCfg) / 1000
+				}
+				if !s.warmup {
+					method := "Baseline"
+					if useMUVE {
+						method = "MUVE"
+					}
+					times[s.d.String()][method] = append(times[s.d.String()][method], secs)
+				}
+				useMUVE = !useMUVE // alternate between methods
+			}
+		}
+	}
+
+	res := &Fig12Result{Users: nUsers}
+	for _, name := range sortedKeys(times) {
+		for _, method := range []string{"MUVE", "Baseline"} {
+			res.Cells = append(res.Cells, Fig12Cell{
+				Dataset: name,
+				Method:  method,
+				Time:    stats.ConfidenceInterval95(times[name][method]),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print emits the Figure 12 bars.
+func (r *Fig12Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 12: average disambiguation time, MUVE vs drop-down baseline (%d simulated users)\n\n", r.Users)
+	t := &table{header: []string{"dataset", "method", "time (s)", "95% CI"}}
+	for _, c := range r.Cells {
+		t.add(c.Dataset, c.Method,
+			fmt.Sprintf("%.2f", c.Time.Mean),
+			fmt.Sprintf("±%.2f", c.Time.Delta))
+	}
+	t.write(w)
+}

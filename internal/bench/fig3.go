@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"muve/internal/stats"
+	"muve/internal/usermodel"
+)
+
+// Fig3Result reproduces Figure 3: average user perception time as a
+// function of four multiplot visualization features, from the (simulated)
+// crowd study.
+type Fig3Result struct {
+	Sweeps []usermodel.SweepResult
+	// CompletedHITs is the number of completed tasks (the paper received
+	// 262 of 520 within its time window).
+	CompletedHITs int
+}
+
+// RunFig3 simulates the user study of Section 4.1.
+func RunFig3(cfg Config) (*Fig3Result, error) {
+	study := usermodel.DefaultStudy()
+	sweeps := study.Run(cfg.rng(3))
+	total := 0
+	for _, s := range sweeps {
+		total += len(s.Observations)
+	}
+	return &Fig3Result{Sweeps: sweeps, CompletedHITs: total}, nil
+}
+
+// Print emits one series per feature: level, mean time (s), 95% CI.
+func (r *Fig3Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3: average disambiguation time by visualization feature (%d completed HITs)\n\n", r.CompletedHITs)
+	for _, s := range r.Sweeps {
+		fmt.Fprintf(w, "[%s]\n", s.Feature)
+		t := &table{header: []string{"level", "mean time (s)", "95% CI (s)", "n"}}
+		for i, ci := range s.LevelMeans() {
+			t.add(
+				fmt.Sprintf("%.0f", s.Levels[i]),
+				fmt.Sprintf("%.2f", ci.Mean/1000),
+				fmt.Sprintf("±%.2f", ci.Delta/1000),
+				fmt.Sprintf("%d", ci.N),
+			)
+		}
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Table1Result reproduces Table 1: the Pearson correlation analysis of
+// the user study (R^2 and p per feature).
+type Table1Result struct {
+	Features     []usermodel.Feature
+	Correlations []stats.Correlation
+}
+
+// RunTable1 runs the correlation analysis over a fresh simulated study.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	fig3, err := RunFig3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{}
+	for _, s := range fig3.Sweeps {
+		c, err := s.Correlate()
+		if err != nil {
+			return nil, fmt.Errorf("bench: correlating %s: %w", s.Feature, err)
+		}
+		out.Features = append(out.Features, s.Feature)
+		out.Correlations = append(out.Correlations, c)
+	}
+	return out, nil
+}
+
+// Print emits the Table 1 layout (features as columns in the paper; rows
+// here for readability) plus the significance verdicts.
+func (r *Table1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Pearson correlation analysis (alpha = 0.05)")
+	fmt.Fprintln(w)
+	t := &table{header: []string{"feature", "R^2", "p", "significant"}}
+	for i, f := range r.Features {
+		c := r.Correlations[i]
+		t.add(f.String(),
+			fmt.Sprintf("%.3f", c.R2),
+			fmt.Sprintf("%.2g", c.P),
+			fmt.Sprintf("%v", c.Significant(0.05)))
+	}
+	t.write(w)
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/nlq"
+	"muve/internal/stats"
+	"muve/internal/workload"
+)
+
+// Fig6Setting is one x-axis point of Figure 6: a parameter sweep value for
+// one of the three varied dimensions.
+type Fig6Setting struct {
+	Dimension string // "candidates", "rows", or "pixels"
+	Value     int
+}
+
+// Fig6Point aggregates one (setting, solver) cell.
+type Fig6Point struct {
+	Setting Fig6Setting
+	Solver  string
+	// OptTime is the mean optimization time with 95% CI.
+	OptTime stats.CI
+	// TimeoutRatio is the fraction of runs hitting the deadline.
+	TimeoutRatio float64
+	// CostDelta is the mean difference between this solver's multiplot
+	// cost and the best cost either solver achieved on the same input
+	// (estimated milliseconds of user disambiguation time).
+	CostDelta stats.CI
+}
+
+// Fig6Result reproduces Figure 6: solver performance on 311 request data,
+// varying candidate count, row count, and screen resolution around the
+// defaults (20 candidates, 1 row, iPhone resolution, 1 s timeout).
+type Fig6Result struct {
+	Points  []Fig6Point
+	Queries int
+	Timeout time.Duration
+}
+
+// RunFig6 executes the sweep.
+func RunFig6(cfg Config) (*Fig6Result, error) {
+	tbl, err := dataset(workload.NYC311, cfg.n(40_000, 2_000), cfg.Seed+311)
+	if err != nil {
+		return nil, err
+	}
+	cat := nlq.BuildCatalog(tbl, 0)
+	gen := workload.NewQueryGen(tbl, cfg.rng(6))
+	nQueries := cfg.n(100, 4)
+	timeout := cfg.d(time.Second, 150*time.Millisecond)
+
+	const (
+		defCands = 20
+		defRows  = 1
+		defPx    = core.PhoneWidthPx
+	)
+	type setting struct {
+		s           Fig6Setting
+		cands, rows int
+		px          int
+	}
+	var settings []setting
+	candSweep := []int{5, 10, 20, 50}
+	rowSweep := []int{1, 2, 3}
+	pxSweep := []int{core.PhoneWidthPx, core.TabletWidthPx, core.LaptopWidthPx}
+	if cfg.Fast {
+		candSweep = []int{5, 10}
+		rowSweep = []int{1, 2}
+		pxSweep = []int{core.PhoneWidthPx, core.TabletWidthPx}
+	}
+	for _, c := range candSweep {
+		settings = append(settings, setting{Fig6Setting{"candidates", c}, c, defRows, defPx})
+	}
+	for _, r := range rowSweep {
+		settings = append(settings, setting{Fig6Setting{"rows", r}, defCands, r, defPx})
+	}
+	for _, p := range pxSweep {
+		settings = append(settings, setting{Fig6Setting{"pixels", p}, defCands, defRows, p})
+	}
+
+	res := &Fig6Result{Queries: nQueries, Timeout: timeout}
+	for _, st := range settings {
+		// Pre-generate the instances so both solvers see identical input.
+		var instances []*core.Instance
+		for len(instances) < nQueries {
+			q := gen.Random(cfg.n(5, 2))
+			in, _, err := candidateSet(cat, q, st.cands, screenWithWidth(st.px, st.rows))
+			if err != nil {
+				return nil, err
+			}
+			instances = append(instances, in)
+		}
+		type solverRun struct {
+			name  string
+			solve func(in *core.Instance) (core.Multiplot, core.Stats, error)
+		}
+		greedy := &core.GreedySolver{}
+		ilp := &core.ILPSolver{Timeout: timeout}
+		runs := []solverRun{
+			{"Greedy", func(in *core.Instance) (core.Multiplot, core.Stats, error) { return greedy.Solve(in) }},
+			{"ILP", func(in *core.Instance) (core.Multiplot, core.Stats, error) { return ilp.Solve(in) }},
+		}
+		costs := make([][]float64, len(runs))
+		times := make([][]float64, len(runs))
+		timeouts := make([]int, len(runs))
+		for _, in := range instances {
+			for si, r := range runs {
+				_, stats_, err := r.solve(in)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s on fig6: %w", r.name, err)
+				}
+				costs[si] = append(costs[si], stats_.Cost)
+				times[si] = append(times[si], float64(stats_.Duration.Microseconds())/1000)
+				if stats_.TimedOut {
+					timeouts[si]++
+				}
+			}
+		}
+		for si, r := range runs {
+			deltas := make([]float64, len(instances))
+			for qi := range instances {
+				best := costs[0][qi]
+				for oi := range runs {
+					if costs[oi][qi] < best {
+						best = costs[oi][qi]
+					}
+				}
+				deltas[qi] = costs[si][qi] - best
+			}
+			res.Points = append(res.Points, Fig6Point{
+				Setting:      st.s,
+				Solver:       r.name,
+				OptTime:      stats.ConfidenceInterval95(times[si]),
+				TimeoutRatio: stats.Ratio(timeouts[si], len(instances)),
+				CostDelta:    stats.ConfidenceInterval95(deltas),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print emits the three sub-plots of Figure 6 as tables.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: solver performance on 311 data (%d queries per setting, timeout %v)\n\n",
+		r.Queries, r.Timeout)
+	for _, dim := range []string{"candidates", "rows", "pixels"} {
+		fmt.Fprintf(w, "[varying %s]\n", dim)
+		t := &table{header: []string{dim, "solver", "opt time (ms)", "timeout ratio", "cost delta (ms)"}}
+		for _, p := range r.Points {
+			if p.Setting.Dimension != dim {
+				continue
+			}
+			t.add(
+				fmt.Sprintf("%d", p.Setting.Value),
+				p.Solver,
+				fmtCI(p.OptTime.Mean, p.OptTime.Delta),
+				fmt.Sprintf("%.2f", p.TimeoutRatio),
+				fmtCI(p.CostDelta.Mean, p.CostDelta.Delta),
+			)
+		}
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+}

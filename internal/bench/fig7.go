@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"muve/internal/merge"
+	"muve/internal/nlq"
+	"muve/internal/sqldb"
+	"muve/internal/stats"
+	"muve/internal/workload"
+)
+
+// Fig7Result reproduces Figure 7: execution time of candidate query sets
+// run separately versus merged (Section 9.3's micro-benchmark: 10 random
+// DOB queries, 50 phonetically similar candidates each).
+type Fig7Result struct {
+	Separate stats.CI // seconds per query set
+	Merged   stats.CI
+	// EstSeparate/EstMerged are the optimizer's cost estimates, showing
+	// the cost model predicts the saving it is used to exploit.
+	EstSeparate float64
+	EstMerged   float64
+	QuerySets   int
+	Candidates  int
+}
+
+// RunFig7 executes the micro-benchmark.
+func RunFig7(cfg Config) (*Fig7Result, error) {
+	tbl, err := dataset(workload.DOB, cfg.n(400_000, 60_000), cfg.Seed+70)
+	if err != nil {
+		return nil, err
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	cat := nlq.BuildCatalog(tbl, 0)
+	gen := workload.NewQueryGen(tbl, cfg.rng(7))
+	nSets := cfg.n(10, 3)
+	nCands := cfg.n(50, 15)
+
+	// Each measurement takes the fastest of a few repetitions, standard
+	// micro-benchmark practice to suppress scheduler noise.
+	reps := cfg.n(3, 3)
+	timeIt := func(f func() error) (float64, error) {
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if el := time.Since(start).Seconds(); r == 0 || el < best {
+				best = el
+			}
+		}
+		return best, nil
+	}
+
+	res := &Fig7Result{QuerySets: nSets, Candidates: nCands}
+	var sepTimes, mergedTimes []float64
+	for set := 0; set < nSets; set++ {
+		q := gen.Random(cfg.n(3, 2))
+		cgen := nlq.NewGenerator(cat)
+		cgen.MaxCandidates = nCands
+		cands, err := cgen.Candidates(q)
+		if err != nil {
+			return nil, err
+		}
+		queries := make([]sqldb.Query, len(cands))
+		for i, c := range cands {
+			queries[i] = c.Query
+		}
+
+		sep, err := timeIt(func() error {
+			_, err := merge.ExecuteSeparately(db, queries)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sepTimes = append(sepTimes, sep)
+
+		plan := merge.BuildPlan(db, queries)
+		merged, err := timeIt(func() error {
+			_, err := plan.Execute(db, 0, 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		mergedTimes = append(mergedTimes, merged)
+
+		if est, err := merge.SeparateCost(db, queries); err == nil {
+			res.EstSeparate += est
+		}
+		if est, err := plan.EstimatedCost(db); err == nil {
+			res.EstMerged += est
+		}
+	}
+	res.Separate = stats.ConfidenceInterval95(sepTimes)
+	res.Merged = stats.ConfidenceInterval95(mergedTimes)
+	return res, nil
+}
+
+// Print emits the two bars of Figure 7.
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7: query merging vs separate execution (%d query sets x %d candidates)\n\n",
+		r.QuerySets, r.Candidates)
+	t := &table{header: []string{"method", "exec time (s)", "95% CI", "optimizer est. (cost units)"}}
+	t.add("Separate", fmt.Sprintf("%.3f", r.Separate.Mean), fmt.Sprintf("±%.3f", r.Separate.Delta),
+		fmt.Sprintf("%.0f", r.EstSeparate))
+	t.add("Merged", fmt.Sprintf("%.3f", r.Merged.Mean), fmt.Sprintf("±%.3f", r.Merged.Delta),
+		fmt.Sprintf("%.0f", r.EstMerged))
+	t.write(w)
+	if r.Merged.Mean > 0 {
+		fmt.Fprintf(w, "\nspeedup: %.1fx\n", r.Separate.Mean/r.Merged.Mean)
+	}
+}

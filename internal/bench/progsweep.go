@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/nlq"
+	"muve/internal/progressive"
+	"muve/internal/sqldb"
+	"muve/internal/stats"
+	"muve/internal/workload"
+)
+
+// ProgCell aggregates one (data size, method) cell of the shared
+// progressive-presentation sweep behind Figures 9, 10 and 11.
+type ProgCell struct {
+	SizeFrac float64 // fraction of the full flights data set
+	Rows     int     // actual row count
+	Method   string
+	// FTime/TTime are the per-trace times (seconds).
+	FTime stats.CI
+	TTime stats.CI
+	// MissRatio[θ] is the fraction of test cases whose F-Time exceeded
+	// the interactivity threshold θ (Figure 9's y-axis).
+	MissRatio map[time.Duration]float64
+	// InitialRelError is the relative error of the first visualization
+	// (Figure 10; zero for exact-first methods).
+	InitialRelError stats.CI
+	// Updates is the mean number of visualization changes after first
+	// paint (feeds the Figure 13 clarity model).
+	Updates float64
+}
+
+// ProgSweepResult is the full sweep.
+type ProgSweepResult struct {
+	Cells      []ProgCell
+	Thresholds []time.Duration
+	Queries    int
+}
+
+// RunProgSweep executes every presentation method over flights samples of
+// increasing size, measuring the time until the correct result is visible
+// (at least as an approximation), total time, and initial-visualization
+// error — the shared measurement set behind Figures 9, 10 and 11
+// (Section 9.4: one aggregation column + one equality predicate, 20
+// candidates).
+func RunProgSweep(cfg Config) (*ProgSweepResult, error) {
+	fullRows := cfg.n(1_200_000, 40_000)
+	fracs := []float64{0.01, 0.05, 0.25, 1.0}
+	thresholds := []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second}
+	if cfg.Fast {
+		fracs = []float64{0.1, 1.0}
+		thresholds = []time.Duration{20 * time.Millisecond, 200 * time.Millisecond}
+	}
+	nQueries := cfg.n(20, 2)
+	methods := progressive.StandardMethods()
+	if cfg.Fast {
+		// Shrink the optimizer budgets for quick runs.
+		methods = []progressive.Method{
+			progressive.NewGreedyDefault(),
+			progressive.NewILPDefault(100 * time.Millisecond),
+			progressive.ILPInc{Budget: 150 * time.Millisecond},
+			progressive.IncPlot{},
+			progressive.NewApprox(0.01),
+			progressive.NewApprox(0.05),
+			progressive.NewApproxDynamic(200),
+		}
+	}
+
+	res := &ProgSweepResult{Thresholds: thresholds, Queries: nQueries}
+	for _, frac := range fracs {
+		rows := int(float64(fullRows) * frac)
+		if rows < 500 {
+			rows = 500
+		}
+		tbl, err := dataset(workload.Flights, rows, cfg.Seed+909)
+		if err != nil {
+			return nil, err
+		}
+		db := sqldb.NewDB()
+		db.Register(tbl)
+		cat := nlq.BuildCatalog(tbl, 0)
+		gen := workload.NewQueryGen(tbl, cfg.rng(int64(frac*1000)+9))
+
+		// Shared sessions per query so methods compare on identical input.
+		var sessions []*progressive.Session
+		for len(sessions) < nQueries {
+			q := gen.Random(1)
+			in, correct, err := candidateSet(cat, q, 20, screenWithWidth(1024, 1))
+			if err != nil {
+				return nil, err
+			}
+			if correct < 0 {
+				continue
+			}
+			sessions = append(sessions, &progressive.Session{
+				DB: db, Instance: in, Correct: correct, SampleSeed: uint64(cfg.Seed) + 5,
+			})
+		}
+
+		for _, m := range methods {
+			var fts, tts, errs []float64
+			misses := map[time.Duration]int{}
+			updates := 0
+			for _, sess := range sessions {
+				tr, err := m.Present(sess)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s at frac %v: %w", m.Name(), frac, err)
+				}
+				ft := tr.FTime
+				if ft == 0 {
+					// Correct result never shown: charge the total time
+					// (it misses every threshold at least as hard).
+					ft = tr.TTime
+				}
+				fts = append(fts, ft.Seconds())
+				tts = append(tts, tr.TTime.Seconds())
+				errs = append(errs, tr.InitialRelError)
+				updates += tr.Updates
+				for _, th := range thresholds {
+					if ft > th {
+						misses[th]++
+					}
+				}
+			}
+			cell := ProgCell{
+				SizeFrac:        frac,
+				Rows:            rows,
+				Method:          m.Name(),
+				FTime:           stats.ConfidenceInterval95(fts),
+				TTime:           stats.ConfidenceInterval95(tts),
+				InitialRelError: stats.ConfidenceInterval95(errs),
+				MissRatio:       map[time.Duration]float64{},
+				Updates:         float64(updates) / float64(len(sessions)),
+			}
+			for _, th := range thresholds {
+				cell.MissRatio[th] = stats.Ratio(misses[th], len(sessions))
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Fig9Result reproduces Figure 9: the ratio of test cases for which each
+// interactivity threshold θ was exceeded, per presentation method and
+// data size.
+type Fig9Result struct{ Sweep *ProgSweepResult }
+
+// RunFig9 wraps the shared sweep.
+func RunFig9(cfg Config) (*Fig9Result, error) {
+	s, err := RunProgSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Sweep: s}, nil
+}
+
+// Print emits one table per threshold.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 9: ratio of non-interactive test cases by presentation method (%d queries per cell)\n\n", r.Sweep.Queries)
+	for _, th := range r.Sweep.Thresholds {
+		fmt.Fprintf(w, "[threshold θ = %v]\n", th)
+		t := &table{header: []string{"data size", "method", "miss ratio"}}
+		for _, c := range r.Sweep.Cells {
+			t.add(fmt.Sprintf("%.0f%% (%d rows)", c.SizeFrac*100, c.Rows), c.Method,
+				fmt.Sprintf("%.2f", c.MissRatio[th]))
+		}
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig10Result reproduces Figure 10: the relative error of the initial
+// multiplot for the approximate processing methods.
+type Fig10Result struct{ Sweep *ProgSweepResult }
+
+// RunFig10 wraps the shared sweep.
+func RunFig10(cfg Config) (*Fig10Result, error) {
+	s, err := RunProgSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Sweep: s}, nil
+}
+
+// Print emits the approximate methods' error series.
+func (r *Fig10Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10: relative error of the initial multiplot (approximate methods)")
+	fmt.Fprintln(w)
+	t := &table{header: []string{"data size", "method", "rel. error", "95% CI"}}
+	for _, c := range r.Sweep.Cells {
+		if c.Method != "App-1%" && c.Method != "App-5%" && c.Method != "App-D" {
+			continue
+		}
+		t.add(fmt.Sprintf("%.0f%%", c.SizeFrac*100), c.Method,
+			fmt.Sprintf("%.4f", c.InitialRelError.Mean),
+			fmt.Sprintf("±%.4f", c.InitialRelError.Delta))
+	}
+	t.write(w)
+}
+
+// Fig11Result reproduces Figure 11: time until the correct result appears
+// first (F-Time) versus total multiplot generation time (T-Time).
+type Fig11Result struct{ Sweep *ProgSweepResult }
+
+// RunFig11 wraps the shared sweep.
+func RunFig11(cfg Config) (*Fig11Result, error) {
+	s, err := RunProgSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{Sweep: s}, nil
+}
+
+// Print emits F-Time and T-Time per method and size.
+func (r *Fig11Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 11: F-Time (first correct result) vs T-Time (final multiplot)")
+	fmt.Fprintln(w)
+	t := &table{header: []string{"data size", "method", "F-Time (s)", "T-Time (s)"}}
+	for _, c := range r.Sweep.Cells {
+		t.add(fmt.Sprintf("%.0f%%", c.SizeFrac*100), c.Method,
+			fmt.Sprintf("%.3f ±%.3f", c.FTime.Mean, c.FTime.Delta),
+			fmt.Sprintf("%.3f ±%.3f", c.TTime.Mean, c.TTime.Delta))
+	}
+	t.write(w)
+}
+
+// resultQuality verifies the sweep's planner outputs stay near-optimal —
+// the paper notes "result quality ... was near-optimal for all compared
+// methods (cost within 0.9% of the minimum for each test case)". Used by
+// tests.
+func resultQuality(db *sqldb.DB, in *core.Instance) (greedyCost, bestCost float64, err error) {
+	g := &core.GreedySolver{}
+	_, gs, err := g.Solve(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	s := &core.ILPSolver{Timeout: 5 * time.Second, WarmStart: true}
+	_, is, err := s.Solve(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := gs.Cost
+	if is.Cost < best {
+		best = is.Cost
+	}
+	return gs.Cost, best, nil
+}

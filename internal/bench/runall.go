@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment is one runnable paper artifact.
+type Experiment struct {
+	ID   string // e.g. "fig6"
+	Name string
+	// Run executes the experiment and prints its human-readable tables.
+	Run func(Config, io.Writer) error
+	// RunCSV executes the experiment and emits machine-readable CSV.
+	RunCSV func(Config, io.Writer) error
+}
+
+// printable is the common result shape.
+type printable interface {
+	Print(io.Writer)
+	WriteCSV(io.Writer) error
+}
+
+// wrap adapts a typed runner.
+func wrap[T printable](run func(Config) (T, error)) func(Config, io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		r, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	}
+}
+
+// wrapCSV adapts a typed runner to CSV output.
+func wrapCSV[T printable](run func(Config) (T, error)) func(Config, io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		r, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	}
+}
+
+// Experiments lists every table and figure reproduction in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig3", "Figure 3: user study sweeps", wrap(RunFig3), wrapCSV(RunFig3)},
+		{"table1", "Table 1: correlation analysis", wrap(RunTable1), wrapCSV(RunTable1)},
+		{"fig6", "Figure 6: solver comparison", wrap(RunFig6), wrapCSV(RunFig6)},
+		{"fig7", "Figure 7: query merging", wrap(RunFig7), wrapCSV(RunFig7)},
+		{"fig8", "Figure 8: processing-cost bounds", wrap(RunFig8), wrapCSV(RunFig8)},
+		{"fig9", "Figure 9: interactivity thresholds", wrap(RunFig9), wrapCSV(RunFig9)},
+		{"fig10", "Figure 10: approximation error", wrap(RunFig10), wrapCSV(RunFig10)},
+		{"fig11", "Figure 11: F-Time vs T-Time", wrap(RunFig11), wrapCSV(RunFig11)},
+		{"fig12", "Figure 12: MUVE vs baseline study", wrap(RunFig12), wrapCSV(RunFig12)},
+		{"fig13", "Figure 13: method ratings study", wrap(RunFig13), wrapCSV(RunFig13)},
+		{"ablation", "Ablation: planner design choices", wrap(RunAblation), wrapCSV(RunAblation)},
+	}
+}
+
+// RunAll executes every experiment, writing each section to w. Experiments
+// that share a sweep (Figures 9-11) rerun it; callers wanting one shared
+// run can use RunProgSweep directly.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "==== %s ====\n\n", e.Name)
+		if err := e.Run(cfg, w); err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

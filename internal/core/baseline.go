@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// TopOneSolver is the conventional voice-query-interface baseline the
+// paper's introduction argues against (Example 1: Google answering only
+// the New York City interpretation): show a single plot containing only
+// the single most likely query's result. It exists for comparisons and
+// ablations — it is what MUVE degrades to with a one-bar screen.
+type TopOneSolver struct{}
+
+// Name identifies the solver in experiment output.
+func (TopOneSolver) Name() string { return "Top-1" }
+
+// Solve picks the most likely candidate and the narrowest template that
+// can display it.
+func (TopOneSolver) Solve(in *Instance) (Multiplot, Stats, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return Multiplot{}, Stats{}, err
+	}
+	best := 0
+	for i, c := range in.Candidates {
+		if c.Prob > in.Candidates[best].Prob {
+			best = i
+		}
+	}
+	insts := TemplatesOf(in.Candidates[best].Query)
+	if len(insts) == 0 {
+		m := Multiplot{}
+		return m, Stats{Duration: time.Since(start), Optimal: false, Cost: in.Cost(m)}, nil
+	}
+	// Narrowest title wins the single slot; ties break lexicographically
+	// for determinism.
+	sort.Slice(insts, func(a, b int) bool {
+		la, lb := len(insts[a].Template.Title), len(insts[b].Template.Title)
+		if la != lb {
+			return la < lb
+		}
+		return insts[a].Template.Key < insts[b].Template.Key
+	})
+	chosen := insts[0]
+	m := Multiplot{Rows: [][]Plot{{{
+		Template: chosen.Template,
+		Entries: nanEntries([]Entry{{
+			Query:       best,
+			Label:       chosen.Label,
+			Highlighted: false,
+		}}),
+	}}}}
+	if !m.FitsScreen(in.Screen) {
+		m = Multiplot{}
+	}
+	return m, Stats{Duration: time.Since(start), Cost: in.Cost(m)}, nil
+}
+
+// ModelSize reports the dimensions of the ILP a solver would build for the
+// instance: variables and constraints. It backs the empirical validation
+// of the paper's complexity results (Theorems 6 and 7: both counts are in
+// O(n_p*n_q*n_r + n_q*(n_q + n_p))).
+func (s *ILPSolver) ModelSize(in *Instance) (vars, constraints int, err error) {
+	if err := in.Validate(); err != nil {
+		return 0, 0, err
+	}
+	v, err := s.buildModel(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.model.NumVars(), v.model.NumConstraints(), nil
+}

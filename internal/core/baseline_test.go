@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopOneSolverShowsOnlyBestCandidate(t *testing.T) {
+	in := valueVariantInstance([]float64{0.2, 0.5, 0.3}, DefaultScreen())
+	m, st, err := (TopOneSolver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPlots() != 1 {
+		t.Fatalf("plots = %d", m.NumPlots())
+	}
+	states := m.QueryStates(3)
+	if states[1] == StateMissing {
+		t.Error("most likely candidate (index 1) not shown")
+	}
+	if states[0] != StateMissing || states[2] != StateMissing {
+		t.Error("baseline shows more than the top candidate")
+	}
+	b, bR, p, _ := m.Counts()
+	if b != 1 || bR != 0 || p != 1 {
+		t.Errorf("counts = %d %d %d", b, bR, p)
+	}
+	if st.Cost <= 0 {
+		t.Error("cost not evaluated")
+	}
+}
+
+func TestTopOneAlwaysWorseOrEqualToGreedy(t *testing.T) {
+	// MUVE's whole pitch: covering several interpretations beats showing
+	// only the most likely one. Under the cost model this must hold on
+	// every instance (greedy could at worst emit the same single plot).
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(15), DefaultScreen())
+		_, stTop, err := (TopOneSolver{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stGreedy, err := (&GreedySolver{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stGreedy.Cost > stTop.Cost+1e-9 {
+			t.Errorf("trial %d: greedy %v worse than top-1 baseline %v", trial, stGreedy.Cost, stTop.Cost)
+		}
+	}
+}
+
+func TestTopOneUnfittableScreen(t *testing.T) {
+	// A pathological screen too narrow even for the single plot yields an
+	// empty multiplot rather than an overflowing one.
+	in := valueVariantInstance([]float64{1}, Screen{WidthPx: 100, Rows: 1, PxPerBar: 48, PxPerChar: 7})
+	m, _, err := (TopOneSolver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.FitsScreen(in.Screen) {
+		t.Error("baseline output overflows screen")
+	}
+}
+
+func TestModelSizeGrowth(t *testing.T) {
+	// Theorems 6 and 7: ILP variables and constraints are in
+	// O(n_p*n_q*n_r + n_q*(n_q+n_p)). Empirically: doubling rows must not
+	// much more than double model size, and size grows with candidates.
+	s := &ILPSolver{}
+	sizes := map[[2]int][2]int{} // {cands, rows} -> {vars, cons}
+	for _, nc := range []int{5, 10, 20} {
+		for _, rows := range []int{1, 2} {
+			probs := make([]float64, nc)
+			for i := range probs {
+				probs[i] = 1 / float64(nc+1)
+			}
+			in := valueVariantInstance(probs, Screen{WidthPx: 1440, Rows: rows, PxPerBar: 48, PxPerChar: 7})
+			v, c, err := s.ModelSize(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[[2]int{nc, rows}] = [2]int{v, c}
+		}
+	}
+	for _, nc := range []int{5, 10, 20} {
+		one := sizes[[2]int{nc, 1}]
+		two := sizes[[2]int{nc, 2}]
+		if two[0] > 3*one[0] || two[1] > 3*one[1] {
+			t.Errorf("nc=%d: doubling rows blew up model: %v -> %v", nc, one, two)
+		}
+		if two[0] <= one[0] {
+			t.Errorf("nc=%d: more rows should add variables", nc)
+		}
+	}
+	if sizes[[2]int{20, 1}][0] <= sizes[[2]int{5, 1}][0] {
+		t.Error("more candidates should add variables")
+	}
+	// The quadratic-in-n_q envelope of Theorem 6: going 5 -> 20 candidates
+	// (4x) must stay within ~16x variables plus constant slack.
+	if got, limit := sizes[[2]int{20, 1}][0], 16*sizes[[2]int{5, 1}][0]+100; got > limit {
+		t.Errorf("variable growth %d exceeds quadratic envelope %d", got, limit)
+	}
+}

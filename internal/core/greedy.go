@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// GreedySolver implements the fast heuristic of Section 6: generate
+// candidate plots (Algorithm 2), color the k most likely results per plot
+// (Algorithm 3, justified by Theorem 2), pick plots by greedy submodular
+// maximization under per-row width knapsack constraints (Algorithm 4,
+// following Yu et al.), and polish away redundant results.
+type GreedySolver struct {
+	// MaxBarsPerPlot caps bars in one plot; 0 derives the cap from the
+	// screen width.
+	MaxBarsPerPlot int
+	// SkipPolish disables the final cleanup step (ablation).
+	SkipPolish bool
+	// DensityGreedy selects items by marginal-gain/width density (the
+	// knapsack-aware rule of Yu et al.). When false, plain marginal gain
+	// is used (the cardinality-constrained Nemhauser variant the paper
+	// mentions for fixed plot widths). Density is the default.
+	PlainGain bool
+}
+
+// Name identifies the solver in experiment output.
+func (g *GreedySolver) Name() string { return "Greedy" }
+
+// Stats reports how a solve went.
+type Stats struct {
+	// Duration is wall-clock optimization time.
+	Duration time.Duration
+	// TimedOut reports whether a deadline cut the search short.
+	TimedOut bool
+	// Optimal reports whether the result is provably optimal (ILP only).
+	Optimal bool
+	// Cost is the expected disambiguation cost of the returned multiplot.
+	Cost float64
+	// Nodes counts branch-and-bound nodes (ILP only).
+	Nodes int
+}
+
+// Solve runs the greedy algorithm (Algorithm 1). The deadline is ignored:
+// greedy always finishes fast, which is exactly its selling point.
+func (g *GreedySolver) Solve(in *Instance) (Multiplot, Stats, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return Multiplot{}, Stats{}, err
+	}
+	// Phase 1+2: candidate plots with highlighting options.
+	colored := g.coloredCandidates(in)
+	// Phase 3: pick plots under the width knapsack.
+	m := g.pickPlots(in, colored)
+	// Phase 4: polish.
+	if !g.SkipPolish {
+		m = polish(in, m)
+	}
+	st := Stats{Duration: time.Since(start), Cost: in.Cost(m)}
+	return m, st, nil
+}
+
+// coloredPlot is a fully specified plot candidate: a template, the top-n
+// most likely compatible queries, and the top-k of those highlighted.
+type coloredPlot struct {
+	group *templateGroup
+	n, k  int
+	width int
+}
+
+// coloredCandidates generates Algorithms 2 and 3's output: for each
+// template, prefix subsets of its queries by decreasing probability
+// (Theorem 2 restricts attention to such prefixes), each with every
+// highlight count k in [0, n].
+func (g *GreedySolver) coloredCandidates(in *Instance) []coloredPlot {
+	groups := GroupByTemplate(in.Candidates)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic iteration
+	screenW := in.Screen.WidthUnits()
+	var out []coloredPlot
+	for _, key := range keys {
+		grp := groups[key]
+		base := in.Screen.TitleUnits(len(grp.Template.Title))
+		maxBars := len(grp.Queries)
+		if g.MaxBarsPerPlot > 0 && maxBars > g.MaxBarsPerPlot {
+			maxBars = g.MaxBarsPerPlot
+		}
+		for n := 1; n <= maxBars; n++ {
+			w := base + n
+			if w > screenW {
+				break // wider prefixes cannot fit any row
+			}
+			for k := 0; k <= n; k++ {
+				out = append(out, coloredPlot{group: &grp, n: n, k: k, width: w})
+			}
+		}
+	}
+	return out
+}
+
+// materialize builds the concrete Plot for a colored candidate.
+func (c coloredPlot) materialize() Plot {
+	entries := make([]Entry, c.n)
+	for i := 0; i < c.n; i++ {
+		entries[i] = Entry{
+			Query:       c.group.Queries[i],
+			Label:       c.group.Labels[i],
+			Highlighted: i < c.k,
+		}
+	}
+	return Plot{Template: c.group.Template, Entries: nanEntries(entries)}
+}
+
+// pickPlots is Algorithm 4: greedy maximization of the submodular cost-
+// savings function over (plot, row) items subject to per-row width
+// knapsacks, plus the consistency constraint that each template
+// contributes at most one plot.
+func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) Multiplot {
+	rows := in.Screen.Rows
+	screenW := in.Screen.WidthUnits()
+	rowUsed := make([]int, rows)
+	usedTemplate := make(map[string]bool)
+	current := Multiplot{Rows: make([][]Plot, rows)}
+	currentCost := in.Cost(current)
+
+	for {
+		bestIdx, bestRow := -1, -1
+		var bestScore, bestGain float64
+		for ci, c := range colored {
+			if usedTemplate[c.group.Template.Key] {
+				continue
+			}
+			// Identical gain in every row; only the capacity differs. Try
+			// the fullest row that still fits, which packs tightly.
+			row := -1
+			for r := 0; r < rows; r++ {
+				if rowUsed[r]+c.width <= screenW {
+					if row == -1 || rowUsed[r] > rowUsed[row] {
+						row = r
+					}
+				}
+			}
+			if row == -1 {
+				continue
+			}
+			trial := current
+			trial.Rows = append([][]Plot(nil), current.Rows...)
+			trial.Rows[row] = append(append([]Plot(nil), current.Rows[row]...), c.materialize())
+			gain := currentCost - in.Cost(trial)
+			if gain <= 1e-12 {
+				continue
+			}
+			score := gain
+			if !g.PlainGain {
+				score = gain / float64(c.width)
+			}
+			if score > bestScore+1e-12 || (bestIdx == -1 && score > 0) {
+				bestScore, bestGain = score, gain
+				bestIdx, bestRow = ci, row
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		c := colored[bestIdx]
+		current.Rows[bestRow] = append(current.Rows[bestRow], c.materialize())
+		rowUsed[bestRow] += c.width
+		usedTemplate[c.group.Template.Key] = true
+		currentCost -= bestGain
+	}
+	// Drop empty trailing rows for a tidy result.
+	out := Multiplot{}
+	for _, r := range current.Rows {
+		if len(r) > 0 {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// polish removes redundant results shown in several plots and refills the
+// gaps with the most likely non-redundant compatible queries (the final
+// step of Algorithm 1). Removing never hurts: duplicate bars add reading
+// cost without adding coverage.
+func polish(in *Instance, m Multiplot) Multiplot {
+	groups := GroupByTemplate(in.Candidates)
+	type slot struct{ row, plot, entry int }
+	best := make(map[int]slot) // query -> winning occurrence
+	// Pass 1: choose, per query, the occurrence to keep (highlighted wins,
+	// then earliest position).
+	for ri, row := range m.Rows {
+		for pi, pl := range row {
+			for ei, e := range pl.Entries {
+				cur, ok := best[e.Query]
+				if !ok {
+					best[e.Query] = slot{ri, pi, ei}
+					continue
+				}
+				curHL := m.Rows[cur.row][cur.plot].Entries[cur.entry].Highlighted
+				if e.Highlighted && !curHL {
+					best[e.Query] = slot{ri, pi, ei}
+				}
+			}
+		}
+	}
+	displayed := make(map[int]bool, len(best))
+	for q := range best {
+		displayed[q] = true
+	}
+	// Pass 2: rebuild plots, dropping losing duplicates and refilling.
+	out := Multiplot{Rows: make([][]Plot, len(m.Rows))}
+	for ri, row := range m.Rows {
+		for pi, pl := range row {
+			var entries []Entry
+			removed := 0
+			for ei, e := range pl.Entries {
+				if best[e.Query] == (slot{ri, pi, ei}) {
+					entries = append(entries, e)
+				} else {
+					removed++
+				}
+			}
+			// Refill gaps with the most likely compatible queries not yet
+			// displayed anywhere (width stays constant: one bar per gap).
+			if removed > 0 {
+				if grp, ok := groups[pl.Template.Key]; ok {
+					for gi, qi := range grp.Queries {
+						if removed == 0 {
+							break
+						}
+						if displayed[qi] {
+							continue
+						}
+						entries = append(entries, Entry{
+							Query: qi,
+							Label: grp.Labels[gi],
+						})
+						displayed[qi] = true
+						removed--
+					}
+				}
+			}
+			if len(entries) > 0 {
+				out.Rows[ri] = append(out.Rows[ri], Plot{Template: pl.Template, Entries: nanEntries(entries)})
+			}
+		}
+	}
+	cleaned := Multiplot{}
+	for _, r := range out.Rows {
+		if len(r) > 0 {
+			cleaned.Rows = append(cleaned.Rows, r)
+		}
+	}
+	// Polishing must never worsen the multiplot; keep the original if the
+	// refill heuristic backfired (possible when a refilled bar's plot-
+	// context cost exceeds its probability gain).
+	if in.Cost(cleaned) > in.Cost(m) {
+		return m
+	}
+	return cleaned
+}
+
+// String renders a compact structural description, for logs and tests.
+func (m Multiplot) String() string {
+	s := ""
+	for ri, row := range m.Rows {
+		if ri > 0 {
+			s += " // "
+		}
+		for pi, pl := range row {
+			if pi > 0 {
+				s += " | "
+			}
+			s += fmt.Sprintf("[%s: %d bars, %d red]", pl.Template.Title, len(pl.Entries), pl.RedBars())
+		}
+	}
+	if s == "" {
+		return "[empty]"
+	}
+	return s
+}

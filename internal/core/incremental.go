@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+)
+
+// IncrementalILP implements incremental optimization (Section 5.4): the
+// optimization time is divided into sequences of exponentially increasing
+// duration k*b^i, and after each sequence the current best visualization
+// is emitted. Users therefore see a first multiplot early, refined as the
+// solver proves more.
+type IncrementalILP struct {
+	// K is the duration of the first sequence (the paper's experiments use
+	// k = 62.5ms).
+	K time.Duration
+	// B is the growth factor between sequences (the paper uses b = 2).
+	B float64
+	// TotalBudget bounds overall optimization time.
+	TotalBudget time.Duration
+	// MaxBarsPerPlot is forwarded to the underlying ILP solver.
+	MaxBarsPerPlot int
+}
+
+// DefaultIncremental returns the paper's experimental configuration:
+// k = 62.5ms, b = 2 (Section 9.4).
+func DefaultIncremental(budget time.Duration) *IncrementalILP {
+	return &IncrementalILP{K: 62500 * time.Microsecond, B: 2, TotalBudget: budget}
+}
+
+// Name identifies the solver in experiment output.
+func (s *IncrementalILP) Name() string { return "ILP-Inc" }
+
+// Update is one emitted visualization of an incremental run.
+type Update struct {
+	Multiplot Multiplot
+	// Elapsed is the optimization time when this version appeared.
+	Elapsed time.Duration
+	// Cost under the instance model.
+	Cost float64
+	// Final marks the last update (optimum proven or budget exhausted).
+	Final bool
+}
+
+// Solve runs the incremental scheme and returns the final multiplot. The
+// emit callback, when non-nil, receives every intermediate visualization
+// in order; this is how the progressive-presentation layer animates
+// refinements.
+func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stats, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return Multiplot{}, Stats{}, err
+	}
+	k := s.K
+	if k <= 0 {
+		k = 62500 * time.Microsecond
+	}
+	b := s.B
+	if b <= 1 {
+		b = 2
+	}
+	budget := s.TotalBudget
+	if budget <= 0 {
+		budget = time.Second
+	}
+
+	var best Multiplot
+	bestCost := in.Cost(best)
+	haveBest := false
+	updates := 0
+
+	seq := k
+	var finalStats Stats
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= budget {
+			break
+		}
+		remaining := budget - elapsed
+		if seq > remaining {
+			seq = remaining
+		}
+		inner := &ILPSolver{Timeout: seq, MaxBarsPerPlot: s.MaxBarsPerPlot}
+		m, st, err := inner.Solve(in)
+		if err != nil {
+			return Multiplot{}, Stats{}, err
+		}
+		improved := !haveBest || st.Cost < bestCost-1e-9
+		if improved {
+			best, bestCost, haveBest = m, st.Cost, true
+			updates++
+			if emit != nil {
+				emit(Update{Multiplot: m, Elapsed: time.Since(start), Cost: st.Cost, Final: false})
+			}
+		}
+		finalStats = st
+		if st.Optimal {
+			break
+		}
+		seq = time.Duration(float64(seq) * b)
+	}
+	total := time.Since(start)
+	if emit != nil {
+		emit(Update{Multiplot: best, Elapsed: total, Cost: bestCost, Final: true})
+	}
+	return best, Stats{
+		Duration: total,
+		TimedOut: !finalStats.Optimal,
+		Optimal:  finalStats.Optimal,
+		Cost:     bestCost,
+		Nodes:    finalStats.Nodes,
+	}, nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"muve/internal/sqldb"
+)
+
+// Slot identifies which query element a template's placeholder replaces.
+// Each template has exactly one placeholder ("the template contains one
+// placeholder", Section 3), which may substitute "constants in predicates
+// but also operators or aggregation functions" (Definition 2).
+type Slot uint8
+
+const (
+	// SlotAggFunc varies the aggregation function on the x axis.
+	SlotAggFunc Slot = iota
+	// SlotAggCol varies the aggregated column.
+	SlotAggCol
+	// SlotPredCol varies one predicate's column (its value fixed).
+	SlotPredCol
+	// SlotPredVal varies one predicate's constant (its column fixed).
+	SlotPredVal
+)
+
+// String names the slot.
+func (s Slot) String() string {
+	switch s {
+	case SlotAggFunc:
+		return "aggregate"
+	case SlotAggCol:
+		return "aggregation column"
+	case SlotPredCol:
+		return "predicate column"
+	case SlotPredVal:
+		return "predicate value"
+	}
+	return fmt.Sprintf("Slot(%d)", uint8(s))
+}
+
+// Template is a query template with one placeholder. Queries instantiating
+// the same template can share a plot; the title references the fixed parts
+// while x-axis labels carry the placeholder substitutions.
+type Template struct {
+	// Key canonically identifies the template: two queries are plot-
+	// compatible iff they derive an identical Key for some slot.
+	Key string
+	// Title is the human-readable plot title with "?" at the placeholder.
+	Title string
+	// Slot says which element the placeholder replaces.
+	Slot Slot
+	// PredIdx is the predicate index for SlotPredCol/SlotPredVal.
+	PredIdx int
+}
+
+// Instantiation pairs a template with the concrete label a query
+// substitutes for the placeholder.
+type Instantiation struct {
+	Template Template
+	Label    string
+}
+
+// TemplatesOf derives every template a candidate query instantiates
+// (function T(q) in Algorithm 2), together with the query's label in each.
+// The query must have exactly one aggregate.
+func TemplatesOf(q sqldb.Query) []Instantiation {
+	if len(q.Aggs) != 1 {
+		return nil
+	}
+	agg := q.Aggs[0]
+	var out []Instantiation
+
+	// Placeholder on the aggregation function: "?(col) ...".
+	out = append(out, Instantiation{
+		Template: Template{
+			Key:   templateKey(q, SlotAggFunc, -1),
+			Title: titleFor(q, SlotAggFunc, -1),
+			Slot:  SlotAggFunc,
+		},
+		Label: agg.Func.String(),
+	})
+	// Placeholder on the aggregated column (COUNT(*) has none).
+	if agg.Col != "" {
+		out = append(out, Instantiation{
+			Template: Template{
+				Key:   templateKey(q, SlotAggCol, -1),
+				Title: titleFor(q, SlotAggCol, -1),
+				Slot:  SlotAggCol,
+			},
+			Label: agg.Col,
+		})
+	}
+	for i, p := range q.Preds {
+		if p.Op != sqldb.OpEq {
+			continue // candidate queries carry equality predicates only
+		}
+		out = append(out, Instantiation{
+			Template: Template{
+				Key:     templateKey(q, SlotPredCol, i),
+				Title:   titleFor(q, SlotPredCol, i),
+				Slot:    SlotPredCol,
+				PredIdx: i,
+			},
+			Label: p.Col,
+		})
+		out = append(out, Instantiation{
+			Template: Template{
+				Key:     templateKey(q, SlotPredVal, i),
+				Title:   titleFor(q, SlotPredVal, i),
+				Slot:    SlotPredVal,
+				PredIdx: i,
+			},
+			Label: p.Values[0].Display(),
+		})
+	}
+	return out
+}
+
+// templateKey canonically serializes a query with the given slot
+// wildcarded. Predicates other than the wildcarded one are sorted so that
+// queries whose predicates merely appear in different order still share
+// templates.
+func templateKey(q sqldb.Query, slot Slot, predIdx int) string {
+	var b strings.Builder
+	b.WriteString("t=")
+	b.WriteString(q.Table)
+	b.WriteString("|a=")
+	switch slot {
+	case SlotAggFunc:
+		b.WriteString("?(")
+		b.WriteString(q.Aggs[0].Col)
+		b.WriteString(")")
+	case SlotAggCol:
+		b.WriteString(q.Aggs[0].Func.String())
+		b.WriteString("(?)")
+	default:
+		b.WriteString(q.Aggs[0].String())
+	}
+	// Serialize predicates: the wildcarded one keeps its position marker,
+	// the rest are sorted canonically.
+	var fixed []string
+	var wildcard string
+	for i, p := range q.Preds {
+		switch {
+		case slot == SlotPredCol && i == predIdx:
+			wildcard = "?=" + p.Values[0].String()
+		case slot == SlotPredVal && i == predIdx:
+			wildcard = p.Col + "=?"
+		default:
+			fixed = append(fixed, p.String())
+		}
+	}
+	sort.Strings(fixed)
+	b.WriteString("|w=")
+	b.WriteString(wildcard)
+	b.WriteString("|p=")
+	b.WriteString(strings.Join(fixed, "&"))
+	return b.String()
+}
+
+// titleFor renders the human plot title with "?" at the placeholder, e.g.
+// "? of delay | origin = JFK" or "count | borough = ?".
+func titleFor(q sqldb.Query, slot Slot, predIdx int) string {
+	var parts []string
+	agg := q.Aggs[0]
+	switch slot {
+	case SlotAggFunc:
+		if agg.Col == "" {
+			parts = append(parts, "? of rows")
+		} else {
+			parts = append(parts, "? of "+agg.Col)
+		}
+	case SlotAggCol:
+		parts = append(parts, agg.Func.String()+" of ?")
+	default:
+		if agg.Col == "" {
+			parts = append(parts, "count")
+		} else {
+			parts = append(parts, agg.Func.String()+" of "+agg.Col)
+		}
+	}
+	for i, p := range q.Preds {
+		switch {
+		case slot == SlotPredCol && i == predIdx:
+			parts = append(parts, "? = "+p.Values[0].Display())
+		case slot == SlotPredVal && i == predIdx:
+			parts = append(parts, p.Col+" = ?")
+		default:
+			parts = append(parts, p.Col+" = "+p.Values[0].Display())
+		}
+	}
+	return strings.Join(parts, " | ")
+}
+
+// LabelFor returns the label query q contributes to the given template, or
+// false when q does not instantiate it.
+func LabelFor(q sqldb.Query, t Template) (string, bool) {
+	for _, inst := range TemplatesOf(q) {
+		if inst.Template.Key == t.Key {
+			return inst.Label, true
+		}
+	}
+	return "", false
+}
+
+// GroupByTemplate buckets candidate indices by template key (the grouping
+// loop of Algorithm 2). The returned map's values are sorted by decreasing
+// probability.
+func GroupByTemplate(cands []Candidate) map[string]templateGroup {
+	groups := make(map[string]templateGroup)
+	for qi, c := range cands {
+		for _, inst := range TemplatesOf(c.Query) {
+			g, ok := groups[inst.Template.Key]
+			if !ok {
+				g = templateGroup{Template: inst.Template}
+			}
+			g.Queries = append(g.Queries, qi)
+			g.Labels = append(g.Labels, inst.Label)
+			groups[inst.Template.Key] = g
+		}
+	}
+	for k, g := range groups {
+		order := make([]int, len(g.Queries))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			pa, pb := cands[g.Queries[order[a]]].Prob, cands[g.Queries[order[b]]].Prob
+			if pa != pb {
+				return pa > pb
+			}
+			return g.Queries[order[a]] < g.Queries[order[b]]
+		})
+		sorted := templateGroup{Template: g.Template}
+		seen := make(map[int]bool, len(order))
+		for _, oi := range order {
+			qi := g.Queries[oi]
+			if seen[qi] {
+				continue // a query instantiates each template at most once
+			}
+			seen[qi] = true
+			sorted.Queries = append(sorted.Queries, qi)
+			sorted.Labels = append(sorted.Labels, g.Labels[oi])
+		}
+		groups[k] = sorted
+	}
+	return groups
+}
+
+// templateGroup is one template with its compatible candidates, sorted by
+// decreasing probability.
+type templateGroup struct {
+	Template Template
+	Queries  []int
+	Labels   []string
+}

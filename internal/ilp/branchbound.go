@@ -1,0 +1,293 @@
+package ilp
+
+import (
+	"math"
+	"time"
+)
+
+// Options configures a Solve call.
+type Options struct {
+	// Deadline aborts the search when reached; the best incumbent found so
+	// far is returned with StatusFeasible (or StatusTimeout when none).
+	// The zero value means no deadline.
+	Deadline time.Time
+	// MaxNodes caps the number of branch-and-bound nodes (0 = unlimited).
+	MaxNodes int
+	// WarmStart, when non-nil, seeds the incumbent with a known feasible
+	// assignment (indexed by VarID). MUVE passes the greedy solution so a
+	// timeout can never return something worse than greedy.
+	WarmStart []float64
+}
+
+// intTol is the integrality tolerance.
+const intTol = 1e-6
+
+// Solve minimizes the model objective subject to its constraints via
+// LP-relaxation branch & bound. The returned Solution is never nil when
+// err is nil.
+func (m *Model) Solve(opt Options) (*Solution, error) {
+	if len(m.vars) == 0 {
+		return nil, ErrNoModel
+	}
+	s := &bbState{
+		model:        m,
+		opt:          opt,
+		incumbentObj: math.Inf(1),
+		complete:     true,
+	}
+	if opt.WarmStart != nil && m.feasible(opt.WarmStart, 1e-6) {
+		s.incumbent = append([]float64(nil), opt.WarmStart...)
+		s.incumbentObj = m.evalObjective(opt.WarmStart)
+	}
+
+	rootFixed := make([]int8, len(m.vars)) // -1 unfixed, 0, 1 for binaries
+	for i := range rootFixed {
+		rootFixed[i] = -1
+	}
+	s.rootBound = math.Inf(-1)
+	s.branch(rootFixed, true)
+
+	sol := &Solution{Nodes: s.nodes}
+	switch {
+	case s.incumbent == nil && s.complete:
+		sol.Status = StatusInfeasible
+		sol.Bound = math.Inf(1)
+	case s.incumbent == nil:
+		sol.Status = StatusTimeout
+		sol.Bound = s.rootBound
+	case s.complete:
+		sol.Status = StatusOptimal
+		sol.Objective = s.incumbentObj
+		sol.Values = s.incumbent
+		sol.Bound = s.incumbentObj
+	default:
+		sol.Status = StatusFeasible
+		sol.Objective = s.incumbentObj
+		sol.Values = s.incumbent
+		sol.Bound = s.rootBound
+	}
+	if sol.Values != nil {
+		cleanIntegers(m, sol.Values)
+	}
+	return sol, nil
+}
+
+// bbState carries search state across recursive branching.
+type bbState struct {
+	model        *Model
+	opt          Options
+	incumbent    []float64
+	incumbentObj float64
+	nodes        int
+	complete     bool
+	rootBound    float64
+	stopped      bool
+}
+
+func (s *bbState) deadlineHit() bool {
+	if s.stopped {
+		return true
+	}
+	if !s.opt.Deadline.IsZero() && time.Now().After(s.opt.Deadline) {
+		s.stopped = true
+		s.complete = false
+		return true
+	}
+	if s.opt.MaxNodes > 0 && s.nodes >= s.opt.MaxNodes {
+		s.stopped = true
+		s.complete = false
+		return true
+	}
+	return false
+}
+
+// branch processes one node: solve the LP relaxation with the given binary
+// fixings, prune or dive.
+func (s *bbState) branch(fixed []int8, isRoot bool) {
+	if s.deadlineHit() {
+		return
+	}
+	s.nodes++
+	x, obj, st := s.solveRelaxation(fixed)
+	switch st {
+	case lpInfeasible:
+		return
+	case lpUnbounded:
+		// With bounded variables this cannot happen unless the model has
+		// unbounded continuous vars; treat as "no useful bound" and give up
+		// on proving optimality below this node.
+		s.complete = false
+		return
+	case lpAborted:
+		s.complete = false
+		return
+	}
+	if isRoot {
+		s.rootBound = obj
+	}
+	if obj >= s.incumbentObj-1e-9 {
+		return // bound prune
+	}
+	// Find the fractional binary with the highest branching priority,
+	// breaking ties by fractionality.
+	branchVar := -1
+	bestFrac := intTol
+	bestPri := 0
+	for i, vi := range s.model.vars {
+		if !vi.integer || fixed[i] >= 0 {
+			continue
+		}
+		f := math.Abs(x[i] - math.Round(x[i]))
+		if f <= intTol {
+			continue
+		}
+		if branchVar == -1 || vi.priority > bestPri ||
+			(vi.priority == bestPri && f > bestFrac) {
+			bestPri = vi.priority
+			bestFrac = f
+			branchVar = i
+		}
+	}
+	if branchVar == -1 {
+		// Integral solution: new incumbent.
+		if obj < s.incumbentObj {
+			s.incumbentObj = obj
+			s.incumbent = append([]float64(nil), x...)
+		}
+		return
+	}
+	// Rounding heuristic: try the nearest-integer rounding as an incumbent
+	// before descending, so timeouts still surface something feasible.
+	s.tryRounding(x, fixed)
+	// Dive toward the fractional value's rounding first.
+	first := int8(math.Round(x[branchVar]))
+	for _, val := range []int8{first, 1 - first} {
+		if s.deadlineHit() {
+			return
+		}
+		child := append([]int8(nil), fixed...)
+		child[branchVar] = val
+		s.branch(child, false)
+	}
+}
+
+// tryRounding rounds the LP solution to integers and accepts it as the
+// incumbent when feasible and improving.
+func (s *bbState) tryRounding(x []float64, fixed []int8) {
+	r := append([]float64(nil), x...)
+	for i, vi := range s.model.vars {
+		if vi.integer {
+			if fixed[i] >= 0 {
+				r[i] = float64(fixed[i])
+			} else {
+				r[i] = math.Round(r[i])
+			}
+		}
+	}
+	if !s.model.feasible(r, 1e-7) {
+		return
+	}
+	obj := s.model.evalObjective(r)
+	if obj < s.incumbentObj {
+		s.incumbentObj = obj
+		s.incumbent = r
+	}
+}
+
+// solveRelaxation builds and solves the LP relaxation under the given
+// binary fixings. Fixed binaries are substituted out; remaining variables
+// are shifted to be non-negative and upper bounds become explicit rows.
+func (s *bbState) solveRelaxation(fixed []int8) ([]float64, float64, lpStatus) {
+	m := s.model
+	nv := len(m.vars)
+	col := make([]int, nv) // model var -> LP column, -1 when fixed
+	lo := make([]float64, nv)
+	n := 0
+	for i, vi := range m.vars {
+		if vi.integer && fixed[i] >= 0 {
+			col[i] = -1
+			continue
+		}
+		col[i] = n
+		lo[i] = vi.lo
+		n++
+	}
+	p := &lpProblem{c: make([]float64, n)}
+	objConst := m.objConst
+	for _, t := range m.obj {
+		if c := col[t.Var]; c >= 0 {
+			p.c[c] += t.Coeff
+			objConst += t.Coeff * lo[t.Var]
+		} else {
+			objConst += t.Coeff * float64(fixed[t.Var])
+		}
+	}
+	for _, con := range m.cons {
+		row := make([]float64, n)
+		rhs := con.rhs
+		any := false
+		for _, t := range con.terms {
+			if c := col[t.Var]; c >= 0 {
+				row[c] += t.Coeff
+				rhs -= t.Coeff * lo[t.Var]
+				any = true
+			} else {
+				rhs -= t.Coeff * float64(fixed[t.Var])
+			}
+		}
+		if !any {
+			// Constant constraint: check it directly.
+			ok := true
+			switch con.sense {
+			case LE:
+				ok = rhs >= -1e-9
+			case GE:
+				ok = rhs <= 1e-9
+			case EQ:
+				ok = math.Abs(rhs) <= 1e-9
+			}
+			if !ok {
+				return nil, 0, lpInfeasible
+			}
+			continue
+		}
+		p.a = append(p.a, row)
+		p.sense = append(p.sense, con.sense)
+		p.b = append(p.b, rhs)
+	}
+	// Upper-bound rows for shifted variables with finite upper bounds.
+	for i, vi := range m.vars {
+		c := col[i]
+		if c < 0 || math.IsInf(vi.hi, 1) {
+			continue
+		}
+		row := make([]float64, n)
+		row[c] = 1
+		p.a = append(p.a, row)
+		p.sense = append(p.sense, LE)
+		p.b = append(p.b, vi.hi-vi.lo)
+	}
+	xs, obj, st := p.solveLP(s.opt.Deadline)
+	if st != lpOptimal {
+		return nil, 0, st
+	}
+	// Map back to model space.
+	x := make([]float64, nv)
+	for i := range m.vars {
+		if c := col[i]; c >= 0 {
+			x[i] = xs[c] + lo[i]
+		} else {
+			x[i] = float64(fixed[i])
+		}
+	}
+	return x, obj + objConst, lpOptimal
+}
+
+// cleanIntegers snaps integer variables to exact integral values.
+func cleanIntegers(m *Model, x []float64) {
+	for i, vi := range m.vars {
+		if vi.integer {
+			x[i] = math.Round(x[i])
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package ilp
+
+import (
+	"math"
+	"time"
+)
+
+// lpStatus is the outcome of an LP relaxation solve.
+type lpStatus uint8
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpAborted // deadline or iteration cap hit
+)
+
+// lpProblem is a linear program in the form
+//
+//	min c'x  s.t.  A x (<=|>=|=) b,  x >= 0
+//
+// produced by the branch-and-bound layer after variable shifting and
+// fixing. Upper bounds arrive as explicit <= rows.
+type lpProblem struct {
+	c     []float64   // length n
+	a     [][]float64 // m rows of length n
+	sense []Sense     // length m
+	b     []float64   // length m
+}
+
+const (
+	simplexTol = 1e-9
+	// deadlineCheckMask throttles time.Now calls to every 64 iterations.
+	deadlineCheckMask = 63
+)
+
+// solveLP runs a dense two-phase primal simplex. It returns the primal
+// solution over the structural variables and the objective value.
+func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
+	m := len(p.a)
+	n := len(p.c)
+	if m == 0 {
+		// Unconstrained over x >= 0: each variable sits at 0 unless its
+		// cost is negative, in which case the LP is unbounded.
+		x := make([]float64, n)
+		for _, cj := range p.c {
+			if cj < -simplexTol {
+				return nil, 0, lpUnbounded
+			}
+		}
+		return x, 0, lpOptimal
+	}
+
+	// Normalize rows to minimize artificial variables (artificials force a
+	// phase-1 solve, which dominates LP time on this solver's workloads):
+	//
+	//   1. flip rows so b >= 0;
+	//   2. a GE row with b == 0 negates into a slack-only LE row;
+	//   3. an EQ row with b == 0 splits into two slack-only LE rows.
+	//
+	// MUVE's multiplot models consist almost entirely of zero-rhs logical
+	// constraints (q <= p, s >= h, h_i = sum h, ...), so this usually
+	// removes phase 1 altogether.
+	var rows [][]float64
+	var b []float64
+	var senses []Sense
+	appendRow := func(r []float64, bi float64, s Sense) {
+		rows = append(rows, r)
+		b = append(b, bi)
+		senses = append(senses, s)
+	}
+	for i := range p.a {
+		r := append([]float64(nil), p.a[i]...)
+		bi := p.b[i]
+		s := p.sense[i]
+		if bi < 0 {
+			for j := range r {
+				r[j] = -r[j]
+			}
+			bi = -bi
+			switch s {
+			case LE:
+				s = GE
+			case GE:
+				s = LE
+			}
+		}
+		if bi == 0 {
+			switch s {
+			case GE:
+				neg := make([]float64, len(r))
+				for j := range r {
+					neg[j] = -r[j]
+				}
+				appendRow(neg, 0, LE)
+				continue
+			case EQ:
+				neg := make([]float64, len(r))
+				for j := range r {
+					neg[j] = -r[j]
+				}
+				appendRow(r, 0, LE)
+				appendRow(neg, 0, LE)
+				continue
+			}
+		}
+		appendRow(r, bi, s)
+	}
+	m = len(rows)
+	// Count columns: structural + one slack/surplus per inequality +
+	// artificials for >= and = rows.
+	nSlack, nArt := 0, 0
+	for _, s := range senses {
+		switch s {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// tableau: m rows of length total+1 (last col = rhs), plus cost rows
+	// handled separately.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + nSlack
+	artCols := make([]int, 0, nArt)
+	for i := 0; i < m; i++ {
+		row := make([]float64, total+1)
+		copy(row, rows[i])
+		row[total] = b[i]
+		switch senses[i] {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+		t[i] = row
+	}
+
+	iterCap := 200 * (m + total)
+	if iterCap < 2000 {
+		iterCap = 2000
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for _, c := range artCols {
+			phase1[c] = 1
+		}
+		obj, st := runSimplex(t, basis, phase1, total, deadline, iterCap)
+		if st == lpAborted {
+			return nil, 0, lpAborted
+		}
+		if st == lpUnbounded || obj > 1e-7 {
+			return nil, 0, lpInfeasible
+		}
+		// Pivot remaining basic artificials out when possible.
+		isArt := make([]bool, total)
+		for _, c := range artCols {
+			isArt[c] = true
+		}
+		for i := 0; i < m; i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > 1e-7 {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; the artificial stays basic at value 0,
+				// which is harmless as long as it can never re-enter. We
+				// ensure that by zeroing its cost in phase 2 and never
+				// selecting artificial columns (see below).
+				_ = pivoted
+			}
+		}
+		// Forbid artificial columns from re-entering by zeroing them.
+		for i := 0; i < m; i++ {
+			for _, c := range artCols {
+				if basis[i] != c {
+					t[i][c] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective over structural + slack columns.
+	phase2 := make([]float64, total)
+	copy(phase2, p.c)
+	obj, st := runSimplex(t, basis, phase2, n+nSlack, deadline, iterCap)
+	switch st {
+	case lpAborted:
+		return nil, 0, lpAborted
+	case lpUnbounded:
+		return nil, 0, lpUnbounded
+	}
+	x := make([]float64, n)
+	for i, bc := range basis {
+		if bc < n {
+			x[bc] = t[i][total]
+		}
+	}
+	return x, obj, lpOptimal
+}
+
+// runSimplex performs primal simplex iterations on the tableau with the
+// given cost vector, allowing entering columns only below colLimit. It
+// returns the objective value of the final basis.
+func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadline time.Time, iterCap int) (float64, lpStatus) {
+	m := len(t)
+	total := len(t[0]) - 1
+	// Reduced cost row: z[j] = cost[j] - cB' B^-1 A_j, maintained by
+	// pivoting a dedicated row.
+	z := make([]float64, total+1)
+	copy(z, cost)
+	for i := 0; i < m; i++ {
+		cb := cost[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			z[j] -= cb * t[i][j]
+		}
+	}
+	useBland := false
+	for iter := 0; ; iter++ {
+		if iter > iterCap {
+			return 0, lpAborted
+		}
+		if iter&deadlineCheckMask == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return 0, lpAborted
+		}
+		if iter > iterCap/2 {
+			useBland = true
+		}
+		// Choose entering column.
+		enter := -1
+		best := -simplexTol
+		for j := 0; j < colLimit; j++ {
+			if z[j] < best {
+				if useBland {
+					enter = j
+					break
+				}
+				best = z[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return -z[total], lpOptimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > simplexTol {
+				ratio := t[i][total] / a
+				if ratio < bestRatio-simplexTol ||
+					(ratio < bestRatio+simplexTol && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, lpUnbounded
+		}
+		pivotWithZ(t, basis, z, leave, enter, total)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on tableau row r, column c.
+func pivot(t [][]float64, basis []int, r, c, total int) {
+	pr := t[r]
+	pv := pr[c]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	for i := range t {
+		if i == r {
+			continue
+		}
+		f := t[i][c]
+		if f == 0 {
+			continue
+		}
+		row := t[i]
+		for j := 0; j <= total; j++ {
+			row[j] -= f * pr[j]
+		}
+	}
+	basis[r] = c
+}
+
+// pivotWithZ pivots and also updates the reduced-cost row z.
+func pivotWithZ(t [][]float64, basis []int, z []float64, r, c, total int) {
+	pivot(t, basis, r, c, total)
+	f := z[c]
+	if f != 0 {
+		pr := t[r]
+		for j := 0; j <= total; j++ {
+			z[j] -= f * pr[j]
+		}
+	}
+}

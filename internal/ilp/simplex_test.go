@@ -1,0 +1,258 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// lpAlmost compares with LP-solver tolerance.
+func lpAlmost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveLPBasicMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic example):
+	// optimum at (2, 6) with objective 36; as minimization of the negation.
+	p := &lpProblem{
+		c: []float64{-3, -5},
+		a: [][]float64{
+			{1, 0},
+			{0, 2},
+			{3, 2},
+		},
+		sense: []Sense{LE, LE, LE},
+		b:     []float64{4, 12, 18},
+	}
+	x, obj, st := p.solveLP(time.Time{})
+	if st != lpOptimal {
+		t.Fatalf("status = %v", st)
+	}
+	if !lpAlmost(obj, -36) {
+		t.Errorf("objective = %v, want -36", obj)
+	}
+	if !lpAlmost(x[0], 2) || !lpAlmost(x[1], 6) {
+		t.Errorf("x = %v, want (2, 6)", x)
+	}
+}
+
+func TestSolveLPEqualityAndGE(t *testing.T) {
+	// min x + y s.t. x + y = 4, x >= 1: optimum 4 at e.g. (1, 3).
+	p := &lpProblem{
+		c: []float64{1, 1},
+		a: [][]float64{
+			{1, 1},
+			{1, 0},
+		},
+		sense: []Sense{EQ, GE},
+		b:     []float64{4, 1},
+	}
+	x, obj, st := p.solveLP(time.Time{})
+	if st != lpOptimal {
+		t.Fatalf("status = %v", st)
+	}
+	if !lpAlmost(obj, 4) {
+		t.Errorf("objective = %v, want 4", obj)
+	}
+	if x[0] < 1-1e-6 || !lpAlmost(x[0]+x[1], 4) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveLPZeroRHSNormalization(t *testing.T) {
+	// The artificial-free normalization path: logical constraints with
+	// rhs 0 in GE and EQ form. min -x s.t. x <= y (x - y <= 0),
+	// y - x = 0 would force x = y; with y <= 5: optimum x = y = 5.
+	p := &lpProblem{
+		c: []float64{-1, 0},
+		a: [][]float64{
+			{1, -1}, // x - y <= 0
+			{-1, 1}, // y - x >= 0 (redundant, exercises GE rhs 0)
+			{1, -1}, // x - y = 0 (EQ rhs 0 split)
+			{0, 1},  // y <= 5
+		},
+		sense: []Sense{LE, GE, EQ, LE},
+		b:     []float64{0, 0, 0, 5},
+	}
+	x, obj, st := p.solveLP(time.Time{})
+	if st != lpOptimal {
+		t.Fatalf("status = %v", st)
+	}
+	if !lpAlmost(obj, -5) || !lpAlmost(x[0], 5) || !lpAlmost(x[1], 5) {
+		t.Errorf("x = %v obj = %v", x, obj)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x >= 3 and x <= 1.
+	p := &lpProblem{
+		c:     []float64{1},
+		a:     [][]float64{{1}, {1}},
+		sense: []Sense{GE, LE},
+		b:     []float64{3, 1},
+	}
+	_, _, st := p.solveLP(time.Time{})
+	if st != lpInfeasible {
+		t.Errorf("status = %v, want infeasible", st)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// min -x with only x >= 0 and a vacuous constraint.
+	p := &lpProblem{
+		c:     []float64{-1},
+		a:     [][]float64{{-1}}, // -x <= 1, never binding upward
+		sense: []Sense{LE},
+		b:     []float64{1},
+	}
+	_, _, st := p.solveLP(time.Time{})
+	if st != lpUnbounded {
+		t.Errorf("status = %v, want unbounded", st)
+	}
+}
+
+func TestSolveLPNoConstraints(t *testing.T) {
+	p := &lpProblem{c: []float64{1, 2}}
+	x, obj, st := p.solveLP(time.Time{})
+	if st != lpOptimal || obj != 0 || x[0] != 0 || x[1] != 0 {
+		t.Errorf("unconstrained min of positive costs should sit at origin: %v %v %v", x, obj, st)
+	}
+	p = &lpProblem{c: []float64{-1}}
+	if _, _, st := p.solveLP(time.Time{}); st != lpUnbounded {
+		t.Errorf("negative cost over x >= 0 should be unbounded, got %v", st)
+	}
+}
+
+func TestSolveLPNegativeRHSFlip(t *testing.T) {
+	// -x <= -2 means x >= 2; min x should be 2.
+	p := &lpProblem{
+		c:     []float64{1},
+		a:     [][]float64{{-1}},
+		sense: []Sense{LE},
+		b:     []float64{-2},
+	}
+	x, obj, st := p.solveLP(time.Time{})
+	if st != lpOptimal || !lpAlmost(obj, 2) || !lpAlmost(x[0], 2) {
+		t.Errorf("x = %v obj = %v st = %v", x, obj, st)
+	}
+}
+
+func TestSolveLPDeadline(t *testing.T) {
+	// An already-expired deadline aborts promptly on a non-trivial LP.
+	n := 40
+	p := &lpProblem{c: make([]float64, n)}
+	rng := rand.New(rand.NewSource(1))
+	for i := range p.c {
+		p.c[i] = -rng.Float64()
+	}
+	for r := 0; r < n; r++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.a = append(p.a, row)
+		p.sense = append(p.sense, LE)
+		p.b = append(p.b, 1+rng.Float64())
+	}
+	_, _, st := p.solveLP(time.Now().Add(-time.Second))
+	if st != lpAborted {
+		t.Errorf("status = %v, want aborted", st)
+	}
+}
+
+// TestSolveLPRandomAgainstVertexEnumeration differential-tests the simplex
+// on small random LPs against brute-force vertex enumeration (all basis
+// choices of 2 variables out of constraints).
+func TestSolveLPRandomAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		// 2 variables, up to 4 LE constraints with positive rhs (origin
+		// feasible, so the LP is always feasible; unboundedness possible).
+		nCons := 1 + rng.Intn(4)
+		p := &lpProblem{c: []float64{rng.NormFloat64(), rng.NormFloat64()}}
+		for i := 0; i < nCons; i++ {
+			p.a = append(p.a, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			p.sense = append(p.sense, LE)
+			p.b = append(p.b, rng.Float64()*5)
+		}
+		x, obj, st := p.solveLP(time.Time{})
+		want, unbounded := bruteForceLP2(p)
+		if unbounded {
+			if st != lpUnbounded {
+				t.Errorf("trial %d: got %v, want unbounded", trial, st)
+			}
+			continue
+		}
+		if st != lpOptimal {
+			t.Errorf("trial %d: status = %v", trial, st)
+			continue
+		}
+		if !lpAlmost(obj, want) {
+			t.Errorf("trial %d: obj = %v, want %v (x = %v)", trial, obj, want, x)
+		}
+	}
+}
+
+// bruteForceLP2 solves a 2-variable LP with LE constraints and x >= 0 by
+// enumerating all candidate vertices (constraint/axis intersections) and
+// checking a coarse unboundedness certificate.
+func bruteForceLP2(p *lpProblem) (float64, bool) {
+	// Unbounded iff there is a ray direction d >= 0 with c'd < 0 and
+	// a_i'd <= 0 for all i. Sample directions densely.
+	for ang := 0.0; ang <= math.Pi/2+1e-9; ang += math.Pi / 720 {
+		d := [2]float64{math.Cos(ang), math.Sin(ang)}
+		if p.c[0]*d[0]+p.c[1]*d[1] >= -1e-9 {
+			continue
+		}
+		ok := true
+		for i := range p.a {
+			if p.a[i][0]*d[0]+p.a[i][1]*d[1] > 1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return 0, true
+		}
+	}
+	// Vertex enumeration: origin, axis intercepts, pairwise intersections.
+	type pt = [2]float64
+	cands := []pt{{0, 0}}
+	lines := append([][]float64{}, p.a...)
+	rhs := append([]float64{}, p.b...)
+	lines = append(lines, []float64{1, 0}, []float64{0, 1}) // axes x=0 swapped below
+	rhs = append(rhs, 0, 0)
+	// Treat axes as equalities x=0 / y=0 via the same intersection code:
+	// line i: a'x = b.
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1 := lines[i], rhs[i]
+			a2, b2 := lines[j], rhs[j]
+			det := a1[0]*a2[1] - a1[1]*a2[0]
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (b1*a2[1] - b2*a1[1]) / det
+			y := (a1[0]*b2 - a2[0]*b1) / det
+			cands = append(cands, pt{x, y})
+		}
+	}
+	best := math.Inf(1)
+	for _, c := range cands {
+		if c[0] < -1e-9 || c[1] < -1e-9 {
+			continue
+		}
+		feasible := true
+		for i := range p.a {
+			if p.a[i][0]*c[0]+p.a[i][1]*c[1] > p.b[i]+1e-9 {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			if v := p.c[0]*c[0] + p.c[1]*c[1]; v < best {
+				best = v
+			}
+		}
+	}
+	return best, false
+}

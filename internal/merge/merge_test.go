@@ -1,0 +1,300 @@
+package merge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func mergeDB(t *testing.T) *sqldb.DB {
+	t.Helper()
+	tbl, err := workload.Build(workload.NYC311, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	return db
+}
+
+func q(sql string) sqldb.Query { return sqldb.MustParse(sql) }
+
+func TestBuildPlanValueMerge(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Bronx'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Queens'"),
+	}
+	p := BuildPlan(db, queries)
+	if len(p.Groups) != 1 || len(p.Singles) != 0 {
+		t.Fatalf("plan = %d groups, %d singles", len(p.Groups), len(p.Singles))
+	}
+	g := p.Groups[0]
+	if g.KeyCol != "borough" || len(g.Members) != 3 {
+		t.Errorf("group = %+v", g)
+	}
+	if len(g.Merged.GroupBy) != 1 || g.Merged.Preds[0].Op != sqldb.OpIn {
+		t.Errorf("merged = %s", g.Merged.SQL())
+	}
+}
+
+func TestBuildPlanAggMerge(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT sum(response_hours) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT avg(response_hours) FROM requests WHERE borough = 'Brooklyn'"),
+	}
+	p := BuildPlan(db, queries)
+	if len(p.Groups) != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Groups[0].KeyCol != "" || len(p.Groups[0].Merged.Aggs) != 2 {
+		t.Errorf("agg merge = %s", p.Groups[0].Merged.SQL())
+	}
+}
+
+func TestBuildPlanUnmergeable(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT sum(response_hours) FROM requests WHERE status = 'Open'"),
+	}
+	p := BuildPlan(db, queries)
+	if len(p.Groups) != 0 || len(p.Singles) != 2 {
+		t.Errorf("plan = %d groups, %d singles", len(p.Groups), len(p.Singles))
+	}
+}
+
+func TestBuildPlanDuplicateQueries(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Bronx'"),
+	}
+	p := BuildPlan(db, queries)
+	// The duplicate cannot join the IN group twice; it lands in singles or
+	// its own group, but every query is covered exactly once.
+	covered := map[int]int{}
+	for _, g := range p.Groups {
+		for _, qi := range g.Members {
+			covered[qi]++
+		}
+	}
+	for _, qi := range p.Singles {
+		covered[qi]++
+	}
+	for qi := 0; qi < 3; qi++ {
+		if covered[qi] != 1 {
+			t.Errorf("query %d covered %d times", qi, covered[qi])
+		}
+	}
+}
+
+func TestExecuteMatchesSeparateExecution(t *testing.T) {
+	// The core correctness guarantee: merged execution returns exactly the
+	// same per-query results as separate execution.
+	db := mergeDB(t)
+	rng := rand.New(rand.NewSource(21))
+	tbl, _ := db.Table("requests")
+	gen := workload.NewQueryGen(tbl, rng)
+	for trial := 0; trial < 10; trial++ {
+		base := gen.Random(2)
+		// Derive phonetic-like variants: same template, several values.
+		var queries []sqldb.Query
+		for _, v := range []string{"Brooklyn", "Bronx", "Queens", "Manhattan"} {
+			qq := base.Clone()
+			qq.Preds = append([]sqldb.Predicate{{
+				Col: "borough", Op: sqldb.OpEq, Values: []sqldb.Value{sqldb.Str(v)},
+			}}, qq.Preds[1:]...)
+			queries = append(queries, qq)
+		}
+		queries = append(queries, q("SELECT max(response_hours) FROM requests WHERE status = 'Open'"))
+		p := BuildPlan(db, queries)
+		merged, err := p.Execute(db, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate, err := ExecuteSeparately(db, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range queries {
+			m, s := merged[qi], separate[qi]
+			if m.Valid != s.Valid {
+				t.Errorf("trial %d query %d: valid %v vs %v (%s)", trial, qi, m.Valid, s.Valid, queries[qi].SQL())
+				continue
+			}
+			if m.Valid && math.Abs(m.Value-s.Value) > 1e-9 {
+				t.Errorf("trial %d query %d: %v vs %v (%s)", trial, qi, m.Value, s.Value, queries[qi].SQL())
+			}
+		}
+	}
+}
+
+func TestExecuteEmptyGroupMember(t *testing.T) {
+	db := mergeDB(t)
+	// "Unassigned" may not exist in a small sample; whichever member
+	// matches nothing must come back as count 0 rather than vanish.
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE channel_type = 'Phone'"),
+		q("SELECT count(*) FROM requests WHERE channel_type = 'NOSUCHVALUE'"),
+	}
+	p := BuildPlan(db, queries)
+	res, err := p.Execute(db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Valid || res[1].Value != 0 {
+		t.Errorf("missing-group count = %+v, want valid 0", res[1])
+	}
+	// NULL-yielding aggregates over empty groups are invalid.
+	queries = []sqldb.Query{
+		q("SELECT avg(response_hours) FROM requests WHERE channel_type = 'Phone'"),
+		q("SELECT avg(response_hours) FROM requests WHERE channel_type = 'NOSUCHVALUE'"),
+	}
+	p = BuildPlan(db, queries)
+	res, err = p.Execute(db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Valid {
+		t.Errorf("empty avg should be invalid, got %+v", res[1])
+	}
+}
+
+func TestMergedCostCheaper(t *testing.T) {
+	// Figure 7's premise: the merged plan is estimated (and is) cheaper
+	// than separate execution.
+	db := mergeDB(t)
+	var queries []sqldb.Query
+	for _, v := range []string{"Brooklyn", "Bronx", "Queens", "Manhattan", "Staten Island"} {
+		queries = append(queries, q("SELECT count(*) FROM requests WHERE borough = '"+v+"'"))
+	}
+	p := BuildPlan(db, queries)
+	mergedCost, err := p.EstimatedCost(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepCost, err := SeparateCost(db, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedCost >= sepCost {
+		t.Errorf("merged %v should beat separate %v", mergedCost, sepCost)
+	}
+	if len(p.Groups) != 1 {
+		t.Errorf("expected one merged group, got %d", len(p.Groups))
+	}
+}
+
+func TestSampledExecution(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Bronx'"),
+	}
+	p := BuildPlan(db, queries)
+	exact, err := p.Execute(db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := p.Execute(db, 0.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		if !approx[qi].Valid {
+			t.Fatalf("sampled result invalid")
+		}
+		rel := math.Abs(approx[qi].Value-exact[qi].Value) / exact[qi].Value
+		if rel > 0.3 {
+			t.Errorf("query %d: sampled rel err %v", qi, rel)
+		}
+	}
+}
+
+func TestProcessingGroups(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Bronx'"),
+		q("SELECT max(year) FROM requests WHERE status = 'Open'"),
+	}
+	p := BuildPlan(db, queries)
+	groups, err := p.ProcessingGroups(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int]bool{}
+	for _, g := range groups {
+		if g.Cost <= 0 {
+			t.Errorf("group with non-positive cost: %+v", g)
+		}
+		for _, qi := range g.Queries {
+			covered[qi] = true
+		}
+	}
+	for qi := range queries {
+		if !covered[qi] {
+			t.Errorf("query %d not covered by any processing group", qi)
+		}
+	}
+}
+
+func TestBuildPlanNilDBStructuralOnly(t *testing.T) {
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Bronx'"),
+	}
+	p := BuildPlan(nil, queries)
+	if len(p.Groups) != 1 {
+		t.Errorf("nil-db plan should merge structurally: %+v", p)
+	}
+}
+
+func TestExecuteErrorPropagation(t *testing.T) {
+	db := mergeDB(t)
+	// A query referencing a missing column builds into the plan (plans are
+	// structural) but must fail cleanly at execution.
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE nope = 'x'"),
+	}
+	p := BuildPlan(db, queries)
+	if _, err := p.Execute(db, 0, 0); err == nil {
+		t.Error("execution of invalid query should fail")
+	}
+	if _, err := ExecuteSeparately(db, queries); err == nil {
+		t.Error("separate execution of invalid query should fail")
+	}
+	if _, err := p.EstimatedCost(db); err == nil {
+		t.Error("cost estimation of invalid query should fail")
+	}
+	if _, err := p.ProcessingGroups(db); err == nil {
+		t.Error("processing groups of invalid query should fail")
+	}
+}
+
+func TestExecuteUnknownTable(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{q("SELECT count(*) FROM nope WHERE a = 'x'")}
+	p := BuildPlan(db, queries)
+	if _, err := p.Execute(db, 0, 0); err == nil {
+		t.Error("unknown table should fail at execution")
+	}
+}
+
+func TestBuildPlanEmptyInput(t *testing.T) {
+	p := BuildPlan(nil, nil)
+	if len(p.Groups) != 0 || len(p.Singles) != 0 {
+		t.Errorf("empty plan = %+v", p)
+	}
+	res, err := p.Execute(nil, 0, 0)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty execute = %v, %v", res, err)
+	}
+}

@@ -1,0 +1,231 @@
+package nlq
+
+import (
+	"sort"
+	"strconv"
+
+	"muve/internal/core"
+	"muve/internal/phonetic"
+	"muve/internal/sqldb"
+)
+
+// Generator expands a most-likely query into a probability distribution
+// over candidate queries, per paper Section 3: "we iterate over all schema
+// element names and constants that appear in the query ... find the k most
+// phonetically similar entries for each query element ... The probability
+// of a single replacement is based on a distance function that measures
+// phonetic similarity ... The probability of multiple replacements
+// corresponds to the product of probabilities for single replacements."
+type Generator struct {
+	Catalog *Catalog
+	// K is the number of phonetic alternatives per query element
+	// ("typically, we set k to 20").
+	K int
+	// MaxCandidates caps the size of the returned distribution; the most
+	// likely combinations are kept and probabilities renormalized.
+	MaxCandidates int
+}
+
+// NewGenerator returns a generator with the paper's defaults.
+func NewGenerator(c *Catalog) *Generator {
+	return &Generator{Catalog: c, K: 20, MaxCandidates: 20}
+}
+
+// alternative is one substitution option for a query element.
+type alternative struct {
+	apply func(q *sqldb.Query)
+	score float64
+}
+
+// Candidates expands the query into candidates with probabilities summing
+// to 1, sorted by decreasing probability. The original query is always
+// among them (every element is its own best phonetic match).
+func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
+	if err := g.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	k := g.K
+	if k <= 0 {
+		k = 20
+	}
+	maxC := g.MaxCandidates
+	if maxC <= 0 {
+		maxC = 20
+	}
+	// Collect per-element alternative lists.
+	var elements [][]alternative
+	if len(q.Aggs) == 1 && q.Aggs[0].Col != "" {
+		col := q.Aggs[0].Col
+		var alts []alternative
+		for _, m := range g.Catalog.SimilarNumericColumns(col, k) {
+			name := m.Entry
+			alts = append(alts, alternative{
+				score: m.Score,
+				apply: func(qq *sqldb.Query) { qq.Aggs[0].Col = name },
+			})
+		}
+		if len(alts) > 0 {
+			elements = append(elements, alts)
+		}
+	}
+	for pi, p := range q.Preds {
+		if p.Op != sqldb.OpEq {
+			continue
+		}
+		pi := pi
+		var valAlts []alternative
+		switch p.Values[0].K {
+		case sqldb.KindString:
+			// The predicate constant varies over the column's dictionary.
+			for _, m := range g.Catalog.SimilarValues(p.Col, p.Values[0].S, k) {
+				val := m.Entry
+				valAlts = append(valAlts, alternative{
+					score: m.Score,
+					apply: func(qq *sqldb.Query) { qq.Preds[pi].Values = []sqldb.Value{sqldb.Str(val)} },
+				})
+			}
+		case sqldb.KindInt:
+			// Numeric constants vary over the column's distinct values,
+			// scored by the similarity of their spoken digit strings
+			// ("twenty fifteen" mishears as nearby years, not random ones).
+			orig := strconv.FormatInt(p.Values[0].I, 10)
+			vals := g.Catalog.IntValues(p.Col)
+			scored := make([]alternative, 0, len(vals))
+			for _, iv := range vals {
+				iv := iv
+				s := phonetic.JaroWinkler(orig, strconv.FormatInt(iv, 10))
+				scored = append(scored, alternative{
+					score: s,
+					apply: func(qq *sqldb.Query) { qq.Preds[pi].Values = []sqldb.Value{sqldb.Int(iv)} },
+				})
+			}
+			sort.SliceStable(scored, func(a, b int) bool { return scored[a].score > scored[b].score })
+			if len(scored) > k {
+				scored = scored[:k]
+			}
+			valAlts = scored
+		}
+		if len(valAlts) > 0 {
+			elements = append(elements, valAlts)
+		}
+	}
+	if len(elements) == 0 {
+		return []core.Candidate{{Query: q.Clone(), Prob: 1}}, nil
+	}
+	combos := topCombinations(elements, maxC)
+	out := make([]core.Candidate, 0, len(combos))
+	seen := make(map[string]int)
+	total := 0.0
+	for _, c := range combos {
+		qq := q.Clone()
+		for ei, ai := range c.choice {
+			elements[ei][ai].apply(&qq)
+		}
+		key := qq.SQL()
+		if j, dup := seen[key]; dup {
+			// Distinct substitution paths can collide on the same query
+			// (e.g. a value appearing in two dictionaries); accumulate.
+			out[j].Prob += c.score
+			total += c.score
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, core.Candidate{Query: qq, Prob: c.score})
+		total += c.score
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Prob /= total
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Prob > out[j].Prob })
+	return out, nil
+}
+
+// combo is one choice per element with the product score.
+type combo struct {
+	choice []int
+	score  float64
+}
+
+// topCombinations enumerates the highest-product combinations across the
+// per-element alternative lists without materializing the full cartesian
+// product: a best-first frontier expansion over the (sorted) lists,
+// bounded to limit results. This is the standard top-k join over sorted
+// inputs.
+func topCombinations(elements [][]alternative, limit int) []combo {
+	n := len(elements)
+	for _, alts := range elements {
+		sort.SliceStable(alts, func(i, j int) bool { return alts[i].score > alts[j].score })
+	}
+	scoreOf := func(choice []int) float64 {
+		s := 1.0
+		for ei, ai := range choice {
+			s *= elements[ei][ai].score
+		}
+		return s
+	}
+	start := make([]int, n)
+	frontier := []combo{{choice: start, score: scoreOf(start)}}
+	visited := map[string]bool{key(start): true}
+	var out []combo
+	for len(out) < limit && len(frontier) > 0 {
+		// Pop the best combination.
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i].score > frontier[best].score {
+				best = i
+			}
+		}
+		cur := frontier[best]
+		frontier[best] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		out = append(out, cur)
+		// Expand successors: advance one element's choice.
+		for ei := 0; ei < n; ei++ {
+			if cur.choice[ei]+1 >= len(elements[ei]) {
+				continue
+			}
+			next := append([]int(nil), cur.choice...)
+			next[ei]++
+			k := key(next)
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			frontier = append(frontier, combo{choice: next, score: scoreOf(next)})
+		}
+	}
+	return out
+}
+
+// key serializes a choice vector for the visited set.
+func key(choice []int) string {
+	b := make([]byte, 0, len(choice)*2)
+	for _, c := range choice {
+		b = append(b, byte(c), byte(c>>8))
+	}
+	return string(b)
+}
+
+// Pipeline bundles translation and candidate generation: transcript in,
+// candidate distribution out. This is the complete "text to multi-SQL"
+// stage.
+type Pipeline struct {
+	Translator *Translator
+	Generator  *Generator
+}
+
+// NewPipeline wires a translator and generator over one catalog.
+func NewPipeline(c *Catalog) *Pipeline {
+	return &Pipeline{Translator: NewTranslator(c), Generator: NewGenerator(c)}
+}
+
+// Run translates the transcript and expands candidates.
+func (p *Pipeline) Run(transcript string) ([]core.Candidate, error) {
+	q, err := p.Translator.Translate(transcript)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generator.Candidates(q)
+}

@@ -1,0 +1,172 @@
+package phonetic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDoubleMetaphoneSpecialCases drives the encoder through the
+// algorithm's many language-specific branches. Where a published reference
+// output is well known it is pinned; the remaining words are checked for
+// shape and stability only (pinning unverified values would enshrine our
+// own bugs as truth).
+func TestDoubleMetaphoneSpecialCases(t *testing.T) {
+	pinned := []struct{ word, prim string }{
+		// Initial silent letters.
+		{"gnome", "NM"},
+		{"pneumonia", "NMN"},
+		{"psalm", "SLM"},
+		{"wrack", "RK"},
+		// CH branches.
+		{"chemistry", "KMST"},
+		{"chorus", "KRS"},
+		{"architect", "ARKT"},
+		{"chianti", "KNT"},
+		// C branches.
+		{"caesar", "SSR"},
+		{"accident", "AKST"},
+		{"succeed", "SKST"},
+		{"bacchus", "PKS"},
+		// G/GH branches.
+		{"ghost", "KST"},
+		{"laugh", "LF"},
+		{"cough", "KF"},
+		{"tough", "TF"},
+		{"rough", "RF"},
+		// J branches.
+		{"jose", "HS"},
+		{"judge", "JJ"},
+		// Combinations.
+		{"island", "ALNT"},
+		{"isle", "AL"},
+		{"sugar", "XKR"},
+		{"school", "SKL"},
+		{"tion", "XN"},
+		{"catch", "KX"},
+		{"thumb", "0M"},
+		{"campbell", "KMPL"},
+		{"raspberry", "RSPR"},
+		{"zhao", "J"},
+	}
+	for _, c := range pinned {
+		if p, _ := DoubleMetaphone(c.word); p != c.prim {
+			t.Errorf("DoubleMetaphone(%q) primary = %q, want %q", c.word, p, c.prim)
+		}
+	}
+}
+
+// TestDoubleMetaphoneBranchSweep exercises the remaining rare branches for
+// totality: every word must encode deterministically to a short code
+// without panicking, and alternative pronunciations must differ only where
+// expected.
+func TestDoubleMetaphoneBranchSweep(t *testing.T) {
+	words := []string{
+		// Slavo-Germanic triggers.
+		"czerny", "wicz", "filipowicz", "horowitz", "witz",
+		// Italian.
+		"focaccia", "bellocchio", "bertucci", "tagliaro", "viaggi", "oggi",
+		// Spanish.
+		"cabrillo", "gallegos", "bajador", "san jacinto", "jalapeno",
+		// Germanic names.
+		"wachtler", "wechsler", "schermerhorn", "schenker", "schooner",
+		"hochmeier", "van gogh", "von trapp", "bacher", "macher",
+		// French endings.
+		"breaux", "beaux", "rogier", "resnais", "artois", "gauthier",
+		// Greek roots.
+		"charisma", "character", "chymera", "orchestra", "orchid",
+		// Misc consonant clusters.
+		"mcclellan", "mchugh", "mcgregor", "edgar", "edge", "dumb",
+		"dumber", "thames", "thomas", "xavier", "exxon", "knox",
+		"cagney", "agnes", "ghislane", "ghiradelli", "hugh", "hochdeutsch",
+		"yankelovich", "jankelowicz", "uomo", "womo", "arnow", "arnoff",
+		"wasserman", "vasserman", "zuccini", "pizza", "sixty", "asia",
+		"aggie", "danger", "ranger", "manger", "gym", "gerald", "ogygia",
+		"llama", "cabrillo", "jugular", "jaws", "hajj", "raj",
+	}
+	seen := map[string][2]string{}
+	for _, w := range words {
+		p1, s1 := DoubleMetaphone(w)
+		p2, s2 := DoubleMetaphone(w)
+		if p1 != p2 || s1 != s2 {
+			t.Fatalf("%q not deterministic", w)
+		}
+		if len(p1) > 4 || len(s1) > 4 {
+			t.Errorf("%q code too long: %q/%q", w, p1, s1)
+		}
+		seen[w] = [2]string{p1, s1}
+	}
+	// Classic pairs that should share codes.
+	sharePairs := [][2]string{
+		{"wasserman", "vasserman"},
+		{"arnow", "arnoff"},
+		{"yankelovich", "jankelowicz"},
+		{"uomo", "womo"},
+	}
+	for _, pr := range sharePairs {
+		a, b := seen[pr[0]], seen[pr[1]]
+		if a[0] != b[0] && a[0] != b[1] && a[1] != b[0] && a[1] != b[1] {
+			t.Errorf("%q/%q should share a code: %v vs %v", pr[0], pr[1], a, b)
+		}
+	}
+}
+
+// TestSimilaritySeparation quantifies what the thresholds in the NLQ layer
+// rely on: true phonetic neighbours score far above unrelated words.
+func TestSimilaritySeparation(t *testing.T) {
+	neighbours := [][2]string{
+		{"brooklyn", "bruklin"}, {"manhattan", "manhatan"},
+		{"heating", "heeting"}, {"noise", "noize"},
+		{"queens", "kweens"}, {"parking", "parkin"},
+	}
+	unrelated := [][2]string{
+		{"brooklyn", "sewer"}, {"manhattan", "rodent"},
+		{"heating", "graffiti"}, {"noise", "asbestos"},
+	}
+	minN, maxU := 1.0, 0.0
+	for _, pr := range neighbours {
+		if s := Similarity(pr[0], pr[1]); s < minN {
+			minN = s
+		}
+	}
+	for _, pr := range unrelated {
+		if s := Similarity(pr[0], pr[1]); s > maxU {
+			maxU = s
+		}
+	}
+	if minN <= maxU {
+		t.Errorf("no separation: min neighbour %v <= max unrelated %v", minN, maxU)
+	}
+	if minN < 0.84 {
+		t.Errorf("neighbour scores dip to %v, below the NLQ threshold", minN)
+	}
+}
+
+// TestIndexLargeScaleStability loads a big synthetic dictionary and checks
+// top-k behaviour holds at scale.
+func TestIndexLargeScaleStability(t *testing.T) {
+	ix := NewIndex()
+	prefixes := []string{"north", "south", "east", "west", "new", "old", "fort", "port", "lake", "mount"}
+	suffixes := []string{"ville", "town", "burg", "field", "wood", "ford", "haven", "dale", "port", "shire"}
+	for _, p := range prefixes {
+		for _, s := range suffixes {
+			for i := 0; i < 5; i++ {
+				ix.Add(p + s + strings.Repeat("x", i))
+			}
+		}
+	}
+	if ix.Len() != len(prefixes)*len(suffixes)*5 {
+		t.Fatalf("index size %d", ix.Len())
+	}
+	got := ix.TopK("nortvile", 10)
+	if len(got) != 10 {
+		t.Fatalf("topk returned %d", len(got))
+	}
+	if got[0].Entry != "northville" {
+		t.Errorf("best match = %q", got[0].Entry)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Error("scores not sorted")
+		}
+	}
+}

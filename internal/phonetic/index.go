@@ -1,0 +1,121 @@
+package phonetic
+
+import "sort"
+
+// Match pairs an indexed entry with its phonetic similarity to a probe.
+type Match struct {
+	Entry string
+	Score float64 // Similarity in [0, 1]; higher is more similar
+}
+
+// Index is a phonetic dictionary over schema element names and constants.
+// It substitutes for the Apache Lucene functionality the paper uses to find
+// "the k most phonetically similar entries for each query element"
+// (Section 3, typically k = 20). Entries are pre-encoded with Double
+// Metaphone at insertion so lookups only pay for the cheap Jaro-Winkler
+// comparisons.
+//
+// An Index is safe for concurrent reads after all Add calls complete.
+type Index struct {
+	entries []indexEntry
+	seen    map[string]bool
+}
+
+type indexEntry struct {
+	raw       string
+	norm      string
+	prim, sec string
+}
+
+// NewIndex returns an empty phonetic index.
+func NewIndex() *Index {
+	return &Index{seen: make(map[string]bool)}
+}
+
+// Add inserts an entry into the index. Duplicate entries (exact string
+// equality) are ignored, as are empty strings.
+func (ix *Index) Add(entry string) {
+	if entry == "" || ix.seen[entry] {
+		return
+	}
+	ix.seen[entry] = true
+	p, s := DoubleMetaphone(entry)
+	ix.entries = append(ix.entries, indexEntry{
+		raw:  entry,
+		norm: normalizeToken(entry),
+		prim: p,
+		sec:  s,
+	})
+}
+
+// AddAll inserts every entry.
+func (ix *Index) AddAll(entries []string) {
+	for _, e := range entries {
+		ix.Add(e)
+	}
+}
+
+// Len returns the number of distinct entries in the index.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Entries returns the distinct entries in insertion order.
+func (ix *Index) Entries() []string {
+	out := make([]string, len(ix.entries))
+	for i, e := range ix.entries {
+		out[i] = e.raw
+	}
+	return out
+}
+
+// Contains reports whether the exact entry is indexed.
+func (ix *Index) Contains(entry string) bool { return ix.seen[entry] }
+
+// TopK returns the k indexed entries most phonetically similar to probe,
+// ordered by decreasing similarity (ties broken by entry string so results
+// are deterministic). When k exceeds the index size, all entries are
+// returned. The probe itself, if indexed, is included — the paper derives
+// candidate queries from "the k most phonetically similar entries", which
+// naturally contains the original element with similarity 1.
+func (ix *Index) TopK(probe string, k int) []Match {
+	if k <= 0 || len(ix.entries) == 0 {
+		return nil
+	}
+	pp, ps := DoubleMetaphone(probe)
+	pn := normalizeToken(probe)
+	matches := make([]Match, 0, len(ix.entries))
+	for _, e := range ix.entries {
+		matches = append(matches, Match{Entry: e.raw, Score: scoreEntry(pp, ps, pn, e)})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].Entry < matches[j].Entry
+	})
+	if k > len(matches) {
+		k = len(matches)
+	}
+	return matches[:k]
+}
+
+// scoreEntry mirrors Similarity but reuses the pre-computed encodings of an
+// indexed entry.
+func scoreEntry(pp, ps, pn string, e indexEntry) float64 {
+	var best float64
+	if pp == "" || e.prim == "" {
+		best = JaroWinkler(pn, e.norm)
+		return best
+	}
+	best = JaroWinkler(pp, e.prim)
+	if ps != pp || e.sec != e.prim {
+		for _, x := range []string{pp, ps} {
+			for _, y := range []string{e.prim, e.sec} {
+				if s := JaroWinkler(x, y); s > best {
+					best = s
+				}
+			}
+		}
+	}
+	lex := JaroWinkler(pn, e.norm)
+	return 0.8*best + 0.2*lex
+}

@@ -1,0 +1,135 @@
+package phonetic
+
+// Jaro returns the Jaro similarity between two strings, a value in [0, 1]
+// where 1 means identical and 0 means entirely dissimilar. The comparison
+// is byte-based, which is exact for the ASCII phonetic codes MUVE compares.
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	// Match window: characters match if equal and within this distance.
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !bMatched[j] && a[i] == b[j] {
+				aMatched[i] = true
+				bMatched[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among the matched characters.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity between a and b: the Jaro
+// similarity boosted by up to 4 characters of common prefix with the
+// standard scaling factor p = 0.1. The result lies in [0, 1].
+//
+// The paper (Section 3) scores phonetic similarity between query fragments
+// by applying Jaro-Winkler to their Double Metaphone representations; see
+// Similarity for that composition.
+func JaroWinkler(a, b string) float64 {
+	const (
+		prefixScale = 0.1
+		maxPrefix   = 4
+	)
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < maxPrefix && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*prefixScale*(1-j)
+}
+
+// Similarity returns the phonetic similarity between two text fragments per
+// the paper's metric: both fragments are mapped to Double Metaphone codes
+// and compared with Jaro-Winkler. The best score across primary and
+// secondary codes is used so alternative pronunciations are honoured. Codes
+// of empty fragments (e.g. pure digits) fall back to a direct Jaro-Winkler
+// comparison of the raw strings.
+func Similarity(a, b string) float64 {
+	pa, sa := DoubleMetaphone(a)
+	pb, sb := DoubleMetaphone(b)
+	if pa == "" || pb == "" {
+		return JaroWinkler(normalizeToken(a), normalizeToken(b))
+	}
+	best := JaroWinkler(pa, pb)
+	if sa != pa || sb != pb {
+		for _, x := range []string{pa, sa} {
+			for _, y := range []string{pb, sb} {
+				if s := JaroWinkler(x, y); s > best {
+					best = s
+				}
+			}
+		}
+	}
+	// Blend in a light lexical component so that, among equally-sounding
+	// alternatives, the lexically closer one ranks higher. This mirrors how
+	// Lucene's phonetic filter is typically combined with a string score.
+	lex := JaroWinkler(normalizeToken(a), normalizeToken(b))
+	return 0.8*best + 0.2*lex
+}
+
+// normalizeToken lowercases and strips non-alphanumeric bytes so that
+// lexical comparison ignores formatting such as underscores in column
+// names ("complaint_type" vs "complaint type").
+func normalizeToken(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		}
+	}
+	return string(out)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

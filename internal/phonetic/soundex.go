@@ -1,0 +1,63 @@
+package phonetic
+
+// Soundex returns the classic four-character American Soundex code for the
+// given word (e.g. "Robert" -> "R163"). MUVE's phonetic index uses Double
+// Metaphone by default; Soundex is provided as a cheaper alternative
+// encoder and as a cross-check in tests (words with equal Soundex codes
+// should usually score high under the Double Metaphone similarity too).
+func Soundex(word string) string {
+	// Keep ASCII letters only, uppercased.
+	letters := make([]byte, 0, len(word))
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c >= 'A' && c <= 'Z' {
+			letters = append(letters, c)
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	code := []byte{letters[0], '0', '0', '0'}
+	prev := soundexDigit(letters[0])
+	n := 1
+	for i := 1; i < len(letters) && n < 4; i++ {
+		d := soundexDigit(letters[i])
+		switch {
+		case d == 0:
+			// Vowels (and H, W, Y) reset the adjacency rule except that H
+			// and W are transparent: consonants separated by H/W with the
+			// same code are coded once.
+			if letters[i] != 'H' && letters[i] != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code[n] = '0' + d
+			n++
+			prev = d
+		}
+	}
+	return string(code)
+}
+
+// soundexDigit returns the Soundex digit class of an uppercase letter, or 0
+// for vowels and the transparent letters H, W, Y.
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	}
+	return 0
+}

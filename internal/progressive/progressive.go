@@ -1,0 +1,440 @@
+// Package progressive implements MUVE's presentation strategies (paper
+// Section 8.2 and Figure 5): the default all-at-once presentation, the
+// processing-cost-aware ILP variant, incremental optimization (ILP-Inc),
+// incremental plotting (Inc-Plot), and approximate processing with fixed
+// (App-1%, App-5%) or dynamically chosen (App-D) sample rates. A run
+// produces a trace of timestamped visualization events from which the
+// experiments derive F-Time (time until the correct result is first
+// visible), T-Time (time until the final multiplot), interactivity-
+// threshold misses, and the relative error of initial approximations.
+package progressive
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/merge"
+	"muve/internal/sqldb"
+)
+
+// Session is one voice-query answering task.
+type Session struct {
+	DB       *sqldb.DB
+	Instance *core.Instance
+	// Correct indexes the candidate representing the user's true intent,
+	// or -1 when unknown (F-Time is then left zero).
+	Correct int
+	// SampleSeed keeps approximate runs reproducible.
+	SampleSeed uint64
+}
+
+// Event is one visualization shown to the user.
+type Event struct {
+	At          time.Duration
+	Multiplot   core.Multiplot
+	Approximate bool
+}
+
+// Trace is the full output of presenting one query.
+type Trace struct {
+	Events []Event
+	// FTime is the time until the correct query's result was first
+	// visible, at least as an approximation; zero when it never was (or
+	// Correct was unknown).
+	FTime time.Duration
+	// TTime is the time until the final visualization.
+	TTime time.Duration
+	// InitialRelError is the mean relative error of the first event's bar
+	// values against the final exact values (zero for exact-first
+	// methods).
+	InitialRelError float64
+	// Updates counts visualization changes after the first paint — the
+	// churn that hurts clarity ratings in the paper's second user study.
+	Updates int
+}
+
+// Method is one presentation strategy.
+type Method interface {
+	Name() string
+	Present(s *Session) (*Trace, error)
+}
+
+// fillValues executes the multiplot's queries (merged) and writes results
+// into the entries. sampleRate in (0,1) makes all values approximate.
+func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplot, error) {
+	// Collect the displayed candidate queries.
+	var queries []sqldb.Query
+	pos := make(map[int]int)
+	for _, row := range m.Rows {
+		for _, pl := range row {
+			for _, e := range pl.Entries {
+				if _, ok := pos[e.Query]; !ok {
+					pos[e.Query] = len(queries)
+					queries = append(queries, s.Instance.Candidates[e.Query].Query)
+				}
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return m, nil
+	}
+	plan := merge.BuildPlan(s.DB, queries)
+	res, err := plan.Execute(s.DB, sampleRate, s.SampleSeed)
+	if err != nil {
+		return m, fmt.Errorf("progressive: executing multiplot queries: %w", err)
+	}
+	out := core.Multiplot{Rows: make([][]core.Plot, len(m.Rows))}
+	approx := sampleRate > 0 && sampleRate < 1
+	for ri, row := range m.Rows {
+		for _, pl := range row {
+			np := core.Plot{Template: pl.Template, Entries: append([]core.Entry(nil), pl.Entries...)}
+			for ei := range np.Entries {
+				r := res[pos[np.Entries[ei].Query]]
+				if r.Valid {
+					np.Entries[ei].Value = r.Value
+				} else {
+					np.Entries[ei].Value = math.NaN()
+				}
+				np.Entries[ei].Approximate = approx
+			}
+			out.Rows[ri] = append(out.Rows[ri], np)
+		}
+	}
+	return out, nil
+}
+
+// finishTrace derives FTime/TTime/Updates/InitialRelError from events.
+func finishTrace(s *Session, events []Event) *Trace {
+	tr := &Trace{Events: events}
+	if len(events) == 0 {
+		return tr
+	}
+	tr.TTime = events[len(events)-1].At
+	tr.Updates = len(events) - 1
+	if s.Correct >= 0 {
+		for _, ev := range events {
+			if visibleIn(ev.Multiplot, s.Correct) {
+				tr.FTime = ev.At
+				break
+			}
+		}
+	}
+	tr.InitialRelError = relError(events[0].Multiplot, events[len(events)-1].Multiplot)
+	return tr
+}
+
+// visibleIn reports whether candidate qi's result is shown with a value.
+func visibleIn(m core.Multiplot, qi int) bool {
+	for _, row := range m.Rows {
+		for _, pl := range row {
+			for _, e := range pl.Entries {
+				if e.Query == qi && !math.IsNaN(e.Value) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// relError is the mean relative error of bar values in `first` against the
+// same bars in `final`. Bars absent from the first visualization do not
+// contribute (the metric follows Figure 10: error "of the initial
+// visualization").
+func relError(first, final core.Multiplot) float64 {
+	finalVal := make(map[int]float64)
+	for _, row := range final.Rows {
+		for _, pl := range row {
+			for _, e := range pl.Entries {
+				if !math.IsNaN(e.Value) {
+					finalVal[e.Query] = e.Value
+				}
+			}
+		}
+	}
+	var sum float64
+	var n int
+	for _, row := range first.Rows {
+		for _, pl := range row {
+			for _, e := range pl.Entries {
+				exact, ok := finalVal[e.Query]
+				if !ok || math.IsNaN(e.Value) {
+					continue
+				}
+				denom := math.Abs(exact)
+				if denom < 1 {
+					denom = 1
+				}
+				sum += math.Abs(e.Value-exact) / denom
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Default is the baseline presentation: plan with the given solver, run
+// all queries (merged), show one final multiplot. With a GreedySolver this
+// is the paper's "Greedy" method; with a processing-cost-aware ILP it is
+// "ILP".
+type Default struct {
+	planner func(in *core.Instance) (core.Multiplot, core.Stats, error)
+	name    string
+}
+
+// NewGreedyDefault builds the paper's "Greedy" method.
+func NewGreedyDefault() *Default {
+	g := &core.GreedySolver{}
+	return &Default{name: "Greedy", planner: func(in *core.Instance) (core.Multiplot, core.Stats, error) {
+		return g.Solve(in)
+	}}
+}
+
+// NewILPDefault builds the paper's "ILP" method: default presentation with
+// ILP optimization that integrates processing cost into the objective.
+func NewILPDefault(timeout time.Duration) *Default {
+	s := &core.ILPSolver{Timeout: timeout, WarmStart: true}
+	return &Default{name: "ILP", planner: func(in *core.Instance) (core.Multiplot, core.Stats, error) {
+		return s.Solve(in)
+	}}
+}
+
+// Name identifies the method.
+func (d *Default) Name() string { return d.name }
+
+// Present runs the default strategy.
+func (d *Default) Present(s *Session) (*Trace, error) {
+	start := time.Now()
+	m, _, err := d.planner(s.Instance)
+	if err != nil {
+		return nil, err
+	}
+	filled, err := fillValues(s, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	return finishTrace(s, []Event{{At: time.Since(start), Multiplot: filled}}), nil
+}
+
+// IncPlot is incremental plotting: "generates single plots sequentially.
+// After each newly generated plot, the visualization is updated." Plots
+// are generated in decreasing order of covered probability so the likely
+// results appear first.
+type IncPlot struct{}
+
+// Name identifies the method.
+func (IncPlot) Name() string { return "Inc-Plot" }
+
+// Present runs incremental plotting.
+func (IncPlot) Present(s *Session) (*Trace, error) {
+	start := time.Now()
+	g := &core.GreedySolver{}
+	m, _, err := g.Solve(s.Instance)
+	if err != nil {
+		return nil, err
+	}
+	// Order plots by covered probability mass.
+	type ref struct {
+		row, idx int
+		mass     float64
+	}
+	var refs []ref
+	for ri, row := range m.Rows {
+		for pi, pl := range row {
+			mass := 0.0
+			for _, e := range pl.Entries {
+				mass += s.Instance.Candidates[e.Query].Prob
+			}
+			refs = append(refs, ref{row: ri, idx: pi, mass: mass})
+		}
+	}
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].mass > refs[j-1].mass; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+	shown := core.Multiplot{Rows: make([][]core.Plot, len(m.Rows))}
+	var events []Event
+	for _, rf := range refs {
+		pl := m.Rows[rf.row][rf.idx]
+		one := core.Multiplot{Rows: [][]core.Plot{{pl}}}
+		filled, err := fillValues(s, one, 0)
+		if err != nil {
+			return nil, err
+		}
+		shown.Rows[rf.row] = append(shown.Rows[rf.row], filled.Rows[0][0])
+		snapshot := core.Multiplot{}
+		for _, r := range shown.Rows {
+			if len(r) > 0 {
+				snapshot.Rows = append(snapshot.Rows, append([]core.Plot(nil), r...))
+			}
+		}
+		events = append(events, Event{At: time.Since(start), Multiplot: snapshot})
+	}
+	if len(events) == 0 {
+		events = []Event{{At: time.Since(start)}}
+	}
+	return finishTrace(s, events), nil
+}
+
+// Approx presents an approximate multiplot computed on a data sample
+// first, then replaces it with the exact one ("while users consider the
+// approximate visualization, processing continues in the background on the
+// full data set").
+type Approx struct {
+	// Rate is the fixed sample rate (e.g. 0.01 for App-1%); when 0 the
+	// rate is chosen dynamically per TargetCost (App-D).
+	Rate float64
+	// TargetCost is the optimizer-cost budget App-D aims the sampled pass
+	// at (cost units; see sqldb's cost model).
+	TargetCost float64
+	name       string
+}
+
+// NewApprox builds App-<rate> (paper: App-1%%, App-5%%).
+func NewApprox(rate float64) *Approx {
+	return &Approx{Rate: rate, name: fmt.Sprintf("App-%g%%", rate*100)}
+}
+
+// NewApproxDynamic builds App-D, which "dynamically estimates the sample
+// size to use in order to meet the current interactivity threshold".
+func NewApproxDynamic(targetCost float64) *Approx {
+	return &Approx{TargetCost: targetCost, name: "App-D"}
+}
+
+// Name identifies the method.
+func (a *Approx) Name() string { return a.name }
+
+// Present runs approximate-first presentation.
+func (a *Approx) Present(s *Session) (*Trace, error) {
+	start := time.Now()
+	g := &core.GreedySolver{}
+	m, _, err := g.Solve(s.Instance)
+	if err != nil {
+		return nil, err
+	}
+	rate := a.Rate
+	if rate <= 0 {
+		rate = a.dynamicRate(s, m)
+	}
+	var events []Event
+	if rate < 1 {
+		approxM, err := fillValues(s, m, rate)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, Event{At: time.Since(start), Multiplot: approxM, Approximate: true})
+	}
+	exact, err := fillValues(s, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	events = append(events, Event{At: time.Since(start), Multiplot: exact})
+	return finishTrace(s, events), nil
+}
+
+// dynamicRate picks the largest sample rate whose estimated cost fits the
+// target budget.
+func (a *Approx) dynamicRate(s *Session, m core.Multiplot) float64 {
+	target := a.TargetCost
+	if target <= 0 {
+		target = 2000
+	}
+	// Estimate full cost of the displayed queries via the merge plan.
+	var queries []sqldb.Query
+	seen := map[int]bool{}
+	for _, row := range m.Rows {
+		for _, pl := range row {
+			for _, e := range pl.Entries {
+				if !seen[e.Query] {
+					seen[e.Query] = true
+					queries = append(queries, s.Instance.Candidates[e.Query].Query)
+				}
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return 1
+	}
+	plan := merge.BuildPlan(s.DB, queries)
+	full, err := plan.EstimatedCost(s.DB)
+	if err != nil || full <= 0 {
+		return 1
+	}
+	rate := target / full
+	if rate >= 1 {
+		return 1
+	}
+	if rate < 0.001 {
+		rate = 0.001
+	}
+	return rate
+}
+
+// ILPInc wraps incremental ILP optimization (Section 5.4) as a
+// presentation method: each improved multiplot is executed and shown,
+// which "implies repeated processing" (the paper's explanation for its
+// overhead on large data).
+type ILPInc struct {
+	// Budget bounds total optimization time (default 1s).
+	Budget time.Duration
+}
+
+// Name identifies the method.
+func (ILPInc) Name() string { return "ILP-Inc" }
+
+// Present runs incremental optimization with per-update execution.
+func (i ILPInc) Present(s *Session) (*Trace, error) {
+	start := time.Now()
+	budget := i.Budget
+	if budget <= 0 {
+		budget = time.Second
+	}
+	inc := core.DefaultIncremental(budget)
+	var events []Event
+	var execErr error
+	_, _, err := inc.Solve(s.Instance, func(u core.Update) {
+		if execErr != nil {
+			return
+		}
+		filled, err := fillValues(s, u.Multiplot, 0)
+		if err != nil {
+			execErr = err
+			return
+		}
+		// Skip no-op final updates that repeat the last multiplot.
+		if u.Final && len(events) > 0 && filled.String() == events[len(events)-1].Multiplot.String() {
+			return
+		}
+		events = append(events, Event{At: time.Since(start), Multiplot: filled})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+	if len(events) == 0 {
+		events = []Event{{At: time.Since(start)}}
+	}
+	return finishTrace(s, events), nil
+}
+
+// StandardMethods returns the method set compared in Figures 9, 11 and 13,
+// in paper order: Greedy, ILP, ILP-Inc, Inc-Plot, App-1%, App-5%, App-D.
+func StandardMethods() []Method {
+	return []Method{
+		NewGreedyDefault(),
+		NewILPDefault(time.Second),
+		ILPInc{Budget: time.Second},
+		IncPlot{},
+		NewApprox(0.01),
+		NewApprox(0.05),
+		NewApproxDynamic(2000),
+	}
+}

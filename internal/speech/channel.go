@@ -1,0 +1,127 @@
+// Package speech simulates the speech-recognition front end. The real MUVE
+// uses the browser Web Speech API; experiments here need a reproducible
+// source of the same failure mode — transcripts whose words are replaced by
+// phonetically similar ones — so this package implements a noisy channel
+// that corrupts ground-truth utterances at the word and character level
+// using common English confusion patterns.
+//
+// The channel gives every experiment realistic ambiguity to disambiguate:
+// feeding a corrupted transcript through the text-to-multi-SQL layer yields
+// candidate distributions where the correct query is likely but not
+// certain, exactly the regime the paper's planner targets.
+package speech
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Channel is a noisy speech-recognition channel.
+type Channel struct {
+	// WordErrorRate is the probability that any given word is corrupted.
+	// Real-world speech recognition commonly shows 5-20% WER; the paper's
+	// motivation ("unreliable speech recognition") sits in this range.
+	WordErrorRate float64
+	// Vocabulary, when non-empty, is the set of words the recognizer may
+	// substitute: a corrupted word is replaced with a confusable
+	// vocabulary word when one exists (recognizers emit in-vocabulary
+	// words). Otherwise corruption is character-level.
+	Vocabulary []string
+	rng        *rand.Rand
+}
+
+// NewChannel returns a channel with the given word error rate.
+func NewChannel(wer float64, rng *rand.Rand) *Channel {
+	return &Channel{WordErrorRate: wer, rng: rng}
+}
+
+// confusablePairs are character-level confusions frequent in speech
+// recognition output: voiced/unvoiced consonants, nasals, and vowel
+// neighborhoods.
+var confusablePairs = map[byte][]byte{
+	'b': {'p', 'd'},
+	'p': {'b', 't'},
+	'd': {'t', 'b'},
+	't': {'d', 'p'},
+	'g': {'k'},
+	'k': {'g', 'c'},
+	'c': {'k', 's'},
+	's': {'z', 'c'},
+	'z': {'s'},
+	'f': {'v', 'p'},
+	'v': {'f', 'b'},
+	'm': {'n'},
+	'n': {'m'},
+	'l': {'r'},
+	'r': {'l'},
+	'a': {'e', 'o', 'u'},
+	'e': {'i', 'a'},
+	'i': {'e', 'y'},
+	'o': {'u', 'a'},
+	'u': {'o', 'a'},
+	'y': {'i'},
+}
+
+// Transcribe passes the utterance through the channel and returns what the
+// recognizer "heard". Deterministic given the channel's random source.
+func (c *Channel) Transcribe(utterance string) string {
+	words := strings.Fields(utterance)
+	out := make([]string, len(words))
+	for i, w := range words {
+		if c.rng.Float64() < c.WordErrorRate {
+			out[i] = c.corruptWord(w)
+		} else {
+			out[i] = w
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// corruptWord replaces a word with a confusable vocabulary word when the
+// vocabulary offers one, falling back to character-level corruption.
+func (c *Channel) corruptWord(w string) string {
+	if len(c.Vocabulary) > 0 {
+		if sub, ok := c.vocabularyConfusion(w); ok {
+			return sub
+		}
+	}
+	return c.corruptChars(w)
+}
+
+// vocabularyConfusion picks a random different vocabulary word that shares
+// a first letter or length with w — a cheap stand-in for "sounds similar"
+// that avoids importing the phonetic package (keeping this package a pure
+// noise source the experiments can point at any vocabulary).
+func (c *Channel) vocabularyConfusion(w string) (string, bool) {
+	lw := strings.ToLower(w)
+	var pool []string
+	for _, v := range c.Vocabulary {
+		lv := strings.ToLower(v)
+		if lv == lw {
+			continue
+		}
+		if lv[0] == lw[0] || len(lv) == len(lw) {
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		return "", false
+	}
+	return pool[c.rng.Intn(len(pool))], true
+}
+
+// corruptChars applies 1-2 character-level confusions.
+func (c *Channel) corruptChars(w string) string {
+	if len(w) == 0 {
+		return w
+	}
+	b := []byte(strings.ToLower(w))
+	edits := 1 + c.rng.Intn(2)
+	for e := 0; e < edits; e++ {
+		i := c.rng.Intn(len(b))
+		if subs, ok := confusablePairs[b[i]]; ok {
+			b[i] = subs[c.rng.Intn(len(subs))]
+		}
+	}
+	return string(b)
+}

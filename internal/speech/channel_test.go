@@ -1,0 +1,103 @@
+package speech
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"muve/internal/phonetic"
+)
+
+func TestTranscribeNoNoise(t *testing.T) {
+	c := NewChannel(0, rand.New(rand.NewSource(1)))
+	in := "what is the average delay where origin is JFK"
+	if got := c.Transcribe(in); got != in {
+		t.Errorf("zero-noise channel altered input: %q", got)
+	}
+}
+
+func TestTranscribeAlwaysCorrupts(t *testing.T) {
+	c := NewChannel(1, rand.New(rand.NewSource(2)))
+	in := "brooklyn heating noise"
+	got := c.Transcribe(in)
+	if got == in {
+		t.Errorf("full-noise channel left input unchanged: %q", got)
+	}
+	// Word count is preserved (substitution channel, no deletions).
+	if len(strings.Fields(got)) != 3 {
+		t.Errorf("word count changed: %q", got)
+	}
+}
+
+func TestTranscribeDeterministicPerSeed(t *testing.T) {
+	a := NewChannel(0.5, rand.New(rand.NewSource(7))).Transcribe("noise complaint in brooklyn")
+	b := NewChannel(0.5, rand.New(rand.NewSource(7))).Transcribe("noise complaint in brooklyn")
+	if a != b {
+		t.Errorf("same seed diverged: %q vs %q", a, b)
+	}
+}
+
+func TestCorruptionsArePhoneticallyClose(t *testing.T) {
+	// Character-level corruption uses confusable sounds: the corrupted
+	// word should remain phonetically similar to the original far more
+	// often than a random word would be.
+	rng := rand.New(rand.NewSource(3))
+	c := NewChannel(1, rng)
+	words := []string{"brooklyn", "heating", "parking", "manhattan", "delay", "carrier"}
+	closeCount, trials := 0, 0
+	for _, w := range words {
+		for i := 0; i < 30; i++ {
+			got := c.corruptChars(w)
+			if phonetic.Similarity(w, got) > 0.75 {
+				closeCount++
+			}
+			trials++
+		}
+	}
+	if frac := float64(closeCount) / float64(trials); frac < 0.6 {
+		t.Errorf("only %v of corruptions phonetically close", frac)
+	}
+}
+
+func TestVocabularySubstitution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewChannel(1, rng)
+	c.Vocabulary = []string{"Brooklyn", "Bronx", "Queens"}
+	subs := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		got := c.corruptWord("brooklyn")
+		subs[got] = true
+	}
+	// Must substitute in-vocabulary words (Bronx shares the first letter).
+	if !subs["Bronx"] {
+		t.Errorf("vocabulary confusion never produced Bronx: %v", subs)
+	}
+	// Never substitutes the word for itself.
+	if subs["Brooklyn"] {
+		t.Error("corrupted word equals original")
+	}
+}
+
+func TestVocabularyNoMatchFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewChannel(1, rng)
+	c.Vocabulary = []string{"zz"} // shares neither first letter nor length
+	got := c.corruptWord("brooklyn")
+	if got == "zz" {
+		t.Error("substituted an implausible vocabulary word")
+	}
+}
+
+func TestTranscribeEmptyAndEdge(t *testing.T) {
+	c := NewChannel(0.5, rand.New(rand.NewSource(6)))
+	if got := c.Transcribe(""); got != "" {
+		t.Errorf("empty transcript -> %q", got)
+	}
+	if got := c.corruptChars(""); got != "" {
+		t.Errorf("empty word corrupted to %q", got)
+	}
+	// Words made only of unconfusable characters survive unchanged.
+	if got := c.corruptChars("xx"); got != "xx" {
+		t.Errorf("unconfusable word changed: %q", got)
+	}
+}

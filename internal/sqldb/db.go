@@ -1,0 +1,111 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DB is a named collection of tables. All query methods are safe for
+// concurrent use once loading (CreateTable/AppendRow) has finished;
+// registration itself is also guarded so tools can build tables in
+// parallel.
+type DB struct {
+	mu             sync.RWMutex
+	tables         map[string]*Table
+	parallelism    int
+	scanThroughput float64 // rows/s; 0 = unthrottled
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Register adds a table to the database, replacing any previous table of
+// the same name.
+func (db *DB) Register(t *Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[t.Name] = t
+}
+
+// Table returns the named table, or an error naming the available tables.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("sqldb: unknown table %q (have %v)", name, db.tableNamesLocked())
+}
+
+// TableNames returns the registered table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableNamesLocked()
+}
+
+func (db *DB) tableNamesLocked() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exec runs a query AST and returns its result.
+func (db *DB) Exec(q Query) (Result, error) {
+	t, err := db.Table(q.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res, err := execute(t, q, execOptions{parallelism: db.getParallelism()})
+	db.throttle(start, float64(t.NumRows()))
+	return res, err
+}
+
+// ExecSampled runs a query over a deterministic uniform sample of the table
+// with the given rate in (0, 1]; COUNT and SUM results are scaled to
+// estimate the full-data answer. This is the engine-level primitive behind
+// MUVE's approximate processing strategies (Section 8.2).
+func (db *DB) ExecSampled(q Query, rate float64, seed uint64) (Result, error) {
+	if rate <= 0 || rate > 1 {
+		return Result{}, fmt.Errorf("sqldb: sample rate %v outside (0, 1]", rate)
+	}
+	t, err := db.Table(q.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res, err := execute(t, q, execOptions{sampleRate: rate, sampleSeed: seed, parallelism: db.getParallelism()})
+	// A physical sample only reads the sampled fraction of the data.
+	db.throttle(start, float64(t.NumRows())*rate)
+	return res, err
+}
+
+// throttle sleeps so the elapsed execution time matches the configured
+// scan throughput for the given number of effective rows.
+func (db *DB) throttle(start time.Time, effectiveRows float64) {
+	tp := db.getScanThroughput()
+	if tp <= 0 {
+		return
+	}
+	target := time.Duration(effectiveRows / tp * float64(time.Second))
+	if wait := target - time.Since(start); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Query parses and runs a SQL string.
+func (db *DB) Query(sql string) (Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.Exec(q)
+}

@@ -1,0 +1,157 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokStar
+)
+
+// token is one lexical unit of a SQL string.
+type token struct {
+	kind tokenKind
+	text string // identifier (original case), number text, or string body
+	pos  int    // byte offset in the input, for error messages
+}
+
+// String renders the token for error messages.
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokEq:
+		return "'='"
+	case tokStar:
+		return "'*'"
+	}
+	return "unknown token"
+}
+
+// lex splits a SQL string into tokens. String literals use single quotes
+// with ” as the escape, or double quotes (treated identically: the engine
+// has no quoted identifiers). Identifiers are [A-Za-z_][A-Za-z0-9_]*.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == quote {
+					if quote == '\'' && i+1 < n && input[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tokString, b.String(), start})
+		case c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.':
+			start := i
+			if c == '-' || c == '+' {
+				i++
+				if i >= n || !(input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+					return nil, fmt.Errorf("sqldb: unexpected character %q at offset %d", c, start)
+				}
+			}
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '-' || input[i] == '+') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,250 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse turns a SQL string into a Query AST. The accepted grammar is the
+// query class MUVE operates on:
+//
+//	SELECT agg [, agg]... [, col]... FROM table
+//	  [WHERE col = literal [AND ...] | col IN (lit, ...)]
+//	  [GROUP BY col [, col]...]
+//
+// where agg is count(*), count(col), sum(col), avg(col), min(col), or
+// max(col). Keywords are case-insensitive; identifiers are case-sensitive.
+func Parse(sql string) (Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// hand-written constant queries.
+func MustParse(sql string) Query {
+	q, err := Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive identifier match) and consumes it when it is.
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqldb: expected %s, found %s at offset %d", strings.ToUpper(kw), p.cur(), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("sqldb: expected %s, found %s at offset %d", what, t, t.pos)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	var q Query
+	if err := p.expectKeyword("select"); err != nil {
+		return q, err
+	}
+	// Select list: aggregates and (for merged queries) plain group columns.
+	var plainCols []string
+	for {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return q, fmt.Errorf("sqldb: expected select item, found %s at offset %d", t, t.pos)
+		}
+		if f, ok := ParseAggFunc(t.text); ok && p.toks[p.i+1].kind == tokLParen {
+			p.i += 2 // consume name and '('
+			agg := Aggregate{Func: f}
+			switch p.cur().kind {
+			case tokStar:
+				if f != AggCount {
+					return q, fmt.Errorf("sqldb: %s(*) is not supported at offset %d", f, p.cur().pos)
+				}
+				p.i++
+			case tokIdent:
+				agg.Col = p.next().text
+			default:
+				return q, fmt.Errorf("sqldb: expected column or '*', found %s at offset %d", p.cur(), p.cur().pos)
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return q, err
+			}
+			// Optional "AS alias" — accepted and ignored.
+			if p.keyword("as") {
+				if _, err := p.expect(tokIdent, "alias"); err != nil {
+					return q, err
+				}
+			}
+			q.Aggs = append(q.Aggs, agg)
+		} else {
+			plainCols = append(plainCols, p.next().text)
+		}
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return q, err
+	}
+	tbl, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return q, err
+	}
+	q.Table = tbl.text
+
+	if p.keyword("where") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return q, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return q, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "GROUP BY column")
+			if err != nil {
+				return q, err
+			}
+			q.GroupBy = append(q.GroupBy, col.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.i++
+		}
+	}
+	if p.cur().kind != tokEOF {
+		return q, fmt.Errorf("sqldb: unexpected %s at offset %d", p.cur(), p.cur().pos)
+	}
+	if len(q.Aggs) == 0 {
+		return q, fmt.Errorf("sqldb: query must contain at least one aggregate")
+	}
+	// Plain select-list columns must be grouped; this is the merged-query
+	// form "SELECT agg, col FROM t ... GROUP BY col".
+	for _, c := range plainCols {
+		if !containsString(q.GroupBy, c) {
+			return q, fmt.Errorf("sqldb: column %q must appear in GROUP BY", c)
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col, err := p.expect(tokIdent, "predicate column")
+	if err != nil {
+		return Predicate{}, err
+	}
+	pred := Predicate{Col: col.text}
+	switch {
+	case p.cur().kind == tokEq:
+		p.i++
+		v, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred.Op = OpEq
+		pred.Values = []Value{v}
+	case p.keyword("in"):
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return Predicate{}, err
+		}
+		pred.Op = OpIn
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return Predicate{}, err
+			}
+			pred.Values = append(pred.Values, v)
+			if p.cur().kind == tokComma {
+				p.i++
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return Predicate{}, err
+		}
+	default:
+		return Predicate{}, fmt.Errorf("sqldb: expected '=' or IN after %q at offset %d", col.text, p.cur().pos)
+	}
+	return pred, nil
+}
+
+func (p *parser) parseLiteral() (Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.i++
+		return Str(t.text), nil
+	case tokNumber:
+		p.i++
+		if !strings.ContainsAny(t.text, ".eE") {
+			iv, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return Int(iv), nil
+			}
+		}
+		fv, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("sqldb: bad number %q at offset %d", t.text, t.pos)
+		}
+		return Float(fv), nil
+	case tokIdent:
+		// Bare words in predicates are treated as string literals; voice
+		// transcripts produce unquoted constants ("borough = Brooklyn").
+		p.i++
+		return Str(t.text), nil
+	}
+	return Null(), fmt.Errorf("sqldb: expected literal, found %s at offset %d", t, t.pos)
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package sqldb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasicAggregate(t *testing.T) {
+	q, err := Parse("SELECT count(*) FROM flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "flights" || len(q.Aggs) != 1 || q.Aggs[0].Func != AggCount || q.Aggs[0].Col != "" {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseWhereEquality(t *testing.T) {
+	q, err := Parse("select avg(delay) from flights where origin = 'JFK' and year = 2008")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+	if q.Preds[0].Col != "origin" || q.Preds[0].Op != OpEq || q.Preds[0].Values[0].S != "JFK" {
+		t.Errorf("pred0 = %+v", q.Preds[0])
+	}
+	if q.Preds[1].Values[0].K != KindInt || q.Preds[1].Values[0].I != 2008 {
+		t.Errorf("pred1 = %+v", q.Preds[1])
+	}
+}
+
+func TestParseInAndGroupBy(t *testing.T) {
+	q, err := Parse("SELECT sum(delay), origin FROM flights WHERE origin IN ('JFK', 'LGA', 'EWR') GROUP BY origin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Op != OpIn || len(q.Preds[0].Values) != 3 {
+		t.Errorf("IN pred = %+v", q.Preds[0])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "origin" {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParseBareWordLiteral(t *testing.T) {
+	// Voice transcripts produce unquoted constants.
+	q, err := Parse("SELECT count(*) FROM requests WHERE borough = Brooklyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Values[0].S != "Brooklyn" {
+		t.Errorf("pred = %+v", q.Preds[0])
+	}
+}
+
+func TestParseNumbersAndEscapes(t *testing.T) {
+	q, err := Parse("SELECT max(x) FROM t WHERE a = -3.5 AND b = 'O''Neill' AND c = 1e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Values[0].F != -3.5 {
+		t.Errorf("float literal = %v", q.Preds[0].Values[0])
+	}
+	if q.Preds[1].Values[0].S != "O'Neill" {
+		t.Errorf("escaped string = %q", q.Preds[1].Values[0].S)
+	}
+	if q.Preds[2].Values[0].F != 1000 {
+		t.Errorf("exp literal = %v", q.Preds[2].Values[0])
+	}
+}
+
+func TestParseAliasesAccepted(t *testing.T) {
+	if _, err := Parse("SELECT count(*) AS n FROM t"); err != nil {
+		t.Errorf("alias rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM t",
+		"SELECT count(* FROM t",
+		"SELECT sum(*) FROM t",
+		"SELECT count(*) t",
+		"SELECT count(*) FROM t WHERE",
+		"SELECT count(*) FROM t WHERE a >",
+		"SELECT count(*) FROM t WHERE a = ",
+		"SELECT count(*) FROM t WHERE a IN ()",
+		"SELECT count(*) FROM t WHERE a IN ('x'",
+		"SELECT count(*) FROM t GROUP BY",
+		"SELECT count(*) FROM t trailing garbage",
+		"SELECT a FROM t",                      // bare column without GROUP BY
+		"SELECT count(*), a FROM t",            // ungrouped plain column
+		"SELECT count(*) FROM t WHERE 'a' = 1", // literal where column expected
+		"SELECT count(*) FROM t WHERE a = 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestQuerySQLRoundTrip(t *testing.T) {
+	// Property: rendering a random query to SQL and reparsing yields an
+	// equivalent AST.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		back, err := Parse(q.SQL())
+		if err != nil {
+			t.Logf("SQL: %s err: %v", q.SQL(), err)
+			return false
+		}
+		return queriesEqual(q, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomQuery builds a random but well-formed query AST.
+func randomQuery(rng *rand.Rand) Query {
+	cols := []string{"alpha", "beta", "gamma", "delta"}
+	q := Query{Table: "t"}
+	nAggs := 1 + rng.Intn(3)
+	for i := 0; i < nAggs; i++ {
+		f := AllAggFuncs[rng.Intn(len(AllAggFuncs))]
+		col := cols[rng.Intn(len(cols))]
+		if f == AggCount && rng.Intn(2) == 0 {
+			col = ""
+		}
+		q.Aggs = append(q.Aggs, Aggregate{Func: f, Col: col})
+	}
+	nPreds := rng.Intn(3)
+	for i := 0; i < nPreds; i++ {
+		p := Predicate{Col: cols[rng.Intn(len(cols))]}
+		if rng.Intn(2) == 0 {
+			p.Op = OpEq
+			p.Values = []Value{randomLiteral(rng)}
+		} else {
+			p.Op = OpIn
+			n := 1 + rng.Intn(3)
+			for j := 0; j < n; j++ {
+				p.Values = append(p.Values, randomLiteral(rng))
+			}
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	if rng.Intn(3) == 0 {
+		q.GroupBy = []string{cols[rng.Intn(len(cols))]}
+	}
+	return q
+}
+
+func randomLiteral(rng *rand.Rand) Value {
+	switch rng.Intn(3) {
+	case 0:
+		return Int(rng.Int63n(1000) - 500)
+	case 1:
+		return Float(float64(rng.Intn(100)) + 0.5)
+	default:
+		words := []string{"brooklyn", "queens", "noise", "heat", "O'Neill", "a b"}
+		return Str(words[rng.Intn(len(words))])
+	}
+}
+
+func queriesEqual(a, b Query) bool {
+	if a.Table != b.Table || len(a.Aggs) != len(b.Aggs) ||
+		len(a.Preds) != len(b.Preds) || len(a.GroupBy) != len(b.GroupBy) {
+		return false
+	}
+	for i := range a.Aggs {
+		if a.Aggs[i] != b.Aggs[i] {
+			return false
+		}
+	}
+	for i := range a.Preds {
+		pa, pb := a.Preds[i], b.Preds[i]
+		if pa.Col != pb.Col || pa.Op != pb.Op || len(pa.Values) != len(pb.Values) {
+			return false
+		}
+		for j := range pa.Values {
+			va, vb := pa.Values[j], pb.Values[j]
+			// Numeric literals may round-trip int<->float only if spelled
+			// with a fraction; our renderer preserves kinds exactly.
+			if va != vb && !(va.Equal(vb) && va.K != KindString && vb.K != KindString) {
+				return false
+			}
+		}
+	}
+	for i := range a.GroupBy {
+		if a.GroupBy[i] != b.GroupBy[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseAggFuncSynonyms(t *testing.T) {
+	cases := map[string]AggFunc{
+		"COUNT": AggCount, "Sum": AggSum, "average": AggAvg,
+		"mean": AggAvg, "maximum": AggMax, "minimum": AggMin,
+	}
+	for name, want := range cases {
+		got, ok := ParseAggFunc(name)
+		if !ok || got != want {
+			t.Errorf("ParseAggFunc(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseAggFunc("median"); ok {
+		t.Error("median should be unsupported")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad SQL")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestLexerErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT count(*) FROM t WHERE a = ;")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("err = %v, want offset info", err)
+	}
+}

@@ -1,0 +1,295 @@
+package sqldb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// bigTable builds a table with a known exact aggregate for sampling tests.
+func bigTable(t *testing.T, n int) *Table {
+	t.Helper()
+	tbl, err := NewTable("big",
+		ColumnDef{"grp", KindString},
+		ColumnDef{"x", KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []string{"a", "b", "c", "d"}
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(Str(groups[i%len(groups)]), Float(float64(i%100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestExecSampledScalesCountAndSum(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 40000))
+	exactCount, _ := db.Query("SELECT count(*) FROM big")
+	exactSum, _ := db.Query("SELECT sum(x) FROM big")
+	wantCount, _ := exactCount.Scalar()
+	wantSum, _ := exactSum.Scalar()
+	for _, rate := range []float64{0.01, 0.05, 0.2} {
+		res, err := db.ExecSampled(MustParse("SELECT count(*) FROM big"), rate, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := res.Scalar()
+		if rel := math.Abs(got-wantCount) / wantCount; rel > 0.15 {
+			t.Errorf("rate %v count rel err = %v", rate, rel)
+		}
+		res, err = db.ExecSampled(MustParse("SELECT sum(x) FROM big"), rate, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ = res.Scalar()
+		if rel := math.Abs(got-wantSum) / wantSum; rel > 0.15 {
+			t.Errorf("rate %v sum rel err = %v", rate, rel)
+		}
+	}
+}
+
+func TestExecSampledAvgUnscaled(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 40000))
+	exact, _ := db.Query("SELECT avg(x) FROM big")
+	want, _ := exact.Scalar()
+	res, err := db.ExecSampled(MustParse("SELECT avg(x) FROM big"), 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Scalar()
+	if math.Abs(got-want) > 5 {
+		t.Errorf("sampled avg = %v, want ~%v", got, want)
+	}
+}
+
+func TestExecSampledDeterministic(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 10000))
+	q := MustParse("SELECT count(*) FROM big WHERE grp = 'a'")
+	a, _ := db.ExecSampled(q, 0.1, 42)
+	b, _ := db.ExecSampled(q, 0.1, 42)
+	va, _ := a.Scalar()
+	vb, _ := b.Scalar()
+	if va != vb {
+		t.Error("same seed should give same sample")
+	}
+	c, _ := db.ExecSampled(q, 0.1, 43)
+	vc, _ := c.Scalar()
+	// Different seeds *may* coincide but should usually differ; only warn
+	// through failure if the sample mechanism is obviously ignoring seeds.
+	d, _ := db.ExecSampled(q, 0.1, 44)
+	vd, _ := d.Scalar()
+	if va == vc && va == vd {
+		t.Error("sampling appears to ignore the seed")
+	}
+}
+
+func TestExecSampledRate1MatchesExact(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 5000))
+	q := MustParse("SELECT sum(x) FROM big WHERE grp IN ('a','b')")
+	exact, _ := db.Exec(q)
+	sampled, err := db.ExecSampled(q, 1.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, _ := exact.Scalar()
+	vs, _ := sampled.Scalar()
+	if ve != vs {
+		t.Errorf("rate 1.0 sampled = %v, exact = %v", vs, ve)
+	}
+}
+
+func TestExecSampledBadRate(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 100))
+	for _, rate := range []float64{0, -0.5, 1.5} {
+		if _, err := db.ExecSampled(MustParse("SELECT count(*) FROM big"), rate, 1); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}
+
+func TestEstimateCostSelectivity(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 10000)) // grp has 4 distinct values
+	base, err := db.EstimateCost(MustParse("SELECT count(*) FROM big"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Selectivity != 1 || base.Rows != 10000 {
+		t.Errorf("base estimate = %+v", base)
+	}
+	eq, _ := db.EstimateCost(MustParse("SELECT count(*) FROM big WHERE grp = 'a'"))
+	if math.Abs(eq.Selectivity-0.25) > 1e-9 {
+		t.Errorf("eq selectivity = %v, want 0.25", eq.Selectivity)
+	}
+	in, _ := db.EstimateCost(MustParse("SELECT count(*) FROM big WHERE grp IN ('a','b')"))
+	if math.Abs(in.Selectivity-0.5) > 1e-9 {
+		t.Errorf("IN selectivity = %v, want 0.5", in.Selectivity)
+	}
+	// Cost grows with predicate terms but one merged query is cheaper than
+	// two separate ones — the whole premise of query merging.
+	sep := 2 * eq.TotalCost
+	if in.TotalCost >= sep {
+		t.Errorf("merged cost %v should beat separate %v", in.TotalCost, sep)
+	}
+}
+
+func TestEstimateCostGrowsWithRows(t *testing.T) {
+	small := NewDB()
+	small.Register(bigTable(t, 1000))
+	large := NewDB()
+	large.Register(bigTable(t, 100000))
+	q := MustParse("SELECT sum(x) FROM big WHERE grp = 'a'")
+	cs, _ := small.EstimateCost(q)
+	cl, _ := large.EstimateCost(q)
+	if cl.TotalCost <= cs.TotalCost {
+		t.Errorf("cost should grow with data: %v vs %v", cs.TotalCost, cl.TotalCost)
+	}
+}
+
+func TestEstimateCostErrors(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 10))
+	if _, err := db.EstimateCost(MustParse("SELECT count(*) FROM nope")); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.EstimateCost(MustParse("SELECT sum(grp) FROM big")); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	db := NewDB()
+	db.Register(bigTable(t, 1000))
+	plan, err := db.Explain(MustParse("SELECT sum(x) FROM big WHERE grp = 'a'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Aggregate", "Seq Scan on big", "Filter: (grp = 'a')", "cost="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	plan, err = db.Explain(MustParse("SELECT sum(x), grp FROM big GROUP BY grp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "HashAggregate") {
+		t.Errorf("grouped plan missing HashAggregate:\n%s", plan)
+	}
+}
+
+func TestDBTableManagement(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Table("x"); err == nil {
+		t.Error("missing table should error")
+	}
+	db.Register(bigTable(t, 10))
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "big" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if _, err := db.Query("SELECT count(* FROM big"); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	csvData := "city,pop,area\nNYC,8000000,300.5\nLA,4000000,500.25\nSF,800000,47\n"
+	tbl, err := LoadCSV("cities", strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Column("city").Kind != KindString ||
+		tbl.Column("pop").Kind != KindInt ||
+		tbl.Column("area").Kind != KindFloat {
+		t.Error("kind inference wrong")
+	}
+	db := NewDB()
+	db.Register(tbl)
+	res, err := db.Query("SELECT sum(pop) FROM cities WHERE city IN ('NYC','LA')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Scalar(); v != 12000000 {
+		t.Errorf("sum = %v", v)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(tbl, &sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV("cities", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Error("round trip lost rows")
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		for j := range tbl.Columns() {
+			if !tbl.Row(i)[j].Equal(back.Row(i)[j]) {
+				t.Errorf("row %d col %d: %v != %v", i, j, tbl.Row(i)[j], back.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                // no header
+		"a,b\n",           // header only
+		"a,b\n1,2\n3\n",   // ragged row
+		"a,b\n1,2\nx,3\n", // type break in later row
+	}
+	for _, data := range cases {
+		if _, err := LoadCSV("t", strings.NewReader(data)); err == nil {
+			t.Errorf("LoadCSV(%q) should fail", data)
+		}
+	}
+}
+
+func TestColumnDistincts(t *testing.T) {
+	tbl := bigTable(t, 400)
+	if got := tbl.Column("grp").DistinctCount(); got != 4 {
+		t.Errorf("distinct grp = %d", got)
+	}
+	if got := tbl.Column("x").DistinctCount(); got != 100 {
+		t.Errorf("distinct x = %d", got)
+	}
+	ds := tbl.Column("grp").DistinctStrings()
+	if len(ds) != 4 || ds[0] != "a" || ds[3] != "d" {
+		t.Errorf("DistinctStrings = %v", ds)
+	}
+	if tbl.Column("x").DistinctStrings() != nil {
+		t.Error("numeric DistinctStrings should be nil")
+	}
+	// Cached stats refresh after mutation.
+	if got := tbl.DistinctCount("grp"); got != 4 {
+		t.Errorf("cached distinct = %d", got)
+	}
+	if err := tbl.AppendRow(Str("zz"), Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.DistinctCount("grp"); got != 5 {
+		t.Errorf("distinct after append = %d, want 5", got)
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable("t"); err == nil {
+		t.Error("zero-column table accepted")
+	}
+	if _, err := NewTable("t", ColumnDef{"a", KindInt}, ColumnDef{"a", KindFloat}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package sqldb is MUVE's query-processing substrate: an in-memory,
+// columnar, single-node SQL engine supporting exactly the query class the
+// paper targets — single-table aggregation queries with equality and IN
+// predicates, optionally grouped — plus the facilities MUVE's processing
+// optimizations need:
+//
+//   - a Postgres-optimizer-style cost model with EXPLAIN output, used by
+//     the query merger to decide whether merging pays off (Section 8.1);
+//   - uniform sampling for approximate query processing (Section 8.2);
+//   - GROUP BY / IN execution so merged queries can compute many candidate
+//     results in one scan.
+//
+// The original system runs on Postgres 13.1; this engine reproduces the
+// behaviours MUVE exercises so every experiment code path runs unchanged.
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the value types the engine supports.
+type Kind uint8
+
+const (
+	// KindNull is the zero Kind; it marks absent values.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a UTF-8 string.
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "TEXT"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed SQL value.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsFloat converts numeric values to float64; strings and NULL yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	}
+	return 0
+}
+
+// Equal reports SQL equality between two values. Integers and floats
+// compare numerically across kinds; NULL equals nothing (not even NULL),
+// matching SQL three-valued logic restricted to the predicates we support.
+func (v Value) Equal(o Value) bool {
+	if v.K == KindNull || o.K == KindNull {
+		return false
+	}
+	switch {
+	case v.K == KindString || o.K == KindString:
+		return v.K == o.K && v.S == o.S
+	case v.K == KindInt && o.K == KindInt:
+		return v.I == o.I
+	default:
+		return v.AsFloat() == o.AsFloat()
+	}
+}
+
+// String formats the value as a SQL literal.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "'" + escapeSQLString(v.S) + "'"
+	}
+	return "?"
+}
+
+// Display formats the value for human-facing output (no quotes on strings).
+func (v Value) Display() string {
+	if v.K == KindString {
+		return v.S
+	}
+	return v.String()
+}
+
+// escapeSQLString doubles single quotes per SQL literal rules.
+func escapeSQLString(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'', '\'')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

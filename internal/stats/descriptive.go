@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (denominator n-1),
+// or NaN when fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs, or NaN for an empty slice. The input is
+// not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CI describes a symmetric confidence interval around a sample mean.
+type CI struct {
+	Mean  float64 // sample mean
+	Delta float64 // half-width: the interval is [Mean-Delta, Mean+Delta]
+	N     int     // sample count
+}
+
+// Lo returns the lower bound of the interval.
+func (c CI) Lo() float64 { return c.Mean - c.Delta }
+
+// Hi returns the upper bound of the interval.
+func (c CI) Hi() float64 { return c.Mean + c.Delta }
+
+// ConfidenceInterval returns the two-sided confidence interval for the mean
+// of xs at the given confidence level (e.g. 0.95), using the Student-t
+// distribution with n-1 degrees of freedom. For fewer than two samples the
+// half-width is zero: there is no spread to estimate.
+//
+// The paper shows 95% confidence bounds for every plot reporting arithmetic
+// averages; experiment runners call this with level=0.95.
+func ConfidenceInterval(xs []float64, level float64) CI {
+	n := len(xs)
+	if n == 0 {
+		return CI{Mean: math.NaN()}
+	}
+	m := Mean(xs)
+	if n < 2 {
+		return CI{Mean: m, N: n}
+	}
+	sd := StdDev(xs)
+	t := StudentTQuantile(0.5+level/2, float64(n-1))
+	return CI{
+		Mean:  m,
+		Delta: t * sd / math.Sqrt(float64(n)),
+		N:     n,
+	}
+}
+
+// ConfidenceInterval95 is shorthand for ConfidenceInterval(xs, 0.95).
+func ConfidenceInterval95(xs []float64) CI {
+	return ConfidenceInterval(xs, 0.95)
+}
+
+// Ratio returns num/den, or 0 when den is zero. Experiment code uses it for
+// timeout ratios and threshold-miss ratios, where an empty denominator means
+// "no test cases", which the paper's plots render as zero.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty slice should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic example is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEq(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median of empty slice should be NaN")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be +/-Inf")
+	}
+}
+
+func TestConfidenceIntervalKnown(t *testing.T) {
+	// n=10, sd known: delta = t(0.975, 9) * sd / sqrt(10).
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	ci := ConfidenceInterval95(xs)
+	if !almostEq(ci.Mean, 5.5, 1e-12) {
+		t.Errorf("CI mean = %v", ci.Mean)
+	}
+	wantDelta := StudentTQuantile(0.975, 9) * StdDev(xs) / math.Sqrt(10)
+	if !almostEq(ci.Delta, wantDelta, 1e-9) {
+		t.Errorf("CI delta = %v, want %v", ci.Delta, wantDelta)
+	}
+	if !almostEq(ci.Lo(), 5.5-wantDelta, 1e-9) || !almostEq(ci.Hi(), 5.5+wantDelta, 1e-9) {
+		t.Error("CI bounds inconsistent")
+	}
+}
+
+func TestConfidenceIntervalDegenerate(t *testing.T) {
+	ci := ConfidenceInterval95([]float64{42})
+	if ci.Mean != 42 || ci.Delta != 0 {
+		t.Errorf("single-sample CI = %+v", ci)
+	}
+	if !math.IsNaN(ConfidenceInterval95(nil).Mean) {
+		t.Error("empty CI mean should be NaN")
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Statistical property: a 95% CI computed from normal samples should
+	// contain the true mean roughly 95% of the time. Use a wide acceptance
+	// band to keep the test robust.
+	rng := rand.New(rand.NewSource(7))
+	const trials = 2000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 12)
+		for j := range xs {
+			xs[j] = 3 + rng.NormFloat64()
+		}
+		ci := ConfidenceInterval95(xs)
+		if ci.Lo() <= 3 && 3 <= ci.Hi() {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 4) != 0.25 {
+		t.Error("Ratio(1,4)")
+	}
+	if Ratio(3, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-9 && m <= Max(clean)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Correlation holds the result of a Pearson correlation analysis between a
+// visualization feature and measured user disambiguation time, matching the
+// quantities the paper reports in Table 1.
+type Correlation struct {
+	R  float64 // Pearson correlation coefficient
+	R2 float64 // coefficient of determination (R squared)
+	P  float64 // two-tailed p-value under H0: no linear relationship
+	N  int     // number of paired samples
+}
+
+// Significant reports whether the correlation is statistically significant
+// at the given alpha (the paper uses the common cutoff of 0.05).
+func (c Correlation) Significant(alpha float64) bool {
+	return c.P < alpha
+}
+
+// Pearson computes the Pearson correlation between xs and ys together with
+// the two-tailed p-value from the exact t-distribution with n-2 degrees of
+// freedom. It returns an error when the slices differ in length, contain
+// fewer than three samples, or one of them has zero variance (the
+// correlation is then undefined).
+func Pearson(xs, ys []float64) (Correlation, error) {
+	if len(xs) != len(ys) {
+		return Correlation{}, errors.New("stats: Pearson requires equal-length samples")
+	}
+	n := len(xs)
+	if n < 3 {
+		return Correlation{}, errors.New("stats: Pearson requires at least 3 samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return Correlation{}, errors.New("stats: Pearson undefined for zero-variance input")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard against tiny floating-point excursions outside [-1, 1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	p := pearsonPValue(r, n)
+	return Correlation{R: r, R2: r * r, P: p, N: n}, nil
+}
+
+// pearsonPValue returns the two-tailed p-value for correlation r over n
+// samples via the exact transform t = r*sqrt((n-2)/(1-r^2)).
+func pearsonPValue(r float64, n int) float64 {
+	nu := float64(n - 2)
+	if r == 1 || r == -1 {
+		return 0
+	}
+	t := r * math.Sqrt(nu/(1-r*r))
+	// Two-tailed: P(|T| >= |t|) = 2 * (1 - CDF(|t|)).
+	p := 2 * (1 - StudentTCDF(math.Abs(t), nu))
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// LinearFit holds the least-squares line y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+}
+
+// FitLine computes the ordinary least-squares regression of ys on xs.
+// The user-model calibration (Section 4.2) uses it to infer the per-bar and
+// per-plot reading costs from simulated study data.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: FitLine requires equal-length samples")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: FitLine requires at least 2 samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: FitLine undefined for constant x")
+	}
+	slope := sxy / sxx
+	return LinearFit{Slope: slope, Intercept: my - slope*mx}, nil
+}
+
+// At evaluates the fitted line at x.
+func (f LinearFit) At(x float64) float64 {
+	return f.Slope*x + f.Intercept
+}
+
+// MultiFit holds coefficients of a multivariate least-squares fit
+// y = Coeffs[0]*x0 + Coeffs[1]*x1 + ... + Intercept.
+type MultiFit struct {
+	Coeffs    []float64
+	Intercept float64
+}
+
+// FitMulti computes an ordinary least-squares fit of ys on the feature rows
+// xs (each row is one observation) by solving the normal equations with
+// Gaussian elimination. The user-model calibration fits disambiguation time
+// on (#bars read, #plots read) jointly to recover c_B and c_P.
+func FitMulti(xs [][]float64, ys []float64) (MultiFit, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return MultiFit{}, errors.New("stats: FitMulti requires matching non-empty samples")
+	}
+	d := len(xs[0])
+	for _, row := range xs {
+		if len(row) != d {
+			return MultiFit{}, errors.New("stats: FitMulti requires rectangular input")
+		}
+	}
+	// Augment with the intercept column.
+	k := d + 1
+	// Normal equations: (X^T X) beta = X^T y.
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k+1)
+	}
+	for r := 0; r < n; r++ {
+		row := make([]float64, k)
+		copy(row, xs[r])
+		row[d] = 1
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][k] += row[i] * ys[r]
+		}
+	}
+	beta, err := solveGauss(a)
+	if err != nil {
+		return MultiFit{}, err
+	}
+	return MultiFit{Coeffs: beta[:d], Intercept: beta[d]}, nil
+}
+
+// At evaluates the fitted hyperplane at feature vector x.
+func (f MultiFit) At(x []float64) float64 {
+	y := f.Intercept
+	for i, c := range f.Coeffs {
+		y += c * x[i]
+	}
+	return y
+}
+
+// solveGauss solves the linear system encoded as an augmented matrix using
+// Gaussian elimination with partial pivoting.
+func solveGauss(a [][]float64) ([]float64, error) {
+	k := len(a)
+	for col := 0; col < k; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, errors.New("stats: singular system in least-squares fit")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := a[r][k]
+		for c := r + 1; c < k; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	c, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c.R, 1, 1e-12) || !almostEq(c.R2, 1, 1e-12) {
+		t.Errorf("R = %v, R2 = %v, want 1", c.R, c.R2)
+	}
+	if c.P > 1e-9 {
+		t.Errorf("P = %v, want ~0", c.P)
+	}
+	// Perfect anti-correlation.
+	for i := range ys {
+		ys[i] = -ys[i]
+	}
+	c, err = Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c.R, -1, 1e-12) {
+		t.Errorf("R = %v, want -1", c.R)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed example.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2, 1, 4, 3, 6, 5}
+	c, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sxy = 14.5, sxx = syy = 17.5 -> r = 14.5/17.5 = 29/35.
+	want := 29.0 / 35.0
+	if !almostEq(c.R, want, 1e-12) {
+		t.Errorf("R = %v, want %v", c.R, want)
+	}
+	if !almostEq(c.R2, want*want, 1e-12) {
+		t.Errorf("R2 = %v, want %v", c.R2, want*want)
+	}
+	// p via t = r*sqrt(4/(1-r^2)) with df=4.
+	if !almostEq(c.P, 0.0416, 1e-3) {
+		t.Errorf("P = %v, want ~0.0416", c.P)
+	}
+}
+
+func TestPearsonNoCorrelationHighP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Independent noise: p should usually be large; check it is not tiny.
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	c, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P < 0.001 {
+		t.Errorf("independent noise produced p = %v", c.P)
+	}
+	if c.Significant(0.05) && c.P >= 0.05 {
+		t.Error("Significant inconsistent with P")
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Error("expected too-few-samples error")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected zero-variance error")
+	}
+}
+
+func TestPearsonSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = xs[i]*0.5 + rng.NormFloat64()
+		}
+		a, err1 := Pearson(xs, ys)
+		b, err2 := Pearson(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEq(a.R, b.R, 1e-12) && almostEq(a.P, b.P, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonRInUnitIntervalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = rng.NormFloat64() * 10
+		}
+		c, err := Pearson(xs, ys)
+		if err != nil {
+			return true // zero-variance draw; fine
+		}
+		return c.R >= -1 && c.R <= 1 && c.P >= 0 && c.P <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 2, 1e-12) || !almostEq(f.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+	if !almostEq(f.At(10), 21, 1e-12) {
+		t.Errorf("At(10) = %v", f.At(10))
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for constant x")
+	}
+	if _, err := FitLine([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestFitMultiRecoversPlane(t *testing.T) {
+	// y = 3*x0 - 2*x1 + 5, exactly.
+	rng := rand.New(rand.NewSource(9))
+	xs := make([][]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		x0, x1 := rng.Float64()*10, rng.Float64()*10
+		xs[i] = []float64{x0, x1}
+		ys[i] = 3*x0 - 2*x1 + 5
+	}
+	f, err := FitMulti(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Coeffs[0], 3, 1e-8) || !almostEq(f.Coeffs[1], -2, 1e-8) || !almostEq(f.Intercept, 5, 1e-8) {
+		t.Errorf("fit = %+v", f)
+	}
+	if !almostEq(f.At([]float64{1, 1}), 6, 1e-8) {
+		t.Errorf("At = %v", f.At([]float64{1, 1}))
+	}
+}
+
+func TestFitMultiErrors(t *testing.T) {
+	if _, err := FitMulti(nil, nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := FitMulti([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged input")
+	}
+	// Collinear features make the normal equations singular.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := FitMulti(xs, []float64{1, 2, 3}); err == nil {
+		t.Error("expected singular-system error")
+	}
+}
+
+func TestFitLineMatchesPearsonSign(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = rng.NormFloat64()
+		}
+		fit, err1 := FitLine(xs, ys)
+		cor, err2 := Pearson(xs, ys)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		if math.Abs(cor.R) < 1e-9 {
+			return true
+		}
+		return (fit.Slope > 0) == (cor.R > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

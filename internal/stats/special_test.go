@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1,1) = x (uniform CDF).
+		{1, 1, 0.25, 0.25},
+		{1, 1, 0.75, 0.75},
+		// I_x(2,2) = x^2 (3 - 2x).
+		{2, 2, 0.5, 0.5},
+		{2, 2, 0.25, 0.25 * 0.25 * (3 - 0.5)},
+		// I_x(0.5, 0.5) = (2/pi) * asin(sqrt(x)).
+		{0.5, 0.5, 0.5, 0.5},
+		{0.5, 0.5, 0.25, 2 / math.Pi * math.Asin(0.5)},
+	}
+	for _, c := range cases {
+		got, err := RegIncBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%v,%v,%v): %v", c.a, c.b, c.x, err)
+		}
+		if !almostEq(got, c.want, 1e-10) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if v, _ := RegIncBeta(3, 4, 0); v != 0 {
+		t.Errorf("I_0 = %v, want 0", v)
+	}
+	if v, _ := RegIncBeta(3, 4, 1); v != 1 {
+		t.Errorf("I_1 = %v, want 1", v)
+	}
+	if _, err := RegIncBeta(3, 4, -0.1); err == nil {
+		t.Error("expected error for x < 0")
+	}
+	if _, err := RegIncBeta(0, 4, 0.5); err == nil {
+		t.Error("expected error for a <= 0")
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	// Property: I_x(a,b) is non-decreasing in x for fixed a, b.
+	f := func(a8, b8 uint8, x1, x2 float64) bool {
+		a := 0.5 + float64(a8%40)/4
+		b := 0.5 + float64(b8%40)/4
+		x1 = math.Abs(math.Mod(x1, 1))
+		x2 = math.Abs(math.Mod(x2, 1))
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		v1, err1 := RegIncBeta(a, b, x1)
+		v2, err2 := RegIncBeta(a, b, x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v1 <= v2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// Property: I_x(a,b) = 1 - I_{1-x}(b,a).
+	f := func(a8, b8 uint8, x float64) bool {
+		a := 0.5 + float64(a8%40)/4
+		b := 0.5 + float64(b8%40)/4
+		x = math.Abs(math.Mod(x, 1))
+		v1, err1 := RegIncBeta(a, b, x)
+		v2, err2 := RegIncBeta(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEq(v1, 1-v2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// With 1 degree of freedom, the t distribution is Cauchy:
+	// CDF(t) = 1/2 + atan(t)/pi.
+	for _, tv := range []float64{-3, -1, 0, 0.5, 2, 10} {
+		want := 0.5 + math.Atan(tv)/math.Pi
+		got := StudentTCDF(tv, 1)
+		if !almostEq(got, want, 1e-10) {
+			t.Errorf("StudentTCDF(%v, 1) = %v, want %v", tv, got, want)
+		}
+	}
+	// Symmetric around 0 for any nu.
+	if got := StudentTCDF(0, 7); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("StudentTCDF(0, 7) = %v, want 0.5", got)
+	}
+	// Classical table value: t_{0.975, 10} ~= 2.228.
+	if got := StudentTCDF(2.228, 10); !almostEq(got, 0.975, 1e-3) {
+		t.Errorf("StudentTCDF(2.228, 10) = %v, want ~0.975", got)
+	}
+}
+
+func TestStudentTCDFInfinities(t *testing.T) {
+	if got := StudentTCDF(math.Inf(1), 5); got != 1 {
+		t.Errorf("CDF(+inf) = %v, want 1", got)
+	}
+	if got := StudentTCDF(math.Inf(-1), 5); got != 0 {
+		t.Errorf("CDF(-inf) = %v, want 0", got)
+	}
+}
+
+func TestStudentTQuantileInvertsCDF(t *testing.T) {
+	for _, nu := range []float64{1, 3, 10, 30, 100} {
+		for _, p := range []float64{0.025, 0.1, 0.5, 0.9, 0.975} {
+			q := StudentTQuantile(p, nu)
+			back := StudentTCDF(q, nu)
+			if !almostEq(back, p, 1e-6) {
+				t.Errorf("nu=%v p=%v: CDF(Quantile(p)) = %v", nu, p, back)
+			}
+		}
+	}
+}
+
+func TestStudentTQuantileTableValues(t *testing.T) {
+	// Standard t-table critical values for two-sided 95% intervals.
+	cases := []struct{ nu, want float64 }{
+		{1, 12.706},
+		{5, 2.571},
+		{10, 2.228},
+		{30, 2.042},
+	}
+	for _, c := range cases {
+		got := StudentTQuantile(0.975, c.nu)
+		if !almostEq(got, c.want, 5e-3) {
+			t.Errorf("t(0.975, %v) = %v, want %v", c.nu, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileInvalid(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if !math.IsNaN(StudentTQuantile(p, 5)) {
+			t.Errorf("expected NaN for p=%v", p)
+		}
+	}
+	if !math.IsNaN(StudentTQuantile(0.5, 0)) {
+		t.Error("expected NaN for nu=0")
+	}
+}

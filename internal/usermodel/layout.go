@@ -1,0 +1,68 @@
+package usermodel
+
+// Layout is the abstract shape of a multiplot as the user model sees it:
+// plots containing bars, some highlighted, one of them (possibly) the
+// correct result. The planner's richer multiplot type reduces to a Layout
+// for simulation; keeping this type here lets the user model stay
+// independent of the planner.
+type Layout struct {
+	Plots []PlotLayout
+}
+
+// PlotLayout describes one plot of a multiplot.
+type PlotLayout struct {
+	// Bars is the number of result bars shown in the plot.
+	Bars int
+	// RedBars is the number of highlighted bars (<= Bars).
+	RedBars int
+	// TargetBar, when >= 0, is the index of the bar representing the
+	// correct query result in this plot; bars [0, RedBars) are the
+	// highlighted ones.
+	TargetBar int
+}
+
+// NewPlotLayout returns a plot layout without a target.
+func NewPlotLayout(bars, red int) PlotLayout {
+	return PlotLayout{Bars: bars, RedBars: red, TargetBar: -1}
+}
+
+// Counts returns the aggregate quantities (b, bR, p, pR) the time model
+// consumes: total bars, red bars, plot count, and plots containing at least
+// one red bar.
+func (l Layout) Counts() (b, bR, p, pR int) {
+	for _, pl := range l.Plots {
+		b += pl.Bars
+		bR += pl.RedBars
+		p++
+		if pl.RedBars > 0 {
+			pR++
+		}
+	}
+	return
+}
+
+// Target locates the correct result: present reports whether any plot has a
+// target bar, highlighted whether that bar is red.
+func (l Layout) Target() (present, highlighted bool) {
+	for _, pl := range l.Plots {
+		if pl.TargetBar >= 0 {
+			return true, pl.TargetBar < pl.RedBars
+		}
+	}
+	return false, false
+}
+
+// ExpectedCost evaluates the time model on this layout: it picks DR, DV or
+// DM according to where the target sits.
+func (m TimeModel) ExpectedCost(l Layout) float64 {
+	b, bR, p, pR := l.Counts()
+	present, highlighted := l.Target()
+	switch {
+	case present && highlighted:
+		return m.DR(bR, pR)
+	case present:
+		return m.DV(b, bR, p, pR)
+	default:
+		return m.DM
+	}
+}

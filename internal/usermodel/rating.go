@@ -1,0 +1,72 @@
+package usermodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RatingConfig maps objective presentation metrics to the 1-10 subjective
+// ratings collected in the paper's second user study (Figure 13), where
+// ten participants rated each presentation method for "latency" and
+// "clarity".
+type RatingConfig struct {
+	// GoodLatency is the latency (ms) that still earns a top rating.
+	GoodLatency float64
+	// BadLatency is the latency (ms) that earns the bottom rating.
+	BadLatency float64
+	// ChurnPenalty is the clarity penalty per extra visualization update
+	// shown to the user (changing plots are harder to follow — the paper
+	// notes ILP-Inc "has the lowest average, likely due to a sequence of
+	// changing plots shown to the user").
+	ChurnPenalty float64
+	// ApproxPenalty is the clarity penalty applied when the first
+	// visualization is approximate (values later shift slightly).
+	ApproxPenalty float64
+	// Noise is the standard deviation of per-user rating noise.
+	Noise float64
+}
+
+// DefaultRatings returns the calibration used by the Figure 13 experiment.
+func DefaultRatings() RatingConfig {
+	return RatingConfig{
+		GoodLatency:   500,
+		BadLatency:    60000,
+		ChurnPenalty:  0.9,
+		ApproxPenalty: 0.5,
+		Noise:         0.8,
+	}
+}
+
+// LatencyRating converts the time until the first useful visualization into
+// a 1-10 rating on a logarithmic scale: subjective impressions of delay
+// track log-time, not time.
+func (c RatingConfig) LatencyRating(latencyMS float64, rng *rand.Rand) float64 {
+	if latencyMS < c.GoodLatency {
+		latencyMS = c.GoodLatency
+	}
+	span := math.Log(c.BadLatency) - math.Log(c.GoodLatency)
+	frac := (math.Log(latencyMS) - math.Log(c.GoodLatency)) / span
+	return clampRating(10 - 9*frac + rng.NormFloat64()*c.Noise)
+}
+
+// ClarityRating converts presentation churn into a 1-10 rating: updates is
+// the number of times the visualization changed after first paint, and
+// approximate marks methods whose first result values are estimates.
+func (c RatingConfig) ClarityRating(updates int, approximate bool, rng *rand.Rand) float64 {
+	r := 10 - c.ChurnPenalty*float64(updates)
+	if approximate {
+		r -= c.ApproxPenalty
+	}
+	return clampRating(r + rng.NormFloat64()*c.Noise)
+}
+
+// clampRating restricts a rating to the study's 1-10 scale.
+func clampRating(r float64) float64 {
+	if r < 1 {
+		return 1
+	}
+	if r > 10 {
+		return 10
+	}
+	return r
+}

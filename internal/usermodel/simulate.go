@@ -1,0 +1,142 @@
+package usermodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Worker is one simulated study participant. Workers differ by a speed
+// multiplier (some read faster than others) and carry their own noise
+// source; both are drawn when the worker is created so repeated
+// measurements from the same worker are correlated, as with real crowd
+// workers.
+type Worker struct {
+	model TimeModel
+	speed float64
+	rng   *rand.Rand
+}
+
+// NewWorker draws a worker from the population. The speed multiplier is
+// log-normal around 1 (sigma 0.25), matching the heavy right tail of human
+// response-time distributions.
+func NewWorker(model TimeModel, rng *rand.Rand) *Worker {
+	return &Worker{
+		model: model,
+		speed: math.Exp(rng.NormFloat64() * 0.25),
+		rng:   rng,
+	}
+}
+
+// Disambiguate simulates the worker locating the correct result in the
+// layout and returns the elapsed time in milliseconds. The behavioral
+// ground truth follows Section 4.2: the worker reads highlighted bars
+// first, in uniformly random order, paying c_P the first time a plot's
+// semantics must be understood and c_B per bar; if the target is not
+// highlighted the worker continues through the remaining bars in random
+// order. A missing target costs a full scan plus the re-query penalty.
+//
+// Crucially, the order is random — bar position and plot position have no
+// causal effect on time, which is exactly what the paper's correlation
+// analysis found (Table 1: p = 0.72 and 0.6 for positions).
+func (w *Worker) Disambiguate(l Layout) float64 {
+	type barRef struct {
+		plot int
+		red  bool
+		hit  bool
+	}
+	var red, rest []barRef
+	for pi, pl := range l.Plots {
+		for bi := 0; bi < pl.Bars; bi++ {
+			ref := barRef{plot: pi, red: bi < pl.RedBars, hit: bi == pl.TargetBar}
+			if ref.red {
+				red = append(red, ref)
+			} else {
+				rest = append(rest, ref)
+			}
+		}
+	}
+	w.rng.Shuffle(len(red), func(i, j int) { red[i], red[j] = red[j], red[i] })
+	w.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+
+	elapsed := w.model.Base
+	seenPlot := make(map[int]bool, len(l.Plots))
+	scan := func(bars []barRef) bool {
+		for _, b := range bars {
+			if !seenPlot[b.plot] {
+				seenPlot[b.plot] = true
+				elapsed += w.model.CP * w.jitter()
+			}
+			elapsed += w.model.CB * w.jitter()
+			if b.hit {
+				return true
+			}
+		}
+		return false
+	}
+	penalty := 0.0
+	if !scan(red) && !scan(rest) {
+		// Target missing: the worker concludes so and must re-query. The
+		// re-query penalty reflects system latency, not reading speed, so
+		// it is not scaled by the worker's speed multiplier.
+		penalty = w.model.DM
+	}
+	return elapsed*w.speed + penalty
+}
+
+// jitter draws a per-action multiplicative noise factor around 1.
+func (w *Worker) jitter() float64 {
+	f := 1 + w.rng.NormFloat64()*0.2
+	if f < 0.2 {
+		f = 0.2
+	}
+	return f
+}
+
+// BaselineConfig parameterizes the DataTone-style disambiguation baseline
+// the paper compares against (Section 9.5): ambiguities are resolved by
+// choosing correct columns and constants from drop-down menus of likely
+// alternatives.
+type BaselineConfig struct {
+	// Elements is the number of ambiguous query elements the user must
+	// resolve (e.g. one predicate column and one constant).
+	Elements int
+	// Options is the number of alternatives shown per drop-down.
+	Options int
+	// OpenCost is the time to locate and open one drop-down (ms).
+	OpenCost float64
+	// OptionCost is the time to read one drop-down option (ms).
+	OptionCost float64
+	// ClickCost is the time to select an option (ms).
+	ClickCost float64
+}
+
+// DefaultBaseline matches the study setup: two ambiguous elements with the
+// paper's default k = 20 phonetic alternatives each.
+func DefaultBaseline() BaselineConfig {
+	return BaselineConfig{
+		Elements:   2,
+		Options:    20,
+		OpenCost:   1500,
+		OptionCost: 400,
+		ClickCost:  800,
+	}
+}
+
+// Resolve simulates a worker resolving all ambiguous elements through
+// drop-downs and returns the elapsed time in ms. Options are ordered by
+// phonetic likelihood, so the correct option's rank is drawn from a
+// truncated geometric distribution — usually near the top, occasionally
+// deep in the list.
+func (w *Worker) Resolve(cfg BaselineConfig) float64 {
+	elapsed := w.model.Base
+	for e := 0; e < cfg.Elements; e++ {
+		rank := 1
+		for rank < cfg.Options && w.rng.Float64() > 0.25 {
+			rank++
+		}
+		elapsed += cfg.OpenCost * w.jitter()
+		elapsed += float64(rank) * cfg.OptionCost * w.jitter()
+		elapsed += cfg.ClickCost * w.jitter()
+	}
+	return elapsed * w.speed
+}

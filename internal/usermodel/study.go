@@ -1,0 +1,228 @@
+package usermodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"muve/internal/stats"
+)
+
+// Feature enumerates the visualization features whose influence on
+// disambiguation time the user study measures (paper Figure 3 / Table 1).
+type Feature uint8
+
+const (
+	// FeatureBarPosition varies the target bar's position within a plot.
+	FeatureBarPosition Feature = iota
+	// FeaturePlotPosition varies the target plot's position in the grid.
+	FeaturePlotPosition
+	// FeatureRedBars varies the number of highlighted bars.
+	FeatureRedBars
+	// FeatureNumPlots varies the number of plots holding a fixed set of
+	// bars.
+	FeatureNumPlots
+)
+
+// String names the feature as in the paper's Table 1.
+func (f Feature) String() string {
+	switch f {
+	case FeatureBarPosition:
+		return "Bar Pos."
+	case FeaturePlotPosition:
+		return "Plot Pos."
+	case FeatureRedBars:
+		return "Nr. Red Bars"
+	case FeatureNumPlots:
+		return "Nr. Plots"
+	}
+	return fmt.Sprintf("Feature(%d)", uint8(f))
+}
+
+// AllFeatures lists the four studied features in paper order.
+var AllFeatures = []Feature{FeatureBarPosition, FeaturePlotPosition, FeatureRedBars, FeatureNumPlots}
+
+// Observation is one completed HIT: a feature level and the worker's
+// measured disambiguation time.
+type Observation struct {
+	Level float64
+	Time  float64
+}
+
+// SweepResult holds all observations for one feature sweep.
+type SweepResult struct {
+	Feature      Feature
+	Levels       []float64
+	Observations []Observation
+}
+
+// LevelMeans returns, per level, the 95% confidence interval of times —
+// the series plotted in Figure 3.
+func (s SweepResult) LevelMeans() []stats.CI {
+	out := make([]stats.CI, len(s.Levels))
+	for i, lv := range s.Levels {
+		var xs []float64
+		for _, o := range s.Observations {
+			if o.Level == lv {
+				xs = append(xs, o.Time)
+			}
+		}
+		out[i] = stats.ConfidenceInterval95(xs)
+	}
+	return out
+}
+
+// Correlate runs the paper's Pearson analysis over the raw observations,
+// yielding the R^2 and p values of Table 1.
+func (s SweepResult) Correlate() (stats.Correlation, error) {
+	xs := make([]float64, len(s.Observations))
+	ys := make([]float64, len(s.Observations))
+	for i, o := range s.Observations {
+		xs[i] = o.Level
+		ys[i] = o.Time
+	}
+	return stats.Pearson(xs, ys)
+}
+
+// StudyConfig parameterizes the simulated crowd study. The defaults mirror
+// the paper: 26 task types x 20 workers = 520 HITs, ~50% of which were
+// completed within the time window (262 submissions); every task shows 12
+// results, simulating the 11 most phonetically similar queries plus the
+// correct one.
+type StudyConfig struct {
+	Model          TimeModel
+	WorkersPerTask int
+	// ResponseRate is the probability a HIT is completed in time.
+	ResponseRate float64
+	TotalBars    int
+}
+
+// DefaultStudy returns the paper's study setup.
+func DefaultStudy() StudyConfig {
+	return StudyConfig{
+		Model:          DefaultModel(),
+		WorkersPerTask: 20,
+		ResponseRate:   262.0 / 520.0,
+		TotalBars:      12,
+	}
+}
+
+// Run simulates the full user study and returns one sweep per feature.
+// The task-type counts per sweep (6+6+7+7 = 26) match the paper's 26 task
+// types.
+func (cfg StudyConfig) Run(rng *rand.Rand) []SweepResult {
+	return []SweepResult{
+		cfg.sweepBarPosition(rng),
+		cfg.sweepPlotPosition(rng),
+		cfg.sweepRedBars(rng),
+		cfg.sweepNumPlots(rng),
+	}
+}
+
+// runTasks measures all workers on one task generator per level.
+func (cfg StudyConfig) runTasks(rng *rand.Rand, feature Feature, levels []float64, layout func(level float64) Layout) SweepResult {
+	res := SweepResult{Feature: feature, Levels: levels}
+	for _, lv := range levels {
+		for w := 0; w < cfg.WorkersPerTask; w++ {
+			if rng.Float64() > cfg.ResponseRate {
+				continue // HIT expired unanswered
+			}
+			worker := NewWorker(cfg.Model, rng)
+			t := worker.Disambiguate(layout(lv))
+			res.Observations = append(res.Observations, Observation{Level: lv, Time: t})
+		}
+	}
+	return res
+}
+
+// sweepBarPosition: a single plot with TotalBars bars, no highlighting,
+// target at varying position (6 levels).
+func (cfg StudyConfig) sweepBarPosition(rng *rand.Rand) SweepResult {
+	levels := []float64{1, 3, 5, 7, 9, 11}
+	return cfg.runTasks(rng, FeatureBarPosition, levels, func(lv float64) Layout {
+		pl := NewPlotLayout(cfg.TotalBars, 0)
+		pl.TargetBar = int(lv)
+		return Layout{Plots: []PlotLayout{pl}}
+	})
+}
+
+// sweepPlotPosition: six plots with two bars each (as in the paper's
+// study: "a multiplot containing 6 plots with two bars in two rows"),
+// target plot position varying (6 levels).
+func (cfg StudyConfig) sweepPlotPosition(rng *rand.Rand) SweepResult {
+	levels := []float64{1, 2, 3, 4, 5, 6}
+	return cfg.runTasks(rng, FeaturePlotPosition, levels, func(lv float64) Layout {
+		plots := make([]PlotLayout, 6)
+		for i := range plots {
+			plots[i] = NewPlotLayout(2, 0)
+		}
+		plots[int(lv)-1].TargetBar = rng.Intn(2)
+		return Layout{Plots: plots}
+	})
+}
+
+// sweepRedBars: one plot with TotalBars bars, 1..7 of them red, the target
+// among the red bars (7 levels).
+func (cfg StudyConfig) sweepRedBars(rng *rand.Rand) SweepResult {
+	levels := []float64{1, 2, 3, 4, 5, 6, 7}
+	return cfg.runTasks(rng, FeatureRedBars, levels, func(lv float64) Layout {
+		red := int(lv)
+		pl := NewPlotLayout(cfg.TotalBars, red)
+		pl.TargetBar = rng.Intn(red) // target is highlighted
+		return Layout{Plots: []PlotLayout{pl}}
+	})
+}
+
+// sweepNumPlots: TotalBars bars distributed over a varying number of plots
+// (7 levels), no highlighting.
+func (cfg StudyConfig) sweepNumPlots(rng *rand.Rand) SweepResult {
+	levels := []float64{1, 2, 3, 4, 6, 8, 12}
+	return cfg.runTasks(rng, FeatureNumPlots, levels, func(lv float64) Layout {
+		p := int(lv)
+		plots := make([]PlotLayout, p)
+		base := cfg.TotalBars / p
+		extra := cfg.TotalBars % p
+		for i := range plots {
+			bars := base
+			if i < extra {
+				bars++
+			}
+			plots[i] = NewPlotLayout(bars, 0)
+		}
+		// Target in a random plot, random bar.
+		tp := rng.Intn(p)
+		plots[tp].TargetBar = rng.Intn(plots[tp].Bars)
+		return Layout{Plots: plots}
+	})
+}
+
+// Calibrate infers the reading-cost constants c_B and c_P from study data,
+// as the paper does ("we infer the values for those constants from our user
+// study results"). The red-bar sweep identifies c_B: with the target among
+// b_R red bars in one plot, expected time grows by c_B/2 per red bar. The
+// plot-count sweep identifies c_P: distributing a fixed bar set over p
+// plots grows expected time by roughly c_P/2 per plot. D_M and Base are
+// not identifiable from these sweeps and retain their configured values.
+func Calibrate(sweeps []SweepResult, base TimeModel) (TimeModel, error) {
+	m := base
+	for _, s := range sweeps {
+		switch s.Feature {
+		case FeatureRedBars, FeatureNumPlots:
+			xs := make([]float64, len(s.Observations))
+			ys := make([]float64, len(s.Observations))
+			for i, o := range s.Observations {
+				xs[i] = o.Level
+				ys[i] = o.Time
+			}
+			fit, err := stats.FitLine(xs, ys)
+			if err != nil {
+				return m, fmt.Errorf("usermodel: calibrating %s: %w", s.Feature, err)
+			}
+			if s.Feature == FeatureRedBars {
+				m.CB = 2 * fit.Slope
+			} else {
+				m.CP = 2 * fit.Slope
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,286 @@
+package usermodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeModelFormulas(t *testing.T) {
+	m := TimeModel{CB: 10, CP: 100, DM: 10000}
+	// D_R = b_R*c_B/2 + p_R*c_P/2.
+	if got := m.DR(4, 2); got != 4*10.0/2+2*100.0/2 {
+		t.Errorf("DR = %v", got)
+	}
+	// D_V = 2*D_R + (b-b_R)*c_B/2 + (p-p_R)*c_P/2.
+	want := 2*m.DR(4, 2) + (10-4)*10.0/2 + (3-2)*100.0/2
+	if got := m.DV(10, 4, 3, 2); got != want {
+		t.Errorf("DV = %v, want %v", got, want)
+	}
+	// Expected mixes the three cases by probability.
+	e := m.Expected(0.5, 0.3, 10, 4, 3, 2)
+	wantE := 0.5*m.DR(4, 2) + 0.3*m.DV(10, 4, 3, 2) + 0.2*m.DM
+	if math.Abs(e-wantE) > 1e-9 {
+		t.Errorf("Expected = %v, want %v", e, wantE)
+	}
+	if m.EmptyCost() != m.DM {
+		t.Error("EmptyCost should be DM")
+	}
+}
+
+func TestTimeModelDVAtLeastDR(t *testing.T) {
+	// The paper's Theorem 2 proof uses D_V >= D_R; it must hold for any
+	// consistent counts.
+	m := DefaultModel()
+	f := func(b8, bR8, p8, pR8 uint8) bool {
+		b := int(b8%50) + 1
+		bR := int(bR8) % (b + 1)
+		p := int(p8%10) + 1
+		pR := int(pR8) % (p + 1)
+		if bR > 0 && pR == 0 {
+			pR = 1 // red bars live in some plot
+		}
+		return m.DV(b, bR, p, pR) >= m.DR(bR, pR)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeModelValid(t *testing.T) {
+	if !DefaultModel().Valid() {
+		t.Error("default model should satisfy Assumption 1")
+	}
+	bad := TimeModel{CB: 10, CP: 20000, DM: 10000}
+	if bad.Valid() {
+		t.Error("model with CP > DM should be invalid")
+	}
+}
+
+func TestLayoutCountsAndTarget(t *testing.T) {
+	l := Layout{Plots: []PlotLayout{
+		{Bars: 4, RedBars: 2, TargetBar: 1}, // target red (index < RedBars)
+		{Bars: 3, RedBars: 0, TargetBar: -1},
+	}}
+	b, bR, p, pR := l.Counts()
+	if b != 7 || bR != 2 || p != 2 || pR != 1 {
+		t.Errorf("counts = %d %d %d %d", b, bR, p, pR)
+	}
+	present, hl := l.Target()
+	if !present || !hl {
+		t.Errorf("target = %v %v", present, hl)
+	}
+	l.Plots[0].TargetBar = 3 // non-red position
+	if _, hl := l.Target(); hl {
+		t.Error("target at index 3 of 2 red bars should not be highlighted")
+	}
+	l.Plots[0].TargetBar = -1
+	if present, _ := l.Target(); present {
+		t.Error("no target should be present")
+	}
+}
+
+func TestExpectedCostCaseSelection(t *testing.T) {
+	m := DefaultModel()
+	red := Layout{Plots: []PlotLayout{{Bars: 4, RedBars: 2, TargetBar: 0}}}
+	vis := Layout{Plots: []PlotLayout{{Bars: 4, RedBars: 2, TargetBar: 3}}}
+	miss := Layout{Plots: []PlotLayout{{Bars: 4, RedBars: 2, TargetBar: -1}}}
+	cr, cv, cm := m.ExpectedCost(red), m.ExpectedCost(vis), m.ExpectedCost(miss)
+	if !(cr < cv && cv < cm) {
+		t.Errorf("cost ordering violated: red %v, visible %v, missing %v", cr, cv, cm)
+	}
+	if cm != m.DM {
+		t.Errorf("miss cost = %v, want DM", cm)
+	}
+}
+
+func TestWorkerDisambiguateStatistics(t *testing.T) {
+	// Average simulated time must track the analytic model: a highlighted
+	// target among more red bars takes longer on average.
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(11))
+	avg := func(red int) float64 {
+		total := 0.0
+		const trials = 600
+		for i := 0; i < trials; i++ {
+			w := NewWorker(m, rng)
+			pl := NewPlotLayout(12, red)
+			pl.TargetBar = rng.Intn(red)
+			total += w.Disambiguate(Layout{Plots: []PlotLayout{pl}})
+		}
+		return total / trials
+	}
+	t2, t6 := avg(2), avg(6)
+	if t6 <= t2 {
+		t.Errorf("more red bars should take longer: %v vs %v", t2, t6)
+	}
+	// The analytic increment is (6-2)*CB/2 = 2*CB; accept a wide band.
+	inc := t6 - t2
+	if inc < 0.8*2*m.CB || inc > 3.2*2*m.CB {
+		t.Errorf("increment = %v, want near %v", inc, 2*m.CB)
+	}
+}
+
+func TestWorkerMissingTargetPaysPenalty(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(3))
+	w := NewWorker(m, rng)
+	miss := Layout{Plots: []PlotLayout{NewPlotLayout(3, 0)}}
+	if got := w.Disambiguate(miss); got < m.DM {
+		t.Errorf("missing-target time %v should include DM %v", got, m.DM)
+	}
+}
+
+func TestStudyReproducesTable1(t *testing.T) {
+	// The headline result of the user study: positions are NOT significant,
+	// red-bar count and plot count ARE (paper Table 1, alpha = 0.05).
+	cfg := DefaultStudy()
+	rng := rand.New(rand.NewSource(2021))
+	sweeps := cfg.Run(rng)
+	if len(sweeps) != 4 {
+		t.Fatalf("sweeps = %d", len(sweeps))
+	}
+	for _, s := range sweeps {
+		c, err := s.Correlate()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Feature, err)
+		}
+		switch s.Feature {
+		case FeatureBarPosition, FeaturePlotPosition:
+			if c.Significant(0.05) {
+				t.Errorf("%s significant (p=%v, R2=%v); paper found no effect", s.Feature, c.P, c.R2)
+			}
+		case FeatureRedBars, FeatureNumPlots:
+			if !c.Significant(0.05) {
+				t.Errorf("%s not significant (p=%v); paper found a strong effect", s.Feature, c.P)
+			}
+			if c.R <= 0 {
+				t.Errorf("%s slope should be positive", s.Feature)
+			}
+		}
+	}
+	// HIT accounting: 26 task types x 20 workers with ~50%% response.
+	total := 0
+	for _, s := range sweeps {
+		total += len(s.Observations)
+	}
+	if total < 180 || total > 340 {
+		t.Errorf("completed HITs = %d, want near 262", total)
+	}
+}
+
+func TestStudyLevelMeansShape(t *testing.T) {
+	cfg := DefaultStudy()
+	cfg.WorkersPerTask = 40 // tighten intervals for the shape check
+	rng := rand.New(rand.NewSource(7))
+	sweeps := cfg.Run(rng)
+	for _, s := range sweeps {
+		ms := s.LevelMeans()
+		if len(ms) != len(s.Levels) {
+			t.Fatalf("%s: means = %d, levels = %d", s.Feature, len(ms), len(s.Levels))
+		}
+		if s.Feature == FeatureNumPlots {
+			// Times should broadly increase from fewest to most plots.
+			if !(ms[len(ms)-1].Mean > ms[0].Mean) {
+				t.Errorf("plots sweep not increasing: %v .. %v", ms[0].Mean, ms[len(ms)-1].Mean)
+			}
+		}
+	}
+}
+
+func TestCalibrateRecoversConstants(t *testing.T) {
+	truth := DefaultModel()
+	cfg := DefaultStudy()
+	cfg.WorkersPerTask = 120 // plenty of data for a tight fit
+	cfg.ResponseRate = 1
+	rng := rand.New(rand.NewSource(99))
+	sweeps := cfg.Run(rng)
+	fit, err := Calibrate(sweeps, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fit.CB-truth.CB) / truth.CB; rel > 0.35 {
+		t.Errorf("calibrated CB = %v, truth %v (rel %v)", fit.CB, truth.CB, rel)
+	}
+	if rel := math.Abs(fit.CP-truth.CP) / truth.CP; rel > 0.5 {
+		t.Errorf("calibrated CP = %v, truth %v (rel %v)", fit.CP, truth.CP, rel)
+	}
+	if fit.DM != truth.DM {
+		t.Error("DM should be carried through unchanged")
+	}
+}
+
+func TestCalibrateErrorPropagation(t *testing.T) {
+	bad := []SweepResult{{Feature: FeatureRedBars, Observations: []Observation{{1, 5}}}}
+	if _, err := Calibrate(bad, DefaultModel()); err == nil {
+		t.Error("calibration with one observation should fail")
+	}
+}
+
+func TestBaselineSlowerThanMultiplot(t *testing.T) {
+	// Figure 12's shape: visually identifying the result in a multiplot is
+	// faster on average than resolving ambiguities via drop-downs.
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(12))
+	const trials = 500
+	var muve, base float64
+	for i := 0; i < trials; i++ {
+		w := NewWorker(m, rng)
+		pl := NewPlotLayout(12, 3)
+		pl.TargetBar = rng.Intn(3)
+		muve += w.Disambiguate(Layout{Plots: []PlotLayout{pl}})
+		base += w.Resolve(DefaultBaseline())
+	}
+	if muve/trials >= base/trials {
+		t.Errorf("MUVE %v should beat baseline %v", muve/trials, base/trials)
+	}
+}
+
+func TestRatings(t *testing.T) {
+	cfg := DefaultRatings()
+	rng := rand.New(rand.NewSource(4))
+	// Ratings stay on the 1-10 scale.
+	for i := 0; i < 200; i++ {
+		r := cfg.LatencyRating(float64(i)*700, rng)
+		if r < 1 || r > 10 {
+			t.Fatalf("latency rating %v off scale", r)
+		}
+		c := cfg.ClarityRating(i%15, i%2 == 0, rng)
+		if c < 1 || c > 10 {
+			t.Fatalf("clarity rating %v off scale", c)
+		}
+	}
+	// Slow is rated worse than fast (averaged over noise).
+	fast, slow := 0.0, 0.0
+	for i := 0; i < 300; i++ {
+		fast += cfg.LatencyRating(600, rng)
+		slow += cfg.LatencyRating(30000, rng)
+	}
+	if fast <= slow {
+		t.Error("fast latency should rate higher")
+	}
+	// Churn hurts clarity.
+	calm, churny := 0.0, 0.0
+	for i := 0; i < 300; i++ {
+		calm += cfg.ClarityRating(0, false, rng)
+		churny += cfg.ClarityRating(6, false, rng)
+	}
+	if calm <= churny {
+		t.Error("churn should hurt clarity rating")
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	names := map[Feature]string{
+		FeatureBarPosition:  "Bar Pos.",
+		FeaturePlotPosition: "Plot Pos.",
+		FeatureRedBars:      "Nr. Red Bars",
+		FeatureNumPlots:     "Nr. Plots",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d -> %q, want %q", f, f.String(), want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"muve/internal/core"
+)
+
+// ANSIRenderer draws multiplots as text for terminals.
+type ANSIRenderer struct {
+	// Color enables ANSI escape codes for highlighted (red) bars.
+	Color bool
+	// BarHeight is the plot body height in text rows (default 6).
+	BarHeight int
+	// ColWidth is the character width reserved per bar (default 9).
+	ColWidth int
+}
+
+const (
+	ansiRed   = "\x1b[31m"
+	ansiReset = "\x1b[0m"
+)
+
+// Render draws the multiplot. Plots in a row are drawn side by side; rows
+// stack vertically, mirroring the screen layout the planner optimized for.
+func (r *ANSIRenderer) Render(m core.Multiplot) string {
+	height := r.BarHeight
+	if height <= 0 {
+		height = 6
+	}
+	colW := r.ColWidth
+	if colW <= 0 {
+		colW = 9
+	}
+	var out strings.Builder
+	rows := prepare(m)
+	if len(rows) == 0 {
+		return "(empty multiplot)\n"
+	}
+	for ri, row := range rows {
+		if ri > 0 {
+			out.WriteString("\n")
+		}
+		r.renderRow(&out, row, height, colW)
+	}
+	return out.String()
+}
+
+// renderRow draws one row of plots side by side.
+func (r *ANSIRenderer) renderRow(out *strings.Builder, row []plotInfo, height, colW int) {
+	// Plot boxes: width = bars*colW + 2 border chars.
+	widths := make([]int, len(row))
+	for i, p := range row {
+		w := len(p.bars) * colW
+		if w < colW {
+			w = colW
+		}
+		widths[i] = w
+	}
+	// Title line.
+	for i, p := range row {
+		if i > 0 {
+			out.WriteString("  ")
+		}
+		fmt.Fprintf(out, "┌%s┐", padCenter(truncate(p.title, widths[i]), widths[i], '─'))
+	}
+	out.WriteString("\n")
+	// Value line: numeric result above each bar.
+	for i, p := range row {
+		if i > 0 {
+			out.WriteString("  ")
+		}
+		out.WriteString("│")
+		for _, b := range p.bars {
+			label := formatValue(b.value)
+			if b.approximate && b.valid {
+				label = "~" + label
+			}
+			out.WriteString(padCenter(truncate(label, colW), colW, ' '))
+		}
+		out.WriteString(padRight("", widths[i]-len(p.bars)*colW))
+		out.WriteString("│")
+	}
+	out.WriteString("\n")
+	// Bar body lines, top to bottom.
+	for line := height; line >= 1; line-- {
+		for i, p := range row {
+			if i > 0 {
+				out.WriteString("  ")
+			}
+			out.WriteString("│")
+			for _, b := range p.bars {
+				cell := " "
+				filled := int(b.frac*float64(height) + 0.5)
+				if b.valid && filled >= line {
+					cell = "█"
+				} else if !b.valid && line == 1 {
+					cell = "?"
+				}
+				block := padCenter(strings.Repeat(cell, barGlyphWidth(colW)), colW, ' ')
+				if b.highlighted && r.Color && strings.Contains(block, "█") {
+					block = ansiRed + block + ansiReset
+				}
+				out.WriteString(block)
+			}
+			out.WriteString(padRight("", widths[i]-len(p.bars)*colW))
+			out.WriteString("│")
+		}
+		out.WriteString("\n")
+	}
+	// Label line.
+	for i, p := range row {
+		if i > 0 {
+			out.WriteString("  ")
+		}
+		out.WriteString("│")
+		for _, b := range p.bars {
+			lbl := truncate(b.label, colW-1)
+			if b.highlighted {
+				if r.Color {
+					out.WriteString(ansiRed)
+				}
+				lbl = "*" + lbl
+			}
+			out.WriteString(padCenter(lbl, colW, ' '))
+			if b.highlighted && r.Color {
+				out.WriteString(ansiReset)
+			}
+		}
+		out.WriteString(padRight("", widths[i]-len(p.bars)*colW))
+		out.WriteString("│")
+	}
+	out.WriteString("\n")
+	// Bottom border.
+	for i := range row {
+		if i > 0 {
+			out.WriteString("  ")
+		}
+		fmt.Fprintf(out, "└%s┘", strings.Repeat("─", widths[i]))
+	}
+	out.WriteString("\n")
+}
+
+// barGlyphWidth is how many glyph columns a bar occupies inside its cell.
+func barGlyphWidth(colW int) int {
+	w := colW - 3
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// padCenter centers s in width cells using the pad rune.
+func padCenter(s string, width int, pad rune) string {
+	n := len([]rune(s))
+	if n >= width {
+		return s
+	}
+	left := (width - n) / 2
+	right := width - n - left
+	return strings.Repeat(string(pad), left) + s + strings.Repeat(string(pad), right)
+}
+
+// padRight pads s with spaces to the width.
+func padRight(s string, width int) string {
+	n := len([]rune(s))
+	if n >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-n)
+}

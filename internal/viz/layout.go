@@ -1,0 +1,101 @@
+// Package viz renders multiplots. Two renderers are provided: an ANSI
+// terminal renderer (bars drawn with block glyphs, highlighting via the
+// red escape code) for the CLI, and an SVG renderer for the HTTP demo
+// server — the counterpart of the browser UI in Figure 2 of the paper.
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"muve/internal/core"
+)
+
+// barInfo is one renderable bar after normalization.
+type barInfo struct {
+	label       string
+	value       float64
+	valid       bool
+	approximate bool
+	highlighted bool
+	// frac is the bar height as a fraction of the plot maximum in [0, 1].
+	frac float64
+}
+
+// plotInfo is one renderable plot.
+type plotInfo struct {
+	title string
+	bars  []barInfo
+}
+
+// prepare normalizes a multiplot for rendering: per-plot value scaling
+// with sign handling (negative aggregates render as their magnitude with a
+// minus sign in the value label).
+func prepare(m core.Multiplot) [][]plotInfo {
+	rows := make([][]plotInfo, 0, len(m.Rows))
+	for _, row := range m.Rows {
+		var rr []plotInfo
+		for _, pl := range row {
+			pi := plotInfo{title: pl.Template.Title}
+			maxAbs := 0.0
+			for _, e := range pl.Entries {
+				if !math.IsNaN(e.Value) {
+					if a := math.Abs(e.Value); a > maxAbs {
+						maxAbs = a
+					}
+				}
+			}
+			for _, e := range pl.Entries {
+				b := barInfo{
+					label:       e.Label,
+					value:       e.Value,
+					valid:       !math.IsNaN(e.Value),
+					approximate: e.Approximate,
+					highlighted: e.Highlighted,
+				}
+				if b.valid && maxAbs > 0 {
+					b.frac = math.Abs(e.Value) / maxAbs
+				}
+				pi.bars = append(pi.bars, b)
+			}
+			rr = append(rr, pi)
+		}
+		rows = append(rows, rr)
+	}
+	return rows
+}
+
+// formatValue renders a bar value compactly (e.g. 1.2M, 45.3k).
+func formatValue(v float64) string {
+	if math.IsNaN(v) {
+		return "?"
+	}
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.1fB", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case a >= 100 || a == math.Trunc(a):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// truncate shortens a string to max runes with an ellipsis.
+func truncate(s string, max int) string {
+	if max <= 0 {
+		return ""
+	}
+	r := []rune(s)
+	if len(r) <= max {
+		return s
+	}
+	if max == 1 {
+		return "…"
+	}
+	return string(r[:max-1]) + "…"
+}

@@ -1,0 +1,192 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SeriesPoint is one (x, y) sample of a trend.
+type SeriesPoint struct {
+	X     float64
+	Label string // x-axis label; used when X values are categorical
+	Y     float64
+}
+
+// Series is an ordered sequence of points, e.g. an aggregate grouped by a
+// time-like column. It implements the paper's future-work visualization
+// ("queries with multiple result rows and up to two numerical result
+// columns (e.g., time series) could be plotted as lines", Section 11).
+type Series struct {
+	Title  string
+	Points []SeriesPoint
+}
+
+// Sort orders points by X (stable on ties).
+func (s *Series) Sort() {
+	sort.SliceStable(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// RenderSeriesANSI draws the series as a text line chart of the given
+// dimensions (sensible defaults when zero: 8 rows by up to 64 columns).
+func RenderSeriesANSI(s Series, height, width int) string {
+	if height <= 0 {
+		height = 8
+	}
+	if width <= 0 {
+		width = 64
+	}
+	if len(s.Points) == 0 {
+		return s.Title + "\n(no data)\n"
+	}
+	n := len(s.Points)
+	if n > width {
+		n = width
+	}
+	pts := resample(s.Points, n)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, n)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	rowOf := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r
+	}
+	prev := -1
+	for c, p := range pts {
+		r := rowOf(p.Y)
+		grid[r][c] = '●'
+		if prev >= 0 && r != prev {
+			step := 1
+			if r < prev {
+				step = -1
+			}
+			for rr := prev + step; rr != r; rr += step {
+				if grid[rr][c] == ' ' {
+					grid[rr][c] = '│'
+				}
+			}
+		}
+		prev = r
+	}
+	var b strings.Builder
+	b.WriteString(s.Title)
+	b.WriteString("\n")
+	for r := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%9s ┤", formatValue(yVal))
+		b.WriteString(string(grid[r]))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%9s └%s\n", "", strings.Repeat("─", n))
+	// X labels: first and last.
+	first, last := pts[0], pts[len(pts)-1]
+	fmt.Fprintf(&b, "%10s %-*s%s\n", "", n-len(xLabel(last)), xLabel(first), xLabel(last))
+	return b.String()
+}
+
+// xLabel picks the point's display label.
+func xLabel(p SeriesPoint) string {
+	if p.Label != "" {
+		return truncate(p.Label, 12)
+	}
+	return formatValue(p.X)
+}
+
+// resample reduces the series to n columns by averaging buckets.
+func resample(pts []SeriesPoint, n int) []SeriesPoint {
+	if len(pts) <= n {
+		return pts
+	}
+	out := make([]SeriesPoint, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(pts) / n
+		hi := (i + 1) * len(pts) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, p := range pts[lo:hi] {
+			sum += p.Y
+		}
+		out[i] = SeriesPoint{
+			X:     pts[lo].X,
+			Label: pts[lo].Label,
+			Y:     sum / float64(hi-lo),
+		}
+	}
+	return out
+}
+
+// RenderSeriesSVG draws the series as an SVG polyline chart.
+func RenderSeriesSVG(s Series, width, height int) string {
+	if width <= 0 {
+		width = 480
+	}
+	if height <= 0 {
+		height = 200
+	}
+	const margin = 34
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="12" fill="%s">%s</text>`+"\n",
+		margin, svgTextColor, escapeXML(s.Title))
+	if len(s.Points) == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	coords := make([]string, len(s.Points))
+	for i, p := range s.Points {
+		x := float64(margin)
+		if len(s.Points) > 1 {
+			x += plotW * float64(i) / float64(len(s.Points)-1)
+		}
+		y := float64(margin) + plotH*(1-(p.Y-lo)/(hi-lo))
+		coords[i] = fmt.Sprintf("%.1f,%.1f", x, y)
+	}
+	fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+		svgBarColor, strings.Join(coords, " "))
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s">%s</text>`+"\n",
+		4, margin+8, svgTextColor, escapeXML(formatValue(hi)))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s">%s</text>`+"\n",
+		4, height-margin, svgTextColor, escapeXML(formatValue(lo)))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s">%s</text>`+"\n",
+		margin, height-8, svgTextColor, escapeXML(xLabel(s.Points[0])))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" fill="%s">%s</text>`+"\n",
+		width-4, height-8, svgTextColor, escapeXML(xLabel(s.Points[len(s.Points)-1])))
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSeries() Series {
+	return Series{
+		Title: "avg(dep_delay) by month",
+		Points: []SeriesPoint{
+			{X: 1, Y: 10}, {X: 2, Y: 14}, {X: 3, Y: 8}, {X: 4, Y: 8},
+			{X: 5, Y: 22}, {X: 6, Y: 18},
+		},
+	}
+}
+
+func TestRenderSeriesANSI(t *testing.T) {
+	out := RenderSeriesANSI(sampleSeries(), 6, 40)
+	if !strings.Contains(out, "avg(dep_delay) by month") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "●") != 6 {
+		t.Errorf("expected 6 markers:\n%s", out)
+	}
+	// Axis labels include the max and min values.
+	if !strings.Contains(out, "22") || !strings.Contains(out, "8") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderSeriesANSIEdgeCases(t *testing.T) {
+	if out := RenderSeriesANSI(Series{Title: "t"}, 0, 0); !strings.Contains(out, "no data") {
+		t.Error("empty series should say so")
+	}
+	// Constant series must not divide by zero.
+	flat := Series{Title: "flat", Points: []SeriesPoint{{X: 1, Y: 5}, {X: 2, Y: 5}}}
+	if out := RenderSeriesANSI(flat, 4, 10); !strings.Contains(out, "●") {
+		t.Error("flat series lost its markers")
+	}
+	// Single point.
+	one := Series{Title: "one", Points: []SeriesPoint{{X: 1, Y: 3}}}
+	if out := RenderSeriesANSI(one, 4, 10); !strings.Contains(out, "●") {
+		t.Error("single point lost")
+	}
+}
+
+func TestRenderSeriesANSINeverPanicsProperty(t *testing.T) {
+	f := func(seed int64, h8, w8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		s := Series{Title: "fuzz"}
+		for i := 0; i < n; i++ {
+			s.Points = append(s.Points, SeriesPoint{
+				X: float64(i), Y: rng.NormFloat64() * 100,
+			})
+		}
+		out := RenderSeriesANSI(s, int(h8%20), int(w8%100))
+		return len(out) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	var pts []SeriesPoint
+	for i := 0; i < 100; i++ {
+		pts = append(pts, SeriesPoint{X: float64(i), Y: float64(i)})
+	}
+	out := resample(pts, 10)
+	if len(out) != 10 {
+		t.Fatalf("resampled to %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Y <= out[i-1].Y {
+			t.Error("bucket averages should increase for increasing data")
+		}
+	}
+	// No-op when already small enough.
+	if got := resample(pts[:5], 10); len(got) != 5 {
+		t.Error("small series resampled unnecessarily")
+	}
+}
+
+func TestRenderSeriesSVG(t *testing.T) {
+	out := RenderSeriesSVG(sampleSeries(), 0, 0)
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "<polyline") {
+		t.Error("SVG structure missing")
+	}
+	if !strings.Contains(out, "avg(dep_delay) by month") {
+		t.Error("title missing")
+	}
+	// Empty series renders a bare document.
+	empty := RenderSeriesSVG(Series{Title: "t"}, 100, 80)
+	if !strings.HasPrefix(empty, "<svg") || strings.Contains(empty, "polyline") {
+		t.Error("empty series SVG wrong")
+	}
+}
+
+func TestSeriesSort(t *testing.T) {
+	s := Series{Points: []SeriesPoint{{X: 3}, {X: 1}, {X: 2}}}
+	s.Sort()
+	if s.Points[0].X != 1 || s.Points[2].X != 3 {
+		t.Errorf("sorted = %v", s.Points)
+	}
+}

@@ -1,0 +1,151 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"muve/internal/core"
+)
+
+// SVGRenderer draws multiplots as standalone SVG documents, the web-facing
+// counterpart of the browser visualization in the paper's demo (Figure 2).
+type SVGRenderer struct {
+	// PlotHeight is the pixel height of one plot row (default 180).
+	PlotHeight int
+	// BarWidth is the pixel width per bar (default 48, matching the
+	// planner's default Screen.PxPerBar so layout promises hold).
+	BarWidth int
+	// Headline is optional text rendered above the multiplot (the paper
+	// outlines the candidates' common query elements in a headline).
+	Headline string
+}
+
+const (
+	svgBarColor  = "#4878a8"
+	svgRedColor  = "#c23b22"
+	svgTextColor = "#222222"
+	svgGridColor = "#dddddd"
+)
+
+// Render produces a complete SVG document.
+func (r *SVGRenderer) Render(m core.Multiplot) string {
+	plotH := r.PlotHeight
+	if plotH <= 0 {
+		plotH = 180
+	}
+	barW := r.BarWidth
+	if barW <= 0 {
+		barW = 48
+	}
+	rows := prepare(m)
+	const margin = 10
+	headH := 0
+	if r.Headline != "" {
+		headH = 24
+	}
+	// Measure total size.
+	width := 0
+	for _, row := range rows {
+		w := margin
+		for _, p := range row {
+			w += plotPixelWidth(p, barW) + margin
+		}
+		if w > width {
+			width = w
+		}
+	}
+	if width < 200 {
+		width = 200
+	}
+	height := headH + len(rows)*(plotH+margin) + margin
+	if height < 80 {
+		height = 80
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if r.Headline != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" fill="%s">%s</text>`+"\n",
+			margin, svgTextColor, escapeXML(r.Headline))
+	}
+	y := headH + margin
+	for _, row := range rows {
+		x := margin
+		for _, p := range row {
+			r.renderPlot(&b, p, x, y, plotH, barW)
+			x += plotPixelWidth(p, barW) + margin
+		}
+		y += plotH + margin
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// plotPixelWidth is a plot's total pixel width.
+func plotPixelWidth(p plotInfo, barW int) int {
+	w := len(p.bars) * barW
+	if min := 7*len(p.title) + 10; w < min {
+		w = min
+	}
+	return w
+}
+
+// renderPlot draws one plot at (x, y).
+func (r *SVGRenderer) renderPlot(b *strings.Builder, p plotInfo, x, y, plotH, barW int) {
+	w := plotPixelWidth(p, barW)
+	const titleH, labelH, valueH = 20, 16, 14
+	bodyH := plotH - titleH - labelH - valueH
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="%s"/>`+"\n",
+		x, y, w, plotH, svgGridColor)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" fill="%s">%s</text>`+"\n",
+		x+4, y+14, svgTextColor, escapeXML(p.title))
+	for i, bar := range p.bars {
+		bx := x + i*barW
+		h := int(bar.frac * float64(bodyH))
+		if bar.valid && h < 2 {
+			h = 2
+		}
+		color := svgBarColor
+		if bar.highlighted {
+			color = svgRedColor
+		}
+		if bar.valid {
+			fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"%s/>`+"\n",
+				bx+4, y+titleH+valueH+(bodyH-h), barW-8, h, color, dashIf(bar.approximate))
+			val := formatValue(bar.value)
+			if bar.approximate {
+				val = "~" + val
+			}
+			fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="middle" fill="%s">%s</text>`+"\n",
+				bx+barW/2, y+titleH+valueH+(bodyH-h)-3, svgTextColor, escapeXML(val))
+		} else {
+			fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="middle" fill="%s">?</text>`+"\n",
+				bx+barW/2, y+titleH+valueH+bodyH-4, svgTextColor)
+		}
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="middle" fill="%s">%s</text>`+"\n",
+			bx+barW/2, y+plotH-5, labelColor(bar), escapeXML(truncate(bar.label, 9)))
+	}
+}
+
+// dashIf marks approximate bars with a dashed outline.
+func dashIf(approx bool) string {
+	if approx {
+		return ` stroke="#666" stroke-dasharray="3,2"`
+	}
+	return ""
+}
+
+// labelColor paints highlighted bar labels red.
+func labelColor(b barInfo) string {
+	if b.highlighted {
+		return svgRedColor
+	}
+	return svgTextColor
+}
+
+// escapeXML escapes text content for SVG.
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

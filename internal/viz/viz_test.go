@@ -1,0 +1,169 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"muve/internal/core"
+)
+
+// sampleMultiplot builds a small filled multiplot for rendering tests.
+func sampleMultiplot() core.Multiplot {
+	return core.Multiplot{Rows: [][]core.Plot{
+		{
+			{
+				Template: core.Template{Title: "count | borough = ?"},
+				Entries: []core.Entry{
+					{Query: 0, Label: "Brooklyn", Highlighted: true, Value: 1200},
+					{Query: 1, Label: "Bronx", Value: 300},
+					{Query: 2, Label: "Queens", Value: math.NaN()},
+				},
+			},
+		},
+		{
+			{
+				Template: core.Template{Title: "? of delay | origin = JFK"},
+				Entries: []core.Entry{
+					{Query: 3, Label: "avg", Value: 12.5, Approximate: true},
+					{Query: 4, Label: "max", Value: -4},
+				},
+			},
+		},
+	}}
+}
+
+func TestANSIRenderContainsStructure(t *testing.T) {
+	r := &ANSIRenderer{Color: false}
+	out := r.Render(sampleMultiplot())
+	for _, want := range []string{
+		"count | borough = ?", "Brooklyn", "Bronx", "Queens",
+		"? of delay", "avg", "max", "1200", "~12.50", "?",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ANSI output missing %q\n%s", want, out)
+		}
+	}
+	// Highlighted bars are marked with '*' even without color.
+	if !strings.Contains(out, "*Brooklyn") {
+		t.Errorf("highlight marker missing\n%s", out)
+	}
+	// No escape codes when color is off.
+	if strings.Contains(out, "\x1b[") {
+		t.Error("escape codes present with Color=false")
+	}
+}
+
+func TestANSIRenderColor(t *testing.T) {
+	r := &ANSIRenderer{Color: true}
+	out := r.Render(sampleMultiplot())
+	if !strings.Contains(out, ansiRed) || !strings.Contains(out, ansiReset) {
+		t.Error("color codes missing with Color=true")
+	}
+}
+
+func TestANSIRenderEmpty(t *testing.T) {
+	r := &ANSIRenderer{}
+	if got := r.Render(core.Multiplot{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestANSIRenderRowsStack(t *testing.T) {
+	r := &ANSIRenderer{}
+	out := r.Render(sampleMultiplot())
+	// Two rows: the second plot's title appears after the first's bottom
+	// border.
+	first := strings.Index(out, "count | borough")
+	second := strings.Index(out, "? of delay")
+	if first == -1 || second == -1 || second < first {
+		t.Error("rows not stacked in order")
+	}
+}
+
+func TestSVGRenderWellFormed(t *testing.T) {
+	r := &SVGRenderer{Headline: "requests & <stuff>"}
+	out := r.Render(sampleMultiplot())
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	// Headline is escaped.
+	if !strings.Contains(out, "requests &amp; &lt;stuff&gt;") {
+		t.Error("headline not escaped")
+	}
+	// Red fill for highlighted bars, default fill for others.
+	if !strings.Contains(out, svgRedColor) || !strings.Contains(out, svgBarColor) {
+		t.Error("bar colors missing")
+	}
+	// Approximate bars are dashed and labeled with ~.
+	if !strings.Contains(out, "stroke-dasharray") || !strings.Contains(out, "~12.50") {
+		t.Error("approximate marking missing")
+	}
+	// Balanced tags.
+	if strings.Count(out, "<rect") == 0 || strings.Count(out, "<text") == 0 {
+		t.Error("no shapes rendered")
+	}
+}
+
+func TestSVGRenderEmpty(t *testing.T) {
+	r := &SVGRenderer{}
+	out := r.Render(core.Multiplot{})
+	if !strings.HasPrefix(out, "<svg") {
+		t.Error("empty multiplot should still render a document")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		1.5e9:   "1.5B",
+		2.3e6:   "2.3M",
+		45300:   "45.3k",
+		123:     "123",
+		42:      "42",
+		3.14159: "3.14",
+		-7.25:   "-7.25",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "?" {
+		t.Errorf("NaN = %q", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("hello", 10) != "hello" {
+		t.Error("no-op truncate")
+	}
+	if got := truncate("hello world", 7); got != "hello …" && len([]rune(got)) != 7 {
+		t.Errorf("truncate = %q", got)
+	}
+	if truncate("abc", 1) != "…" {
+		t.Error("single-rune truncate")
+	}
+	if truncate("abc", 0) != "" {
+		t.Error("zero-width truncate")
+	}
+}
+
+func TestPrepareNormalization(t *testing.T) {
+	rows := prepare(sampleMultiplot())
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	bars := rows[0][0].bars
+	// Max |value| in plot 0 is 1200 -> frac 1.0; 300 -> 0.25; NaN -> 0.
+	if bars[0].frac != 1 || bars[1].frac != 0.25 || bars[2].frac != 0 {
+		t.Errorf("fracs = %v %v %v", bars[0].frac, bars[1].frac, bars[2].frac)
+	}
+	if bars[2].valid {
+		t.Error("NaN bar marked valid")
+	}
+	// Negative values normalize by magnitude.
+	neg := rows[1][0].bars[1]
+	if neg.frac <= 0 || !neg.valid {
+		t.Errorf("negative bar frac = %v", neg.frac)
+	}
+}

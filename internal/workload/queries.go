@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"muve/internal/sqldb"
+)
+
+// QueryGen draws random aggregation queries over a table following the
+// paper's generation protocols: "randomly generating up to five equality
+// predicates by randomly picking columns and constants" (Section 9.2) or
+// "randomly selecting one aggregation column and one equality predicate
+// (i.e., a random column and a random value with uniform distribution)"
+// (Section 9.4).
+type QueryGen struct {
+	table *sqldb.Table
+	rng   *rand.Rand
+
+	strCols []string
+	numCols []string
+	values  map[string][]string
+}
+
+// NewQueryGen builds a generator over the table.
+func NewQueryGen(t *sqldb.Table, rng *rand.Rand) *QueryGen {
+	g := &QueryGen{table: t, rng: rng, values: make(map[string][]string)}
+	for _, c := range t.Columns() {
+		if c.Kind == sqldb.KindString {
+			g.strCols = append(g.strCols, c.Name)
+			g.values[c.Name] = c.DistinctStrings()
+		} else {
+			g.numCols = append(g.numCols, c.Name)
+		}
+	}
+	return g
+}
+
+// Random draws a query with a uniform aggregate and up to maxPreds
+// equality predicates on distinct string columns with uniformly drawn
+// constants.
+func (g *QueryGen) Random(maxPreds int) sqldb.Query {
+	q := sqldb.Query{Table: g.table.Name}
+	fn := sqldb.AllAggFuncs[g.rng.Intn(len(sqldb.AllAggFuncs))]
+	if fn == sqldb.AggCount || len(g.numCols) == 0 {
+		q.Aggs = []sqldb.Aggregate{{Func: sqldb.AggCount}}
+	} else {
+		q.Aggs = []sqldb.Aggregate{{Func: fn, Col: g.numCols[g.rng.Intn(len(g.numCols))]}}
+	}
+	nPreds := 0
+	if maxPreds > 0 {
+		nPreds = 1 + g.rng.Intn(maxPreds)
+	}
+	cols := append([]string(nil), g.strCols...)
+	g.rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+	if nPreds > len(cols) {
+		nPreds = len(cols)
+	}
+	for i := 0; i < nPreds; i++ {
+		vals := g.values[cols[i]]
+		if len(vals) == 0 {
+			continue
+		}
+		q.Preds = append(q.Preds, sqldb.Predicate{
+			Col:    cols[i],
+			Op:     sqldb.OpEq,
+			Values: []sqldb.Value{sqldb.Str(vals[g.rng.Intn(len(vals))])},
+		})
+	}
+	return q
+}
+
+// Utterance renders a query as the natural-language voice command a user
+// would speak, e.g. "what is the average of dep_delay where origin is JFK".
+// Feeding it through the speech channel and the NLQ pipeline closes the
+// loop for end-to-end experiments.
+func Utterance(q sqldb.Query) string {
+	var b strings.Builder
+	b.WriteString("what is the ")
+	if len(q.Aggs) > 0 {
+		a := q.Aggs[0]
+		switch a.Func {
+		case sqldb.AggCount:
+			b.WriteString("count")
+		case sqldb.AggSum:
+			b.WriteString("total " + spoken(a.Col))
+		case sqldb.AggAvg:
+			b.WriteString("average " + spoken(a.Col))
+		case sqldb.AggMin:
+			b.WriteString("minimum " + spoken(a.Col))
+		case sqldb.AggMax:
+			b.WriteString("maximum " + spoken(a.Col))
+		}
+	}
+	for i, p := range q.Preds {
+		if i == 0 {
+			b.WriteString(" where ")
+		} else {
+			b.WriteString(" and ")
+		}
+		fmt.Fprintf(&b, "%s is %s", spoken(p.Col), p.Values[0].Display())
+	}
+	return b.String()
+}
+
+// spoken converts snake_case identifiers to speech ("dep_delay" ->
+// "dep delay").
+func spoken(ident string) string {
+	return strings.ReplaceAll(ident, "_", " ")
+}

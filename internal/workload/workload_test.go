@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"muve/internal/sqldb"
+)
+
+func TestBuildAllDatasets(t *testing.T) {
+	for _, d := range AllDatasets {
+		tbl, err := Build(d, 500, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if tbl.NumRows() != 500 {
+			t.Errorf("%v rows = %d", d, tbl.NumRows())
+		}
+		if tbl.Name != d.String() {
+			t.Errorf("%v name = %q", d, tbl.Name)
+		}
+		// Every data set has at least one string and one numeric column.
+		var hasStr, hasNum bool
+		for _, c := range tbl.Columns() {
+			if c.Kind == sqldb.KindString {
+				hasStr = true
+			} else {
+				hasNum = true
+			}
+		}
+		if !hasStr || !hasNum {
+			t.Errorf("%v lacks column variety", d)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, _ := Build(NYC311, 200, 7)
+	b, _ := Build(NYC311, 200, 7)
+	for i := 0; i < 200; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if !ra[j].Equal(rb[j]) && !(ra[j].IsNull() && rb[j].IsNull()) {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+	c, _ := Build(NYC311, 200, 8)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Row(i)[0].Equal(c.Row(i)[0]) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestBuildSkewedDistribution(t *testing.T) {
+	// Categorical values follow a skewed distribution: the first value in
+	// the pool must be the most frequent.
+	tbl, _ := Build(NYC311, 20000, 3)
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	res, err := db.Query("SELECT count(*), borough FROM requests GROUP BY borough")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]float64{}
+	for _, row := range res.Rows {
+		counts[row[0].S] = row[1].AsFloat()
+	}
+	if counts["Brooklyn"] <= counts["Staten Island"] {
+		t.Errorf("distribution not skewed: %v", counts)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(NYC311, 0, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := BuildDB(0, 1, NYC311); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestBuildDB(t *testing.T) {
+	db, err := BuildDB(0.01, 5, Ads, NYC311)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "contacts" || names[1] != "requests" {
+		t.Errorf("tables = %v", names)
+	}
+	tbl, _ := db.Table("requests")
+	if tbl.NumRows() < 100 {
+		t.Errorf("scaled table too small: %d", tbl.NumRows())
+	}
+}
+
+func TestQueryGenProducesRunnableQueries(t *testing.T) {
+	tbl, _ := Build(DOB, 2000, 11)
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	g := NewQueryGen(tbl, rand.New(rand.NewSource(13)))
+	aggSeen := map[sqldb.AggFunc]bool{}
+	for i := 0; i < 200; i++ {
+		q := g.Random(5)
+		if len(q.Preds) < 1 || len(q.Preds) > 5 {
+			t.Fatalf("preds = %d", len(q.Preds))
+		}
+		aggSeen[q.Aggs[0].Func] = true
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("generated query failed: %s: %v", q.SQL(), err)
+		}
+		// Predicates land on distinct columns.
+		cols := map[string]bool{}
+		for _, p := range q.Preds {
+			if cols[p.Col] {
+				t.Fatalf("duplicate predicate column in %s", q.SQL())
+			}
+			cols[p.Col] = true
+		}
+	}
+	if len(aggSeen) < 4 {
+		t.Errorf("aggregate variety too low: %v", aggSeen)
+	}
+}
+
+func TestQueryGenZeroPreds(t *testing.T) {
+	tbl, _ := Build(Ads, 300, 2)
+	g := NewQueryGen(tbl, rand.New(rand.NewSource(1)))
+	q := g.Random(0)
+	if len(q.Preds) != 0 {
+		t.Errorf("maxPreds=0 produced predicates: %v", q.Preds)
+	}
+}
+
+func TestUtterance(t *testing.T) {
+	q := sqldb.MustParse("SELECT avg(dep_delay) FROM flights WHERE origin = 'JFK' AND carrier = 'Delta'")
+	u := Utterance(q)
+	want := "what is the average dep delay where origin is JFK and carrier is Delta"
+	if u != want {
+		t.Errorf("Utterance = %q, want %q", u, want)
+	}
+	if got := Utterance(sqldb.MustParse("SELECT count(*) FROM t")); got != "what is the count" {
+		t.Errorf("count utterance = %q", got)
+	}
+	for fn, word := range map[string]string{"sum": "total", "min": "minimum", "max": "maximum"} {
+		u := Utterance(sqldb.MustParse("SELECT " + fn + "(dep_delay) FROM flights"))
+		if !strings.Contains(u, word) {
+			t.Errorf("%s utterance = %q", fn, u)
+		}
+	}
+}
+
+func TestDatasetStrings(t *testing.T) {
+	if Ads.String() != "contacts" || Flights.String() != "flights" {
+		t.Error("dataset names")
+	}
+	for _, d := range AllDatasets {
+		if d.DefaultRows() <= 0 {
+			t.Errorf("%v default rows", d)
+		}
+	}
+	if Flights.DefaultRows() <= DOB.DefaultRows() {
+		t.Error("flights should be the largest data set")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]Dataset{
+		"ads": Ads, "contacts": Ads, "DOB": DOB, "dob_jobs": DOB,
+		"nyc311": NYC311, "311": NYC311, "requests": NYC311, "Flights": Flights,
+	} {
+		got, err := ByName(name)
+		if err != nil || got != want {
+			t.Errorf("ByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

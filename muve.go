@@ -1,0 +1,376 @@
+// Package muve is a Go implementation of MUVE (Multiplots for Voice
+// quEries), the robust voice-querying system of Wei, Trummer and Anderson
+// (PVLDB 14(11), 2021; demonstrated at SIGMOD'21).
+//
+// MUVE answers an ambiguous natural-language (voice) query over a
+// relational table with a *multiplot*: a screen-filling grid of bar plots
+// covering the results of the most likely interpretations of the input,
+// with the likeliest results highlighted in red. The package wires
+// together the full pipeline:
+//
+//	transcript ──► text-to-multi-SQL (phonetic candidate generation)
+//	           ──► visualization planning (greedy or ILP solvers)
+//	           ──► merged query execution
+//	           ──► rendered multiplot (ANSI or SVG)
+//
+// # Quick start
+//
+//	tbl, _ := workload.Build(workload.NYC311, 50_000, 1)   // or sqldb.LoadCSV
+//	db := sqldb.NewDB()
+//	db.Register(tbl)
+//	sys, _ := muve.New(db, "requests")
+//	ans, _ := sys.Ask("how many noise complaints in brucklyn")
+//	fmt.Println(ans.ANSI())
+//
+// See the examples/ directory for complete programs and internal/bench for
+// the experiment harness regenerating every table and figure of the paper.
+package muve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/nlq"
+	"muve/internal/progressive"
+	"muve/internal/speech"
+	"muve/internal/sqldb"
+	"muve/internal/usermodel"
+	"muve/internal/viz"
+)
+
+// SolverKind selects the visualization planner.
+type SolverKind uint8
+
+const (
+	// SolverGreedy is the fast heuristic (paper Section 6), the default.
+	SolverGreedy SolverKind = iota
+	// SolverILP is the integer-programming solver (paper Section 5).
+	SolverILP
+	// SolverILPIncremental is ILP with the anytime refinement scheme
+	// (paper Section 5.4).
+	SolverILPIncremental
+)
+
+// String names the solver.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverGreedy:
+		return "greedy"
+	case SolverILP:
+		return "ilp"
+	case SolverILPIncremental:
+		return "ilp-inc"
+	}
+	return fmt.Sprintf("SolverKind(%d)", uint8(k))
+}
+
+// Config collects the tunables of a System. Zero values select the
+// paper's defaults.
+type Config struct {
+	// Screen is the output surface (default: one row, phone width).
+	Screen core.Screen
+	// Model is the user disambiguation-time model (default: the paper's
+	// calibration).
+	Model usermodel.TimeModel
+	// Solver picks the planner.
+	Solver SolverKind
+	// ILPTimeout bounds ILP optimization (default 1s, the paper's
+	// interactive-analysis budget).
+	ILPTimeout time.Duration
+	// K is the number of phonetic alternatives per query element
+	// (default 20).
+	K int
+	// MaxCandidates caps the candidate distribution (default 20).
+	MaxCandidates int
+	// WordErrorRate, when positive, corrupts input through the simulated
+	// speech channel before translation (for demos and experiments).
+	WordErrorRate float64
+	// Seed drives the speech channel and any sampled execution.
+	Seed int64
+	// Presentation, when non-nil, answers through a progressive strategy
+	// instead of the default single multiplot.
+	Presentation progressive.Method
+}
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// WithScreen sets the output surface.
+func WithScreen(s core.Screen) Option { return func(c *Config) { c.Screen = s } }
+
+// WithRows sets the number of multiplot rows.
+func WithRows(n int) Option { return func(c *Config) { c.Screen.Rows = n } }
+
+// WithWidth sets the screen width in pixels.
+func WithWidth(px int) Option { return func(c *Config) { c.Screen.WidthPx = px } }
+
+// WithSolver selects the planner.
+func WithSolver(k SolverKind) Option { return func(c *Config) { c.Solver = k } }
+
+// WithILPTimeout bounds ILP optimization time.
+func WithILPTimeout(d time.Duration) Option { return func(c *Config) { c.ILPTimeout = d } }
+
+// WithTimeModel overrides the user time model.
+func WithTimeModel(m usermodel.TimeModel) Option { return func(c *Config) { c.Model = m } }
+
+// WithK sets the number of phonetic alternatives per element.
+func WithK(k int) Option { return func(c *Config) { c.K = k } }
+
+// WithMaxCandidates caps the candidate distribution size.
+func WithMaxCandidates(n int) Option { return func(c *Config) { c.MaxCandidates = n } }
+
+// WithSpeechNoise simulates speech-recognition noise on every Ask.
+func WithSpeechNoise(wordErrorRate float64, seed int64) Option {
+	return func(c *Config) {
+		c.WordErrorRate = wordErrorRate
+		c.Seed = seed
+	}
+}
+
+// WithPresentation answers through a progressive presentation strategy
+// (see the progressive package: Inc-Plot, App-1%, App-D, ILP-Inc, ...).
+func WithPresentation(m progressive.Method) Option {
+	return func(c *Config) { c.Presentation = m }
+}
+
+// System is a configured MUVE instance over one table.
+type System struct {
+	db      *sqldb.DB
+	table   string
+	cfg     Config
+	catalog *nlq.Catalog
+	pipe    *nlq.Pipeline
+	channel *speech.Channel
+}
+
+// New builds a System over the named table of db.
+func New(db *sqldb.DB, table string, opts ...Option) (*System, error) {
+	tbl, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Screen:        core.DefaultScreen(),
+		Model:         usermodel.DefaultModel(),
+		ILPTimeout:    time.Second,
+		K:             20,
+		MaxCandidates: 20,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.Screen.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Model.Valid() {
+		return nil, fmt.Errorf("muve: time model violates Assumption 1")
+	}
+	cat := nlq.BuildCatalog(tbl, 0)
+	pipe := nlq.NewPipeline(cat)
+	pipe.Generator.K = cfg.K
+	pipe.Generator.MaxCandidates = cfg.MaxCandidates
+	s := &System{db: db, table: table, cfg: cfg, catalog: cat, pipe: pipe}
+	if cfg.WordErrorRate > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		ch := speech.NewChannel(cfg.WordErrorRate, rng)
+		ch.Vocabulary = vocabularyOf(cat)
+		s.channel = ch
+	}
+	return s, nil
+}
+
+// vocabularyOf collects catalog terms for the speech channel's
+// in-vocabulary confusions.
+func vocabularyOf(cat *nlq.Catalog) []string {
+	vocab := append([]string(nil), cat.Columns()...)
+	return vocab
+}
+
+// Answer is the result of one voice query.
+type Answer struct {
+	// Transcript is the text after the (optional) speech channel.
+	Transcript string
+	// TopQuery is the most likely translation.
+	TopQuery sqldb.Query
+	// Candidates is the full probability distribution over queries.
+	Candidates []core.Candidate
+	// Multiplot is the planned visualization with executed values.
+	Multiplot core.Multiplot
+	// Headline summarizes the query elements common to all candidates
+	// (shown above the multiplot, cf. paper Figure 2b).
+	Headline string
+	// Stats reports how planning went.
+	Stats core.Stats
+	// Trace is present when a progressive presentation method ran.
+	Trace *progressive.Trace
+}
+
+// Ask answers a natural-language query with a multiplot.
+func (s *System) Ask(text string) (*Answer, error) {
+	transcript := text
+	if s.channel != nil {
+		transcript = s.channel.Transcribe(text)
+	}
+	top, err := s.pipe.Translator.Translate(transcript)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := s.pipe.Generator.Candidates(top)
+	if err != nil {
+		return nil, err
+	}
+	in := &core.Instance{
+		Candidates: cands,
+		Screen:     s.cfg.Screen,
+		Model:      s.cfg.Model,
+	}
+	ans := &Answer{
+		Transcript: transcript,
+		TopQuery:   top,
+		Candidates: cands,
+		Headline:   headline(cands),
+	}
+	sess := &progressive.Session{
+		DB:         s.db,
+		Instance:   in,
+		Correct:    -1,
+		SampleSeed: uint64(s.cfg.Seed),
+	}
+	method := s.cfg.Presentation
+	if method == nil {
+		method = s.defaultMethod()
+	}
+	trace, err := method.Present(sess)
+	if err != nil {
+		return nil, err
+	}
+	ans.Trace = trace
+	if len(trace.Events) > 0 {
+		ans.Multiplot = trace.Events[len(trace.Events)-1].Multiplot
+	}
+	ans.Stats.Cost = in.Cost(ans.Multiplot)
+	ans.Stats.Duration = trace.TTime
+	return ans, nil
+}
+
+// defaultMethod maps the configured solver to a presentation method.
+func (s *System) defaultMethod() progressive.Method {
+	switch s.cfg.Solver {
+	case SolverILP:
+		return progressive.NewILPDefault(s.cfg.ILPTimeout)
+	case SolverILPIncremental:
+		return progressive.ILPInc{Budget: s.cfg.ILPTimeout}
+	default:
+		return progressive.NewGreedyDefault()
+	}
+}
+
+// headline renders the query elements shared by every candidate.
+func headline(cands []core.Candidate) string {
+	if len(cands) == 0 {
+		return ""
+	}
+	counts := map[string]int{}
+	var order []string
+	for _, c := range cands {
+		for _, el := range elementsOf(c.Query) {
+			if counts[el] == 0 {
+				order = append(order, el)
+			}
+			counts[el]++
+		}
+	}
+	var shared []string
+	for _, el := range order {
+		if counts[el] == len(cands) {
+			shared = append(shared, el)
+		}
+	}
+	sort.Strings(shared)
+	if len(shared) == 0 {
+		return cands[0].Query.Table
+	}
+	return cands[0].Query.Table + ": " + strings.Join(shared, ", ")
+}
+
+// elementsOf lists a query's display elements.
+func elementsOf(q sqldb.Query) []string {
+	var out []string
+	for _, a := range q.Aggs {
+		out = append(out, a.String())
+	}
+	for _, p := range q.Preds {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+// ANSI renders the answer's multiplot for terminals (with color).
+func (a *Answer) ANSI() string {
+	r := &viz.ANSIRenderer{Color: true}
+	return a.Headline + "\n" + r.Render(a.Multiplot)
+}
+
+// ANSIPlain renders without color escape codes.
+func (a *Answer) ANSIPlain() string {
+	r := &viz.ANSIRenderer{}
+	return a.Headline + "\n" + r.Render(a.Multiplot)
+}
+
+// SVG renders the answer's multiplot as an SVG document.
+func (a *Answer) SVG() string {
+	r := &viz.SVGRenderer{Headline: a.Headline}
+	return r.Render(a.Multiplot)
+}
+
+// AskQuery answers a SQL query directly, bypassing transcript translation:
+// the query is treated as the most likely interpretation and expanded into
+// phonetic candidates exactly as Ask would after translation. Use it when
+// the caller already has structured input (tests, programmatic clients,
+// replaying query logs).
+func (s *System) AskQuery(q sqldb.Query) (*Answer, error) {
+	cands, err := s.pipe.Generator.Candidates(q)
+	if err != nil {
+		return nil, err
+	}
+	in := &core.Instance{
+		Candidates: cands,
+		Screen:     s.cfg.Screen,
+		Model:      s.cfg.Model,
+	}
+	ans := &Answer{
+		Transcript: q.SQL(),
+		TopQuery:   q,
+		Candidates: cands,
+		Headline:   headline(cands),
+	}
+	sess := &progressive.Session{
+		DB:         s.db,
+		Instance:   in,
+		Correct:    -1,
+		SampleSeed: uint64(s.cfg.Seed),
+	}
+	method := s.cfg.Presentation
+	if method == nil {
+		method = s.defaultMethod()
+	}
+	trace, err := method.Present(sess)
+	if err != nil {
+		return nil, err
+	}
+	ans.Trace = trace
+	if len(trace.Events) > 0 {
+		ans.Multiplot = trace.Events[len(trace.Events)-1].Multiplot
+	}
+	ans.Stats.Cost = in.Cost(ans.Multiplot)
+	ans.Stats.Duration = trace.TTime
+	return ans, nil
+}
+
+// Catalog exposes the schema catalog the system matches against, e.g. for
+// building custom translators on top of the candidate generator.
+func (s *System) Catalog() *nlq.Catalog { return s.catalog }

@@ -1,0 +1,207 @@
+package muve
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/progressive"
+	"muve/internal/sqldb"
+	"muve/internal/usermodel"
+	"muve/internal/workload"
+)
+
+func demoDB(t *testing.T) *sqldb.DB {
+	t.Helper()
+	tbl, err := workload.Build(workload.NYC311, 5000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	return db
+}
+
+func TestNewErrors(t *testing.T) {
+	db := demoDB(t)
+	if _, err := New(db, "nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := New(db, "requests", WithWidth(10)); err == nil {
+		t.Error("unusable screen accepted")
+	}
+	if _, err := New(db, "requests", WithTimeModel(usermodel.TimeModel{CB: 1, CP: 100, DM: 10})); err == nil {
+		t.Error("invalid time model accepted")
+	}
+}
+
+func TestAskEndToEnd(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithWidth(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("how many noise complaints in brooklin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Candidates) < 2 {
+		t.Fatalf("candidates = %d", len(ans.Candidates))
+	}
+	if ans.Multiplot.NumPlots() == 0 {
+		t.Fatal("no plots planned")
+	}
+	if !ans.Multiplot.FitsScreen(sys.cfg.Screen) {
+		t.Error("multiplot overflows screen")
+	}
+	// Every bar has an executed value (or explicit NULL -> NaN).
+	bars := 0
+	withValue := 0
+	for _, pl := range ans.Multiplot.Plots() {
+		for _, e := range pl.Entries {
+			bars++
+			if !math.IsNaN(e.Value) {
+				withValue++
+			}
+		}
+	}
+	if bars == 0 || withValue == 0 {
+		t.Errorf("bars = %d, with value = %d", bars, withValue)
+	}
+	// Rendering works and carries the headline.
+	if !strings.Contains(ans.ANSI(), "requests") {
+		t.Error("ANSI output missing headline")
+	}
+	if !strings.HasPrefix(ans.SVG(), "<svg") {
+		t.Error("SVG output malformed")
+	}
+	if !strings.Contains(ans.ANSIPlain(), "│") {
+		t.Error("plain ANSI missing box glyphs")
+	}
+}
+
+func TestAskWithILPSolver(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests",
+		WithSolver(SolverILP),
+		WithILPTimeout(300*time.Millisecond),
+		WithMaxCandidates(8),
+		WithWidth(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("average response hours in Queens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Multiplot.NumPlots() == 0 {
+		t.Error("ILP produced empty multiplot")
+	}
+	if ans.TopQuery.Aggs[0].Func != sqldb.AggAvg {
+		t.Errorf("top query = %s", ans.TopQuery.SQL())
+	}
+}
+
+func TestAskWithSpeechNoise(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithSpeechNoise(0.3, 5), WithWidth(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("how many heating complaints in Manhattan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even with noise, the pipeline must return a plotted answer.
+	if ans.Multiplot.NumPlots() == 0 {
+		t.Error("noisy ask produced no plots")
+	}
+	if ans.Transcript == "" {
+		t.Error("transcript missing")
+	}
+}
+
+func TestAskWithProgressivePresentation(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests",
+		WithPresentation(progressive.NewApprox(0.05)),
+		WithWidth(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("count of rodent complaints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace == nil || len(ans.Trace.Events) != 2 {
+		t.Fatalf("trace = %+v", ans.Trace)
+	}
+	if !ans.Trace.Events[0].Approximate {
+		t.Error("first event should be approximate")
+	}
+}
+
+func TestHeadlineSharedElements(t *testing.T) {
+	cands := []core.Candidate{
+		{Query: sqldb.MustParse("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"), Prob: 0.6},
+		{Query: sqldb.MustParse("SELECT count(*) FROM requests WHERE borough = 'Bronx'"), Prob: 0.4},
+	}
+	h := headline(cands)
+	if !strings.Contains(h, "requests") || !strings.Contains(h, "count(*)") {
+		t.Errorf("headline = %q", h)
+	}
+	// The differing borough values must not appear as shared.
+	if strings.Contains(h, "Brooklyn") || strings.Contains(h, "Bronx") {
+		t.Errorf("headline leaks differing elements: %q", h)
+	}
+	if headline(nil) != "" {
+		t.Error("empty candidates headline")
+	}
+}
+
+func TestSolverKindStrings(t *testing.T) {
+	if SolverGreedy.String() != "greedy" || SolverILP.String() != "ilp" || SolverILPIncremental.String() != "ilp-inc" {
+		t.Error("solver names")
+	}
+}
+
+func TestAskDeterministic(t *testing.T) {
+	db := demoDB(t)
+	sys, _ := New(db, "requests", WithWidth(800))
+	a, err := sys.Ask("how many complaints in Queens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sys.Ask("how many complaints in Queens")
+	if a.Multiplot.String() != b.Multiplot.String() {
+		t.Error("answers differ across identical asks")
+	}
+}
+
+func TestAskQueryBypassesTranslation(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithWidth(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqldb.MustParse("SELECT count(*) FROM requests WHERE borough = 'Queens'")
+	ans, err := sys.AskQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.TopQuery.SQL() != q.SQL() {
+		t.Errorf("top query = %s", ans.TopQuery.SQL())
+	}
+	if len(ans.Candidates) < 2 || ans.Multiplot.NumPlots() == 0 {
+		t.Errorf("candidates = %d, plots = %d", len(ans.Candidates), ans.Multiplot.NumPlots())
+	}
+	// The given query must be the most likely candidate.
+	if ans.Candidates[0].Query.SQL() != q.SQL() {
+		t.Errorf("most likely candidate = %s", ans.Candidates[0].Query.SQL())
+	}
+	if sys.Catalog() == nil || len(sys.Catalog().Columns()) == 0 {
+		t.Error("catalog accessor broken")
+	}
+}

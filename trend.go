@@ -1,0 +1,94 @@
+package muve
+
+import (
+	"fmt"
+	"math"
+
+	"muve/internal/sqldb"
+	"muve/internal/viz"
+)
+
+// TrendAnswer is the result of a trend (line-plot) query — the Section 11
+// future-work extension: "Queries with multiple result rows and up to two
+// numerical result columns (e.g., time series) could be plotted as lines."
+type TrendAnswer struct {
+	Query  sqldb.Query
+	Series viz.Series
+}
+
+// ANSI renders the trend as a terminal line chart.
+func (a *TrendAnswer) ANSI() string { return viz.RenderSeriesANSI(a.Series, 0, 0) }
+
+// SVG renders the trend as an SVG polyline chart.
+func (a *TrendAnswer) SVG() string { return viz.RenderSeriesSVG(a.Series, 0, 0) }
+
+// Trend executes a single-aggregate query grouped by one column and
+// returns its result as an ordered series. Numeric group keys order
+// numerically (time series); string keys order lexicographically with
+// their labels preserved.
+//
+// Trends bypass multiplot planning: the paper notes its visualization
+// method "would have to change fundamentally" for multi-row results, so
+// this extension renders one interpretation rather than a multiplot of
+// them.
+func (s *System) Trend(q sqldb.Query) (*TrendAnswer, error) {
+	if len(q.Aggs) != 1 {
+		return nil, fmt.Errorf("muve: trend queries need exactly one aggregate, got %d", len(q.Aggs))
+	}
+	if len(q.GroupBy) != 1 {
+		return nil, fmt.Errorf("muve: trend queries need exactly one GROUP BY column, got %d", len(q.GroupBy))
+	}
+	res, err := s.db.Exec(q)
+	if err != nil {
+		return nil, err
+	}
+	ans := &TrendAnswer{
+		Query:  q,
+		Series: viz.Series{Title: q.Aggs[0].String() + " by " + q.GroupBy[0]},
+	}
+	for i, row := range res.Rows {
+		key, val := row[0], row[1]
+		p := viz.SeriesPoint{Y: val.AsFloat()}
+		if val.IsNull() {
+			p.Y = math.NaN()
+		}
+		switch key.K {
+		case sqldb.KindInt:
+			p.X = float64(key.I)
+		case sqldb.KindFloat:
+			p.X = key.F
+		default:
+			p.X = float64(i) // lexicographic position (rows arrive sorted)
+			p.Label = key.S
+		}
+		if !math.IsNaN(p.Y) {
+			ans.Series.Points = append(ans.Series.Points, p)
+		}
+	}
+	ans.Series.Sort()
+	return ans, nil
+}
+
+// TrendText translates a transcript, keeps its most likely interpretation,
+// and renders it as a trend grouped by the given column — the voice-driven
+// variant of Trend.
+func (s *System) TrendText(text, groupBy string) (*TrendAnswer, error) {
+	transcript := text
+	if s.channel != nil {
+		transcript = s.channel.Transcribe(text)
+	}
+	q, err := s.pipe.Translator.Translate(transcript)
+	if err != nil {
+		return nil, err
+	}
+	q.GroupBy = []string{groupBy}
+	// Drop any predicate on the grouping column: grouping subsumes it.
+	var preds []sqldb.Predicate
+	for _, p := range q.Preds {
+		if p.Col != groupBy {
+			preds = append(preds, p)
+		}
+	}
+	q.Preds = preds
+	return s.Trend(q)
+}

@@ -1,0 +1,103 @@
+package muve
+
+import (
+	"strings"
+	"testing"
+
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func trendSystem(t *testing.T) *System {
+	t.Helper()
+	tbl, err := workload.Build(workload.Flights, 20_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := New(db, "flights", WithWidth(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTrendNumericGroup(t *testing.T) {
+	sys := trendSystem(t)
+	ans, err := sys.Trend(sqldb.MustParse(
+		"SELECT avg(dep_delay), month FROM flights WHERE origin = 'JFK' GROUP BY month"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Series.Points) != 12 {
+		t.Fatalf("points = %d, want 12 months", len(ans.Series.Points))
+	}
+	for i := 1; i < len(ans.Series.Points); i++ {
+		if ans.Series.Points[i].X < ans.Series.Points[i-1].X {
+			t.Fatal("series not sorted by month")
+		}
+	}
+	out := ans.ANSI()
+	if !strings.Contains(out, "avg(dep_delay) by month") {
+		t.Errorf("ANSI missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "●") {
+		t.Error("ANSI chart has no data markers")
+	}
+	svg := ans.SVG()
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("SVG missing polyline")
+	}
+}
+
+func TestTrendStringGroup(t *testing.T) {
+	sys := trendSystem(t)
+	ans, err := sys.Trend(sqldb.MustParse(
+		"SELECT count(*), carrier FROM flights GROUP BY carrier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Series.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if ans.Series.Points[0].Label == "" {
+		t.Error("string group keys should carry labels")
+	}
+}
+
+func TestTrendValidation(t *testing.T) {
+	sys := trendSystem(t)
+	if _, err := sys.Trend(sqldb.MustParse("SELECT count(*) FROM flights")); err == nil {
+		t.Error("trend without GROUP BY accepted")
+	}
+	if _, err := sys.Trend(sqldb.MustParse(
+		"SELECT count(*), sum(dep_delay), month FROM flights GROUP BY month")); err == nil {
+		t.Error("multi-aggregate trend accepted")
+	}
+	if _, err := sys.Trend(sqldb.MustParse(
+		"SELECT count(*), nope FROM flights GROUP BY nope")); err == nil {
+		t.Error("unknown group column accepted")
+	}
+}
+
+func TestTrendText(t *testing.T) {
+	sys := trendSystem(t)
+	ans, err := sys.TrendText("average dep delay for origin JFK", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Query.GroupBy) != 1 || ans.Query.GroupBy[0] != "month" {
+		t.Errorf("group by = %v", ans.Query.GroupBy)
+	}
+	if len(ans.Series.Points) == 0 {
+		t.Error("no points from voice trend")
+	}
+	// Grouping column predicates are dropped if the transcript mentioned
+	// the grouping column's values.
+	for _, p := range ans.Query.Preds {
+		if p.Col == "month" {
+			t.Error("predicate on grouping column survived")
+		}
+	}
+}
