@@ -1,0 +1,30 @@
+# Developer and CI entry points. `make ci` is the gate: vet, build,
+# full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build vet test race bench serve ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Serving-layer micro-benchmarks plus the end-to-end ask bench.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe|BenchmarkEndToEndAsk' -benchmem .
+
+# Run the demo server with serving defaults.
+serve:
+	$(GO) run ./cmd/muveserver
+
+ci: vet build race

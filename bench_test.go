@@ -11,6 +11,7 @@ package muve
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 	"muve/internal/merge"
 	"muve/internal/nlq"
 	"muve/internal/phonetic"
+	"muve/internal/serve"
 	"muve/internal/sqldb"
 	"muve/internal/usermodel"
 	"muve/internal/workload"
@@ -306,4 +308,79 @@ func mergePlan(b *testing.B, db *sqldb.DB, queries []sqldb.Query) merge.Plan {
 // executeSeparately runs all queries unmerged.
 func executeSeparately(db *sqldb.DB, queries []sqldb.Query) (map[int]merge.Result, error) {
 	return merge.ExecuteSeparately(db, queries)
+}
+
+// --- Serving-layer benches (internal/serve) --------------------------------
+
+// serveEngine wires a small NYC311 system into the serving engine for
+// the cached-vs-uncached comparison.
+func serveEngine(b *testing.B) *serve.Engine {
+	b.Helper()
+	tbl, err := workload.Build(workload.NYC311, 20_000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := New(db, "requests", WithWidth(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(serve.Config{
+		Planner: func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+			return sys.AskContext(ctx, req.Transcript)
+		},
+		Dataset: "requests",
+		Solver:  "greedy",
+		WidthPx: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkServeCached measures a repeated query through the serving
+// stack: after the first request every iteration is an answer-cache
+// hit. Compare against BenchmarkServeUncached for the cache's win.
+func BenchmarkServeCached(b *testing.B) {
+	engine := serveEngine(b)
+	ctx := context.Background()
+	req := serve.Request{Transcript: "average response hours for heating in the bronx"}
+	if _, err := engine.Do(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := engine.Do(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Source != serve.SourceCache {
+			b.Fatalf("source = %q, want cache", resp.Source)
+		}
+	}
+}
+
+// BenchmarkServeUncached forces a fresh plan per iteration (Refresh
+// bypasses the cache), measuring the full planning+execution path the
+// cache amortizes away.
+func BenchmarkServeUncached(b *testing.B) {
+	engine := serveEngine(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := engine.Do(ctx, serve.Request{
+			Transcript: "average response hours for heating in the bronx",
+			Refresh:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Source != serve.SourcePlanned {
+			b.Fatalf("source = %q, want planned", resp.Source)
+		}
+	}
 }

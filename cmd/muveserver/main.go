@@ -1,6 +1,8 @@
-// Command muveserver serves MUVE over HTTP: a minimal web front end that
-// answers natural-language queries with SVG multiplots, the closest
-// equivalent of the browser demo the paper presents (Figure 2).
+// Command muveserver serves MUVE over HTTP through the internal/serve
+// engine: a concurrent serving stack with a sharded answer cache,
+// request coalescing, per-client sessions, a bounded worker pool with
+// per-request timeouts and ILP→greedy degradation, and a metrics
+// registry — in front of the web demo the paper presents (Figure 2).
 //
 // Endpoints:
 //
@@ -9,24 +11,43 @@
 //	GET /ask.json?q=...        candidate distribution as JSON
 //	GET /trend?q=...&by=col    SVG line chart (trend extension)
 //	GET /healthz               liveness probe
+//	GET /metrics               Prometheus text metrics
+//	GET /debug/vars            metrics as JSON (with p50/p95/p99)
+//
+// /ask and /ask.json accept two optional parameters: sid=<id> binds
+// the request to a server-side session (consecutive utterances reuse
+// state), and refresh=1 bypasses the answer cache. Responses carry
+// X-Muve-Source (session|cache|coalesced|planned|fallback) and
+// X-Request-Id headers.
 //
 // Usage:
 //
 //	muveserver [-addr :8080] [-dataset nyc311] [-rows 50000] [-solver greedy]
+//	           [-max-inflight 32] [-cache-entries 1024] [-cache-ttl 5m]
+//	           [-timeout 10s]
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"muve"
+	"muve/internal/serve"
 	"muve/internal/sqldb"
 	"muve/internal/workload"
 )
@@ -40,12 +61,16 @@ func main() {
 
 func run() error {
 	var (
-		addrFlag    = flag.String("addr", ":8080", "listen address")
-		datasetFlag = flag.String("dataset", "nyc311", "synthetic data set: ads|dob|nyc311|flights")
-		rowsFlag    = flag.Int("rows", 50_000, "synthetic row count")
-		solverFlag  = flag.String("solver", "greedy", "planner: greedy|ilp|ilp-inc")
-		widthFlag   = flag.Int("width", 1024, "planned screen width in pixels")
-		seedFlag    = flag.Int64("seed", 1, "data seed")
+		addrFlag     = flag.String("addr", ":8080", "listen address")
+		datasetFlag  = flag.String("dataset", "nyc311", "synthetic data set: ads|dob|nyc311|flights")
+		rowsFlag     = flag.Int("rows", 50_000, "synthetic row count")
+		solverFlag   = flag.String("solver", "greedy", "planner: greedy|ilp|ilp-inc")
+		widthFlag    = flag.Int("width", 1024, "planned screen width in pixels")
+		seedFlag     = flag.Int64("seed", 1, "data seed")
+		inflightFlag = flag.Int("max-inflight", 32, "max concurrently planning requests (excess queue)")
+		cacheFlag    = flag.Int("cache-entries", 1024, "answer cache capacity (negative disables)")
+		cacheTTLFlag = flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = never expire)")
+		timeoutFlag  = flag.Duration("timeout", 10*time.Second, "per-request planning budget")
 	)
 	flag.Parse()
 
@@ -76,47 +101,151 @@ func run() error {
 		return err
 	}
 
-	mux := newMux(sys, ds.String(), tbl.NumRows())
+	engine, err := newEngine(sys, db, ds.String(), engineConfig{
+		solver:       solver,
+		solverName:   *solverFlag,
+		widthPx:      *widthFlag,
+		maxInFlight:  *inflightFlag,
+		cacheEntries: *cacheFlag,
+		cacheTTL:     *cacheTTLFlag,
+		timeout:      *timeoutFlag,
+	})
+	if err != nil {
+		return err
+	}
 
+	handler := serve.WithLogging(log.Default(), newMux(engine, sys, ds.String(), tbl.NumRows()))
 	srv := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("muveserver listening on %s (table %s, %d rows, %s solver)",
-		*addrFlag, ds.String(), tbl.NumRows(), *solverFlag)
-	return srv.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("muveserver listening on %s (table %s, %d rows, %s solver, %d inflight, %d cache entries)",
+		*addrFlag, ds.String(), tbl.NumRows(), *solverFlag, *inflightFlag, *cacheFlag)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("muveserver shutting down, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	return nil
 }
 
-// newMux builds the HTTP handler tree for a configured system.
-func newMux(sys *muve.System, tableName string, numRows int) *http.ServeMux {
+// engineConfig carries the serving flags into engine construction.
+type engineConfig struct {
+	solver       muve.SolverKind
+	solverName   string
+	widthPx      int
+	maxInFlight  int
+	cacheEntries int
+	cacheTTL     time.Duration
+	timeout      time.Duration
+}
+
+// newEngine wires a muve.System into a serve.Engine. When the primary
+// solver is ILP-based, a second greedy system over the same database
+// acts as the degradation path for requests that miss their deadline.
+func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (*serve.Engine, error) {
+	planner := func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+		ans, err := sys.AskContext(ctx, req.Transcript)
+		if err != nil {
+			return nil, err
+		}
+		if sess != nil {
+			// Session state carries the latest answer so follow-up
+			// utterances can seed incremental planning.
+			sess.SetState(ans)
+		}
+		return ans, nil
+	}
+	var fallback serve.Planner
+	if cfg.solver != muve.SolverGreedy {
+		greedySys, err := muve.New(db, table,
+			muve.WithSolver(muve.SolverGreedy),
+			muve.WithWidth(cfg.widthPx))
+		if err != nil {
+			return nil, err
+		}
+		fallback = func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+			return greedySys.AskContext(ctx, req.Transcript)
+		}
+	}
+	return serve.NewEngine(serve.Config{
+		Planner:      planner,
+		Fallback:     fallback,
+		MaxInFlight:  cfg.maxInFlight,
+		Timeout:      cfg.timeout,
+		CacheEntries: cfg.cacheEntries,
+		CacheTTL:     cfg.cacheTTL,
+		Dataset:      table,
+		Solver:       cfg.solverName,
+		WidthPx:      cfg.widthPx,
+	})
+}
+
+// answerFor runs one request through the engine and unwraps the muve
+// answer, writing the HTTP error itself when something went wrong.
+func answerFor(w http.ResponseWriter, r *http.Request, engine *serve.Engine) (*muve.Answer, bool) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Error(w, "missing ?q=", http.StatusBadRequest)
+		return nil, false
+	}
+	resp, err := engine.Do(r.Context(), serve.Request{
+		Transcript: q,
+		SessionID:  strings.TrimSpace(r.URL.Query().Get("sid")),
+		Refresh:    r.URL.Query().Get("refresh") == "1",
+	})
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else if errors.Is(err, context.Canceled) {
+			// Client went away; 499 in nginx convention.
+			status = 499
+		}
+		http.Error(w, err.Error(), status)
+		return nil, false
+	}
+	w.Header().Set("X-Muve-Source", string(resp.Source))
+	ans, ok := resp.Value.(*muve.Answer)
+	if !ok {
+		http.Error(w, "internal: unexpected answer type", http.StatusInternalServerError)
+		return nil, false
+	}
+	return ans, true
+}
+
+// newMux builds the HTTP handler tree for a configured engine.
+func newMux(engine *serve.Engine, sys *muve.System, tableName string, numRows int) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/metrics", engine.Metrics().Handler())
+	mux.Handle("/debug/vars", engine.Metrics().VarsHandler())
 	mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
-		q := strings.TrimSpace(r.URL.Query().Get("q"))
-		if q == "" {
-			http.Error(w, "missing ?q=", http.StatusBadRequest)
-			return
-		}
-		ans, err := sys.Ask(q)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		ans, ok := answerFor(w, r, engine)
+		if !ok {
 			return
 		}
 		w.Header().Set("Content-Type", "image/svg+xml")
 		fmt.Fprint(w, ans.SVG())
 	})
 	mux.HandleFunc("/ask.json", func(w http.ResponseWriter, r *http.Request) {
-		q := strings.TrimSpace(r.URL.Query().Get("q"))
-		if q == "" {
-			http.Error(w, "missing ?q=", http.StatusBadRequest)
-			return
-		}
-		ans, err := sys.Ask(q)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		ans, ok := answerFor(w, r, engine)
+		if !ok {
 			return
 		}
 		type candJSON struct {
@@ -129,18 +258,20 @@ func newMux(sys *muve.System, tableName string, numRows int) *http.ServeMux {
 			Headline   string     `json:"headline"`
 			Candidates []candJSON `json:"candidates"`
 			PlanMS     float64    `json:"planning_ms"`
+			Source     string     `json:"source"`
 		}{
 			Transcript: ans.Transcript,
 			TopQuery:   ans.TopQuery.SQL(),
 			Headline:   ans.Headline,
 			PlanMS:     float64(ans.Stats.Duration.Microseconds()) / 1000,
+			Source:     w.Header().Get("X-Muve-Source"),
 		}
 		for _, c := range ans.Candidates {
 			out.Candidates = append(out.Candidates, candJSON{SQL: c.Query.SQL(), Prob: c.Prob})
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(out); err != nil {
-			log.Printf("encoding response: %v", err)
+			log.Printf("req %s: encoding response: %v", serve.RequestID(r.Context()), err)
 		}
 	})
 	mux.HandleFunc("/trend", func(w http.ResponseWriter, r *http.Request) {
@@ -173,7 +304,7 @@ func newMux(sys *muve.System, tableName string, numRows int) *http.ServeMux {
 			html.EscapeString(tableName), numRows, html.EscapeString(q))
 		if q != "" {
 			fmt.Fprintf(w, `<p><img alt="multiplot" src="/ask?q=%s"></p>`,
-				html.EscapeString(strings.ReplaceAll(q, " ", "+")))
+				url.QueryEscape(q))
 		}
 	})
 	return mux

@@ -3,12 +3,15 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"muve"
+	"muve/internal/serve"
 	"muve/internal/sqldb"
 	"muve/internal/workload"
 )
@@ -25,7 +28,19 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(sys, "requests", tbl.NumRows()))
+	engine, err := newEngine(sys, db, "requests", engineConfig{
+		solver:       muve.SolverGreedy,
+		solverName:   "greedy",
+		widthPx:      900,
+		maxInFlight:  8,
+		cacheEntries: 256,
+		cacheTTL:     time.Minute,
+		timeout:      10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(engine, sys, "requests", tbl.NumRows()))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -130,6 +145,125 @@ func TestUnknownPath404(t *testing.T) {
 	srv := testServer(t)
 	if status, _, _ := fetch(t, srv.URL+"/nope"); status != 404 {
 		t.Errorf("unknown path status = %d", status)
+	}
+}
+
+func TestAskCachedSecondHit(t *testing.T) {
+	srv := testServer(t)
+	url := srv.URL + "/ask?q=how+many+noise+complaints"
+	resp1, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp1.Body)
+	resp1.Body.Close()
+	if got := resp1.Header.Get("X-Muve-Source"); got != "planned" {
+		t.Errorf("first request source = %q, want planned", got)
+	}
+	resp2, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Muve-Source"); got != "cache" {
+		t.Errorf("second request source = %q, want cache", got)
+	}
+}
+
+func TestSessionReuse(t *testing.T) {
+	srv := testServer(t)
+	url := srv.URL + "/ask?q=how+many+complaints+in+queens&sid=alice"
+	for i, want := range []string{"planned", "session"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Muve-Source"); got != want {
+			t.Errorf("request %d source = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Generate one planned and one cached request first.
+	for i := 0; i < 2; i++ {
+		status, _, _ := fetch(t, srv.URL+"/ask?q=how+many+complaints")
+		if status != 200 {
+			t.Fatalf("ask status = %d", status)
+		}
+	}
+	status, ct, body := fetch(t, srv.URL+"/metrics")
+	if status != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics = %d %q", status, ct)
+	}
+	for _, want := range []string{
+		"muve_requests_total 2",
+		"muve_cache_hits_total 1",
+		"muve_cache_misses_total 1",
+		"muve_inflight 0",
+		"muve_request_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	status, ct, body = fetch(t, srv.URL+"/debug/vars")
+	if status != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("debug/vars = %d %q", status, ct)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars["requests"] != float64(2) {
+		t.Errorf("debug/vars requests = %v, want 2", vars["requests"])
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	tbl, err := workload.Build(workload.NYC311, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := muve.New(db, "requests", muve.WithWidth(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := newEngine(sys, db, "requests", engineConfig{
+		solverName: "greedy", widthPx: 900,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.WithLogging(log.New(io.Discard, "", 0), newMux(engine, sys, "requests", tbl.NumRows())))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("missing X-Request-Id header")
+	}
+}
+
+func TestIndexPageEscapesImgURL(t *testing.T) {
+	srv := testServer(t)
+	// A query containing &, % and + must be query-escaped in the <img>
+	// src, not mangled by blank replacement.
+	status, _, body := fetch(t, srv.URL+"/?q="+"a%20%26%20b%20100%25%20c%2B%2B")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(body, `src="/ask?q=a+%26+b+100%25+c%2B%2B"`) {
+		t.Errorf("img src not query-escaped:\n%s", body)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -22,6 +23,17 @@ type GreedySolver struct {
 	// is used (the cardinality-constrained Nemhauser variant the paper
 	// mentions for fixed plot widths). Density is the default.
 	PlainGain bool
+	// Ctx, when non-nil, lets callers cancel a solve between phases and
+	// between greedy selection rounds. Nil means never cancelled.
+	Ctx context.Context
+}
+
+// ctxErr reports the solver context's cancellation state.
+func (g *GreedySolver) ctxErr() error {
+	if g.Ctx == nil {
+		return nil
+	}
+	return g.Ctx.Err()
 }
 
 // Name identifies the solver in experiment output.
@@ -50,8 +62,14 @@ func (g *GreedySolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	}
 	// Phase 1+2: candidate plots with highlighting options.
 	colored := g.coloredCandidates(in)
+	if err := g.ctxErr(); err != nil {
+		return Multiplot{}, Stats{}, err
+	}
 	// Phase 3: pick plots under the width knapsack.
 	m := g.pickPlots(in, colored)
+	if err := g.ctxErr(); err != nil {
+		return Multiplot{}, Stats{}, err
+	}
 	// Phase 4: polish.
 	if !g.SkipPolish {
 		m = polish(in, m)
@@ -127,6 +145,11 @@ func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) Multiplot 
 	currentCost := in.Cost(current)
 
 	for {
+		// Checkpoint between selection rounds: an abandoned request
+		// stops burning CPU mid-solve instead of at the next phase.
+		if g.ctxErr() != nil {
+			break
+		}
 		bestIdx, bestRow := -1, -1
 		var bestScore, bestGain float64
 		for ci, c := range colored {

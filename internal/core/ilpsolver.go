@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sort"
@@ -33,6 +34,12 @@ type ILPSolver struct {
 	WarmStart bool
 	// MaxBarsPerPlot caps bars per plot (0 = derived from screen width).
 	MaxBarsPerPlot int
+	// Ctx, when non-nil, bounds the solve: a context deadline earlier
+	// than Timeout wins (the branch-and-bound search then returns its
+	// best incumbent, exactly as on Timeout), and a context already
+	// cancelled before the solve starts aborts it with the context's
+	// error.
+	Ctx context.Context
 }
 
 // Name identifies the solver in experiment output.
@@ -68,6 +75,11 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	if err := in.Validate(); err != nil {
 		return Multiplot{}, Stats{}, err
 	}
+	if s.Ctx != nil {
+		if err := s.Ctx.Err(); err != nil {
+			return Multiplot{}, Stats{}, err
+		}
+	}
 	v, err := s.buildModel(in)
 	if err != nil {
 		return Multiplot{}, Stats{}, err
@@ -75,6 +87,11 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	opt := ilp.Options{}
 	if s.Timeout > 0 {
 		opt.Deadline = start.Add(s.Timeout)
+	}
+	if s.Ctx != nil {
+		if d, ok := s.Ctx.Deadline(); ok && (opt.Deadline.IsZero() || d.Before(opt.Deadline)) {
+			opt.Deadline = d
+		}
 	}
 	if s.WarmStart {
 		if warm, ok := s.warmStartValues(in, v); ok {

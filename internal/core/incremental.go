@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 )
 
@@ -19,6 +20,11 @@ type IncrementalILP struct {
 	TotalBudget time.Duration
 	// MaxBarsPerPlot is forwarded to the underlying ILP solver.
 	MaxBarsPerPlot int
+	// Ctx, when non-nil, stops refinement between sequences: the best
+	// multiplot found so far is returned (anytime semantics), matching
+	// what a budget expiry would do. Nil means only TotalBudget stops
+	// the run.
+	Ctx context.Context
 }
 
 // DefaultIncremental returns the paper's experimental configuration:
@@ -71,6 +77,9 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 	seq := k
 	var finalStats Stats
 	for {
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			break
+		}
 		elapsed := time.Since(start)
 		if elapsed >= budget {
 			break
@@ -79,7 +88,7 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		if seq > remaining {
 			seq = remaining
 		}
-		inner := &ILPSolver{Timeout: seq, MaxBarsPerPlot: s.MaxBarsPerPlot}
+		inner := &ILPSolver{Timeout: seq, MaxBarsPerPlot: s.MaxBarsPerPlot, Ctx: s.Ctx}
 		m, st, err := inner.Solve(in)
 		if err != nil {
 			return Multiplot{}, Stats{}, err

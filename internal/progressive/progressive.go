@@ -10,6 +10,7 @@
 package progressive
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -28,6 +29,18 @@ type Session struct {
 	Correct int
 	// SampleSeed keeps approximate runs reproducible.
 	SampleSeed uint64
+	// Ctx, when non-nil, cancels the presentation: methods checkpoint
+	// between planning and each execution round, and forward the
+	// context into the solvers. Nil means run to completion.
+	Ctx context.Context
+}
+
+// Context returns the session context, defaulting to Background.
+func (s *Session) Context() context.Context {
+	if s.Ctx == nil {
+		return context.Background()
+	}
+	return s.Ctx
 }
 
 // Event is one visualization shown to the user.
@@ -64,6 +77,11 @@ type Method interface {
 // fillValues executes the multiplot's queries (merged) and writes results
 // into the entries. sampleRate in (0,1) makes all values approximate.
 func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplot, error) {
+	// Cancellation checkpoint: execution is the expensive half of a
+	// presentation round, so an abandoned request stops here.
+	if err := s.Context().Err(); err != nil {
+		return m, err
+	}
 	// Collect the displayed candidate queries.
 	var queries []sqldb.Query
 	pos := make(map[int]int)
@@ -183,14 +201,16 @@ func relError(first, final core.Multiplot) float64 {
 // is the paper's "Greedy" method; with a processing-cost-aware ILP it is
 // "ILP".
 type Default struct {
-	planner func(in *core.Instance) (core.Multiplot, core.Stats, error)
+	planner func(ctx context.Context, in *core.Instance) (core.Multiplot, core.Stats, error)
 	name    string
 }
 
 // NewGreedyDefault builds the paper's "Greedy" method.
 func NewGreedyDefault() *Default {
-	g := &core.GreedySolver{}
-	return &Default{name: "Greedy", planner: func(in *core.Instance) (core.Multiplot, core.Stats, error) {
+	return &Default{name: "Greedy", planner: func(ctx context.Context, in *core.Instance) (core.Multiplot, core.Stats, error) {
+		// A fresh solver per call keeps the method safe to share
+		// across concurrent sessions.
+		g := &core.GreedySolver{Ctx: ctx}
 		return g.Solve(in)
 	}}
 }
@@ -198,8 +218,8 @@ func NewGreedyDefault() *Default {
 // NewILPDefault builds the paper's "ILP" method: default presentation with
 // ILP optimization that integrates processing cost into the objective.
 func NewILPDefault(timeout time.Duration) *Default {
-	s := &core.ILPSolver{Timeout: timeout, WarmStart: true}
-	return &Default{name: "ILP", planner: func(in *core.Instance) (core.Multiplot, core.Stats, error) {
+	return &Default{name: "ILP", planner: func(ctx context.Context, in *core.Instance) (core.Multiplot, core.Stats, error) {
+		s := &core.ILPSolver{Timeout: timeout, WarmStart: true, Ctx: ctx}
 		return s.Solve(in)
 	}}
 }
@@ -210,7 +230,7 @@ func (d *Default) Name() string { return d.name }
 // Present runs the default strategy.
 func (d *Default) Present(s *Session) (*Trace, error) {
 	start := time.Now()
-	m, _, err := d.planner(s.Instance)
+	m, _, err := d.planner(s.Context(), s.Instance)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +253,7 @@ func (IncPlot) Name() string { return "Inc-Plot" }
 // Present runs incremental plotting.
 func (IncPlot) Present(s *Session) (*Trace, error) {
 	start := time.Now()
-	g := &core.GreedySolver{}
+	g := &core.GreedySolver{Ctx: s.Ctx}
 	m, _, err := g.Solve(s.Instance)
 	if err != nil {
 		return nil, err
@@ -313,7 +333,7 @@ func (a *Approx) Name() string { return a.name }
 // Present runs approximate-first presentation.
 func (a *Approx) Present(s *Session) (*Trace, error) {
 	start := time.Now()
-	g := &core.GreedySolver{}
+	g := &core.GreedySolver{Ctx: s.Ctx}
 	m, _, err := g.Solve(s.Instance)
 	if err != nil {
 		return nil, err
@@ -396,6 +416,7 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 		budget = time.Second
 	}
 	inc := core.DefaultIncremental(budget)
+	inc.Ctx = s.Ctx
 	var events []Event
 	var execErr error
 	_, _, err := inc.Solve(s.Instance, func(u core.Update) {

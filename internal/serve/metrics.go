@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; all methods are safe for concurrent use and never
+// allocate.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (e.g. in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets are latency bucket upper bounds: 100µs doubling up to
+// ~26s, which spans a cache hit (~1µs, first bucket) through an ILP
+// solve that exhausted a generous budget. 19 fixed buckets keep
+// Observe a single atomic add with no allocation.
+var histBuckets = func() [19]time.Duration {
+	var b [19]time.Duration
+	d := 100 * time.Microsecond
+	for i := range b {
+		b[i] = d
+		d *= 2
+	}
+	return b
+}()
+
+// Histogram accumulates durations into fixed log-spaced buckets and
+// reports approximate quantiles. The zero value is ready to use.
+type Histogram struct {
+	counts [len(histBuckets) + 1]atomic.Uint64 // last bucket = +Inf
+	sum    atomic.Int64                        // nanoseconds
+	count  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for ; i < len(histBuckets); i++ {
+		if d <= histBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count is the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean is the average observed duration (0 with no observations).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) as the upper bound of
+// the bucket containing it — an overestimate by at most one bucket
+// width (2x), which is the usual histogram-quantile tradeoff.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(histBuckets) {
+				return histBuckets[i]
+			}
+			return 2 * histBuckets[len(histBuckets)-1] // +Inf bucket
+		}
+	}
+	return 2 * histBuckets[len(histBuckets)-1]
+}
+
+// snapshot copies the bucket counts for rendering.
+func (h *Histogram) snapshot() (counts [len(histBuckets) + 1]uint64, sum int64, count uint64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.sum.Load(), h.count.Load()
+}
+
+// Metrics is the engine's observability registry. All fields are safe
+// for concurrent use; reading them never blocks request processing.
+type Metrics struct {
+	// Requests counts every Engine.Do call.
+	Requests Counter
+	// CacheHits/CacheMisses count shared answer-cache lookups.
+	CacheHits   Counter
+	CacheMisses Counter
+	// SessionHits counts answers served from per-session state.
+	SessionHits Counter
+	// Coalesced counts requests that piggybacked on another's planning.
+	Coalesced Counter
+	// Fallbacks counts planning calls degraded to the fallback planner
+	// after the primary missed its deadline.
+	Fallbacks Counter
+	// Timeouts counts requests that exhausted their budget entirely.
+	Timeouts Counter
+	// Errors counts failed requests (planner errors and timeouts).
+	Errors Counter
+	// InFlight gauges requests currently inside Engine.Do.
+	InFlight Gauge
+	// Planning observes planner-call latency (cache misses only).
+	Planning Histogram
+	// EndToEnd observes full Engine.Do latency (hits and misses).
+	EndToEnd Histogram
+}
+
+// writeHistogram renders one histogram in Prometheus text format.
+func writeHistogram(w http.ResponseWriter, name string, h *Histogram) {
+	counts, sum, count := h.snapshot()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if i < len(histBuckets) {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", histBuckets[i].Seconds()), cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(sum).Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// Handler serves the registry in Prometheus text exposition format
+// (for the /metrics endpoint).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		counters := []struct {
+			name string
+			c    *Counter
+		}{
+			{"muve_requests_total", &m.Requests},
+			{"muve_cache_hits_total", &m.CacheHits},
+			{"muve_cache_misses_total", &m.CacheMisses},
+			{"muve_session_hits_total", &m.SessionHits},
+			{"muve_coalesced_total", &m.Coalesced},
+			{"muve_fallbacks_total", &m.Fallbacks},
+			{"muve_timeouts_total", &m.Timeouts},
+			{"muve_errors_total", &m.Errors},
+		}
+		for _, c := range counters {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
+		}
+		fmt.Fprintf(w, "# TYPE muve_inflight gauge\nmuve_inflight %d\n", m.InFlight.Value())
+		writeHistogram(w, "muve_planning_seconds", &m.Planning)
+		writeHistogram(w, "muve_request_seconds", &m.EndToEnd)
+	})
+}
+
+// VarsHandler serves the registry as a flat JSON object (for the
+// /debug/vars endpoint), including derived p50/p95/p99 latencies in
+// milliseconds for quick eyeballing.
+func (m *Metrics) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		fmt.Fprintf(w, `{
+  "requests": %d,
+  "cache_hits": %d,
+  "cache_misses": %d,
+  "session_hits": %d,
+  "coalesced": %d,
+  "fallbacks": %d,
+  "timeouts": %d,
+  "errors": %d,
+  "inflight": %d,
+  "planning_ms": {"count": %d, "mean": %g, "p50": %g, "p95": %g, "p99": %g},
+  "request_ms": {"count": %d, "mean": %g, "p50": %g, "p95": %g, "p99": %g}
+}
+`,
+			m.Requests.Value(), m.CacheHits.Value(), m.CacheMisses.Value(),
+			m.SessionHits.Value(), m.Coalesced.Value(), m.Fallbacks.Value(),
+			m.Timeouts.Value(), m.Errors.Value(), m.InFlight.Value(),
+			m.Planning.Count(), ms(m.Planning.Mean()), ms(m.Planning.Quantile(0.50)),
+			ms(m.Planning.Quantile(0.95)), ms(m.Planning.Quantile(0.99)),
+			m.EndToEnd.Count(), ms(m.EndToEnd.Mean()), ms(m.EndToEnd.Quantile(0.50)),
+			ms(m.EndToEnd.Quantile(0.95)), ms(m.EndToEnd.Quantile(0.99)))
+	})
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	// 90 fast observations and 10 slow ones: p50 lands in a fast
+	// bucket, p99 in a slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(150 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 150*time.Microsecond || p50 > time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 80*time.Millisecond || p99 > time.Second {
+		t.Errorf("p99 = %v", p99)
+	}
+	if p50 >= p99 {
+		t.Errorf("p50 %v >= p99 %v", p50, p99)
+	}
+	mean := h.Mean()
+	if mean < 150*time.Microsecond || mean > 80*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	// Out-of-range observations land in the extreme buckets without
+	// panicking.
+	h.Observe(-time.Second)
+	h.Observe(10 * time.Minute)
+	if h.Count() != 102 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramParallelObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	m := &Metrics{}
+	m.Requests.Add(7)
+	m.CacheHits.Inc()
+	m.InFlight.Set(3)
+	m.Planning.Observe(2 * time.Millisecond)
+	m.EndToEnd.Observe(3 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE muve_requests_total counter",
+		"muve_requests_total 7",
+		"muve_cache_hits_total 1",
+		"muve_inflight 3",
+		"# TYPE muve_planning_seconds histogram",
+		`muve_planning_seconds_bucket{le="+Inf"} 1`,
+		"muve_planning_seconds_count 1",
+		"muve_request_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsVarsJSON(t *testing.T) {
+	m := &Metrics{}
+	m.Requests.Add(4)
+	m.EndToEnd.Observe(10 * time.Millisecond)
+	rec := httptest.NewRecorder()
+	m.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var out struct {
+		Requests  float64 `json:"requests"`
+		RequestMS struct {
+			Count float64 `json:"count"`
+			P99   float64 `json:"p99"`
+		} `json:"request_ms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if out.Requests != 4 || out.RequestMS.Count != 1 {
+		t.Errorf("vars = %+v", out)
+	}
+	if out.RequestMS.P99 < 10 {
+		t.Errorf("p99 = %v ms, want >= 10", out.RequestMS.P99)
+	}
+}

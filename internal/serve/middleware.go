@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// reqSeq numbers requests within this process.
+var reqSeq atomic.Uint64
+
+// RequestID returns the request's ID, or "" outside WithLogging.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter captures the status code and body size for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// WithLogging wraps next with per-request structured logging: it
+// assigns each request an ID (echoed in the X-Request-Id response
+// header and available via RequestID), and logs method, path, status,
+// response size and latency on completion. A nil logger uses the
+// standard logger.
+func WithLogging(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := fmt.Sprintf("%08x-%04x", uint32(start.UnixNano()), reqSeq.Add(1)&0xffff)
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		logger.Printf("req %s %s %s -> %d %dB %s",
+			id, r.Method, r.URL.RequestURI(), status, sw.bytes, time.Since(start).Round(10*time.Microsecond))
+	})
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWithLoggingAssignsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	var seen string
+	h := WithLogging(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "short and stout")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ask?q=x", nil))
+
+	if seen == "" {
+		t.Fatal("handler saw no request ID")
+	}
+	if got := rec.Header().Get("X-Request-Id"); got != seen {
+		t.Errorf("header ID %q != context ID %q", got, seen)
+	}
+	line := buf.String()
+	if !strings.Contains(line, seen) || !strings.Contains(line, "GET /ask?q=x") {
+		t.Errorf("log line missing fields: %q", line)
+	}
+	if !strings.Contains(line, "418") || !strings.Contains(line, "15B") {
+		t.Errorf("log line missing status/bytes: %q", line)
+	}
+}
+
+func TestWithLoggingDistinctIDs(t *testing.T) {
+	h := WithLogging(log.New(io.Discard, "", 0), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ids := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		ids[rec.Header().Get("X-Request-Id")] = true
+	}
+	if len(ids) != 20 {
+		t.Errorf("got %d distinct IDs for 20 requests", len(ids))
+	}
+	format := regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{1,4}$`)
+	for id := range ids {
+		if !format.MatchString(id) {
+			t.Errorf("ID %q has unexpected format", id)
+		}
+	}
+}
+
+func TestWithLoggingDefaultStatus(t *testing.T) {
+	var buf bytes.Buffer
+	h := WithLogging(log.New(&buf, "", 0), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Neither WriteHeader nor Write called: implicit 200.
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(buf.String(), "200") {
+		t.Errorf("log line = %q, want implicit 200", buf.String())
+	}
+}
+
+func TestRequestIDOutsideMiddleware(t *testing.T) {
+	if id := RequestID(httptest.NewRequest("GET", "/", nil).Context()); id != "" {
+		t.Errorf("ID outside middleware = %q", id)
+	}
+}

@@ -1,0 +1,289 @@
+// Package serve is MUVE's serving layer: it turns a single-user
+// query-answering pipeline into a concurrent engine fit for heavy
+// traffic. The paper's own levers for interactive latency — merged
+// execution across interpretations and incremental optimization — cut
+// the cost of ONE query; this package cuts the cost of a WORKLOAD,
+// where phonetically similar utterances from many users collapse onto
+// few distinct plans:
+//
+//   - a sharded LRU answer cache with TTL, keyed by (normalized
+//     transcript, dataset, solver, screen width), so repeated queries
+//     are answered in microseconds;
+//   - singleflight coalescing, so N concurrent identical queries plan
+//     once and share the answer;
+//   - a bounded worker pool with per-request timeouts, context
+//     cancellation through planning and execution, and graceful
+//     degradation to a fallback planner when the primary misses its
+//     deadline;
+//   - per-client sessions with bounded lifetimes that carry state
+//     across consecutive utterances;
+//   - an allocation-light metrics registry (counters, gauges, latency
+//     histograms) exported in Prometheus text format and as JSON.
+//
+// The engine is decoupled from the muve package: answers are opaque
+// values produced by a caller-supplied Planner, so the same machinery
+// can front any expensive request-shaped computation.
+package serve
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Request is one query to answer.
+type Request struct {
+	// Transcript is the raw natural-language input.
+	Transcript string
+	// SessionID, when non-empty, binds the request to a client session
+	// (created on first use, expired after idle TTL).
+	SessionID string
+	// Refresh bypasses cache and session reuse, forcing a fresh plan
+	// (the answer is still stored for others).
+	Refresh bool
+}
+
+// Source says where an answer came from, cheapest first.
+type Source string
+
+const (
+	// SourceSession: the session's previous answer matched.
+	SourceSession Source = "session"
+	// SourceCache: the sharded answer cache matched.
+	SourceCache Source = "cache"
+	// SourceCoalesced: piggybacked on a concurrent identical request.
+	SourceCoalesced Source = "coalesced"
+	// SourcePlanned: planned and executed by the primary planner.
+	SourcePlanned Source = "planned"
+	// SourceFallback: planned by the fallback after a deadline miss.
+	SourceFallback Source = "fallback"
+)
+
+// Response is the engine's answer envelope.
+type Response struct {
+	// Value is what the Planner returned.
+	Value any
+	// Source says which layer produced Value.
+	Source Source
+	// Elapsed is end-to-end time inside the engine.
+	Elapsed time.Duration
+	// Key is the cache key the request normalized to.
+	Key string
+}
+
+// Planner computes an answer. It must honor ctx cancellation; when it
+// returns an error wrapping context.DeadlineExceeded the engine
+// degrades to the fallback planner (if configured). sess is non-nil
+// when the request carries a session ID; planners may keep incremental
+// state there across a session's utterances.
+type Planner func(ctx context.Context, req Request, sess *Session) (any, error)
+
+// Config assembles an Engine. Planner is required; everything else
+// has serving-grade defaults.
+type Config struct {
+	// Planner computes answers on cache misses.
+	Planner Planner
+	// Fallback, when non-nil, is tried (with FallbackGrace budget)
+	// after Planner misses its deadline — e.g. greedy planning when
+	// ILP runs over. Its answer is cached like any other.
+	Fallback Planner
+	// FallbackGrace is the fallback's time budget (default 2s).
+	FallbackGrace time.Duration
+	// MaxInFlight bounds concurrently executing planner calls; excess
+	// requests queue for a slot (default 32, <= 0 uses default).
+	MaxInFlight int
+	// Timeout bounds one planning attempt (default 10s).
+	Timeout time.Duration
+	// CacheEntries sizes the answer cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// CacheTTL expires cached answers (default 5m; <= 0 means never,
+	// appropriate for immutable demo datasets).
+	CacheTTL time.Duration
+	// MaxSessions and SessionTTL bound the session store (defaults
+	// 4096 and 30m).
+	MaxSessions int
+	SessionTTL  time.Duration
+	// Dataset, Solver and WidthPx qualify the cache key so one process
+	// serving several configurations never crosses answers.
+	Dataset string
+	Solver  string
+	WidthPx int
+	// Metrics, when non-nil, is the registry to record into (so
+	// several engines can share one); nil allocates a fresh one.
+	Metrics *Metrics
+}
+
+// Engine is the concurrent serving core. Create with NewEngine; all
+// methods are safe for concurrent use.
+type Engine struct {
+	planner       Planner
+	fallback      Planner
+	fallbackGrace time.Duration
+	timeout       time.Duration
+	keySuffix     string
+
+	cache    *Cache
+	flight   flightGroup
+	sessions *SessionStore
+	slots    chan struct{}
+	metrics  *Metrics
+}
+
+// ErrNoPlanner reports a Config without a Planner.
+var ErrNoPlanner = errors.New("serve: Config.Planner is required")
+
+// NewEngine validates cfg and builds the engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Planner == nil {
+		return nil, ErrNoPlanner
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 32
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.FallbackGrace <= 0 {
+		cfg.FallbackGrace = 2 * time.Second
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 5 * time.Minute
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	return &Engine{
+		planner:       cfg.Planner,
+		fallback:      cfg.Fallback,
+		fallbackGrace: cfg.FallbackGrace,
+		timeout:       cfg.Timeout,
+		keySuffix:     "\x00" + cfg.Dataset + "\x00" + cfg.Solver + "\x00" + strconv.Itoa(cfg.WidthPx),
+		cache:         NewCache(cfg.CacheEntries, cfg.CacheTTL),
+		sessions:      NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
+		slots:         make(chan struct{}, cfg.MaxInFlight),
+		metrics:       m,
+	}, nil
+}
+
+// Metrics exposes the engine's registry (for mounting its handlers).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Cache exposes the answer cache (for stats endpoints and tests).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Sessions exposes the session store.
+func (e *Engine) Sessions() *SessionStore { return e.sessions }
+
+// Key normalizes a transcript into this engine's cache key: voice
+// transcripts differ in case and incidental whitespace without
+// differing in meaning, so both are folded before the configuration
+// qualifiers are appended.
+func (e *Engine) Key(transcript string) string {
+	return strings.Join(strings.Fields(strings.ToLower(transcript)), " ") + e.keySuffix
+}
+
+// Do answers one request through the serving stack: session reuse,
+// then the shared cache, then coalesced planning under the worker
+// pool. It returns ctx's error if the caller gives up first; planning
+// already in progress continues so its answer still lands in the cache.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	e.metrics.Requests.Inc()
+	e.metrics.InFlight.Inc()
+	defer func() {
+		e.metrics.InFlight.Dec()
+		e.metrics.EndToEnd.Observe(time.Since(start))
+	}()
+
+	key := e.Key(req.Transcript)
+	sess := e.sessions.Get(req.SessionID)
+
+	if !req.Refresh {
+		if sess != nil {
+			if v, ok := sess.reuse(key); ok {
+				e.metrics.SessionHits.Inc()
+				return &Response{Value: v, Source: SourceSession, Elapsed: time.Since(start), Key: key}, nil
+			}
+		}
+		if v, ok := e.cache.Get(key); ok {
+			e.metrics.CacheHits.Inc()
+			if sess != nil {
+				sess.remember(key, v)
+			}
+			return &Response{Value: v, Source: SourceCache, Elapsed: time.Since(start), Key: key}, nil
+		}
+		e.metrics.CacheMisses.Inc()
+	}
+
+	v, shared, err := e.flight.do(ctx, key, func() (any, error) {
+		return e.plan(req, sess)
+	})
+	if err != nil {
+		e.metrics.Errors.Inc()
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.metrics.Timeouts.Inc()
+		}
+		return nil, err
+	}
+	src := SourcePlanned
+	if shared {
+		src = SourceCoalesced
+		e.metrics.Coalesced.Inc()
+	} else if pv, ok := v.(plannedValue); ok && pv.fallback {
+		src = SourceFallback
+	}
+	if pv, ok := v.(plannedValue); ok {
+		v = pv.value
+	}
+	if sess != nil {
+		sess.remember(key, v)
+	}
+	return &Response{Value: v, Source: src, Elapsed: time.Since(start), Key: key}, nil
+}
+
+// plannedValue carries the fallback marker through the flight group.
+type plannedValue struct {
+	value    any
+	fallback bool
+}
+
+// plan is the leader path: acquire a worker slot, run the planner
+// under the engine timeout, degrade to the fallback on a deadline
+// miss, and publish the answer to the cache. It runs detached from any
+// single request's context — the answer benefits every coalesced
+// waiter and future cache hits, so one impatient client must not
+// abort it.
+func (e *Engine) plan(req Request, sess *Session) (any, error) {
+	slotCtx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	defer cancel()
+	select {
+	case e.slots <- struct{}{}:
+		defer func() { <-e.slots }()
+	case <-slotCtx.Done():
+		return nil, slotCtx.Err()
+	}
+
+	planStart := time.Now()
+	v, err := e.planner(slotCtx, req, sess)
+	usedFallback := false
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && e.fallback != nil {
+		e.metrics.Fallbacks.Inc()
+		graceCtx, graceCancel := context.WithTimeout(context.Background(), e.fallbackGrace)
+		v, err = e.fallback(graceCtx, req, sess)
+		graceCancel()
+		usedFallback = err == nil
+	}
+	e.metrics.Planning.Observe(time.Since(planStart))
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(e.Key(req.Transcript), v)
+	return plannedValue{value: v, fallback: usedFallback}, nil
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionStoreCreateAndReuse(t *testing.T) {
+	st := NewSessionStore(10, time.Minute)
+	if st.Get("") != nil {
+		t.Fatal("empty ID must yield no session")
+	}
+	s1 := st.Get("alice")
+	if s1 == nil || s1.ID != "alice" {
+		t.Fatalf("session = %+v", s1)
+	}
+	if st.Get("alice") != s1 {
+		t.Error("same ID returned a different session")
+	}
+	if st.Get("bob") == s1 {
+		t.Error("different IDs share a session")
+	}
+	if st.Len() != 2 {
+		t.Errorf("len = %d", st.Len())
+	}
+}
+
+func TestSessionStoreTTLExpiry(t *testing.T) {
+	st := NewSessionStore(10, time.Minute)
+	now := time.Unix(5000, 0)
+	st.now = func() time.Time { return now }
+	s1 := st.Get("alice")
+	s1.remember("k", "v")
+
+	// Within TTL the same session (and its state) comes back.
+	now = now.Add(59 * time.Second)
+	if st.Get("alice") != s1 {
+		t.Fatal("session expired early")
+	}
+	// The touch above restarted the idle clock.
+	now = now.Add(59 * time.Second)
+	if st.Get("alice") != s1 {
+		t.Fatal("touch did not refresh idle timer")
+	}
+	// Past TTL a fresh session replaces it.
+	now = now.Add(2 * time.Minute)
+	s2 := st.Get("alice")
+	if s2 == s1 {
+		t.Fatal("expired session survived")
+	}
+	if _, ok := s2.reuse("k"); ok {
+		t.Error("state leaked across session lifetimes")
+	}
+}
+
+func TestSessionStoreBoundedCount(t *testing.T) {
+	st := NewSessionStore(5, time.Minute)
+	now := time.Unix(9000, 0)
+	st.now = func() time.Time { return now }
+	for i := 0; i < 8; i++ {
+		now = now.Add(time.Second)
+		st.Get(fmt.Sprintf("u%d", i))
+	}
+	if st.Len() > 5 {
+		t.Errorf("store grew past max: %d", st.Len())
+	}
+	// The most recent sessions survive; the longest idle were evicted.
+	if st.Len() != 5 {
+		t.Errorf("len = %d, want 5", st.Len())
+	}
+}
+
+func TestSessionStateRoundTrip(t *testing.T) {
+	st := NewSessionStore(10, time.Minute)
+	s := st.Get("alice")
+	if s.State() != nil {
+		t.Fatal("fresh session has state")
+	}
+	s.SetState(42)
+	if st.Get("alice").State() != 42 {
+		t.Error("state lost")
+	}
+	if s.Queries() != 0 {
+		t.Errorf("queries = %d", s.Queries())
+	}
+	s.remember("k", "v")
+	if s.Queries() != 1 {
+		t.Errorf("queries = %d after remember", s.Queries())
+	}
+}
+
+func TestSessionStoreParallel(t *testing.T) {
+	st := NewSessionStore(50, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := st.Get(fmt.Sprintf("u%d", (g+i)%80))
+				if i%5 == 0 {
+					s.SetState(i)
+				} else {
+					s.State()
+				}
+				s.remember(fmt.Sprintf("k%d", i%7), i)
+				s.reuse("k0")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() > 50 {
+		t.Errorf("store overfull: %d", st.Len())
+	}
+}

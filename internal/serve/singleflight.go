@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller becomes the leader and runs fn in a
+// detached goroutine; every caller (leader's included) waits for the
+// shared result or its own context, whichever comes first. Because the
+// work outlives any single caller, a request that gives up waiting
+// does not abort the computation for the others — the result still
+// lands in the cache.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight shared execution.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	// dups counts callers beyond the leader, for metrics.
+	dups int
+}
+
+// do returns fn's result for key, executing it at most once across all
+// concurrent callers. shared reports whether this caller piggybacked
+// on another's execution. On ctx cancellation the caller returns early
+// with ctx.Err() while the execution continues for the rest.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

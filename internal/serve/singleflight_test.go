@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleflightExactlyOneCall(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 100
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	results := make([]any, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, shared, err := g.do(context.Background(), "k", func() (any, error) {
+				calls.Add(1)
+				<-gate // hold every caller in the same flight
+				return "answer", nil
+			})
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i], errs[i] = v, err
+		}(i)
+	}
+	close(start)
+	time.Sleep(50 * time.Millisecond) // let all callers join the flight
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn executed %d times for %d concurrent callers, want exactly 1", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != "answer" {
+			t.Fatalf("caller %d got (%v, %v)", i, results[i], errs[i])
+		}
+	}
+	if sc := sharedCount.Load(); sc != n-1 {
+		t.Errorf("shared callers = %d, want %d", sc, n-1)
+	}
+}
+
+func TestSingleflightSequentialCallsRunSeparately(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, shared, err := g.do(context.Background(), "k", func() (any, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("sequential calls coalesced: %d executions", calls.Load())
+	}
+}
+
+func TestSingleflightErrorShared(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.do(context.Background(), "k", func() (any, error) {
+				<-gate
+				return nil, boom
+			})
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d err = %v, want boom", i, err)
+		}
+	}
+}
+
+func TestSingleflightCallerCancellation(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	done := make(chan struct{})
+
+	// Leader starts a slow flight.
+	go func() {
+		defer close(done)
+		v, _, err := g.do(context.Background(), "k", func() (any, error) {
+			<-gate
+			return "late", nil
+		})
+		if err != nil || v != "late" {
+			t.Errorf("leader got (%v, %v)", v, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// A follower with a short deadline abandons the wait without
+	// aborting the leader's computation.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := g.do(ctx, "k", func() (any, error) {
+		t.Error("follower must not execute fn")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	<-done
+}

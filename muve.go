@@ -27,10 +27,12 @@
 package muve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"muve/internal/core"
@@ -138,12 +140,21 @@ func WithPresentation(m progressive.Method) Option {
 }
 
 // System is a configured MUVE instance over one table.
+//
+// A System is safe for concurrent use by multiple goroutines: the
+// catalog, pipeline and database are read-only after New, planning
+// state is created per Ask call, and the one mutable component — the
+// simulated speech channel's random source (enabled by
+// WithSpeechNoise) — is guarded by an internal mutex.
 type System struct {
 	db      *sqldb.DB
 	table   string
 	cfg     Config
 	catalog *nlq.Catalog
 	pipe    *nlq.Pipeline
+	// chMu serializes channel.Transcribe, whose *rand.Rand is not safe
+	// for concurrent use.
+	chMu    sync.Mutex
 	channel *speech.Channel
 }
 
@@ -211,14 +222,31 @@ type Answer struct {
 
 // Ask answers a natural-language query with a multiplot.
 func (s *System) Ask(text string) (*Answer, error) {
+	return s.AskContext(context.Background(), text)
+}
+
+// AskContext answers a natural-language query with a multiplot,
+// honoring ctx: cancellation and deadlines propagate into
+// visualization planning (solver checkpoints, ILP deadline capping)
+// and merged query execution, so an abandoned or over-budget request
+// stops consuming CPU early and returns ctx's error.
+func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
 	transcript := text
 	if s.channel != nil {
+		s.chMu.Lock()
 		transcript = s.channel.Transcribe(text)
+		s.chMu.Unlock()
 	}
 	top, err := s.pipe.Translator.Translate(transcript)
 	if err != nil {
 		return nil, err
 	}
+	return s.answer(ctx, transcript, top)
+}
+
+// answer runs the shared back half of Ask and AskQuery: candidate
+// generation, planning, execution, rendering-ready assembly.
+func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query) (*Answer, error) {
 	cands, err := s.pipe.Generator.Candidates(top)
 	if err != nil {
 		return nil, err
@@ -239,6 +267,7 @@ func (s *System) Ask(text string) (*Answer, error) {
 		Instance:   in,
 		Correct:    -1,
 		SampleSeed: uint64(s.cfg.Seed),
+		Ctx:        ctx,
 	}
 	method := s.cfg.Presentation
 	if method == nil {
@@ -333,42 +362,13 @@ func (a *Answer) SVG() string {
 // the caller already has structured input (tests, programmatic clients,
 // replaying query logs).
 func (s *System) AskQuery(q sqldb.Query) (*Answer, error) {
-	cands, err := s.pipe.Generator.Candidates(q)
-	if err != nil {
-		return nil, err
-	}
-	in := &core.Instance{
-		Candidates: cands,
-		Screen:     s.cfg.Screen,
-		Model:      s.cfg.Model,
-	}
-	ans := &Answer{
-		Transcript: q.SQL(),
-		TopQuery:   q,
-		Candidates: cands,
-		Headline:   headline(cands),
-	}
-	sess := &progressive.Session{
-		DB:         s.db,
-		Instance:   in,
-		Correct:    -1,
-		SampleSeed: uint64(s.cfg.Seed),
-	}
-	method := s.cfg.Presentation
-	if method == nil {
-		method = s.defaultMethod()
-	}
-	trace, err := method.Present(sess)
-	if err != nil {
-		return nil, err
-	}
-	ans.Trace = trace
-	if len(trace.Events) > 0 {
-		ans.Multiplot = trace.Events[len(trace.Events)-1].Multiplot
-	}
-	ans.Stats.Cost = in.Cost(ans.Multiplot)
-	ans.Stats.Duration = trace.TTime
-	return ans, nil
+	return s.AskQueryContext(context.Background(), q)
+}
+
+// AskQueryContext is AskQuery with the cancellation semantics of
+// AskContext.
+func (s *System) AskQueryContext(ctx context.Context, q sqldb.Query) (*Answer, error) {
+	return s.answer(ctx, q.SQL(), q)
 }
 
 // Catalog exposes the schema catalog the system matches against, e.g. for

@@ -1,8 +1,11 @@
 package muve
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -204,4 +207,67 @@ func TestAskQueryBypassesTranslation(t *testing.T) {
 	if sys.Catalog() == nil || len(sys.Catalog().Columns()) == 0 {
 		t.Error("catalog accessor broken")
 	}
+}
+
+func TestAskContextCancellation(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithWidth(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.AskContext(ctx, "how many complaints in Queens"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ask err = %v, want context.Canceled", err)
+	}
+	// An un-cancelled context answers normally.
+	ans, err := sys.AskContext(context.Background(), "how many complaints in Queens")
+	if err != nil || ans.Multiplot.NumPlots() == 0 {
+		t.Errorf("AskContext = %v, %v", ans, err)
+	}
+}
+
+func TestAskContextCancellationILP(t *testing.T) {
+	db := demoDB(t)
+	for _, solver := range []SolverKind{SolverILP, SolverILPIncremental} {
+		sys, err := New(db, "requests", WithWidth(700), WithSolver(solver))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := sys.AskContext(ctx, "how many complaints"); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: cancelled ask err = %v", solver, err)
+		}
+	}
+}
+
+// TestConcurrentAsk exercises the documented guarantee that one System
+// serves concurrent Ask calls (run with -race), including the
+// mutex-guarded speech channel.
+func TestConcurrentAsk(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithWidth(900), WithSpeechNoise(0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"how many complaints in Queens",
+		"how many noise complaints in brucklyn",
+		"average response hours in the bronx",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := sys.Ask(queries[(g+i)%len(queries)]); err != nil {
+					t.Errorf("concurrent ask: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
