@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve ci
+.PHONY: all build vet test race bench serve trace-smoke ci
 
 all: ci
 
@@ -27,4 +27,9 @@ bench:
 serve:
 	$(GO) run ./cmd/muveserver
 
-ci: vet build race
+# One traced query through the full pipeline; fails if any stage
+# recorded no spans, i.e. the instrumentation came unwired.
+trace-smoke:
+	$(GO) run ./cmd/muvebench -trace -trace-runs 1
+
+ci: vet build race trace-smoke

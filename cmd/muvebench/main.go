@@ -11,16 +11,31 @@
 //
 // With no positional arguments every experiment runs in paper order.
 // Otherwise pass ids such as "fig6 table1".
+//
+// Trace mode runs single queries through the full traced pipeline
+// instead of the experiment suite and prints the per-stage latency
+// breakdown (speech → phonetic → nlq → solver → progressive → viz):
+//
+//	muvebench -trace [-trace-query "..."] [-trace-solver ilp]
+//	          [-trace-runs 5] [-trace-chrome trace.json]
+//
+// -trace-chrome additionally writes the runs as Chrome trace_event
+// JSON loadable in chrome://tracing or ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"muve"
 	"muve/internal/bench"
+	"muve/internal/obs"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
 )
 
 func main() {
@@ -36,9 +51,19 @@ func run() error {
 		seedFlag = flag.Int64("seed", 1, "experiment seed")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir   = flag.String("csvdir", "", "also write <experiment>.csv files into this directory (re-executes each experiment)")
+
+		traceFlag   = flag.Bool("trace", false, "trace single queries through the pipeline instead of running experiments")
+		traceQuery  = flag.String("trace-query", "how many noise complaints in brooklin", "query for -trace mode")
+		traceSolver = flag.String("trace-solver", "ilp", "planner for -trace mode: greedy|ilp|ilp-inc")
+		traceRuns   = flag.Int("trace-runs", 5, "repetitions in -trace mode")
+		traceChrome = flag.String("trace-chrome", "", "also write Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Fast: *fastFlag, Seed: *seedFlag}
+
+	if *traceFlag {
+		return runTrace(*traceQuery, *traceSolver, *traceRuns, *traceChrome, *seedFlag)
+	}
 
 	all := bench.Experiments()
 	if *listFlag {
@@ -89,6 +114,72 @@ func run() error {
 			return fmt.Errorf("writing CSV for %s: %w", e.ID, err)
 		}
 		fmt.Printf("\n(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runTrace answers one query `runs` times with tracing attached and
+// prints the first run span-by-span plus a per-stage summary across all
+// runs. It fails (non-zero exit) when the pipeline recorded no spans —
+// that would mean the instrumentation came unwired.
+func runTrace(query, solverName string, runs int, chromePath string, seed int64) error {
+	var solver muve.SolverKind
+	switch solverName {
+	case "greedy":
+		solver = muve.SolverGreedy
+	case "ilp":
+		solver = muve.SolverILP
+	case "ilp-inc":
+		solver = muve.SolverILPIncremental
+	default:
+		return fmt.Errorf("unknown solver %q", solverName)
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	tbl, err := workload.Build(workload.NYC311, 20_000, seed)
+	if err != nil {
+		return err
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	sys, err := muve.New(db, workload.NYC311.String(), muve.WithSolver(solver))
+	if err != nil {
+		return err
+	}
+
+	traces := make([]*obs.Trace, 0, runs)
+	for i := 0; i < runs; i++ {
+		tr := obs.NewTrace("ask")
+		tr.ID = fmt.Sprintf("run-%d", i+1)
+		ctx := obs.WithTrace(context.Background(), tr)
+		if _, err := sys.AskContext(ctx, query); err != nil {
+			return err
+		}
+		tr.Finish()
+		traces = append(traces, tr)
+	}
+	for _, tr := range traces {
+		if tr.Len() == 0 {
+			return fmt.Errorf("trace %s recorded no spans — pipeline instrumentation is unwired", tr.ID)
+		}
+	}
+
+	fmt.Printf("query: %q  solver: %s  runs: %d\n\n", query, solverName, runs)
+	obs.WriteText(os.Stdout, traces[0])
+	fmt.Printf("\nper-stage summary over %d runs:\n", runs)
+	obs.WriteStageTable(os.Stdout, obs.StageSummary(traces))
+
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChrome(f, traces); err != nil {
+			return err
+		}
+		fmt.Printf("\nchrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", chromePath)
 	}
 	return nil
 }

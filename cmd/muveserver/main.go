@@ -11,8 +11,11 @@
 //	GET /ask.json?q=...        candidate distribution as JSON
 //	GET /trend?q=...&by=col    SVG line chart (trend extension)
 //	GET /healthz               liveness probe
-//	GET /metrics               Prometheus text metrics
+//	GET /metrics               Prometheus text metrics (incl. per-stage
+//	                           muve_stage_seconds histograms)
 //	GET /debug/vars            metrics as JSON (with p50/p95/p99)
+//	GET /debug/traces          recent pipeline traces (?format=json|text|chrome)
+//	GET /debug/pprof/*         Go profiling endpoints (with -pprof)
 //
 // /ask and /ask.json accept two optional parameters: sid=<id> binds
 // the request to a server-side session (consecutive utterances reuse
@@ -24,7 +27,13 @@
 //
 //	muveserver [-addr :8080] [-dataset nyc311] [-rows 50000] [-solver greedy]
 //	           [-max-inflight 32] [-cache-entries 1024] [-cache-ttl 5m]
-//	           [-timeout 10s]
+//	           [-timeout 10s] [-trace-buffer 128] [-pprof]
+//	           [-runtime-trace trace.out]
+//
+// -trace-buffer sizes the in-memory ring of recent request traces (0
+// disables tracing and /debug/traces serves an empty list). -pprof
+// mounts net/http/pprof under /debug/pprof/. -runtime-trace captures a
+// Go runtime execution trace into the given file for `go tool trace`.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.
@@ -39,14 +48,17 @@ import (
 	"html"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
+	"runtime/trace"
 	"strings"
 	"syscall"
 	"time"
 
 	"muve"
+	"muve/internal/obs"
 	"muve/internal/serve"
 	"muve/internal/sqldb"
 	"muve/internal/workload"
@@ -71,8 +83,27 @@ func run() error {
 		cacheFlag    = flag.Int("cache-entries", 1024, "answer cache capacity (negative disables)")
 		cacheTTLFlag = flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = never expire)")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Second, "per-request planning budget")
+		traceBufFlag = flag.Int("trace-buffer", 128, "recent request traces kept for /debug/traces (0 disables)")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		rtTraceFlag  = flag.String("runtime-trace", "", "capture a Go runtime trace into this file")
 	)
 	flag.Parse()
+
+	if *rtTraceFlag != "" {
+		f, err := os.Create(*rtTraceFlag)
+		if err != nil {
+			return err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+			log.Printf("muveserver runtime trace written to %s (view with: go tool trace %s)", *rtTraceFlag, *rtTraceFlag)
+		}()
+	}
 
 	ds, err := workload.ByName(*datasetFlag)
 	if err != nil {
@@ -114,7 +145,19 @@ func run() error {
 		return err
 	}
 
-	handler := serve.WithLogging(log.Default(), newMux(engine, sys, ds.String(), tbl.NumRows()))
+	ring := obs.NewRing(*traceBufFlag)
+	mux := newMux(engine, sys, ds.String(), tbl.NumRows())
+	mux.Handle("/debug/traces", obs.Handler(ring))
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// Logging runs outermost so the request ID it assigns is visible to
+	// the tracer (trace ID) and to the engine's own log lines.
+	handler := serve.WithLogging(log.Default(), serve.WithTracing(ring, engine.Metrics(), mux))
 	srv := &http.Server{
 		Addr:              *addrFlag,
 		Handler:           handler,
@@ -191,6 +234,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		Dataset:      table,
 		Solver:       cfg.solverName,
 		WidthPx:      cfg.widthPx,
+		Logger:       log.Default(),
 	})
 }
 

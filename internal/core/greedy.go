@@ -51,6 +51,14 @@ type Stats struct {
 	Cost float64
 	// Nodes counts branch-and-bound nodes (ILP only).
 	Nodes int
+	// LPSolves counts LP relaxations solved (ILP only).
+	LPSolves int
+	// SimplexIters totals simplex iterations across relaxations (ILP only).
+	SimplexIters int
+	// Incumbents counts incumbent-solution updates during search (ILP only).
+	Incumbents int
+	// Rounds counts greedy selection rounds, i.e. plots placed (greedy only).
+	Rounds int
 }
 
 // Solve runs the greedy algorithm (Algorithm 1). The deadline is ignored:
@@ -66,7 +74,7 @@ func (g *GreedySolver) Solve(in *Instance) (Multiplot, Stats, error) {
 		return Multiplot{}, Stats{}, err
 	}
 	// Phase 3: pick plots under the width knapsack.
-	m := g.pickPlots(in, colored)
+	m, rounds := g.pickPlots(in, colored)
 	if err := g.ctxErr(); err != nil {
 		return Multiplot{}, Stats{}, err
 	}
@@ -74,7 +82,7 @@ func (g *GreedySolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	if !g.SkipPolish {
 		m = polish(in, m)
 	}
-	st := Stats{Duration: time.Since(start), Cost: in.Cost(m)}
+	st := Stats{Duration: time.Since(start), Cost: in.Cost(m), Rounds: rounds}
 	return m, st, nil
 }
 
@@ -135,14 +143,16 @@ func (c coloredPlot) materialize() Plot {
 // pickPlots is Algorithm 4: greedy maximization of the submodular cost-
 // savings function over (plot, row) items subject to per-row width
 // knapsacks, plus the consistency constraint that each template
-// contributes at most one plot.
-func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) Multiplot {
+// contributes at most one plot. The second return value is the number of
+// selection rounds that placed a plot.
+func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) (Multiplot, int) {
 	rows := in.Screen.Rows
 	screenW := in.Screen.WidthUnits()
 	rowUsed := make([]int, rows)
 	usedTemplate := make(map[string]bool)
 	current := Multiplot{Rows: make([][]Plot, rows)}
 	currentCost := in.Cost(current)
+	rounds := 0
 
 	for {
 		// Checkpoint between selection rounds: an abandoned request
@@ -193,6 +203,7 @@ func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) Multiplot 
 		rowUsed[bestRow] += c.width
 		usedTemplate[c.group.Template.Key] = true
 		currentCost -= bestGain
+		rounds++
 	}
 	// Drop empty trailing rows for a tidy result.
 	out := Multiplot{}
@@ -201,7 +212,7 @@ func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) Multiplot 
 			out.Rows = append(out.Rows, r)
 		}
 	}
-	return out
+	return out, rounds
 }
 
 // polish removes redundant results shown in several plots and refills the

@@ -103,8 +103,11 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 		return Multiplot{}, Stats{}, err
 	}
 	st := Stats{
-		Duration: time.Since(start),
-		Nodes:    sol.Nodes,
+		Duration:     time.Since(start),
+		Nodes:        sol.Nodes,
+		LPSolves:     sol.LPSolves,
+		SimplexIters: sol.SimplexIters,
+		Incumbents:   sol.Incumbents,
 	}
 	switch sol.Status {
 	case ilp.StatusOptimal:

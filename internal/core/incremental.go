@@ -76,6 +76,9 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 
 	seq := k
 	var finalStats Stats
+	// Counters accumulate across sequences: each inner solve restarts the
+	// search, and observability wants the total work, not the last slice.
+	var nodes, lpSolves, simplexIters, incumbents int
 	for {
 		if s.Ctx != nil && s.Ctx.Err() != nil {
 			break
@@ -93,6 +96,10 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		if err != nil {
 			return Multiplot{}, Stats{}, err
 		}
+		nodes += st.Nodes
+		lpSolves += st.LPSolves
+		simplexIters += st.SimplexIters
+		incumbents += st.Incumbents
 		improved := !haveBest || st.Cost < bestCost-1e-9
 		if improved {
 			best, bestCost, haveBest = m, st.Cost, true
@@ -112,10 +119,13 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		emit(Update{Multiplot: best, Elapsed: total, Cost: bestCost, Final: true})
 	}
 	return best, Stats{
-		Duration: total,
-		TimedOut: !finalStats.Optimal,
-		Optimal:  finalStats.Optimal,
-		Cost:     bestCost,
-		Nodes:    finalStats.Nodes,
+		Duration:     total,
+		TimedOut:     !finalStats.Optimal,
+		Optimal:      finalStats.Optimal,
+		Cost:         bestCost,
+		Nodes:        nodes,
+		LPSolves:     lpSolves,
+		SimplexIters: simplexIters,
+		Incumbents:   incumbents,
 	}, nil
 }

@@ -38,6 +38,7 @@ func (m *Model) Solve(opt Options) (*Solution, error) {
 	if opt.WarmStart != nil && m.feasible(opt.WarmStart, 1e-6) {
 		s.incumbent = append([]float64(nil), opt.WarmStart...)
 		s.incumbentObj = m.evalObjective(opt.WarmStart)
+		s.incumbents++
 	}
 
 	rootFixed := make([]int8, len(m.vars)) // -1 unfixed, 0, 1 for binaries
@@ -47,7 +48,12 @@ func (m *Model) Solve(opt Options) (*Solution, error) {
 	s.rootBound = math.Inf(-1)
 	s.branch(rootFixed, true)
 
-	sol := &Solution{Nodes: s.nodes}
+	sol := &Solution{
+		Nodes:        s.nodes,
+		LPSolves:     s.lpSolves,
+		SimplexIters: s.simplexIters,
+		Incumbents:   s.incumbents,
+	}
 	switch {
 	case s.incumbent == nil && s.complete:
 		sol.Status = StatusInfeasible
@@ -79,6 +85,9 @@ type bbState struct {
 	incumbent    []float64
 	incumbentObj float64
 	nodes        int
+	lpSolves     int
+	simplexIters int
+	incumbents   int
 	complete     bool
 	rootBound    float64
 	stopped      bool
@@ -153,6 +162,7 @@ func (s *bbState) branch(fixed []int8, isRoot bool) {
 		if obj < s.incumbentObj {
 			s.incumbentObj = obj
 			s.incumbent = append([]float64(nil), x...)
+			s.incumbents++
 		}
 		return
 	}
@@ -191,6 +201,7 @@ func (s *bbState) tryRounding(x []float64, fixed []int8) {
 	if obj < s.incumbentObj {
 		s.incumbentObj = obj
 		s.incumbent = r
+		s.incumbents++
 	}
 }
 
@@ -268,6 +279,8 @@ func (s *bbState) solveRelaxation(fixed []int8) ([]float64, float64, lpStatus) {
 		p.b = append(p.b, vi.hi-vi.lo)
 	}
 	xs, obj, st := p.solveLP(s.opt.Deadline)
+	s.lpSolves++
+	s.simplexIters += p.iters
 	if st != lpOptimal {
 		return nil, 0, st
 	}

@@ -174,6 +174,13 @@ type Solution struct {
 	Values    []float64 // indexed by VarID; integer vars hold exact 0/1
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// LPSolves is the number of LP relaxations solved during the search.
+	LPSolves int
+	// SimplexIters is the total simplex iterations across all relaxations.
+	SimplexIters int
+	// Incumbents counts how many times a new best integer solution was
+	// adopted (warm start, integral relaxations, and rounding heuristic).
+	Incumbents int
 	// Bound is the best proven lower bound on the optimum (minimization).
 	Bound float64
 }

@@ -26,6 +26,9 @@ type lpProblem struct {
 	a     [][]float64 // m rows of length n
 	sense []Sense     // length m
 	b     []float64   // length m
+	// iters is the number of simplex iterations the last solveLP call
+	// performed (phase 1 + phase 2), for solver observability.
+	iters int
 }
 
 const (
@@ -37,6 +40,7 @@ const (
 // solveLP runs a dense two-phase primal simplex. It returns the primal
 // solution over the structural variables and the objective value.
 func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
+	p.iters = 0
 	m := len(p.a)
 	n := len(p.c)
 	if m == 0 {
@@ -165,7 +169,8 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 		for _, c := range artCols {
 			phase1[c] = 1
 		}
-		obj, st := runSimplex(t, basis, phase1, total, deadline, iterCap)
+		obj, iters, st := runSimplex(t, basis, phase1, total, deadline, iterCap)
+		p.iters += iters
 		if st == lpAborted {
 			return nil, 0, lpAborted
 		}
@@ -210,7 +215,8 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 	// Phase 2: minimize the real objective over structural + slack columns.
 	phase2 := make([]float64, total)
 	copy(phase2, p.c)
-	obj, st := runSimplex(t, basis, phase2, n+nSlack, deadline, iterCap)
+	obj, iters, st := runSimplex(t, basis, phase2, n+nSlack, deadline, iterCap)
+	p.iters += iters
 	switch st {
 	case lpAborted:
 		return nil, 0, lpAborted
@@ -228,8 +234,9 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 
 // runSimplex performs primal simplex iterations on the tableau with the
 // given cost vector, allowing entering columns only below colLimit. It
-// returns the objective value of the final basis.
-func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadline time.Time, iterCap int) (float64, lpStatus) {
+// returns the objective value of the final basis and the number of
+// iterations performed.
+func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadline time.Time, iterCap int) (float64, int, lpStatus) {
 	m := len(t)
 	total := len(t[0]) - 1
 	// Reduced cost row: z[j] = cost[j] - cB' B^-1 A_j, maintained by
@@ -248,10 +255,10 @@ func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadli
 	useBland := false
 	for iter := 0; ; iter++ {
 		if iter > iterCap {
-			return 0, lpAborted
+			return 0, iter, lpAborted
 		}
 		if iter&deadlineCheckMask == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-			return 0, lpAborted
+			return 0, iter, lpAborted
 		}
 		if iter > iterCap/2 {
 			useBland = true
@@ -270,7 +277,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadli
 			}
 		}
 		if enter == -1 {
-			return -z[total], lpOptimal
+			return -z[total], iter, lpOptimal
 		}
 		// Ratio test.
 		leave := -1
@@ -287,7 +294,7 @@ func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadli
 			}
 		}
 		if leave == -1 {
-			return 0, lpUnbounded
+			return 0, iter, lpUnbounded
 		}
 		pivotWithZ(t, basis, z, leave, enter, total)
 	}

@@ -1,10 +1,12 @@
 package nlq
 
 import (
+	"context"
 	"sort"
 	"strconv"
 
 	"muve/internal/core"
+	"muve/internal/obs"
 	"muve/internal/phonetic"
 	"muve/internal/sqldb"
 )
@@ -41,8 +43,32 @@ type alternative struct {
 // to 1, sorted by decreasing probability. The original query is always
 // among them (every element is its own best phonetic match).
 func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
-	if err := g.Catalog.Validate(); err != nil {
+	return g.CandidatesContext(context.Background(), q)
+}
+
+// CandidatesContext is Candidates with tracing: when ctx carries an
+// obs.Trace, the phonetic index lookups are recorded as one "phonetic"
+// span with the number of query elements expanded, alternatives scanned,
+// and candidates kept.
+func (g *Generator) CandidatesContext(ctx context.Context, q sqldb.Query) ([]core.Candidate, error) {
+	sp := obs.StartSpan(ctx, "phonetic")
+	out, scanned, elements, err := g.candidates(q)
+	if err != nil {
+		sp.SetErr(err).End()
 		return nil, err
+	}
+	sp.SetInt("elements", int64(elements)).
+		SetInt("scanned", int64(scanned)).
+		SetInt("kept", int64(len(out))).
+		End()
+	return out, nil
+}
+
+// candidates implements the expansion, reporting how many phonetic
+// alternatives were scanned across how many query elements.
+func (g *Generator) candidates(q sqldb.Query) (_ []core.Candidate, scanned, nElements int, _ error) {
+	if err := g.Catalog.Validate(); err != nil {
+		return nil, 0, 0, err
 	}
 	k := g.K
 	if k <= 0 {
@@ -63,6 +89,7 @@ func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
 				score: m.Score,
 				apply: func(qq *sqldb.Query) { qq.Aggs[0].Col = name },
 			})
+			scanned++
 		}
 		if len(alts) > 0 {
 			elements = append(elements, alts)
@@ -83,6 +110,7 @@ func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
 					score: m.Score,
 					apply: func(qq *sqldb.Query) { qq.Preds[pi].Values = []sqldb.Value{sqldb.Str(val)} },
 				})
+				scanned++
 			}
 		case sqldb.KindInt:
 			// Numeric constants vary over the column's distinct values,
@@ -90,6 +118,7 @@ func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
 			// ("twenty fifteen" mishears as nearby years, not random ones).
 			orig := strconv.FormatInt(p.Values[0].I, 10)
 			vals := g.Catalog.IntValues(p.Col)
+			scanned += len(vals)
 			scored := make([]alternative, 0, len(vals))
 			for _, iv := range vals {
 				iv := iv
@@ -109,8 +138,9 @@ func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
 			elements = append(elements, valAlts)
 		}
 	}
+	nElements = len(elements)
 	if len(elements) == 0 {
-		return []core.Candidate{{Query: q.Clone(), Prob: 1}}, nil
+		return []core.Candidate{{Query: q.Clone(), Prob: 1}}, scanned, nElements, nil
 	}
 	combos := topCombinations(elements, maxC)
 	out := make([]core.Candidate, 0, len(combos))
@@ -139,7 +169,7 @@ func (g *Generator) Candidates(q sqldb.Query) ([]core.Candidate, error) {
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Prob > out[j].Prob })
-	return out, nil
+	return out, scanned, nElements, nil
 }
 
 // combo is one choice per element with the product score.

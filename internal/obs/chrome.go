@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry a timestamp and duration in microseconds;
+// "M" metadata events name the synthetic threads. Loading the exported
+// file into chrome://tracing or ui.perfetto.dev shows each trace as one
+// thread with nested stage slices — a flame graph of the pipeline.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON object container variant of the format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the traces as a Chrome trace_event JSON document.
+// Each trace becomes one thread (tid = position, newest-first input
+// order preserved); timestamps are microseconds relative to the earliest
+// trace's Begin so concurrent requests line up on a shared axis.
+func WriteChrome(w io.Writer, traces []*Trace) error {
+	var epoch time.Time
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		if epoch.IsZero() || tr.Begin.Before(epoch) {
+			epoch = tr.Begin
+		}
+	}
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	tid := 0
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		tid++
+		label := tr.Name
+		if tr.ID != "" {
+			label += " " + tr.ID
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": label},
+		})
+		base := tr.Begin.Sub(epoch)
+		for _, sp := range tr.Spans() {
+			ev := chromeEvent{
+				Name:  sp.Stage,
+				Phase: "X",
+				PID:   1,
+				TID:   tid,
+				TS:    (base + sp.Offset).Microseconds(),
+				Dur:   sp.Dur.Microseconds(),
+			}
+			if len(sp.Attrs) > 0 {
+				ev.Args = make(map[string]any, len(sp.Attrs))
+				for _, a := range sp.Attrs {
+					ev.Args[a.Key] = a.Value()
+				}
+			}
+			file.TraceEvents = append(file.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

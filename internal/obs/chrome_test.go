@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteChromeGolden pins the exact trace_event JSON for a fixed
+// trace: the format is consumed by external tools (chrome://tracing,
+// Perfetto), so accidental shape changes must fail loudly.
+func TestWriteChromeGolden(t *testing.T) {
+	tr := NewTrace("ask")
+	tr.ID = "r-1"
+	tr.Begin = time.Unix(100, 0)
+	tr.RecordSpan("speech", 0, 500*time.Microsecond, Bool("simulated", false))
+	tr.RecordSpan("solver", 500*time.Microsecond, 2*time.Millisecond,
+		Int("bb_nodes", 12), Float("cost", 1.5))
+
+	var sb strings.Builder
+	if err := WriteChrome(&sb, []*Trace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"dur":0,"args":{"name":"ask r-1"}},` +
+		`{"name":"speech","ph":"X","pid":1,"tid":1,"ts":0,"dur":500,"args":{"simulated":false}},` +
+		`{"name":"solver","ph":"X","pid":1,"tid":1,"ts":500,"dur":2000,"args":{"bb_nodes":12,"cost":1.5}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if sb.String() != want {
+		t.Errorf("chrome export:\n got: %s\nwant: %s", sb.String(), want)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Error("export is not valid JSON")
+	}
+}
+
+func TestWriteChromeMultiTraceAxis(t *testing.T) {
+	// Two traces started 1ms apart share one time axis anchored at the
+	// earliest Begin.
+	early := NewTrace("a")
+	early.Begin = time.Unix(50, 0)
+	early.RecordSpan("nlq", 0, time.Millisecond)
+	late := NewTrace("b")
+	late.Begin = time.Unix(50, int64(time.Millisecond))
+	late.RecordSpan("nlq", 0, time.Millisecond)
+
+	var sb strings.Builder
+	// Newest-first input (as Ring.Snapshot returns) must still anchor on
+	// the chronologically earliest trace.
+	if err := WriteChrome(&sb, []*Trace{late, early, nil}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int    `json:"tid"`
+			TS   int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Events: meta(late), span(late ts=1000), meta(early), span(early ts=0).
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("events = %d", len(out.TraceEvents))
+	}
+	if out.TraceEvents[1].TS != 1000 {
+		t.Errorf("late trace ts = %d, want 1000", out.TraceEvents[1].TS)
+	}
+	if out.TraceEvents[3].TS != 0 {
+		t.Errorf("early trace ts = %d, want 0", out.TraceEvents[3].TS)
+	}
+	if out.TraceEvents[1].TID == out.TraceEvents[3].TID {
+		t.Error("traces share a tid")
+	}
+}

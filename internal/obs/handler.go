@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// spanJSON is the /debug/traces wire form of one span.
+type spanJSON struct {
+	Stage    string         `json:"stage"`
+	OffsetUS int64          `json:"offset_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// traceJSON is the /debug/traces wire form of one trace.
+type traceJSON struct {
+	Name       string     `json:"name"`
+	ID         string     `json:"id,omitempty"`
+	Begin      time.Time  `json:"begin"`
+	DurationUS int64      `json:"duration_us"`
+	Spans      []spanJSON `json:"spans"`
+}
+
+// Handler serves the ring's recent traces. Query parameters:
+//
+//	format=json    structured JSON (default)
+//	format=text    human-readable listing
+//	format=chrome  Chrome trace_event export (load in chrome://tracing)
+//	n=K            only the K most recent traces
+func Handler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		traces := r.Snapshot()
+		if nStr := req.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		switch req.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Content-Disposition", `attachment; filename="muve-trace.json"`)
+			if err := WriteChrome(w, traces); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tr := range traces {
+				WriteText(w, tr)
+			}
+		default:
+			out := make([]traceJSON, 0, len(traces))
+			for _, tr := range traces {
+				tj := traceJSON{
+					Name:       tr.Name,
+					ID:         tr.ID,
+					Begin:      tr.Begin,
+					DurationUS: tr.Duration().Microseconds(),
+					Spans:      []spanJSON{},
+				}
+				for _, sp := range tr.Spans() {
+					sj := spanJSON{
+						Stage:    sp.Stage,
+						OffsetUS: sp.Offset.Microseconds(),
+						DurUS:    sp.Dur.Microseconds(),
+					}
+					if len(sp.Attrs) > 0 {
+						sj.Attrs = make(map[string]any, len(sp.Attrs))
+						for _, a := range sp.Attrs {
+							sj.Attrs[a.Key] = a.Value()
+						}
+					}
+					tj.Spans = append(tj.Spans, sj)
+				}
+				out = append(out, tj)
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := json.NewEncoder(w).Encode(out); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func handlerRing() *Ring {
+	r := NewRing(4)
+	tr := NewTrace("/ask")
+	tr.ID = "r-7"
+	tr.RecordSpan("nlq", 0, time.Millisecond, Int("candidates", 20))
+	tr.RecordSpan("solver", time.Millisecond, 3*time.Millisecond)
+	tr.Finish()
+	r.Add(tr)
+	return r
+}
+
+func TestHandlerJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(handlerRing()).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var out []struct {
+		Name  string `json:"name"`
+		ID    string `json:"id"`
+		Spans []struct {
+			Stage string         `json:"stage"`
+			DurUS int64          `json:"dur_us"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(out) != 1 || out[0].Name != "/ask" || out[0].ID != "r-7" {
+		t.Fatalf("traces = %+v", out)
+	}
+	if len(out[0].Spans) != 2 || out[0].Spans[0].Stage != "nlq" || out[0].Spans[0].DurUS != 1000 {
+		t.Errorf("spans = %+v", out[0].Spans)
+	}
+	if out[0].Spans[0].Attrs["candidates"] != float64(20) {
+		t.Errorf("attrs = %v", out[0].Spans[0].Attrs)
+	}
+}
+
+func TestHandlerText(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(handlerRing()).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=text", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"trace /ask id=r-7", "nlq", "candidates=20"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in %q", want, body)
+		}
+	}
+}
+
+func TestHandlerChrome(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(handlerRing()).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=chrome", nil))
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("chrome export invalid JSON: %s", rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"traceEvents"`) {
+		t.Error("missing traceEvents")
+	}
+}
+
+func TestHandlerLimitAndEmpty(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(handlerRing()).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=0", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("n=0 body = %q", rec.Body.String())
+	}
+	// A nil ring (tracing disabled) serves an empty list, not an error.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("nil ring body = %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,339 @@
+// Package obs is MUVE's zero-dependency, allocation-light tracing
+// layer. A Trace carries an ordered list of Spans — one per pipeline
+// stage (speech, phonetic, nlq, solver, progressive, viz) — each with a
+// start offset, duration, and typed attributes such as branch-and-bound
+// nodes expanded or candidates scanned. Traces travel through
+// context.Context; instrumented code calls StartSpan(ctx, stage) and
+// pays a single pointer check when no trace is attached, so un-traced
+// calls are effectively free.
+//
+// Finished traces are collected in a concurrency-safe Ring of recent
+// traces, exposed over HTTP by Handler (JSON, human-readable text, and
+// Chrome trace_event export for flame-graph viewing in about:tracing /
+// Perfetto).
+//
+// The package deliberately depends on nothing but the standard library
+// so every layer of the pipeline — including the solver internals — can
+// import it without cycles.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// AttrKind discriminates the value stored in an Attr.
+type AttrKind uint8
+
+const (
+	// KindInt marks an integer attribute.
+	KindInt AttrKind = iota
+	// KindFloat marks a float attribute.
+	KindFloat
+	// KindString marks a string attribute.
+	KindString
+	// KindBool marks a boolean attribute (stored in Int as 0/1).
+	KindBool
+)
+
+// Attr is one typed key/value annotation on a span. Exactly one of the
+// value fields is meaningful, selected by Kind; keeping the variants
+// unboxed avoids an interface allocation per attribute.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, Int: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, Flt: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Kind: KindString, Str: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, Kind: KindBool}
+	if v {
+		a.Int = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value as an interface (for JSON export).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindFloat:
+		return a.Flt
+	case KindString:
+		return a.Str
+	case KindBool:
+		return a.Int != 0
+	default:
+		return a.Int
+	}
+}
+
+// String renders key=value.
+func (a Attr) String() string {
+	switch a.Kind {
+	case KindFloat:
+		return a.Key + "=" + strconv.FormatFloat(a.Flt, 'g', 4, 64)
+	case KindString:
+		return a.Key + "=" + a.Str
+	case KindBool:
+		return a.Key + "=" + strconv.FormatBool(a.Int != 0)
+	default:
+		return a.Key + "=" + strconv.FormatInt(a.Int, 10)
+	}
+}
+
+// Span is one timed stage of a trace. Offset and Dur are relative to the
+// trace's Begin time; Dur is zero until End is called (or forever, for
+// instant marks). Mutate spans only through their methods — they share
+// the owning trace's lock.
+type Span struct {
+	Stage  string
+	Offset time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+
+	open bool
+	t    *Trace
+}
+
+// Trace is the record of one request through the pipeline: an ordered,
+// append-only list of spans. All methods are safe for concurrent use; a
+// nil *Trace is a valid no-op receiver, which is the disabled-tracing
+// fast path.
+type Trace struct {
+	// Name labels the trace (e.g. the HTTP path or "ask").
+	Name string
+	// ID ties the trace to the serving layer's per-request ID; set it
+	// before handing the trace to concurrent recorders.
+	ID string
+	// Begin is the trace's wall-clock start, set by NewTrace. Exported so
+	// tests can pin it for deterministic export.
+	Begin time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	dur   time.Duration
+	done  bool
+}
+
+// NewTrace starts a trace now.
+func NewTrace(name string) *Trace {
+	return &Trace{Name: name, Begin: time.Now()}
+}
+
+// ctxKey is the private context key for the attached trace.
+type ctxKey struct{}
+
+// WithTrace attaches tr to the context.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the attached trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// StartSpan opens a span on the context's trace. Without a trace it
+// returns nil, and every Span method no-ops on a nil receiver — this is
+// the un-traced fast path.
+func StartSpan(ctx context.Context, stage string) *Span {
+	return FromContext(ctx).StartSpan(stage)
+}
+
+// StartSpan opens a span on the trace (nil-safe).
+func (t *Trace) StartSpan(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	sp := &Span{Stage: stage, Offset: time.Since(t.Begin), open: true, t: t}
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Mark records an instant (zero-duration) span, e.g. an engine event
+// like a deadline-miss fallback.
+func (t *Trace) Mark(stage string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, &Span{Stage: stage, Offset: time.Since(t.Begin), Attrs: attrs, t: t})
+	t.mu.Unlock()
+}
+
+// RecordSpan appends a fully specified span. Tests and external
+// recorders use it; live instrumentation should prefer StartSpan/End.
+func (t *Trace) RecordSpan(stage string, offset, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, &Span{Stage: stage, Offset: offset, Dur: dur, Attrs: attrs, t: t})
+	t.mu.Unlock()
+}
+
+// Finish seals the trace, recording its total duration. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.dur = time.Since(t.Begin)
+	}
+	t.mu.Unlock()
+}
+
+// Duration is the sealed total duration (zero before Finish).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur
+}
+
+// Len is the number of spans recorded so far.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a snapshot copy of the spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, sp := range t.spans {
+		out[i] = *sp
+	}
+	return out
+}
+
+// LastStage names the stage to blame for a budget blow-up: the most
+// recently started span that is still open or carries an "error"
+// attribute; failing that, the most recently started span. Empty when
+// the trace has no spans.
+func (t *Trace) LastStage() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	blame := ""
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		sp := t.spans[i]
+		if blame == "" {
+			blame = sp.Stage
+		}
+		if sp.open {
+			return sp.Stage
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "error" {
+				return sp.Stage
+			}
+		}
+	}
+	return blame
+}
+
+// End closes the span, fixing its duration. Safe on nil and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.open {
+		s.open = false
+		s.Dur = time.Since(s.t.Begin) - s.Offset
+	}
+	s.t.mu.Unlock()
+}
+
+// setAttr appends one attribute under the trace lock.
+func (s *Span) setAttr(a Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	s.Attrs = append(s.Attrs, a)
+	s.t.mu.Unlock()
+	return s
+}
+
+// SetInt records an integer attribute. Returns the span for chaining;
+// nil-safe like all span methods.
+func (s *Span) SetInt(key string, v int64) *Span { return s.setAttr(Int(key, v)) }
+
+// SetFloat records a float attribute.
+func (s *Span) SetFloat(key string, v float64) *Span { return s.setAttr(Float(key, v)) }
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, v string) *Span { return s.setAttr(Str(key, v)) }
+
+// SetBool records a boolean attribute.
+func (s *Span) SetBool(key string, v bool) *Span { return s.setAttr(Bool(key, v)) }
+
+// SetErr records err as an "error" attribute (no-op on nil err), which
+// also makes the span the trace's LastStage blame target.
+func (s *Span) SetErr(err error) *Span {
+	if s == nil || err == nil {
+		return s
+	}
+	return s.setAttr(Str("error", err.Error()))
+}
+
+// attrString renders a span's attributes as "{k=v k=v}" or "".
+func attrString(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	out := "{"
+	for i, a := range attrs {
+		if i > 0 {
+			out += " "
+		}
+		out += a.String()
+	}
+	return out + "}"
+}
+
+// String renders "stage dur {attrs}" for logs.
+func (s Span) String() string {
+	out := fmt.Sprintf("%s %v", s.Stage, s.Dur)
+	if as := attrString(s.Attrs); as != "" {
+		out += " " + as
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceFastPath(t *testing.T) {
+	// No trace in the context: StartSpan returns nil and every method
+	// no-ops without panicking.
+	sp := StartSpan(context.Background(), "speech")
+	if sp != nil {
+		t.Fatalf("StartSpan without trace = %v, want nil", sp)
+	}
+	sp.SetInt("n", 1).SetFloat("f", 2).SetStr("s", "x").SetBool("b", true).SetErr(nil)
+	sp.End()
+	var tr *Trace
+	tr.Mark("x")
+	tr.Finish()
+	if tr.Len() != 0 || tr.LastStage() != "" || tr.Duration() != 0 {
+		t.Error("nil trace methods not inert")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext = %v", got)
+	}
+}
+
+func TestSpanRecordingAndContext(t *testing.T) {
+	tr := NewTrace("ask")
+	tr.ID = "r-1"
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace not round-tripped through context")
+	}
+	sp := StartSpan(ctx, "solver")
+	sp.SetInt("bb_nodes", 42).SetBool("optimal", true)
+	sp.End()
+	tr.Mark("fallback", Str("blamed_stage", "solver"))
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Stage != "solver" || spans[1].Stage != "fallback" {
+		t.Errorf("stages = %q, %q", spans[0].Stage, spans[1].Stage)
+	}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[0].String() != "bb_nodes=42" {
+		t.Errorf("attrs = %v", spans[0].Attrs)
+	}
+	if spans[0].Dur < 0 {
+		t.Errorf("dur = %v", spans[0].Dur)
+	}
+	if tr.Duration() <= 0 {
+		t.Errorf("trace duration = %v", tr.Duration())
+	}
+	if s := spans[0].String(); !strings.Contains(s, "solver") || !strings.Contains(s, "optimal=true") {
+		t.Errorf("span string = %q", s)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	// Hammer one trace from many goroutines; run under -race via the
+	// Makefile ci target. Every span and attribute must survive.
+	tr := NewTrace("concurrent")
+	ctx := WithTrace(context.Background(), tr)
+	const goroutines, perG = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := StartSpan(ctx, "stage")
+				sp.SetInt("g", int64(g)).SetInt("i", int64(i))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.Finish()
+	spans := tr.Spans()
+	if len(spans) != goroutines*perG {
+		t.Fatalf("spans = %d, want %d", len(spans), goroutines*perG)
+	}
+	for _, sp := range spans {
+		if len(sp.Attrs) != 2 {
+			t.Fatalf("span attrs = %v", sp.Attrs)
+		}
+	}
+}
+
+func TestLastStageBlame(t *testing.T) {
+	tr := NewTrace("ask")
+	if tr.LastStage() != "" {
+		t.Errorf("empty trace blame = %q", tr.LastStage())
+	}
+	a := tr.StartSpan("nlq")
+	a.End()
+	if got := tr.LastStage(); got != "nlq" {
+		t.Errorf("blame = %q, want nlq", got)
+	}
+	// An open span wins over a later closed one.
+	open := tr.StartSpan("solver")
+	done := tr.StartSpan("viz")
+	done.End()
+	if got := tr.LastStage(); got != "solver" {
+		t.Errorf("blame = %q, want open solver", got)
+	}
+	open.End()
+	// With all spans closed, an error attribute wins.
+	tr.StartSpan("progressive").SetErr(context.DeadlineExceeded).End()
+	tr.StartSpan("late").End()
+	if got := tr.LastStage(); got != "progressive" {
+		t.Errorf("blame = %q, want errored progressive", got)
+	}
+}
+
+func TestAttrKindsAndStrings(t *testing.T) {
+	cases := []struct {
+		a Attr
+		s string
+		v any
+	}{
+		{Int("n", 7), "n=7", int64(7)},
+		{Float("f", 0.5), "f=0.5", 0.5},
+		{Str("s", "x"), "s=x", "x"},
+		{Bool("b", false), "b=false", false},
+	}
+	for _, c := range cases {
+		if c.a.String() != c.s {
+			t.Errorf("String() = %q, want %q", c.a.String(), c.s)
+		}
+		if c.a.Value() != c.v {
+			t.Errorf("Value() = %v, want %v", c.a.Value(), c.v)
+		}
+	}
+}
+
+func TestStageSummary(t *testing.T) {
+	tr := NewTrace("a")
+	tr.RecordSpan("nlq", 0, 2*time.Millisecond)
+	tr.RecordSpan("solver", 2*time.Millisecond, 10*time.Millisecond)
+	tr2 := NewTrace("b")
+	tr2.RecordSpan("solver", 0, 4*time.Millisecond)
+	stats := StageSummary([]*Trace{tr, tr2})
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Sorted by total descending: solver (14ms) before nlq (2ms).
+	if stats[0].Stage != "solver" || stats[0].Count != 2 || stats[0].Total != 14*time.Millisecond {
+		t.Errorf("solver stat = %+v", stats[0])
+	}
+	if stats[0].Min != 4*time.Millisecond || stats[0].Max != 10*time.Millisecond || stats[0].Mean() != 7*time.Millisecond {
+		t.Errorf("solver min/max/mean = %v/%v/%v", stats[0].Min, stats[0].Max, stats[0].Mean())
+	}
+	if stats[1].Stage != "nlq" || stats[1].Count != 1 {
+		t.Errorf("nlq stat = %+v", stats[1])
+	}
+	var sb strings.Builder
+	WriteStageTable(&sb, stats)
+	if !strings.Contains(sb.String(), "solver") || !strings.Contains(sb.String(), "mean") {
+		t.Errorf("table = %q", sb.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := NewTrace("ask")
+	tr.ID = "r-9"
+	tr.RecordSpan("speech", 0, time.Millisecond, Bool("simulated", true))
+	tr.Finish()
+	var sb strings.Builder
+	WriteText(&sb, tr)
+	out := sb.String()
+	for _, want := range []string{"trace ask id=r-9", "speech", "simulated=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	WriteText(&sb, nil) // must not panic
+}

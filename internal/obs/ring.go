@@ -1,0 +1,68 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity, concurrency-safe buffer of recent traces.
+// Once full, each Add evicts the oldest trace. A nil *Ring is a valid
+// no-op receiver (tracing disabled).
+type Ring struct {
+	mu  sync.Mutex
+	buf []*Trace
+	pos int // next write position
+	n   int // traces stored
+}
+
+// NewRing builds a ring holding up to capacity traces; capacity <= 0
+// returns nil, the disabled ring.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (r *Ring) Add(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.pos] = tr
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len is the number of traces currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap is the ring's capacity (0 when disabled).
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the held traces, newest first.
+func (r *Ring) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.pos-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

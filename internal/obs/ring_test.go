@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingDisabled(t *testing.T) {
+	r := NewRing(0)
+	if r != nil {
+		t.Fatalf("NewRing(0) = %v, want nil", r)
+	}
+	r.Add(NewTrace("x")) // nil ring must be inert
+	if r.Len() != 0 || r.Cap() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring not inert")
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	var added []*Trace
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(fmt.Sprintf("t%d", i))
+		added = append(added, tr)
+		r.Add(tr)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	// Oldest (t0, t1) evicted; snapshot is newest first: t4, t3, t2.
+	snap := r.Snapshot()
+	want := []string{"t4", "t3", "t2"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %d traces", len(snap))
+	}
+	for i, tr := range snap {
+		if tr.Name != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, tr.Name, want[i])
+		}
+	}
+	// Identity, not just names: the survivors are the exact traces added.
+	if snap[0] != added[4] || snap[2] != added[2] {
+		t.Error("snapshot returned different trace pointers")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(4)
+	a, b := NewTrace("a"), NewTrace("b")
+	r.Add(a)
+	r.Add(b)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0] != b || snap[1] != a {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestRingConcurrentAdd(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(NewTrace("t"))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Errorf("len = %d, want full ring", r.Len())
+	}
+}

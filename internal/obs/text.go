@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText renders one trace human-readably: a header line, then one
+// line per span with start offset, duration, and attributes.
+func WriteText(w io.Writer, tr *Trace) {
+	if tr == nil {
+		return
+	}
+	id := tr.ID
+	if id == "" {
+		id = "-"
+	}
+	fmt.Fprintf(w, "trace %s id=%s total=%v\n", tr.Name, id, tr.Duration().Round(time.Microsecond))
+	for _, sp := range tr.Spans() {
+		fmt.Fprintf(w, "  %10v  %-12s %10v", sp.Offset.Round(time.Microsecond), sp.Stage, sp.Dur.Round(time.Microsecond))
+		if as := attrString(sp.Attrs); as != "" {
+			fmt.Fprintf(w, "  %s", as)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// StageStat aggregates one stage's spans across traces.
+type StageStat struct {
+	Stage string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean is Total/Count (zero with no spans).
+func (s StageStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// StageSummary aggregates span durations by stage across the traces,
+// sorted by total time descending — the per-stage breakdown table that
+// attributes a blended latency number to pipeline stages.
+func StageSummary(traces []*Trace) []StageStat {
+	byStage := map[string]*StageStat{}
+	var order []string
+	for _, tr := range traces {
+		for _, sp := range tr.Spans() {
+			st, ok := byStage[sp.Stage]
+			if !ok {
+				st = &StageStat{Stage: sp.Stage, Min: sp.Dur}
+				byStage[sp.Stage] = st
+				order = append(order, sp.Stage)
+			}
+			st.Count++
+			st.Total += sp.Dur
+			if sp.Dur < st.Min {
+				st.Min = sp.Dur
+			}
+			if sp.Dur > st.Max {
+				st.Max = sp.Dur
+			}
+		}
+	}
+	out := make([]StageStat, 0, len(order))
+	for _, stage := range order {
+		out = append(out, *byStage[stage])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// WriteStageTable prints a StageSummary as an aligned text table.
+func WriteStageTable(w io.Writer, stats []StageStat) {
+	fmt.Fprintf(w, "%-12s %7s %12s %12s %12s %12s\n", "stage", "count", "total", "mean", "min", "max")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-12s %7d %12v %12v %12v %12v\n",
+			st.Stage, st.Count,
+			st.Total.Round(time.Microsecond), st.Mean().Round(time.Microsecond),
+			st.Min.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
+}

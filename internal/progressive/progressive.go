@@ -17,6 +17,7 @@ import (
 
 	"muve/internal/core"
 	"muve/internal/merge"
+	"muve/internal/obs"
 	"muve/internal/sqldb"
 )
 
@@ -66,12 +67,40 @@ type Trace struct {
 	// Updates counts visualization changes after the first paint — the
 	// churn that hurts clarity ratings in the paper's second user study.
 	Updates int
+	// EarlyStop records why refinement stopped before exhausting its
+	// budget: "optimal" (optimum proven), "cancelled" (context), or ""
+	// when the method simply ran to completion / spent the full budget.
+	EarlyStop string
+	// SampleRate is the sample rate of the first emitted visualization:
+	// 1 for exact-first methods, the approximation rate for App-* runs.
+	SampleRate float64
 }
 
 // Method is one presentation strategy.
 type Method interface {
 	Name() string
 	Present(s *Session) (*Trace, error)
+}
+
+// recordSolverStats attaches one planning call's counters to a "solver"
+// span: which planner ran, the achieved cost, and — for ILP-backed
+// planners — the internal search effort (branch-and-bound nodes, LP
+// relaxations, simplex iterations, incumbent updates). All setters are
+// nil-safe, so untraced sessions pay only the nil check.
+func recordSolverStats(sp *obs.Span, name string, st core.Stats) {
+	sp.SetStr("solver", name).
+		SetFloat("cost", st.Cost).
+		SetBool("optimal", st.Optimal).
+		SetBool("timed_out", st.TimedOut)
+	if st.Rounds > 0 {
+		sp.SetInt("rounds", int64(st.Rounds))
+	}
+	if st.LPSolves > 0 {
+		sp.SetInt("bb_nodes", int64(st.Nodes)).
+			SetInt("lp_solves", int64(st.LPSolves)).
+			SetInt("simplex_iters", int64(st.SimplexIters)).
+			SetInt("incumbents", int64(st.Incumbents))
+	}
 }
 
 // fillValues executes the multiplot's queries (merged) and writes results
@@ -230,15 +259,24 @@ func (d *Default) Name() string { return d.name }
 // Present runs the default strategy.
 func (d *Default) Present(s *Session) (*Trace, error) {
 	start := time.Now()
-	m, _, err := d.planner(s.Context(), s.Instance)
+	sp := obs.StartSpan(s.Context(), "solver")
+	m, st, err := d.planner(s.Context(), s.Instance)
 	if err != nil {
+		sp.SetErr(err).End()
 		return nil, err
 	}
+	recordSolverStats(sp, d.name, st)
+	sp.End()
 	filled, err := fillValues(s, m, 0)
 	if err != nil {
 		return nil, err
 	}
-	return finishTrace(s, []Event{{At: time.Since(start), Multiplot: filled}}), nil
+	tr := finishTrace(s, []Event{{At: time.Since(start), Multiplot: filled}})
+	tr.SampleRate = 1
+	if st.Optimal {
+		tr.EarlyStop = "optimal"
+	}
+	return tr, nil
 }
 
 // IncPlot is incremental plotting: "generates single plots sequentially.
@@ -254,10 +292,14 @@ func (IncPlot) Name() string { return "Inc-Plot" }
 func (IncPlot) Present(s *Session) (*Trace, error) {
 	start := time.Now()
 	g := &core.GreedySolver{Ctx: s.Ctx}
-	m, _, err := g.Solve(s.Instance)
+	sp := obs.StartSpan(s.Context(), "solver")
+	m, st, err := g.Solve(s.Instance)
 	if err != nil {
+		sp.SetErr(err).End()
 		return nil, err
 	}
+	recordSolverStats(sp, g.Name(), st)
+	sp.End()
 	// Order plots by covered probability mass.
 	type ref struct {
 		row, idx int
@@ -299,7 +341,9 @@ func (IncPlot) Present(s *Session) (*Trace, error) {
 	if len(events) == 0 {
 		events = []Event{{At: time.Since(start)}}
 	}
-	return finishTrace(s, events), nil
+	tr := finishTrace(s, events)
+	tr.SampleRate = 1
+	return tr, nil
 }
 
 // Approx presents an approximate multiplot computed on a data sample
@@ -334,10 +378,14 @@ func (a *Approx) Name() string { return a.name }
 func (a *Approx) Present(s *Session) (*Trace, error) {
 	start := time.Now()
 	g := &core.GreedySolver{Ctx: s.Ctx}
-	m, _, err := g.Solve(s.Instance)
+	sp := obs.StartSpan(s.Context(), "solver")
+	m, st, err := g.Solve(s.Instance)
 	if err != nil {
+		sp.SetErr(err).End()
 		return nil, err
 	}
+	recordSolverStats(sp, g.Name(), st)
+	sp.End()
 	rate := a.Rate
 	if rate <= 0 {
 		rate = a.dynamicRate(s, m)
@@ -355,7 +403,9 @@ func (a *Approx) Present(s *Session) (*Trace, error) {
 		return nil, err
 	}
 	events = append(events, Event{At: time.Since(start), Multiplot: exact})
-	return finishTrace(s, events), nil
+	tr := finishTrace(s, events)
+	tr.SampleRate = rate
+	return tr, nil
 }
 
 // dynamicRate picks the largest sample rate whose estimated cost fits the
@@ -419,7 +469,10 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 	inc.Ctx = s.Ctx
 	var events []Event
 	var execErr error
-	_, _, err := inc.Solve(s.Instance, func(u core.Update) {
+	// The span covers the full incremental run, interleaved query
+	// execution included: that is what the user actually waits for.
+	sp := obs.StartSpan(s.Context(), "solver")
+	_, st, err := inc.Solve(s.Instance, func(u core.Update) {
 		if execErr != nil {
 			return
 		}
@@ -435,15 +488,27 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 		events = append(events, Event{At: time.Since(start), Multiplot: filled})
 	})
 	if err != nil {
+		sp.SetErr(err).End()
 		return nil, err
 	}
 	if execErr != nil {
+		sp.SetErr(execErr).End()
 		return nil, execErr
 	}
+	recordSolverStats(sp, inc.Name(), st)
+	sp.End()
 	if len(events) == 0 {
 		events = []Event{{At: time.Since(start)}}
 	}
-	return finishTrace(s, events), nil
+	tr := finishTrace(s, events)
+	tr.SampleRate = 1
+	switch {
+	case st.Optimal:
+		tr.EarlyStop = "optimal"
+	case s.Ctx != nil && s.Ctx.Err() != nil:
+		tr.EarlyStop = "cancelled"
+	}
+	return tr, nil
 }
 
 // StandardMethods returns the method set compared in Figures 9, 11 and 13,

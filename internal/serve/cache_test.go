@@ -45,7 +45,7 @@ func TestCacheEvictionOrder(t *testing.T) {
 	// Capacity cacheShards means one entry per shard: the fifth insert
 	// into one shard must evict exactly that shard's LRU entry.
 	keys := sameShardKeys(5)
-	c := NewCache(4 * cacheShards, 0)
+	c := NewCache(4*cacheShards, 0)
 	for _, k := range keys[:4] {
 		c.Put(k, k)
 	}

@@ -3,8 +3,12 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"muve/internal/obs"
 )
 
 // Counter is a monotonically increasing metric. The zero value is
@@ -86,27 +90,49 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(uint64(h.sum.Load()) / n)
 }
 
-// Quantile estimates the q-quantile (0 < q < 1) as the upper bound of
-// the bucket containing it — an overestimate by at most one bucket
-// width (2x), which is the usual histogram-quantile tradeoff.
+// Quantile estimates the q-quantile (0 < q < 1) by locating the bucket
+// containing the rank and interpolating linearly within it, exactly as
+// Prometheus's histogram_quantile does. The first bucket interpolates
+// from 0 and the overflow bucket is assumed to span one more doubling,
+// so estimates are never clamped to a bucket bound.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+	if q < 0 {
+		q = 0
 	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
 	var cum uint64
 	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum > rank {
-			if i < len(histBuckets) {
-				return histBuckets[i]
-			}
-			return 2 * histBuckets[len(histBuckets)-1] // +Inf bucket
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
 		}
+		if float64(cum)+float64(c) >= rank {
+			var lo, hi time.Duration
+			switch {
+			case i == 0:
+				lo, hi = 0, histBuckets[0]
+			case i < len(histBuckets):
+				lo, hi = histBuckets[i-1], histBuckets[i]
+			default: // +Inf bucket
+				lo, hi = histBuckets[len(histBuckets)-1], 2*histBuckets[len(histBuckets)-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
 	}
 	return 2 * histBuckets[len(histBuckets)-1]
 }
@@ -144,6 +170,82 @@ type Metrics struct {
 	Planning Histogram
 	// EndToEnd observes full Engine.Do latency (hits and misses).
 	EndToEnd Histogram
+
+	// stageMu guards the label maps below; the hot path takes it only
+	// long enough to look up (or lazily create) a pointer, and the
+	// pointed-to Histogram/Counter are then updated lock-free.
+	stageMu          sync.RWMutex
+	stages           map[string]*Histogram
+	fallbacksByStage map[string]*Counter
+}
+
+// Stage returns the latency histogram for one pipeline stage (speech,
+// phonetic, nlq, solver, progressive, viz, ...), creating it on first
+// use. Safe for concurrent use.
+func (m *Metrics) Stage(stage string) *Histogram {
+	m.stageMu.RLock()
+	h := m.stages[stage]
+	m.stageMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	if h = m.stages[stage]; h != nil {
+		return h
+	}
+	if m.stages == nil {
+		m.stages = make(map[string]*Histogram)
+	}
+	h = &Histogram{}
+	m.stages[stage] = h
+	return h
+}
+
+// StageFallback counts one primary-planner deadline miss blamed on the
+// given pipeline stage (the stage the trace was in when time ran out).
+func (m *Metrics) StageFallback(stage string) {
+	m.stageMu.RLock()
+	c := m.fallbacksByStage[stage]
+	m.stageMu.RUnlock()
+	if c == nil {
+		m.stageMu.Lock()
+		if c = m.fallbacksByStage[stage]; c == nil {
+			if m.fallbacksByStage == nil {
+				m.fallbacksByStage = make(map[string]*Counter)
+			}
+			c = &Counter{}
+			m.fallbacksByStage[stage] = c
+		}
+		m.stageMu.Unlock()
+	}
+	c.Inc()
+}
+
+// ObserveTrace folds a finished trace's spans into the per-stage
+// latency histograms. Zero-duration spans are point markers (e.g. the
+// "fallback" blame mark), not latencies, and are skipped. A nil trace
+// is a no-op.
+func (m *Metrics) ObserveTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Dur <= 0 {
+			continue
+		}
+		m.Stage(sp.Stage).Observe(sp.Dur)
+	}
+}
+
+// sortedKeys returns the map's keys in stable order for rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // writeHistogram renders one histogram in Prometheus text format.
@@ -161,6 +263,26 @@ func writeHistogram(w http.ResponseWriter, name string, h *Histogram) {
 	}
 	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(sum).Seconds())
 	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// writeStageHistograms renders the per-stage histogram family: one
+// bucket/sum/count series per stage label under a single # TYPE header.
+func writeStageHistograms(w http.ResponseWriter, name string, stages map[string]*Histogram, keys []string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, stage := range keys {
+		counts, sum, count := stages[stage].snapshot()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(histBuckets) {
+				le = fmt.Sprintf("%g", histBuckets[i].Seconds())
+			}
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage, time.Duration(sum).Seconds())
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, count)
+	}
 }
 
 // Handler serves the registry in Prometheus text exposition format
@@ -187,6 +309,25 @@ func (m *Metrics) Handler() http.Handler {
 		fmt.Fprintf(w, "# TYPE muve_inflight gauge\nmuve_inflight %d\n", m.InFlight.Value())
 		writeHistogram(w, "muve_planning_seconds", &m.Planning)
 		writeHistogram(w, "muve_request_seconds", &m.EndToEnd)
+		m.stageMu.RLock()
+		stages := make(map[string]*Histogram, len(m.stages))
+		for k, v := range m.stages {
+			stages[k] = v
+		}
+		fallbacks := make(map[string]*Counter, len(m.fallbacksByStage))
+		for k, v := range m.fallbacksByStage {
+			fallbacks[k] = v
+		}
+		m.stageMu.RUnlock()
+		if len(stages) > 0 {
+			writeStageHistograms(w, "muve_stage_seconds", stages, sortedKeys(stages))
+		}
+		if len(fallbacks) > 0 {
+			fmt.Fprintf(w, "# TYPE muve_fallbacks_by_stage_total counter\n")
+			for _, k := range sortedKeys(fallbacks) {
+				fmt.Fprintf(w, "muve_fallbacks_by_stage_total{stage=%q} %d\n", k, fallbacks[k].Value())
+			}
+		}
 	})
 }
 

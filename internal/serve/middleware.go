@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"muve/internal/obs"
 )
 
 // ctxKey is the private context-key namespace of this package.
@@ -67,5 +69,28 @@ func WithLogging(logger *log.Logger, next http.Handler) http.Handler {
 		}
 		logger.Printf("req %s %s %s -> %d %dB %s",
 			id, r.Method, r.URL.RequestURI(), status, sw.bytes, time.Since(start).Round(10*time.Microsecond))
+	})
+}
+
+// WithTracing wraps next so every request runs under a fresh obs.Trace
+// named after its path: pipeline stages record spans into it, the
+// finished trace lands in ring (served at /debug/traces), and its
+// per-stage durations fold into metrics' muve_stage_seconds histograms.
+// The trace ID is the request ID when WithLogging runs outside this
+// middleware. A nil ring disables tracing entirely — next runs without
+// a trace in context, so instrumented code takes its nil fast path.
+func WithTracing(ring *obs.Ring, metrics *Metrics, next http.Handler) http.Handler {
+	if ring == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.URL.Path)
+		tr.ID = RequestID(r.Context())
+		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		tr.Finish()
+		ring.Add(tr)
+		if metrics != nil {
+			metrics.ObserveTrace(tr)
+		}
 	})
 }

@@ -28,9 +28,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"log"
 	"strconv"
 	"strings"
 	"time"
+
+	"muve/internal/obs"
 )
 
 // Request is one query to answer.
@@ -114,6 +117,10 @@ type Config struct {
 	// Metrics, when non-nil, is the registry to record into (so
 	// several engines can share one); nil allocates a fresh one.
 	Metrics *Metrics
+	// Logger, when non-nil, receives engine-level events (fallback
+	// degradations, planner errors) tagged with the request ID from
+	// the logging middleware. Nil disables engine logging.
+	Logger *log.Logger
 }
 
 // Engine is the concurrent serving core. Create with NewEngine; all
@@ -130,6 +137,7 @@ type Engine struct {
 	sessions *SessionStore
 	slots    chan struct{}
 	metrics  *Metrics
+	logger   *log.Logger
 }
 
 // ErrNoPlanner reports a Config without a Planner.
@@ -169,6 +177,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		sessions:      NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
 		slots:         make(chan struct{}, cfg.MaxInFlight),
 		metrics:       m,
+		logger:        cfg.Logger,
 	}, nil
 }
 
@@ -223,7 +232,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	v, shared, err := e.flight.do(ctx, key, func() (any, error) {
-		return e.plan(req, sess)
+		return e.plan(ctx, req, sess)
 	})
 	if err != nil {
 		e.metrics.Errors.Inc()
@@ -257,12 +266,19 @@ type plannedValue struct {
 // plan is the leader path: acquire a worker slot, run the planner
 // under the engine timeout, degrade to the fallback on a deadline
 // miss, and publish the answer to the cache. It runs detached from any
-// single request's context — the answer benefits every coalesced
+// single request's cancellation — the answer benefits every coalesced
 // waiter and future cache hits, so one impatient client must not
-// abort it.
-func (e *Engine) plan(req Request, sess *Session) (any, error) {
+// abort it. callerCtx is consulted only for identity: the leader's
+// trace and request ID carry through so planning spans are recorded
+// (coalesced followers contribute no spans of their own).
+func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (any, error) {
+	tr := obs.FromContext(callerCtx)
+	reqID := RequestID(callerCtx)
 	slotCtx, cancel := context.WithTimeout(context.Background(), e.timeout)
 	defer cancel()
+	if tr != nil {
+		slotCtx = obs.WithTrace(slotCtx, tr)
+	}
 	select {
 	case e.slots <- struct{}{}:
 		defer func() { <-e.slots }()
@@ -275,13 +291,31 @@ func (e *Engine) plan(req Request, sess *Session) (any, error) {
 	usedFallback := false
 	if err != nil && errors.Is(err, context.DeadlineExceeded) && e.fallback != nil {
 		e.metrics.Fallbacks.Inc()
+		// Blame the stage the pipeline was in when the deadline hit and
+		// record it both as a labeled counter and on the trace itself.
+		stage := tr.LastStage()
+		if stage == "" {
+			stage = "unknown"
+		}
+		e.metrics.StageFallback(stage)
+		tr.Mark("fallback", obs.Str("blamed_stage", stage))
+		if e.logger != nil {
+			e.logger.Printf("plan %s: primary planner missed deadline in stage %q after %s, degrading to fallback",
+				reqID, stage, time.Since(planStart).Round(time.Millisecond))
+		}
 		graceCtx, graceCancel := context.WithTimeout(context.Background(), e.fallbackGrace)
+		if tr != nil {
+			graceCtx = obs.WithTrace(graceCtx, tr)
+		}
 		v, err = e.fallback(graceCtx, req, sess)
 		graceCancel()
 		usedFallback = err == nil
 	}
 	e.metrics.Planning.Observe(time.Since(planStart))
 	if err != nil {
+		if e.logger != nil {
+			e.logger.Printf("plan %s: %v", reqID, err)
+		}
 		return nil, err
 	}
 	e.cache.Put(e.Key(req.Transcript), v)

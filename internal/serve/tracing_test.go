@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"muve/internal/obs"
+)
+
+func TestWithTracingRecordsTrace(t *testing.T) {
+	ring := obs.NewRing(4)
+	m := &Metrics{}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.StartSpan(r.Context(), "solver")
+		sp.SetInt("bb_nodes", 3)
+		sp.End()
+		fmt.Fprint(w, "ok")
+	})
+	// Logging outside tracing, as muveserver wires it: the request ID
+	// must flow into the trace ID.
+	h := WithLogging(log.New(io.Discard, "", 0), WithTracing(ring, m, inner))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ask?q=x", nil))
+
+	if ring.Len() != 1 {
+		t.Fatalf("ring len = %d, want 1", ring.Len())
+	}
+	tr := ring.Snapshot()[0]
+	if tr.Name != "/ask" {
+		t.Errorf("trace name = %q", tr.Name)
+	}
+	if tr.ID == "" || tr.ID != rec.Header().Get("X-Request-Id") {
+		t.Errorf("trace ID = %q, want request ID %q", tr.ID, rec.Header().Get("X-Request-Id"))
+	}
+	if tr.Len() != 1 || tr.Spans()[0].Stage != "solver" {
+		t.Errorf("spans = %+v", tr.Spans())
+	}
+	// The span duration must have landed in the per-stage histogram.
+	if got := m.Stage("solver").Count(); got != 1 {
+		t.Errorf("solver stage observations = %d, want 1", got)
+	}
+}
+
+func TestWithTracingNilRingDisabled(t *testing.T) {
+	var sawTrace bool
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawTrace = obs.FromContext(r.Context()) != nil
+	})
+	h := WithTracing(nil, nil, inner)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if sawTrace {
+		t.Error("nil ring must not attach a trace")
+	}
+}
+
+func TestEngineFallbackBlamesStage(t *testing.T) {
+	m := &Metrics{}
+	eng, err := NewEngine(Config{
+		Metrics: m,
+		Planner: func(ctx context.Context, req Request, sess *Session) (any, error) {
+			// Simulate an ILP solve that ran out of time mid-stage.
+			sp := obs.StartSpan(ctx, "solver")
+			sp.End()
+			return nil, fmt.Errorf("solve: %w", context.DeadlineExceeded)
+		},
+		Fallback: func(ctx context.Context, req Request, sess *Session) (any, error) {
+			return "greedy-answer", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace("/ask")
+	ctx := obs.WithTrace(context.Background(), tr)
+	resp, err := eng.Do(ctx, Request{Transcript: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != SourceFallback || resp.Value != "greedy-answer" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if m.Fallbacks.Value() != 1 {
+		t.Errorf("fallbacks = %d", m.Fallbacks.Value())
+	}
+
+	// The trace carries the fallback marker with the blamed stage.
+	var mark *obs.Span
+	for _, sp := range tr.Spans() {
+		if sp.Stage == "fallback" {
+			sp := sp
+			mark = &sp
+		}
+	}
+	if mark == nil {
+		t.Fatal("no fallback span recorded on the trace")
+	}
+	if len(mark.Attrs) != 1 || mark.Attrs[0].String() != "blamed_stage=solver" {
+		t.Errorf("fallback attrs = %v", mark.Attrs)
+	}
+
+	// /metrics exposes the labeled counter and per-stage histograms —
+	// but the zero-duration fallback marker must not become a bogus
+	// latency series.
+	tr.Finish()
+	m.ObserveTrace(tr)
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `muve_fallbacks_by_stage_total{stage="solver"} 1`) {
+		t.Errorf("missing labeled fallback counter in:\n%s", body)
+	}
+	if strings.Contains(body, `muve_stage_seconds_count{stage="fallback"}`) {
+		t.Errorf("fallback marker leaked into stage histograms:\n%s", body)
+	}
+}
+
+func TestEngineFallbackWithoutTraceBlamesUnknown(t *testing.T) {
+	m := &Metrics{}
+	eng, err := NewEngine(Config{
+		Metrics: m,
+		Planner: func(ctx context.Context, req Request, sess *Session) (any, error) {
+			return nil, context.DeadlineExceeded
+		},
+		Fallback: func(ctx context.Context, req Request, sess *Session) (any, error) {
+			return "v", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Do(context.Background(), Request{Transcript: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `muve_fallbacks_by_stage_total{stage="unknown"} 1`) {
+		t.Errorf("missing unknown-stage fallback counter in:\n%s", rec.Body.String())
+	}
+}
+
+func TestMetricsStageHistogramExposition(t *testing.T) {
+	m := &Metrics{}
+	m.Stage("nlq").Observe(150 * time.Microsecond)
+	m.Stage("solver").Observe(5 * time.Millisecond)
+	m.Stage("solver").Observe(7 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE muve_stage_seconds histogram",
+		`muve_stage_seconds_bucket{stage="nlq",le="0.0002"} 1`,
+		`muve_stage_seconds_bucket{stage="solver",le="+Inf"} 2`,
+		`muve_stage_seconds_count{stage="nlq"} 1`,
+		`muve_stage_seconds_count{stage="solver"} 2`,
+		`muve_stage_seconds_sum{stage="solver"} 0.012`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+	// Stage series must come out in sorted label order for stable scrapes.
+	if strings.Index(body, `stage="nlq"`) > strings.Index(body, `stage="solver"`) {
+		t.Error("stage series not sorted")
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	var h Histogram
+	// 90 observations of 150µs land in the (100µs, 200µs] bucket; the
+	// p50 must interpolate inside the bucket, not clamp to 200µs.
+	for i := 0; i < 90; i++ {
+		h.Observe(150 * time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 100*time.Microsecond || p50 >= 200*time.Microsecond {
+		t.Errorf("p50 = %v, want interior of (100µs, 200µs)", p50)
+	}
+	// A single observation in the first bucket interpolates from 0.
+	var h2 Histogram
+	h2.Observe(50 * time.Microsecond)
+	if q := h2.Quantile(0.5); q <= 0 || q >= 100*time.Microsecond {
+		t.Errorf("first-bucket p50 = %v, want interior of (0, 100µs)", q)
+	}
+	// An overflow observation interpolates into the assumed extra
+	// doubling rather than returning a fixed cap.
+	var h3 Histogram
+	h3.Observe(time.Hour)
+	last := histBuckets[len(histBuckets)-1]
+	if q := h3.Quantile(0.5); q <= last || q > 2*last {
+		t.Errorf("overflow p50 = %v, want within (%v, %v]", q, last, 2*last)
+	}
+}

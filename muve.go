@@ -37,6 +37,7 @@ import (
 
 	"muve/internal/core"
 	"muve/internal/nlq"
+	"muve/internal/obs"
 	"muve/internal/progressive"
 	"muve/internal/speech"
 	"muve/internal/sqldb"
@@ -231,12 +232,16 @@ func (s *System) Ask(text string) (*Answer, error) {
 // and merged query execution, so an abandoned or over-budget request
 // stops consuming CPU early and returns ctx's error.
 func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
+	sp := obs.StartSpan(ctx, "speech")
 	transcript := text
 	if s.channel != nil {
 		s.chMu.Lock()
 		transcript = s.channel.Transcribe(text)
 		s.chMu.Unlock()
 	}
+	sp.SetBool("simulated", s.channel != nil).
+		SetInt("words", int64(len(strings.Fields(transcript)))).
+		End()
 	top, err := s.pipe.Translator.Translate(transcript)
 	if err != nil {
 		return nil, err
@@ -247,10 +252,13 @@ func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
 // answer runs the shared back half of Ask and AskQuery: candidate
 // generation, planning, execution, rendering-ready assembly.
 func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query) (*Answer, error) {
-	cands, err := s.pipe.Generator.Candidates(top)
+	sp := obs.StartSpan(ctx, "nlq")
+	cands, err := s.pipe.Generator.CandidatesContext(ctx, top)
 	if err != nil {
+		sp.SetErr(err).End()
 		return nil, err
 	}
+	sp.SetInt("candidates", int64(len(cands))).End()
 	in := &core.Instance{
 		Candidates: cands,
 		Screen:     s.cfg.Screen,
@@ -273,16 +281,32 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 	if method == nil {
 		method = s.defaultMethod()
 	}
+	psp := obs.StartSpan(ctx, "progressive")
 	trace, err := method.Present(sess)
 	if err != nil {
+		psp.SetErr(err).End()
 		return nil, err
 	}
+	psp.SetStr("method", method.Name()).
+		SetInt("events", int64(len(trace.Events))).
+		SetInt("updates", int64(trace.Updates)).
+		SetFloat("sample_rate", trace.SampleRate)
+	if trace.EarlyStop != "" {
+		psp.SetStr("early_stop", trace.EarlyStop)
+	}
+	psp.End()
 	ans.Trace = trace
+	vsp := obs.StartSpan(ctx, "viz")
 	if len(trace.Events) > 0 {
 		ans.Multiplot = trace.Events[len(trace.Events)-1].Multiplot
 	}
 	ans.Stats.Cost = in.Cost(ans.Multiplot)
 	ans.Stats.Duration = trace.TTime
+	bars, redBars, plots, _ := ans.Multiplot.Counts()
+	vsp.SetInt("plots", int64(plots)).
+		SetInt("bars", int64(bars)).
+		SetInt("red_bars", int64(redBars)).
+		End()
 	return ans, nil
 }
 
