@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve trace-smoke ci
+.PHONY: all build vet test race bench serve trace-smoke chaos-smoke ci
 
 all: ci
 
@@ -32,4 +32,12 @@ serve:
 trace-smoke:
 	$(GO) run ./cmd/muvebench -trace -trace-runs 1
 
-ci: vet build race trace-smoke
+# Deterministic fault injection against the serving engine's
+# degradation ladder; fails if any injected fault escapes (a request
+# that neither answers nor fast-fails 429/503, or an unrecovered
+# panic).
+chaos-smoke:
+	$(GO) run ./cmd/muvebench -chaos "solver:lat=3s@0.4,err=0.2;nlq:panic=0.05" \
+		-chaos-seed 7 -chaos-requests 120
+
+ci: vet build race trace-smoke chaos-smoke

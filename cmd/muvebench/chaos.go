@@ -1,0 +1,291 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"muve"
+	"muve/internal/resilience"
+	"muve/internal/serve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+// chaosReport is the machine-readable summary of a chaos run, written
+// to -chaos-json so BENCH_*.json can track degradation rates alongside
+// latency across revisions.
+type chaosReport struct {
+	Spec     string         `json:"spec"`
+	Seed     int64          `json:"seed"`
+	Requests int            `json:"requests"`
+	Workers  int            `json:"workers"`
+	Answered int            `json:"answered"`
+	Rejected int            `json:"rejected_429"`
+	Shed     int            `json:"shed_503"`
+	Escaped  int            `json:"escaped"`
+	Rungs    map[string]int `json:"rungs"`
+	Latency  latencyStats   `json:"latency_ms"`
+}
+
+type latencyStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Max  float64 `json:"max"`
+}
+
+// chaosOutcome classifies one request: answered (with the ladder rung
+// that served it), cleanly shed with 429/503, or escaped — any result
+// the resilience layer is supposed to make impossible.
+type chaosOutcome struct {
+	status  int
+	source  serve.Source
+	elapsed time.Duration
+	escaped bool
+	detail  string
+}
+
+// runChaos drives the same serve.Engine degradation ladder muveserver
+// serves from, but with deterministic fault injection enabled, and
+// verifies the resilience contract: every request must either return an
+// answer (possibly from a lower rung) or fast-fail with 429/503 —
+// never hang and never surface an injected fault. Any escape fails the
+// run with a non-zero exit so `make chaos-smoke` can gate CI on it.
+func runChaos(spec string, seed int64, requests, workers int, jsonPath string) error {
+	ch, err := resilience.ParseChaos(spec, seed)
+	if err != nil {
+		return err
+	}
+	if requests <= 0 {
+		requests = 1
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+
+	tbl, err := workload.Build(workload.NYC311, 20_000, seed)
+	if err != nil {
+		return err
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	engine, err := chaosEngine(db, tbl.Name, ch, workers)
+	if err != nil {
+		return err
+	}
+
+	// A fixed pool of utterances drawn from the generator: repeats give
+	// the cache, coalescing, and stale rungs something to hit.
+	rng := rand.New(rand.NewSource(seed))
+	gen := workload.NewQueryGen(tbl, rng)
+	utterances := make([]string, 24)
+	for i := range utterances {
+		utterances[i] = workload.Utterance(gen.Random(2))
+	}
+
+	// Anything slower than the ladder's whole budget plus slack counts
+	// as a hang: the ladder's contract is that it never waits longer
+	// than the sum of its rung caps.
+	const hangLimit = 10*time.Second + 2*time.Second + 500*time.Millisecond + 2*time.Second
+
+	outcomes := make([]chaosOutcome, requests)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := serve.Request{
+					Transcript: utterances[i%len(utterances)],
+					Batch:      i%4 == 3,
+				}
+				outcomes[i] = chaosRequest(engine, req, hangLimit)
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	rep := summarizeChaos(spec, seed, requests, workers, outcomes)
+	writeChaosText(os.Stdout, rep, outcomes)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nchaos report written to %s\n", jsonPath)
+	}
+	if rep.Escaped > 0 {
+		return fmt.Errorf("%d injected fault(s) escaped the resilience layer", rep.Escaped)
+	}
+	return nil
+}
+
+// chaosEngine builds the full four-rung ladder (exact ILP → greedy →
+// stale → minimal) over db, mirroring muveserver's wiring but with
+// tight deadlines and a short cache TTL so injected faults actually
+// push requests down the ladder within a smoke-test's runtime.
+func chaosEngine(db *sqldb.DB, table string, ch *resilience.Chaos, workers int) (*serve.Engine, error) {
+	sys, err := muve.New(db, table,
+		muve.WithSolver(muve.SolverILP),
+		muve.WithBudgetFraction(0.5))
+	if err != nil {
+		return nil, err
+	}
+	greedySys, err := muve.New(db, table, muve.WithSolver(muve.SolverGreedy))
+	if err != nil {
+		return nil, err
+	}
+	minimalSys, err := muve.New(db, table,
+		muve.WithSolver(muve.SolverGreedy),
+		muve.WithK(1),
+		muve.WithMaxCandidates(1))
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewEngine(serve.Config{
+		Planner: func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+			return sys.AskContext(ctx, req.Transcript)
+		},
+		Fallback: func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+			return greedySys.AskContext(ctx, req.Transcript)
+		},
+		Minimal: func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+			return minimalSys.AskContext(ctx, req.Transcript)
+		},
+		MaxInFlight:      workers,
+		Queue:            8 * workers,
+		BatchQueue:       2 * workers,
+		Timeout:          2 * time.Second,
+		FallbackGrace:    time.Second,
+		MinimalGrace:     500 * time.Millisecond,
+		CacheEntries:     256,
+		CacheTTL:         250 * time.Millisecond,
+		StaleFor:         time.Minute,
+		BreakerThreshold: 3,
+		BreakerCooldown:  300 * time.Millisecond,
+		Chaos:            ch,
+		Dataset:          table,
+		Solver:           "ilp",
+	})
+}
+
+// chaosRequest runs one request with a hang watchdog. The engine plans
+// on a detached, budgeted context, so a request outliving hangLimit
+// means the ladder's deadline accounting broke — that is an escape,
+// not a slow answer.
+func chaosRequest(engine *serve.Engine, req serve.Request, hangLimit time.Duration) chaosOutcome {
+	done := make(chan chaosOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- chaosOutcome{escaped: true, detail: fmt.Sprintf("panic escaped: %v", r)}
+			}
+		}()
+		start := time.Now()
+		resp, err := engine.Do(context.Background(), req)
+		o := chaosOutcome{elapsed: time.Since(start), status: serve.StatusOf(err)}
+		if err == nil {
+			o.source = resp.Source
+		} else if o.status != 429 && o.status != 503 {
+			o.escaped = true
+			o.detail = fmt.Sprintf("status %d: %v", o.status, err)
+		}
+		done <- o
+	}()
+	select {
+	case o := <-done:
+		return o
+	case <-time.After(hangLimit):
+		return chaosOutcome{elapsed: hangLimit, escaped: true, detail: "request hung past the ladder budget"}
+	}
+}
+
+func summarizeChaos(spec string, seed int64, requests, workers int, outcomes []chaosOutcome) chaosReport {
+	rep := chaosReport{
+		Spec:     spec,
+		Seed:     seed,
+		Requests: requests,
+		Workers:  workers,
+		Rungs:    map[string]int{},
+	}
+	lats := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		switch {
+		case o.escaped:
+			rep.Escaped++
+		case o.status == 429:
+			rep.Rejected++
+		case o.status == 503:
+			rep.Shed++
+		default:
+			rep.Answered++
+			rep.Rungs[string(o.source)]++
+			lats = append(lats, float64(o.elapsed)/float64(time.Millisecond))
+		}
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		var sum float64
+		for _, v := range lats {
+			sum += v
+		}
+		rep.Latency = latencyStats{
+			Mean: sum / float64(len(lats)),
+			P50:  lats[len(lats)/2],
+			P95:  lats[min(len(lats)-1, len(lats)*95/100)],
+			Max:  lats[len(lats)-1],
+		}
+	}
+	return rep
+}
+
+func writeChaosText(w io.Writer, rep chaosReport, outcomes []chaosOutcome) {
+	fmt.Fprintf(w, "==== chaos harness ====\n\n")
+	fmt.Fprintf(w, "spec: %q  seed: %d  requests: %d  workers: %d\n\n", rep.Spec, rep.Seed, rep.Requests, rep.Workers)
+	fmt.Fprintf(w, "%-14s %6s\n", "outcome", "count")
+	fmt.Fprintf(w, "%-14s %6d\n", "answered", rep.Answered)
+	fmt.Fprintf(w, "%-14s %6d\n", "rejected-429", rep.Rejected)
+	fmt.Fprintf(w, "%-14s %6d\n", "shed-503", rep.Shed)
+	fmt.Fprintf(w, "%-14s %6d\n", "escaped", rep.Escaped)
+
+	fmt.Fprintf(w, "\nanswer source / ladder rung distribution:\n")
+	keys := make([]string, 0, len(rep.Rungs))
+	for k := range rep.Rungs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n := rep.Rungs[k]
+		fmt.Fprintf(w, "  %-10s %6d  %5.1f%%\n", k, n, 100*float64(n)/float64(max(rep.Answered, 1)))
+	}
+	if rep.Answered > 0 {
+		fmt.Fprintf(w, "\nanswer latency: mean=%.1fms p50=%.1fms p95=%.1fms max=%.1fms\n",
+			rep.Latency.Mean, rep.Latency.P50, rep.Latency.P95, rep.Latency.Max)
+	}
+	for _, o := range outcomes {
+		if o.escaped {
+			fmt.Fprintf(w, "ESCAPE: %s\n", o.detail)
+		}
+	}
+}

@@ -21,6 +21,19 @@
 //
 // -trace-chrome additionally writes the runs as Chrome trace_event
 // JSON loadable in chrome://tracing or ui.perfetto.dev.
+//
+// Chaos mode drives the serving engine's degradation ladder under
+// deterministic fault injection and fails (non-zero exit) if any
+// injected fault escapes — i.e. a request that neither returns an
+// answer nor fast-fails with 429/503, or a panic that reaches the
+// caller:
+//
+//	muvebench -chaos "solver:lat=3s@0.4,err=0.2;nlq:panic=0.05" \
+//	          [-chaos-seed 7] [-chaos-requests 200] [-chaos-json out.json]
+//
+// The summary reports the ladder-rung distribution (planned, fallback,
+// stale, minimal, cache, coalesced) so degradation rates are tracked
+// alongside latency.
 package main
 
 import (
@@ -57,12 +70,21 @@ func run() error {
 		traceSolver = flag.String("trace-solver", "ilp", "planner for -trace mode: greedy|ilp|ilp-inc")
 		traceRuns   = flag.Int("trace-runs", 5, "repetitions in -trace mode")
 		traceChrome = flag.String("trace-chrome", "", "also write Chrome trace_event JSON to this file")
+
+		chaosFlag     = flag.String("chaos", "", "run the chaos harness with this fault spec (stage:lat=DUR[@P],err=P,panic=P;...) instead of experiments")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos mode")
+		chaosRequests = flag.Int("chaos-requests", 200, "requests to issue in -chaos mode")
+		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent clients in -chaos mode")
+		chaosJSON     = flag.String("chaos-json", "", "write the -chaos summary as JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Fast: *fastFlag, Seed: *seedFlag}
 
 	if *traceFlag {
 		return runTrace(*traceQuery, *traceSolver, *traceRuns, *traceChrome, *seedFlag)
+	}
+	if *chaosFlag != "" {
+		return runChaos(*chaosFlag, *chaosSeed, *chaosRequests, *chaosWorkers, *chaosJSON)
 	}
 
 	all := bench.Experiments()

@@ -17,18 +17,35 @@
 //	GET /debug/traces          recent pipeline traces (?format=json|text|chrome)
 //	GET /debug/pprof/*         Go profiling endpoints (with -pprof)
 //
-// /ask and /ask.json accept two optional parameters: sid=<id> binds
+// /ask and /ask.json accept three optional parameters: sid=<id> binds
 // the request to a server-side session (consecutive utterances reuse
-// state), and refresh=1 bypasses the answer cache. Responses carry
-// X-Muve-Source (session|cache|coalesced|planned|fallback) and
+// state), refresh=1 bypasses the answer cache (and the stale rung), and
+// batch=1 queues the request in the low-priority admission lane.
+// Responses carry X-Muve-Source
+// (session|cache|coalesced|planned|fallback|stale|minimal) and
 // X-Request-Id headers.
+//
+// Resilience: -queue-depth enables admission control — when more than
+// that many interactive requests already wait for a planning slot, new
+// ones fast-fail with 429 and a Retry-After header instead of queueing
+// (-batch-queue bounds the batch lane separately). Failed planning
+// descends a degradation ladder (exact solver → greedy → stale cached
+// answer within -stale-for of expiry → minimal single-plot answer); a
+// fully exhausted ladder returns 503. Per-stage circuit breakers trip
+// after -breaker-threshold consecutive blamed deadline misses and skip
+// the exact rung for -breaker-cooldown before probing it again. -chaos
+// injects deterministic faults for drills (spec
+// "stage:lat=DUR[@P],err=P,panic=P;...", stages speech|nlq|solver|
+// progressive|viz or *; seeded by -chaos-seed).
 //
 // Usage:
 //
 //	muveserver [-addr :8080] [-dataset nyc311] [-rows 50000] [-solver greedy]
 //	           [-max-inflight 32] [-cache-entries 1024] [-cache-ttl 5m]
-//	           [-timeout 10s] [-trace-buffer 128] [-pprof]
-//	           [-runtime-trace trace.out]
+//	           [-timeout 10s] [-queue-depth 0] [-batch-queue 0]
+//	           [-stale-for 0] [-breaker-threshold 3] [-breaker-cooldown 5s]
+//	           [-budget-fraction 0] [-chaos spec] [-chaos-seed 1]
+//	           [-trace-buffer 128] [-pprof] [-runtime-trace trace.out]
 //
 // -trace-buffer sizes the in-memory ring of recent request traces (0
 // disables tracing and /debug/traces serves an empty list). -pprof
@@ -53,12 +70,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime/trace"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"muve"
 	"muve/internal/obs"
+	"muve/internal/resilience"
 	"muve/internal/serve"
 	"muve/internal/sqldb"
 	"muve/internal/workload"
@@ -83,6 +102,14 @@ func run() error {
 		cacheFlag    = flag.Int("cache-entries", 1024, "answer cache capacity (negative disables)")
 		cacheTTLFlag = flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = never expire)")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Second, "per-request planning budget")
+		queueFlag    = flag.Int("queue-depth", 0, "interactive admission watermark: waiting requests beyond this fast-fail with 429 (0 = unbounded)")
+		batchQFlag   = flag.Int("batch-queue", 0, "batch-lane admission watermark (0 = unbounded)")
+		staleFlag    = flag.Duration("stale-for", 0, "serve expired cached answers up to this long past TTL when planning fails (0 disables)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive blamed deadline misses tripping a stage circuit breaker (negative disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker skips the exact rung before probing")
+		budgetFlag   = flag.Float64("budget-fraction", 0, "cap ILP planning at this fraction of the remaining request deadline (0 disables)")
+		chaosFlag    = flag.String("chaos", "", "fault-injection spec, e.g. 'solver:lat=300ms@0.5,err=0.1' (drills only)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for -chaos randomness")
 		traceBufFlag = flag.Int("trace-buffer", 128, "recent request traces kept for /debug/traces (0 disables)")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		rtTraceFlag  = flag.String("runtime-trace", "", "capture a Go runtime trace into this file")
@@ -127,19 +154,35 @@ func run() error {
 	}
 	sys, err := muve.New(db, ds.String(),
 		muve.WithSolver(solver),
-		muve.WithWidth(*widthFlag))
+		muve.WithWidth(*widthFlag),
+		muve.WithBudgetFraction(*budgetFlag))
 	if err != nil {
 		return err
 	}
 
+	var chaos *resilience.Chaos
+	if *chaosFlag != "" {
+		chaos, err = resilience.ParseChaos(*chaosFlag, *chaosSeed)
+		if err != nil {
+			return err
+		}
+		log.Printf("muveserver CHAOS ENABLED: %s (seed %d)", *chaosFlag, *chaosSeed)
+	}
+
 	engine, err := newEngine(sys, db, ds.String(), engineConfig{
-		solver:       solver,
-		solverName:   *solverFlag,
-		widthPx:      *widthFlag,
-		maxInFlight:  *inflightFlag,
-		cacheEntries: *cacheFlag,
-		cacheTTL:     *cacheTTLFlag,
-		timeout:      *timeoutFlag,
+		solver:           solver,
+		solverName:       *solverFlag,
+		widthPx:          *widthFlag,
+		maxInFlight:      *inflightFlag,
+		cacheEntries:     *cacheFlag,
+		cacheTTL:         *cacheTTLFlag,
+		timeout:          *timeoutFlag,
+		queue:            *queueFlag,
+		batchQueue:       *batchQFlag,
+		staleFor:         *staleFlag,
+		breakerThreshold: *brkThreshold,
+		breakerCooldown:  *brkCooldown,
+		chaos:            chaos,
 	})
 	if err != nil {
 		return err
@@ -156,8 +199,12 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	// Logging runs outermost so the request ID it assigns is visible to
-	// the tracer (trace ID) and to the engine's own log lines.
-	handler := serve.WithLogging(log.Default(), serve.WithTracing(ring, engine.Metrics(), mux))
+	// the tracer (trace ID), the recovery middleware's panic log lines,
+	// and the engine's own log lines. Recovery sits innermost so a
+	// panicking handler still produces a finished trace and a log line.
+	handler := serve.WithLogging(log.Default(),
+		serve.WithTracing(ring, engine.Metrics(),
+			serve.WithRecovery(log.Default(), engine.Metrics(), mux)))
 	srv := &http.Server{
 		Addr:              *addrFlag,
 		Handler:           handler,
@@ -187,18 +234,26 @@ func run() error {
 
 // engineConfig carries the serving flags into engine construction.
 type engineConfig struct {
-	solver       muve.SolverKind
-	solverName   string
-	widthPx      int
-	maxInFlight  int
-	cacheEntries int
-	cacheTTL     time.Duration
-	timeout      time.Duration
+	solver           muve.SolverKind
+	solverName       string
+	widthPx          int
+	maxInFlight      int
+	cacheEntries     int
+	cacheTTL         time.Duration
+	timeout          time.Duration
+	queue            int
+	batchQueue       int
+	staleFor         time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	chaos            *resilience.Chaos
 }
 
-// newEngine wires a muve.System into a serve.Engine. When the primary
-// solver is ILP-based, a second greedy system over the same database
-// acts as the degradation path for requests that miss their deadline.
+// newEngine wires a muve.System into a serve.Engine's degradation
+// ladder. When the primary solver is ILP-based, a second greedy system
+// over the same database is the greedy rung for requests that miss
+// their deadline; a stripped-down single-candidate greedy system is
+// always built as the minimal last-resort rung.
 func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (*serve.Engine, error) {
 	planner := func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
 		ans, err := sys.AskContext(ctx, req.Transcript)
@@ -224,17 +279,39 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 			return greedySys.AskContext(ctx, req.Transcript)
 		}
 	}
+	// The minimal rung plans a single plot for the single most likely
+	// interpretation: no phonetic expansion (K=1), one candidate, greedy
+	// layout. It answers in single-digit milliseconds and is the last
+	// thing tried before giving up with a 503.
+	minimalSys, err := muve.New(db, table,
+		muve.WithSolver(muve.SolverGreedy),
+		muve.WithWidth(cfg.widthPx),
+		muve.WithK(1),
+		muve.WithMaxCandidates(1))
+	if err != nil {
+		return nil, err
+	}
+	minimal := func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+		return minimalSys.AskContext(ctx, req.Transcript)
+	}
 	return serve.NewEngine(serve.Config{
-		Planner:      planner,
-		Fallback:     fallback,
-		MaxInFlight:  cfg.maxInFlight,
-		Timeout:      cfg.timeout,
-		CacheEntries: cfg.cacheEntries,
-		CacheTTL:     cfg.cacheTTL,
-		Dataset:      table,
-		Solver:       cfg.solverName,
-		WidthPx:      cfg.widthPx,
-		Logger:       log.Default(),
+		Planner:          planner,
+		Fallback:         fallback,
+		Minimal:          minimal,
+		MaxInFlight:      cfg.maxInFlight,
+		Timeout:          cfg.timeout,
+		CacheEntries:     cfg.cacheEntries,
+		CacheTTL:         cfg.cacheTTL,
+		StaleFor:         cfg.staleFor,
+		Queue:            cfg.queue,
+		BatchQueue:       cfg.batchQueue,
+		BreakerThreshold: cfg.breakerThreshold,
+		BreakerCooldown:  cfg.breakerCooldown,
+		Chaos:            cfg.chaos,
+		Dataset:          table,
+		Solver:           cfg.solverName,
+		WidthPx:          cfg.widthPx,
+		Logger:           log.Default(),
 	})
 }
 
@@ -250,14 +327,17 @@ func answerFor(w http.ResponseWriter, r *http.Request, engine *serve.Engine) (*m
 		Transcript: q,
 		SessionID:  strings.TrimSpace(r.URL.Query().Get("sid")),
 		Refresh:    r.URL.Query().Get("refresh") == "1",
+		Batch:      r.URL.Query().Get("batch") == "1",
 	})
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
-		} else if errors.Is(err, context.Canceled) {
-			// Client went away; 499 in nginx convention.
-			status = 499
+		status := serve.StatusOf(err)
+		var rej *resilience.RejectError
+		if errors.As(err, &rej) {
+			secs := int(rej.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
 		http.Error(w, err.Error(), status)
 		return nil, false

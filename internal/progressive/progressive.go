@@ -18,6 +18,7 @@ import (
 	"muve/internal/core"
 	"muve/internal/merge"
 	"muve/internal/obs"
+	"muve/internal/resilience"
 	"muve/internal/sqldb"
 )
 
@@ -260,6 +261,10 @@ func (d *Default) Name() string { return d.name }
 func (d *Default) Present(s *Session) (*Trace, error) {
 	start := time.Now()
 	sp := obs.StartSpan(s.Context(), "solver")
+	if err := resilience.Inject(s.Context(), "solver"); err != nil {
+		sp.SetErr(err).End()
+		return nil, err
+	}
 	m, st, err := d.planner(s.Context(), s.Instance)
 	if err != nil {
 		sp.SetErr(err).End()

@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig sizes an Admission controller.
+type AdmissionConfig struct {
+	// Capacity is the number of concurrently held slots (the worker
+	// pool size). Must be positive.
+	Capacity int
+	// MaxQueue is the interactive lane's depth watermark: an Acquire
+	// that would queue deeper than this fast-fails with a RejectError.
+	// 0 means unbounded (admission control disabled for the lane, but
+	// depth is still tracked).
+	MaxQueue int
+	// MaxBatchQueue is the batch lane's watermark; 0 means unbounded.
+	MaxBatchQueue int
+	// RetryAfter is the back-off hint carried by RejectError
+	// (default 1s).
+	RetryAfter time.Duration
+	// OnDepth, when non-nil, is called with a lane's queue depth every
+	// time it changes (under the controller's lock — keep it to a
+	// gauge store).
+	OnDepth func(p Priority, depth int)
+}
+
+// Admission is a slot semaphore with bounded, prioritized waiting:
+// interactive waiters are granted freed slots before batch waiters,
+// each lane fast-fails past its depth watermark, and queue depths are
+// observable even when the watermarks are disabled. All methods are
+// safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu   sync.Mutex
+	free int
+	// FIFO waiter queues per lane; a waiter's channel is closed to
+	// hand it a slot directly (free is not incremented in between).
+	queue [2][]chan struct{}
+}
+
+// NewAdmission builds a controller with capacity free slots.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Admission{cfg: cfg, free: cfg.Capacity}
+}
+
+// laneMax returns the watermark for a lane (0 = unbounded).
+func (a *Admission) laneMax(p Priority) int {
+	if p == Batch {
+		return a.cfg.MaxBatchQueue
+	}
+	return a.cfg.MaxQueue
+}
+
+// notifyDepth reports a lane's current depth. Called with a.mu held.
+func (a *Admission) notifyDepth(p Priority) {
+	if a.cfg.OnDepth != nil {
+		a.cfg.OnDepth(p, len(a.queue[p]))
+	}
+}
+
+// Acquire obtains a slot, queueing in the lane for p if none is free.
+// It returns a release function that must be called exactly once when
+// the work completes. When the lane's queue is at its watermark it
+// returns a *RejectError immediately — the fast-fail path — and when
+// ctx expires while queued it returns ctx.Err().
+func (a *Admission) Acquire(ctx context.Context, p Priority) (release func(), err error) {
+	a.mu.Lock()
+	if a.free > 0 {
+		a.free--
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if max := a.laneMax(p); max > 0 && len(a.queue[p]) >= max {
+		depth := len(a.queue[p])
+		a.mu.Unlock()
+		return nil, &RejectError{Priority: p, Depth: depth, RetryAfter: a.cfg.RetryAfter}
+	}
+	ch := make(chan struct{})
+	a.queue[p] = append(a.queue[p], ch)
+	a.notifyDepth(p)
+	a.mu.Unlock()
+
+	select {
+	case <-ch:
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		removed := false
+		q := a.queue[p]
+		for i, w := range q {
+			if w == ch {
+				a.queue[p] = append(q[:i:i], q[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		a.notifyDepth(p)
+		a.mu.Unlock()
+		if !removed {
+			// The slot was granted between ctx firing and the lock:
+			// pass it on instead of leaking it.
+			a.release()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a slot, handing it to the longest-waiting
+// interactive waiter first, then batch, then back to the free pool.
+func (a *Admission) release() {
+	a.mu.Lock()
+	for _, p := range [...]Priority{Interactive, Batch} {
+		if q := a.queue[p]; len(q) > 0 {
+			ch := q[0]
+			a.queue[p] = q[1:]
+			a.notifyDepth(p)
+			a.mu.Unlock()
+			close(ch)
+			return
+		}
+	}
+	a.free++
+	a.mu.Unlock()
+}
+
+// Depth reports a lane's current queue depth.
+func (a *Admission) Depth(p Priority) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue[p])
+}
+
+// InUse reports the number of slots currently held.
+func (a *Admission) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.Capacity - a.free
+}

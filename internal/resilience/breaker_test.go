@@ -1,0 +1,248 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock for breaker cooldown tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestSet(threshold int, cooldown time.Duration) (*BreakerSet, *testClock) {
+	clk := &testClock{now: time.Unix(1_700_000_000, 0)}
+	return NewBreakerSet(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Now: clk.Now}), clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	s, _ := newTestSet(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Allow(); !ok {
+			t.Fatalf("denied before threshold (failure %d)", i)
+		}
+		s.Result("solver", false)
+	}
+	if got := s.StateOf("solver"); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	s.Allow()
+	s.Result("solver", false) // third consecutive: trips
+	if got := s.StateOf("solver"); got != Open {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+	if stage, ok := s.Allow(); ok || stage != "solver" {
+		t.Fatalf("open breaker allowed (veto=%q ok=%v)", stage, ok)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	s, _ := newTestSet(3, time.Second)
+	s.Allow()
+	s.Result("solver", false)
+	s.Allow()
+	s.Result("solver", false)
+	s.Allow()
+	s.Result("", true) // success clears the streak
+	s.Allow()
+	s.Result("solver", false)
+	s.Allow()
+	s.Result("solver", false)
+	if got := s.StateOf("solver"); got != Closed {
+		t.Fatalf("state = %v, want closed (streak was reset)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	s, clk := newTestSet(1, time.Second)
+	s.Allow()
+	s.Result("solver", false) // threshold 1: trips immediately
+	if _, ok := s.Allow(); ok {
+		t.Fatal("allowed while cooling down")
+	}
+	clk.Advance(1100 * time.Millisecond)
+	// Cooldown over: exactly one probe is granted.
+	if stage, ok := s.Allow(); !ok {
+		t.Fatalf("probe denied after cooldown (veto %q)", stage)
+	}
+	if got := s.StateOf("solver"); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// A second concurrent attempt is vetoed while the probe is out.
+	if _, ok := s.Allow(); ok {
+		t.Fatal("second probe granted beyond quota")
+	}
+	// Probe succeeds: breaker closes.
+	s.Result("", true)
+	if got := s.StateOf("solver"); got != Closed {
+		t.Fatalf("state after good probe = %v, want closed", got)
+	}
+	if _, ok := s.Allow(); !ok {
+		t.Fatal("closed breaker denied")
+	}
+	s.Result("", true)
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	s, clk := newTestSet(1, time.Second)
+	s.Allow()
+	s.Result("solver", false)
+	clk.Advance(1100 * time.Millisecond)
+	if _, ok := s.Allow(); !ok {
+		t.Fatal("probe denied")
+	}
+	s.Result("solver", false) // probe fails: back to open with a fresh cooldown
+	if got := s.StateOf("solver"); got != Open {
+		t.Fatalf("state after bad probe = %v, want open", got)
+	}
+	if _, ok := s.Allow(); ok {
+		t.Fatal("allowed right after reopening")
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if _, ok := s.Allow(); !ok {
+		t.Fatal("probe denied after second cooldown")
+	}
+	s.Result("", true)
+	if got := s.StateOf("solver"); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerFailureElsewhereReturnsProbe(t *testing.T) {
+	s, clk := newTestSet(1, time.Second)
+	s.Allow()
+	s.Result("solver", false)
+	clk.Advance(1100 * time.Millisecond)
+	if _, ok := s.Allow(); !ok {
+		t.Fatal("probe denied")
+	}
+	// The attempt failed, but blamed on a different stage: the solver
+	// breaker gets its probe back and stays half-open (the attempt said
+	// nothing about solver health), while sqldb starts its own streak.
+	s.Result("sqldb", false)
+	if got := s.StateOf("solver"); got != HalfOpen {
+		t.Fatalf("solver state = %v, want half-open", got)
+	}
+	if got := s.StateOf("sqldb"); got != Open {
+		t.Fatalf("sqldb state = %v, want open (threshold 1)", got)
+	}
+	// The returned probe is grantable again once sqldb cools down.
+	clk.Advance(1100 * time.Millisecond)
+	if stage, ok := s.Allow(); !ok {
+		t.Fatalf("probe not re-granted (veto %q)", stage)
+	}
+	s.Result("", true)
+	for stage, st := range s.States() {
+		if st != Closed {
+			t.Errorf("stage %s = %v after good probe, want closed", stage, st)
+		}
+	}
+}
+
+func TestBreakerOnChangeObservesTransitions(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	clk := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := NewBreakerSet(BreakerConfig{
+		Threshold: 1, Cooldown: time.Second, Now: clk.Now,
+		OnChange: func(stage string, to BreakerState) {
+			mu.Lock()
+			seen = append(seen, stage+":"+to.String())
+			mu.Unlock()
+		},
+	})
+	s.Allow()
+	s.Result("solver", false)
+	clk.Advance(1100 * time.Millisecond)
+	s.Allow()
+	s.Result("", true)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"solver:open", "solver:half-open", "solver:closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBreakerNilSetIsNoop(t *testing.T) {
+	var s *BreakerSet
+	if _, ok := s.Allow(); !ok {
+		t.Error("nil set denied")
+	}
+	s.Result("solver", false)
+	if s.StateOf("solver") != Closed {
+		t.Error("nil set reported non-closed state")
+	}
+	if s.States() != nil {
+		t.Error("nil set returned states")
+	}
+}
+
+func TestBreakerConcurrentTransitions(t *testing.T) {
+	// Many goroutines hammer Allow/Result through trip, half-open and
+	// close cycles; -race validates the locking, and the set must end
+	// in a consistent state with no probe leakage (a final good probe
+	// closes everything).
+	s, clk := newTestSet(5, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, ok := s.Allow(); !ok {
+					continue
+				}
+				switch (g + i) % 4 {
+				case 0:
+					s.Result("solver", false)
+				case 1:
+					s.Result("progressive", false)
+				default:
+					s.Result("", true)
+				}
+				if i%50 == 0 {
+					clk.Advance(11 * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Drain: advance past any cooldown and complete good probes until
+	// everything is closed (bounded by the number of stages).
+	for i := 0; i < 100; i++ {
+		allClosed := true
+		for _, st := range s.States() {
+			if st != Closed {
+				allClosed = false
+			}
+		}
+		if allClosed {
+			return
+		}
+		clk.Advance(11 * time.Millisecond)
+		if _, ok := s.Allow(); ok {
+			s.Result("", true)
+		}
+	}
+	t.Fatalf("breakers failed to converge to closed: %v", s.States())
+}

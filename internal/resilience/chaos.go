@@ -1,0 +1,246 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel every chaos-injected error wraps, so
+// tests and gates can tell injected faults from real ones.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// Fault describes the faults injected into one pipeline stage.
+type Fault struct {
+	// Latency is added before the stage runs (context-aware: the sleep
+	// aborts with ctx.Err() when the deadline fires first, which is
+	// exactly how a slow stage turns into a deadline miss).
+	Latency time.Duration
+	// LatencyP is the probability of injecting Latency; 0 with a
+	// non-zero Latency means always.
+	LatencyP float64
+	// ErrorP is the probability of an injected error.
+	ErrorP float64
+	// PanicP is the probability of an injected panic.
+	PanicP float64
+}
+
+// ChaosCounts tallies the faults injected into one stage.
+type ChaosCounts struct {
+	Latencies, Errors, Panics int
+}
+
+// Chaos is a deterministic, seedable fault injector. Pipeline stages
+// call Inject at their boundary; whether a fault fires is drawn from a
+// single seeded source, so a fixed seed yields a reproducible fault
+// sequence for sequential runs (concurrent runs draw in scheduling
+// order, so only the distribution is reproducible). The zero of the
+// type is not usable; build with NewChaos or ParseChaos. All methods
+// are safe for concurrent use; a nil *Chaos injects nothing.
+type Chaos struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults map[string]Fault
+	counts map[string]*ChaosCounts
+}
+
+// NewChaos builds an injector with no faults configured.
+func NewChaos(seed int64) *Chaos {
+	return &Chaos{
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: make(map[string]Fault),
+		counts: make(map[string]*ChaosCounts),
+	}
+}
+
+// Set configures the fault for one stage ("*" applies to every stage
+// without its own entry). Returns c for chaining.
+func (c *Chaos) Set(stage string, f Fault) *Chaos {
+	if f.Latency > 0 && f.LatencyP <= 0 {
+		f.LatencyP = 1
+	}
+	c.mu.Lock()
+	c.faults[stage] = f
+	c.mu.Unlock()
+	return c
+}
+
+// Injected snapshots per-stage injection counts.
+func (c *Chaos) Injected() map[string]ChaosCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]ChaosCounts, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = *v
+	}
+	return out
+}
+
+// Stages lists the configured stages in sorted order.
+func (c *Chaos) Stages() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.faults))
+	for k := range c.faults {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseChaos builds an injector from a flag-friendly spec:
+//
+//	stage:fault[,fault][;stage:fault...]
+//
+// where each fault is one of
+//
+//	lat=DURATION[@PROB]   added latency (e.g. lat=300ms@0.5)
+//	err=PROB              injected error rate
+//	panic=PROB            injected panic rate
+//
+// and stage is a pipeline stage name (speech, nlq, solver,
+// progressive, viz) or "*" for all. Example:
+//
+//	solver:lat=300ms@0.8,err=0.05;nlq:panic=0.02
+func ParseChaos(spec string, seed int64) (*Chaos, error) {
+	c := NewChaos(seed)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		stage, faults, ok := strings.Cut(part, ":")
+		if !ok || strings.TrimSpace(stage) == "" {
+			return nil, fmt.Errorf("resilience: chaos spec %q: want stage:fault[,fault]", part)
+		}
+		var f Fault
+		for _, fs := range strings.Split(faults, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(fs), "=")
+			if !ok {
+				return nil, fmt.Errorf("resilience: chaos fault %q: want key=value", fs)
+			}
+			switch key {
+			case "lat":
+				durStr, probStr, hasProb := strings.Cut(val, "@")
+				d, err := time.ParseDuration(durStr)
+				if err != nil {
+					return nil, fmt.Errorf("resilience: chaos latency %q: %w", val, err)
+				}
+				f.Latency = d
+				f.LatencyP = 1
+				if hasProb {
+					p, err := parseProb(probStr)
+					if err != nil {
+						return nil, err
+					}
+					f.LatencyP = p
+				}
+			case "err":
+				p, err := parseProb(val)
+				if err != nil {
+					return nil, err
+				}
+				f.ErrorP = p
+			case "panic":
+				p, err := parseProb(val)
+				if err != nil {
+					return nil, err
+				}
+				f.PanicP = p
+			default:
+				return nil, fmt.Errorf("resilience: unknown chaos fault %q (want lat|err|panic)", key)
+			}
+		}
+		c.Set(strings.TrimSpace(stage), f)
+	}
+	return c, nil
+}
+
+// parseProb parses a probability in [0, 1].
+func parseProb(s string) (float64, error) {
+	var p float64
+	if _, err := fmt.Sscanf(s, "%g", &p); err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("resilience: chaos probability %q: want a number in [0,1]", s)
+	}
+	return p, nil
+}
+
+// chaosKey is the private context key for the attached injector.
+type chaosKey struct{}
+
+// WithChaos attaches c to the context so instrumented stages inject.
+func WithChaos(ctx context.Context, c *Chaos) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, chaosKey{}, c)
+}
+
+// ChaosFrom returns the attached injector, or nil.
+func ChaosFrom(ctx context.Context) *Chaos {
+	c, _ := ctx.Value(chaosKey{}).(*Chaos)
+	return c
+}
+
+// Inject runs the configured faults for stage at an instrumented
+// boundary: it may sleep (returning ctx.Err() if the deadline fires
+// mid-sleep), return an error wrapping ErrInjected, or panic. Without
+// an injector in ctx (the production path) it is a single pointer
+// check. Call it right after the stage's span opens so injected
+// deadline misses are blamed on the right stage.
+func Inject(ctx context.Context, stage string) error {
+	c := ChaosFrom(ctx)
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	f, ok := c.faults[stage]
+	if !ok {
+		f, ok = c.faults["*"]
+	}
+	if !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	// Draw all three decisions in a fixed order so the consumed
+	// randomness per call is constant regardless of which faults fire.
+	sleep := f.LatencyP > 0 && c.rng.Float64() < f.LatencyP
+	fail := f.ErrorP > 0 && c.rng.Float64() < f.ErrorP
+	explode := f.PanicP > 0 && c.rng.Float64() < f.PanicP
+	cnt := c.counts[stage]
+	if cnt == nil {
+		cnt = &ChaosCounts{}
+		c.counts[stage] = cnt
+	}
+	if sleep {
+		cnt.Latencies++
+	}
+	if explode {
+		cnt.Panics++
+	} else if fail {
+		cnt.Errors++
+	}
+	c.mu.Unlock()
+
+	if sleep {
+		t := time.NewTimer(f.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if explode {
+		panic(fmt.Sprintf("chaos: injected panic in stage %q", stage))
+	}
+	if fail {
+		return fmt.Errorf("chaos: stage %q: %w", stage, ErrInjected)
+	}
+	return nil
+}

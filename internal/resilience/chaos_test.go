@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChaosNilAndUnconfiguredAreFree(t *testing.T) {
+	if err := Inject(context.Background(), "solver"); err != nil {
+		t.Fatalf("no-injector Inject = %v", err)
+	}
+	ctx := WithChaos(context.Background(), NewChaos(1))
+	if err := Inject(ctx, "solver"); err != nil {
+		t.Fatalf("unconfigured stage Inject = %v", err)
+	}
+}
+
+func TestChaosErrorInjectionIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		c := NewChaos(42).Set("nlq", Fault{ErrorP: 0.5})
+		ctx := WithChaos(context.Background(), c)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, Inject(ctx, "nlq") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	errs := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different fault sequences at %d", i)
+		}
+		if a[i] {
+			errs++
+		}
+	}
+	if errs == 0 || errs == len(a) {
+		t.Errorf("error rate 0.5 produced %d/%d errors", errs, len(a))
+	}
+}
+
+func TestChaosErrorsWrapSentinel(t *testing.T) {
+	c := NewChaos(1).Set("nlq", Fault{ErrorP: 1})
+	ctx := WithChaos(context.Background(), c)
+	err := Inject(ctx, "nlq")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := c.Injected()["nlq"].Errors; got != 1 {
+		t.Errorf("error count = %d", got)
+	}
+}
+
+func TestChaosLatencyRespectsContext(t *testing.T) {
+	c := NewChaos(1).Set("solver", Fault{Latency: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(WithChaos(context.Background(), c), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Inject(ctx, "solver")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Errorf("injected sleep ignored the deadline (%v)", took)
+	}
+	if got := c.Injected()["solver"].Latencies; got != 1 {
+		t.Errorf("latency count = %d", got)
+	}
+}
+
+func TestChaosPanicInjection(t *testing.T) {
+	c := NewChaos(1).Set("viz", Fault{PanicP: 1})
+	ctx := WithChaos(context.Background(), c)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic injected at rate 1")
+		}
+		if !strings.Contains(p.(string), "viz") {
+			t.Errorf("panic message = %v", p)
+		}
+		if got := c.Injected()["viz"].Panics; got != 1 {
+			t.Errorf("panic count = %d", got)
+		}
+	}()
+	Inject(ctx, "viz")
+}
+
+func TestChaosWildcardStage(t *testing.T) {
+	c := NewChaos(1).Set("*", Fault{ErrorP: 1})
+	ctx := WithChaos(context.Background(), c)
+	if err := Inject(ctx, "anything"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wildcard did not apply: %v", err)
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("solver:lat=300ms@0.8,err=0.05;nlq:panic=0.02", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stages(); len(got) != 2 || got[0] != "nlq" || got[1] != "solver" {
+		t.Errorf("stages = %v", got)
+	}
+	// Bare lat= defaults to probability 1.
+	c2, err := ParseChaos("viz:lat=10ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithChaos(context.Background(), c2)
+	start := time.Now()
+	if err := Inject(ctx, "viz"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 10*time.Millisecond {
+		t.Errorf("lat=10ms slept only %v", took)
+	}
+
+	for _, bad := range []string{
+		"nocolon", "solver:lat=xyz", "solver:err=2", "solver:bogus=1", "solver:err",
+	} {
+		if _, err := ParseChaos(bad, 1); err == nil {
+			t.Errorf("ParseChaos(%q) accepted invalid spec", bad)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Rung is one level of the degradation ladder. Rungs run cheapest-last:
+// the first rung is the best answer (exact ILP), the last is the bare
+// minimum (a single-plot answer).
+type Rung struct {
+	// Name identifies the rung ("exact", "greedy", "stale", "minimal").
+	Name string
+	// Min is the minimum remaining deadline budget required to attempt
+	// this rung; with less remaining the rung is skipped so the budget
+	// is saved for cheaper rungs. 0 means always attempt.
+	Min time.Duration
+	// Max caps the budget one attempt of this rung may consume (a
+	// sub-deadline inside the remaining budget). 0 means the whole
+	// remaining budget.
+	Max time.Duration
+}
+
+// Outcome records what happened at one rung during a descent.
+type Outcome struct {
+	// Rung is the rung's name.
+	Rung string
+	// Skipped reports the rung was never attempted; Reason says why
+	// ("budget", or a SkipError reason such as "breaker").
+	Skipped bool
+	Reason  string
+	// Err is the attempt's failure (nil for skips).
+	Err error
+	// Panicked reports the attempt panicked; Err carries the message.
+	Panicked bool
+	// Took is the attempt's duration.
+	Took time.Duration
+}
+
+// Attempt executes one rung under its budget sub-context. Returning a
+// *SkipError declines the rung without charging a failure; any other
+// error (or a panic, which is contained) descends to the next rung.
+type Attempt func(ctx context.Context, r Rung) (any, error)
+
+// Ladder is an ordered set of degradation rungs.
+type Ladder struct {
+	rungs []Rung
+}
+
+// NewLadder builds a ladder from best rung to worst.
+func NewLadder(rungs ...Rung) *Ladder { return &Ladder{rungs: rungs} }
+
+// Rungs returns the ladder's rungs in descent order.
+func (l *Ladder) Rungs() []Rung { return append([]Rung(nil), l.rungs...) }
+
+// Descend walks the ladder top to bottom: each rung is skipped when
+// the remaining budget (ctx's deadline) is below its Min, attempted
+// under a sub-context capped at its Max otherwise. The first rung to
+// return a value wins; its name and the outcomes of every earlier rung
+// are returned alongside. Panics inside attempts are contained and
+// recorded as failed outcomes. When every rung skips or fails the
+// error is an *ExhaustedError; when ctx itself dies mid-descent,
+// ctx.Err() is returned directly.
+func (l *Ladder) Descend(ctx context.Context, run Attempt) (v any, rung string, outs []Outcome, err error) {
+	deadline, hasDeadline := ctx.Deadline()
+	for _, r := range l.rungs {
+		if err := ctx.Err(); err != nil {
+			return nil, "", outs, err
+		}
+		remaining := time.Duration(1<<62 - 1)
+		if hasDeadline {
+			remaining = time.Until(deadline)
+		}
+		if remaining <= 0 || (r.Min > 0 && remaining < r.Min) {
+			outs = append(outs, Outcome{Rung: r.Name, Skipped: true, Reason: "budget"})
+			continue
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if r.Max > 0 && r.Max < remaining {
+			actx, cancel = context.WithTimeout(ctx, r.Max)
+		}
+		start := time.Now()
+		val, attemptErr, panicked := runContained(actx, r, run)
+		cancel()
+		took := time.Since(start)
+		if attemptErr == nil {
+			return val, r.Name, outs, nil
+		}
+		var skip *SkipError
+		if errors.As(attemptErr, &skip) {
+			outs = append(outs, Outcome{Rung: r.Name, Skipped: true, Reason: skip.Reason, Took: took})
+			continue
+		}
+		outs = append(outs, Outcome{Rung: r.Name, Err: attemptErr, Panicked: panicked, Took: took})
+	}
+	return nil, "", outs, &ExhaustedError{Outcomes: outs}
+}
+
+// runContained executes one attempt with panic containment.
+func runContained(ctx context.Context, r Rung, run Attempt) (v any, err error, panicked bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, err, panicked = nil, fmt.Errorf("resilience: rung %q panicked: %v", r.Name, p), true
+		}
+	}()
+	v, err = run(ctx, r)
+	return v, err, false
+}

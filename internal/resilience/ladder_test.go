@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLadderFirstRungWins(t *testing.T) {
+	l := NewLadder(Rung{Name: "exact"}, Rung{Name: "greedy"})
+	v, rung, outs, err := l.Descend(context.Background(), func(ctx context.Context, r Rung) (any, error) {
+		return "answer:" + r.Name, nil
+	})
+	if err != nil || v != "answer:exact" || rung != "exact" {
+		t.Fatalf("v=%v rung=%q err=%v", v, rung, err)
+	}
+	if len(outs) != 0 {
+		t.Errorf("outcomes before the winning rung = %v", outs)
+	}
+}
+
+func TestLadderDescendsOnFailure(t *testing.T) {
+	boom := errors.New("solver blew up")
+	l := NewLadder(Rung{Name: "exact"}, Rung{Name: "greedy"}, Rung{Name: "minimal"})
+	v, rung, outs, err := l.Descend(context.Background(), func(ctx context.Context, r Rung) (any, error) {
+		switch r.Name {
+		case "exact":
+			return nil, boom
+		case "greedy":
+			return nil, &SkipError{Reason: "breaker"}
+		}
+		return "tiny", nil
+	})
+	if err != nil || v != "tiny" || rung != "minimal" {
+		t.Fatalf("v=%v rung=%q err=%v", v, rung, err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %+v", outs)
+	}
+	if outs[0].Rung != "exact" || !errors.Is(outs[0].Err, boom) || outs[0].Skipped {
+		t.Errorf("exact outcome = %+v", outs[0])
+	}
+	if outs[1].Rung != "greedy" || !outs[1].Skipped || outs[1].Reason != "breaker" {
+		t.Errorf("greedy outcome = %+v", outs[1])
+	}
+}
+
+func TestLadderRungBudgetCap(t *testing.T) {
+	// The exact rung's Max caps its sub-deadline; the attempt observes
+	// it and the ladder still has budget left for the next rung.
+	deadline := 500 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	l := NewLadder(Rung{Name: "exact", Max: 30 * time.Millisecond}, Rung{Name: "greedy"})
+	start := time.Now()
+	v, rung, _, err := l.Descend(ctx, func(actx context.Context, r Rung) (any, error) {
+		if r.Name == "exact" {
+			<-actx.Done() // simulated over-budget solve
+			return nil, actx.Err()
+		}
+		return "greedy-answer", nil
+	})
+	if err != nil || v != "greedy-answer" || rung != "greedy" {
+		t.Fatalf("v=%v rung=%q err=%v", v, rung, err)
+	}
+	if took := time.Since(start); took >= deadline {
+		t.Errorf("descent took %v, exact rung did not respect its %v cap", took, 30*time.Millisecond)
+	}
+}
+
+func TestLadderSkipsRungsBelowMinBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	l := NewLadder(
+		Rung{Name: "exact", Min: time.Second}, // needs more than remains
+		Rung{Name: "stale"},
+	)
+	v, rung, outs, err := l.Descend(ctx, func(actx context.Context, r Rung) (any, error) {
+		if r.Name == "exact" {
+			t.Error("exact attempted despite insufficient budget")
+		}
+		return "stale-answer", nil
+	})
+	if err != nil || v != "stale-answer" || rung != "stale" {
+		t.Fatalf("v=%v rung=%q err=%v", v, rung, err)
+	}
+	if len(outs) != 1 || !outs[0].Skipped || outs[0].Reason != "budget" {
+		t.Errorf("outcomes = %+v", outs)
+	}
+}
+
+func TestLadderContainsPanics(t *testing.T) {
+	l := NewLadder(Rung{Name: "exact"}, Rung{Name: "greedy"})
+	v, rung, outs, err := l.Descend(context.Background(), func(ctx context.Context, r Rung) (any, error) {
+		if r.Name == "exact" {
+			panic("solver corrupted its state")
+		}
+		return "safe", nil
+	})
+	if err != nil || v != "safe" || rung != "greedy" {
+		t.Fatalf("v=%v rung=%q err=%v", v, rung, err)
+	}
+	if len(outs) != 1 || !outs[0].Panicked || !strings.Contains(outs[0].Err.Error(), "solver corrupted") {
+		t.Errorf("panic outcome = %+v", outs[0])
+	}
+}
+
+func TestLadderExhaustion(t *testing.T) {
+	l := NewLadder(Rung{Name: "exact"}, Rung{Name: "greedy"})
+	_, _, _, err := l.Descend(context.Background(), func(ctx context.Context, r Rung) (any, error) {
+		if r.Name == "exact" {
+			return nil, context.DeadlineExceeded
+		}
+		return nil, &SkipError{Reason: "no-stale"}
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want ExhaustedError", err)
+	}
+	if len(ex.Outcomes) != 2 {
+		t.Fatalf("outcomes = %+v", ex.Outcomes)
+	}
+	// Unwrap exposes the deepest real error for errors.Is classification.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ExhaustedError does not unwrap to the attempt error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "exact") || !strings.Contains(err.Error(), "no-stale") {
+		t.Errorf("error message lacks descent detail: %v", err)
+	}
+}
+
+func TestLadderAbortsOnParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	l := NewLadder(Rung{Name: "exact"}, Rung{Name: "greedy"})
+	calls := 0
+	_, _, _, err := l.Descend(ctx, func(actx context.Context, r Rung) (any, error) {
+		calls++
+		cancel() // the caller gives up mid-descent
+		return nil, errors.New("failed")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("attempts after cancel = %d, want 1", calls)
+	}
+}

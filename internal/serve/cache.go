@@ -20,6 +20,11 @@ const cacheShards = 16
 type Cache struct {
 	shards [cacheShards]cacheShard
 	ttl    time.Duration
+	// staleFor extends an expired entry's residence: between ttl and
+	// ttl+staleFor the entry misses Get but is reachable via GetStale —
+	// the degradation ladder's stale-but-fresh-enough rung. Beyond that
+	// the entry is removed on access.
+	staleFor time.Duration
 	// perShard bounds each shard's entry count; total capacity is
 	// perShard*cacheShards rounded up from the requested capacity.
 	perShard int
@@ -31,6 +36,7 @@ type Cache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	expiries  atomic.Uint64
+	staleHits atomic.Uint64
 }
 
 // cacheShard is one lock domain: an LRU list (front = most recent)
@@ -61,6 +67,14 @@ func NewCache(capacity int, ttl time.Duration) *Cache {
 		c.shards[i].index = make(map[string]*list.Element)
 	}
 	return c
+}
+
+// SetStaleWindow allows expired entries to linger for d past their TTL,
+// servable only through GetStale. Set once at construction time.
+func (c *Cache) SetStaleWindow(d time.Duration) {
+	if d > 0 {
+		c.staleFor = d
+	}
 }
 
 // fnv1a hashes the key for shard selection.
@@ -98,15 +112,54 @@ func (c *Cache) Get(key string) (any, bool) {
 	}
 	e := el.Value.(*cacheEntry)
 	if !e.expires.IsZero() && c.now().After(e.expires) {
-		s.ll.Remove(el)
-		delete(s.index, key)
-		c.expiries.Add(1)
+		// Within the stale window the entry stays resident (for GetStale)
+		// but still misses; beyond it, it is collected.
+		if c.staleFor <= 0 || c.now().After(e.expires.Add(c.staleFor)) {
+			s.ll.Remove(el)
+			delete(s.index, key)
+			c.expiries.Add(1)
+		}
 		c.misses.Add(1)
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
 	c.hits.Add(1)
 	return e.value, true
+}
+
+// GetStale returns the value for key even if it has expired, provided
+// it is still within the stale window, along with how long ago it
+// expired (zero for a still-live entry). It does not promote the entry
+// or count as a hit/miss: it is the degradation ladder's read path, not
+// the primary one.
+func (c *Cache) GetStale(key string) (any, time.Duration, bool) {
+	if c.perShard == 0 {
+		return nil, 0, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.expires.IsZero() {
+		return e.value, 0, true
+	}
+	now := c.now()
+	if !now.After(e.expires) {
+		return e.value, 0, true
+	}
+	age := now.Sub(e.expires)
+	if c.staleFor <= 0 || age > c.staleFor {
+		s.ll.Remove(el)
+		delete(s.index, key)
+		c.expiries.Add(1)
+		return nil, 0, false
+	}
+	c.staleHits.Add(1)
+	return e.value, age, true
 }
 
 // Put inserts or refreshes key. When the shard is full the least
@@ -155,8 +208,8 @@ func (c *Cache) Len() int {
 
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
-	Hits, Misses, Evictions, Expiries uint64
-	Entries                           int
+	Hits, Misses, Evictions, Expiries, StaleHits uint64
+	Entries                                      int
 }
 
 // Stats snapshots the cache counters.
@@ -166,6 +219,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Expiries:  c.expiries.Load(),
+		StaleHits: c.staleHits.Load(),
 		Entries:   c.Len(),
 	}
 }

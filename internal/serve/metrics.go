@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -166,6 +167,20 @@ type Metrics struct {
 	Errors Counter
 	// InFlight gauges requests currently inside Engine.Do.
 	InFlight Gauge
+	// Panics counts panics contained by the recovery middleware or the
+	// degradation ladder instead of crashing the process.
+	Panics Counter
+	// RejectedInteractive/RejectedBatch count admission fast-fails (429s)
+	// per priority lane.
+	RejectedInteractive Counter
+	RejectedBatch       Counter
+	// Exhausted counts requests for which every ladder rung failed (503s).
+	Exhausted Counter
+	// QueueInteractive/QueueBatch gauge the admission queue depth per
+	// lane. They are exported even when admission control is disabled so
+	// an unbounded backlog is still visible on /metrics.
+	QueueInteractive Gauge
+	QueueBatch       Gauge
 	// Planning observes planner-call latency (cache misses only).
 	Planning Histogram
 	// EndToEnd observes full Engine.Do latency (hits and misses).
@@ -177,6 +192,63 @@ type Metrics struct {
 	stageMu          sync.RWMutex
 	stages           map[string]*Histogram
 	fallbacksByStage map[string]*Counter
+	ladderRungs      map[string]*Counter
+	breakerTrips     map[string]*Counter
+	breakerStates    map[string]*Gauge
+}
+
+// labeledCounter looks up (or lazily creates) the counter for key in
+// the given label family. The family pointer must be one of Metrics'
+// stageMu-guarded maps.
+func (m *Metrics) labeledCounter(family *map[string]*Counter, key string) *Counter {
+	m.stageMu.RLock()
+	c := (*family)[key]
+	m.stageMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	if c = (*family)[key]; c != nil {
+		return c
+	}
+	if *family == nil {
+		*family = make(map[string]*Counter)
+	}
+	c = &Counter{}
+	(*family)[key] = c
+	return c
+}
+
+// LadderRung counts one answer served from the named degradation-ladder
+// rung (exact, greedy, stale, minimal).
+func (m *Metrics) LadderRung(rung string) {
+	m.labeledCounter(&m.ladderRungs, rung).Inc()
+}
+
+// BreakerTrip counts one circuit-breaker trip for the given stage.
+func (m *Metrics) BreakerTrip(stage string) {
+	m.labeledCounter(&m.breakerTrips, stage).Inc()
+}
+
+// SetBreakerState records a stage breaker's current state as a gauge
+// (0 closed, 1 open, 2 half-open, matching resilience.BreakerState).
+func (m *Metrics) SetBreakerState(stage string, state int64) {
+	m.stageMu.RLock()
+	g := m.breakerStates[stage]
+	m.stageMu.RUnlock()
+	if g == nil {
+		m.stageMu.Lock()
+		if g = m.breakerStates[stage]; g == nil {
+			if m.breakerStates == nil {
+				m.breakerStates = make(map[string]*Gauge)
+			}
+			g = &Gauge{}
+			m.breakerStates[stage] = g
+		}
+		m.stageMu.Unlock()
+	}
+	g.Set(state)
 }
 
 // Stage returns the latency histogram for one pipeline stage (speech,
@@ -205,21 +277,7 @@ func (m *Metrics) Stage(stage string) *Histogram {
 // StageFallback counts one primary-planner deadline miss blamed on the
 // given pipeline stage (the stage the trace was in when time ran out).
 func (m *Metrics) StageFallback(stage string) {
-	m.stageMu.RLock()
-	c := m.fallbacksByStage[stage]
-	m.stageMu.RUnlock()
-	if c == nil {
-		m.stageMu.Lock()
-		if c = m.fallbacksByStage[stage]; c == nil {
-			if m.fallbacksByStage == nil {
-				m.fallbacksByStage = make(map[string]*Counter)
-			}
-			c = &Counter{}
-			m.fallbacksByStage[stage] = c
-		}
-		m.stageMu.Unlock()
-	}
-	c.Inc()
+	m.labeledCounter(&m.fallbacksByStage, stage).Inc()
 }
 
 // ObserveTrace folds a finished trace's spans into the per-stage
@@ -246,6 +304,27 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// copyCounters snapshots one label family under the caller-held lock.
+func copyCounters(src map[string]*Counter) map[string]*Counter {
+	dst := make(map[string]*Counter, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// writeCounterFamily renders a labeled counter family; empty families
+// are omitted entirely.
+func writeCounterFamily(w http.ResponseWriter, name, label string, family map[string]*Counter) {
+	if len(family) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	for _, k := range sortedKeys(family) {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, family[k].Value())
+	}
 }
 
 // writeHistogram renders one histogram in Prometheus text format.
@@ -302,11 +381,19 @@ func (m *Metrics) Handler() http.Handler {
 			{"muve_fallbacks_total", &m.Fallbacks},
 			{"muve_timeouts_total", &m.Timeouts},
 			{"muve_errors_total", &m.Errors},
+			{"muve_panics_total", &m.Panics},
+			{"muve_exhausted_total", &m.Exhausted},
 		}
 		for _, c := range counters {
 			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
 		}
+		fmt.Fprintf(w, "# TYPE muve_rejected_total counter\n")
+		fmt.Fprintf(w, "muve_rejected_total{priority=\"interactive\"} %d\n", m.RejectedInteractive.Value())
+		fmt.Fprintf(w, "muve_rejected_total{priority=\"batch\"} %d\n", m.RejectedBatch.Value())
 		fmt.Fprintf(w, "# TYPE muve_inflight gauge\nmuve_inflight %d\n", m.InFlight.Value())
+		fmt.Fprintf(w, "# TYPE muve_queue_depth gauge\n")
+		fmt.Fprintf(w, "muve_queue_depth{priority=\"interactive\"} %d\n", m.QueueInteractive.Value())
+		fmt.Fprintf(w, "muve_queue_depth{priority=\"batch\"} %d\n", m.QueueBatch.Value())
 		writeHistogram(w, "muve_planning_seconds", &m.Planning)
 		writeHistogram(w, "muve_request_seconds", &m.EndToEnd)
 		m.stageMu.RLock()
@@ -314,50 +401,86 @@ func (m *Metrics) Handler() http.Handler {
 		for k, v := range m.stages {
 			stages[k] = v
 		}
-		fallbacks := make(map[string]*Counter, len(m.fallbacksByStage))
-		for k, v := range m.fallbacksByStage {
-			fallbacks[k] = v
+		fallbacks := copyCounters(m.fallbacksByStage)
+		rungs := copyCounters(m.ladderRungs)
+		trips := copyCounters(m.breakerTrips)
+		states := make(map[string]*Gauge, len(m.breakerStates))
+		for k, v := range m.breakerStates {
+			states[k] = v
 		}
 		m.stageMu.RUnlock()
 		if len(stages) > 0 {
 			writeStageHistograms(w, "muve_stage_seconds", stages, sortedKeys(stages))
 		}
-		if len(fallbacks) > 0 {
-			fmt.Fprintf(w, "# TYPE muve_fallbacks_by_stage_total counter\n")
-			for _, k := range sortedKeys(fallbacks) {
-				fmt.Fprintf(w, "muve_fallbacks_by_stage_total{stage=%q} %d\n", k, fallbacks[k].Value())
+		writeCounterFamily(w, "muve_fallbacks_by_stage_total", "stage", fallbacks)
+		writeCounterFamily(w, "muve_ladder_rung_total", "rung", rungs)
+		writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
+		if len(states) > 0 {
+			fmt.Fprintf(w, "# TYPE muve_breaker_state gauge\n")
+			for _, k := range sortedKeys(states) {
+				fmt.Fprintf(w, "muve_breaker_state{stage=%q} %d\n", k, states[k].Value())
 			}
 		}
 	})
 }
 
-// VarsHandler serves the registry as a flat JSON object (for the
+// VarsHandler serves the registry as a JSON object (for the
 // /debug/vars endpoint), including derived p50/p95/p99 latencies in
-// milliseconds for quick eyeballing.
+// milliseconds for quick eyeballing and the resilience label families
+// (queue depth, ladder rungs, breaker state).
 func (m *Metrics) VarsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-		fmt.Fprintf(w, `{
-  "requests": %d,
-  "cache_hits": %d,
-  "cache_misses": %d,
-  "session_hits": %d,
-  "coalesced": %d,
-  "fallbacks": %d,
-  "timeouts": %d,
-  "errors": %d,
-  "inflight": %d,
-  "planning_ms": {"count": %d, "mean": %g, "p50": %g, "p95": %g, "p99": %g},
-  "request_ms": {"count": %d, "mean": %g, "p50": %g, "p95": %g, "p99": %g}
-}
-`,
-			m.Requests.Value(), m.CacheHits.Value(), m.CacheMisses.Value(),
-			m.SessionHits.Value(), m.Coalesced.Value(), m.Fallbacks.Value(),
-			m.Timeouts.Value(), m.Errors.Value(), m.InFlight.Value(),
-			m.Planning.Count(), ms(m.Planning.Mean()), ms(m.Planning.Quantile(0.50)),
-			ms(m.Planning.Quantile(0.95)), ms(m.Planning.Quantile(0.99)),
-			m.EndToEnd.Count(), ms(m.EndToEnd.Mean()), ms(m.EndToEnd.Quantile(0.50)),
-			ms(m.EndToEnd.Quantile(0.95)), ms(m.EndToEnd.Quantile(0.99)))
+		hist := func(h *Histogram) map[string]any {
+			return map[string]any{
+				"count": h.Count(), "mean": ms(h.Mean()),
+				"p50": ms(h.Quantile(0.50)), "p95": ms(h.Quantile(0.95)), "p99": ms(h.Quantile(0.99)),
+			}
+		}
+		counterValues := func(family map[string]*Counter) map[string]uint64 {
+			out := make(map[string]uint64, len(family))
+			for k, v := range family {
+				out[k] = v.Value()
+			}
+			return out
+		}
+		m.stageMu.RLock()
+		rungs := counterValues(m.ladderRungs)
+		trips := counterValues(m.breakerTrips)
+		states := make(map[string]int64, len(m.breakerStates))
+		for k, v := range m.breakerStates {
+			states[k] = v.Value()
+		}
+		m.stageMu.RUnlock()
+		vars := map[string]any{
+			"requests":     m.Requests.Value(),
+			"cache_hits":   m.CacheHits.Value(),
+			"cache_misses": m.CacheMisses.Value(),
+			"session_hits": m.SessionHits.Value(),
+			"coalesced":    m.Coalesced.Value(),
+			"fallbacks":    m.Fallbacks.Value(),
+			"timeouts":     m.Timeouts.Value(),
+			"errors":       m.Errors.Value(),
+			"panics":       m.Panics.Value(),
+			"exhausted":    m.Exhausted.Value(),
+			"inflight":     m.InFlight.Value(),
+			"rejected": map[string]uint64{
+				"interactive": m.RejectedInteractive.Value(),
+				"batch":       m.RejectedBatch.Value(),
+			},
+			"queue_depth": map[string]int64{
+				"interactive": m.QueueInteractive.Value(),
+				"batch":       m.QueueBatch.Value(),
+			},
+			"ladder_rungs":   rungs,
+			"breaker_trips":  trips,
+			"breaker_states": states,
+			"planning_ms":    hist(&m.Planning),
+			"request_ms":     hist(&m.EndToEnd),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(vars)
 	})
 }

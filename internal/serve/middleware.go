@@ -2,13 +2,16 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"muve/internal/obs"
+	"muve/internal/resilience"
 )
 
 // ctxKey is the private context-key namespace of this package.
@@ -70,6 +73,58 @@ func WithLogging(logger *log.Logger, next http.Handler) http.Handler {
 		logger.Printf("req %s %s %s -> %d %dB %s",
 			id, r.Method, r.URL.RequestURI(), status, sw.bytes, time.Since(start).Round(10*time.Microsecond))
 	})
+}
+
+// WithRecovery wraps next so a panic in a handler is contained: it is
+// logged with the request ID and stack, counted in muve_panics_total,
+// and turned into a 500 (when no bytes have been written yet) instead
+// of killing the connection's goroutine silently. A nil logger uses the
+// standard logger; a nil metrics skips counting.
+func WithRecovery(logger *log.Logger, metrics *Metrics, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if metrics != nil {
+				metrics.Panics.Inc()
+			}
+			logger.Printf("panic req=%s %s %s: %v\n%s",
+				RequestID(r.Context()), r.Method, r.URL.RequestURI(), p, debug.Stack())
+			// Best-effort 500; if the handler already wrote, the header
+			// set below is a no-op and the response stays truncated.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// StatusOf maps an Engine.Do error to the HTTP status that conveys its
+// retry semantics: 429 for admission rejections (with Retry-After set
+// by the caller), 503 for a fully exhausted degradation ladder, 504 for
+// a plain deadline miss, 499 for a caller that went away, and 422 for
+// everything else (a malformed or unanswerable query).
+func StatusOf(err error) int {
+	var rej *resilience.RejectError
+	var ex *resilience.ExhaustedError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &rej):
+		return http.StatusTooManyRequests
+	case errors.As(err, &ex):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // WithTracing wraps next so every request runs under a fresh obs.Trace

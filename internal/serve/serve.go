@@ -11,14 +11,25 @@
 //     are answered in microseconds;
 //   - singleflight coalescing, so N concurrent identical queries plan
 //     once and share the answer;
-//   - a bounded worker pool with per-request timeouts, context
-//     cancellation through planning and execution, and graceful
-//     degradation to a fallback planner when the primary misses its
-//     deadline;
+//   - admission control: a bounded worker pool with per-priority wait
+//     lanes (interactive beats batch) and an optional queue-depth
+//     watermark past which requests fast-fail with a retryable
+//     rejection (HTTP 429) instead of queueing unboundedly;
+//   - a degradation ladder (internal/resilience) in place of a single
+//     fallback hook: exact ILP planning, then greedy planning, then a
+//     stale-but-fresh-enough cached answer, then a minimal single-plot
+//     answer, each rung bounded by its share of the remaining deadline
+//     budget and recorded in Answer.Source, metrics and the trace;
+//   - per-stage circuit breakers that skip the expensive exact rung
+//     outright after consecutive deadline misses blamed on one stage,
+//     half-opening with bounded probes after a cooldown;
 //   - per-client sessions with bounded lifetimes that carry state
 //     across consecutive utterances;
 //   - an allocation-light metrics registry (counters, gauges, latency
-//     histograms) exported in Prometheus text format and as JSON.
+//     histograms) exported in Prometheus text format and as JSON;
+//   - a deterministic fault-injection hook (resilience.Chaos) so tests
+//     and muvebench -chaos can prove no injected fault escapes the
+//     ladder.
 //
 // The engine is decoupled from the muve package: answers are opaque
 // values produced by a caller-supplied Planner, so the same machinery
@@ -34,6 +45,7 @@ import (
 	"time"
 
 	"muve/internal/obs"
+	"muve/internal/resilience"
 )
 
 // Request is one query to answer.
@@ -44,8 +56,12 @@ type Request struct {
 	// (created on first use, expired after idle TTL).
 	SessionID string
 	// Refresh bypasses cache and session reuse, forcing a fresh plan
-	// (the answer is still stored for others).
+	// (the answer is still stored for others). It also disables the
+	// ladder's stale rung: a refresh must never serve expired data.
 	Refresh bool
+	// Batch marks the request as background work: it waits in the batch
+	// admission lane, which any interactive request overtakes.
+	Batch bool
 }
 
 // Source says where an answer came from, cheapest first.
@@ -62,7 +78,34 @@ const (
 	SourcePlanned Source = "planned"
 	// SourceFallback: planned by the fallback after a deadline miss.
 	SourceFallback Source = "fallback"
+	// SourceStale: served an expired cache entry still inside the stale
+	// window, because every planning rung above it failed.
+	SourceStale Source = "stale"
+	// SourceMinimal: served by the minimal last-resort planner.
+	SourceMinimal Source = "minimal"
 )
+
+// Degradation-ladder rung names, in descent order. Each maps to a
+// Source via rungSource.
+const (
+	rungExact   = "exact"
+	rungGreedy  = "greedy"
+	rungStale   = "stale"
+	rungMinimal = "minimal"
+)
+
+// rungSource maps the rung that served an answer to its Source label.
+func rungSource(rung string) Source {
+	switch rung {
+	case rungGreedy:
+		return SourceFallback
+	case rungStale:
+		return SourceStale
+	case rungMinimal:
+		return SourceMinimal
+	}
+	return SourcePlanned
+}
 
 // Response is the engine's answer envelope.
 type Response struct {
@@ -88,15 +131,46 @@ type Planner func(ctx context.Context, req Request, sess *Session) (any, error)
 type Config struct {
 	// Planner computes answers on cache misses.
 	Planner Planner
-	// Fallback, when non-nil, is tried (with FallbackGrace budget)
-	// after Planner misses its deadline — e.g. greedy planning when
-	// ILP runs over. Its answer is cached like any other.
+	// Fallback, when non-nil, is the ladder's greedy rung: tried (with
+	// FallbackGrace budget) after Planner fails — e.g. greedy planning
+	// when ILP runs over. Its answer is cached like any other.
 	Fallback Planner
 	// FallbackGrace is the fallback's time budget (default 2s).
 	FallbackGrace time.Duration
+	// Minimal, when non-nil, is the ladder's last resort: a planner
+	// cheap enough to essentially never fail (e.g. a single-plot answer
+	// over one candidate), tried when every richer rung has failed.
+	Minimal Planner
+	// MinimalGrace is the minimal planner's time budget (default 500ms).
+	MinimalGrace time.Duration
+	// StaleFor, when > 0, enables the ladder's stale rung: an expired
+	// cache entry up to StaleFor past its TTL may be served when both
+	// planners have failed. 0 disables the rung.
+	StaleFor time.Duration
 	// MaxInFlight bounds concurrently executing planner calls; excess
 	// requests queue for a slot (default 32, <= 0 uses default).
 	MaxInFlight int
+	// Queue and BatchQueue are admission watermarks: when more than
+	// this many requests of the lane are already waiting for a slot,
+	// new ones fast-fail with a retryable RejectError instead of
+	// queueing. 0 keeps the lane unbounded (the pre-admission-control
+	// behavior); queue depth is still gauged either way.
+	Queue      int
+	BatchQueue int
+	// RetryAfter is the client back-off hint carried by rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// BreakerThreshold trips a stage's circuit breaker after this many
+	// consecutive blamed deadline misses (default 3; negative disables
+	// breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// half-opening for probes (default 5s).
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, is propagated into planning contexts so
+	// instrumented pipeline stages inject deterministic faults — tests
+	// and muvebench -chaos only.
+	Chaos *resilience.Chaos
 	// Timeout bounds one planning attempt (default 10s).
 	Timeout time.Duration
 	// CacheEntries sizes the answer cache (default 1024; negative
@@ -128,16 +202,21 @@ type Config struct {
 type Engine struct {
 	planner       Planner
 	fallback      Planner
+	minimal       Planner
 	fallbackGrace time.Duration
+	minimalGrace  time.Duration
 	timeout       time.Duration
 	keySuffix     string
 
-	cache    *Cache
-	flight   flightGroup
-	sessions *SessionStore
-	slots    chan struct{}
-	metrics  *Metrics
-	logger   *log.Logger
+	cache     *Cache
+	flight    flightGroup
+	sessions  *SessionStore
+	admission *resilience.Admission
+	ladder    *resilience.Ladder
+	breakers  *resilience.BreakerSet
+	chaos     *resilience.Chaos
+	metrics   *Metrics
+	logger    *log.Logger
 }
 
 // ErrNoPlanner reports a Config without a Planner.
@@ -157,6 +236,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.FallbackGrace <= 0 {
 		cfg.FallbackGrace = 2 * time.Second
 	}
+	if cfg.MinimalGrace <= 0 {
+		cfg.MinimalGrace = 500 * time.Millisecond
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 1024
 	}
@@ -167,15 +252,62 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if m == nil {
 		m = &Metrics{}
 	}
+	cache := NewCache(cfg.CacheEntries, cfg.CacheTTL)
+	if cfg.StaleFor > 0 {
+		cache.SetStaleWindow(cfg.StaleFor)
+	}
+	// The admission controller exists even with watermarks disabled so
+	// the queue-depth gauges are always live on /metrics.
+	admission := resilience.NewAdmission(resilience.AdmissionConfig{
+		Capacity:      cfg.MaxInFlight,
+		MaxQueue:      cfg.Queue,
+		MaxBatchQueue: cfg.BatchQueue,
+		RetryAfter:    cfg.RetryAfter,
+		OnDepth: func(p resilience.Priority, depth int) {
+			if p == resilience.Batch {
+				m.QueueBatch.Set(int64(depth))
+			} else {
+				m.QueueInteractive.Set(int64(depth))
+			}
+		},
+	})
+	var breakers *resilience.BreakerSet
+	if cfg.BreakerThreshold >= 0 {
+		breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			OnChange: func(stage string, to resilience.BreakerState) {
+				m.SetBreakerState(stage, int64(to))
+				if to == resilience.Open {
+					m.BreakerTrip(stage)
+				}
+			},
+		})
+	}
+	rungs := []resilience.Rung{{Name: rungExact, Max: cfg.Timeout}}
+	if cfg.Fallback != nil {
+		rungs = append(rungs, resilience.Rung{Name: rungGreedy, Max: cfg.FallbackGrace})
+	}
+	if cfg.StaleFor > 0 {
+		rungs = append(rungs, resilience.Rung{Name: rungStale})
+	}
+	if cfg.Minimal != nil {
+		rungs = append(rungs, resilience.Rung{Name: rungMinimal, Max: cfg.MinimalGrace})
+	}
 	return &Engine{
 		planner:       cfg.Planner,
 		fallback:      cfg.Fallback,
+		minimal:       cfg.Minimal,
 		fallbackGrace: cfg.FallbackGrace,
+		minimalGrace:  cfg.MinimalGrace,
 		timeout:       cfg.Timeout,
 		keySuffix:     "\x00" + cfg.Dataset + "\x00" + cfg.Solver + "\x00" + strconv.Itoa(cfg.WidthPx),
-		cache:         NewCache(cfg.CacheEntries, cfg.CacheTTL),
+		cache:         cache,
 		sessions:      NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
-		slots:         make(chan struct{}, cfg.MaxInFlight),
+		admission:     admission,
+		ladder:        resilience.NewLadder(rungs...),
+		breakers:      breakers,
+		chaos:         cfg.Chaos,
 		metrics:       m,
 		logger:        cfg.Logger,
 	}, nil
@@ -183,6 +315,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Metrics exposes the engine's registry (for mounting its handlers).
 func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Breakers exposes the per-stage circuit breakers (nil when disabled),
+// for status endpoints and tests.
+func (e *Engine) Breakers() *resilience.BreakerSet { return e.breakers }
 
 // Cache exposes the answer cache (for stats endpoints and tests).
 func (e *Engine) Cache() *Cache { return e.cache }
@@ -239,17 +375,28 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		if errors.Is(err, context.DeadlineExceeded) {
 			e.metrics.Timeouts.Inc()
 		}
+		var rej *resilience.RejectError
+		var ex *resilience.ExhaustedError
+		switch {
+		case errors.As(err, &rej):
+			if rej.Priority == resilience.Batch {
+				e.metrics.RejectedBatch.Inc()
+			} else {
+				e.metrics.RejectedInteractive.Inc()
+			}
+		case errors.As(err, &ex):
+			e.metrics.Exhausted.Inc()
+		}
 		return nil, err
 	}
 	src := SourcePlanned
+	if pv, ok := v.(plannedValue); ok {
+		src = pv.source
+		v = pv.value
+	}
 	if shared {
 		src = SourceCoalesced
 		e.metrics.Coalesced.Inc()
-	} else if pv, ok := v.(plannedValue); ok && pv.fallback {
-		src = SourceFallback
-	}
-	if pv, ok := v.(plannedValue); ok {
-		v = pv.value
 	}
 	if sess != nil {
 		sess.remember(key, v)
@@ -257,67 +404,167 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	return &Response{Value: v, Source: src, Elapsed: time.Since(start), Key: key}, nil
 }
 
-// plannedValue carries the fallback marker through the flight group.
+// plannedValue carries the serving rung's Source through the flight
+// group (coalesced followers see the leader's value, not its Source).
 type plannedValue struct {
-	value    any
-	fallback bool
+	value  any
+	source Source
 }
 
-// plan is the leader path: acquire a worker slot, run the planner
-// under the engine timeout, degrade to the fallback on a deadline
-// miss, and publish the answer to the cache. It runs detached from any
-// single request's cancellation — the answer benefits every coalesced
-// waiter and future cache hits, so one impatient client must not
-// abort it. callerCtx is consulted only for identity: the leader's
-// trace and request ID carry through so planning spans are recorded
-// (coalesced followers contribute no spans of their own).
+// blame names the pipeline stage responsible for a planning failure:
+// the stage the trace was in when it happened, or "unknown" without a
+// trace.
+func blame(tr *obs.Trace) string {
+	if stage := tr.LastStage(); stage != "" {
+		return stage
+	}
+	return "unknown"
+}
+
+// breakerFailure classifies an exact-rung error for the circuit
+// breakers: deadline misses and injected faults indicate an unhealthy
+// stage; anything else (a malformed query, say) says nothing about the
+// pipeline and must not trip a breaker.
+func breakerFailure(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, resilience.ErrInjected)
+}
+
+// plan is the leader path: acquire an admission slot, then walk the
+// degradation ladder — exact planner, greedy fallback, stale cached
+// answer, minimal planner — under one detached deadline budget, and
+// publish the answer to the cache. It runs detached from any single
+// request's cancellation: the answer benefits every coalesced waiter
+// and future cache hits, so one impatient client must not abort it.
+// callerCtx is consulted only for identity — the leader's trace and
+// request ID carry through so planning spans are recorded (coalesced
+// followers contribute no spans of their own).
 func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (any, error) {
 	tr := obs.FromContext(callerCtx)
 	reqID := RequestID(callerCtx)
-	slotCtx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	key := e.Key(req.Transcript)
+
+	// The total budget is the sum of the configured rungs' shares; each
+	// rung is then capped at its own Max during the descent, so a rung
+	// that fails fast leaves its unused budget to the ones below.
+	total := e.timeout
+	if e.fallback != nil {
+		total += e.fallbackGrace
+	}
+	if e.minimal != nil {
+		total += e.minimalGrace
+	}
+	planCtx, cancel := context.WithTimeout(context.Background(), total)
 	defer cancel()
 	if tr != nil {
-		slotCtx = obs.WithTrace(slotCtx, tr)
+		planCtx = obs.WithTrace(planCtx, tr)
 	}
-	select {
-	case e.slots <- struct{}{}:
-		defer func() { <-e.slots }()
-	case <-slotCtx.Done():
-		return nil, slotCtx.Err()
+	if e.chaos != nil {
+		planCtx = resilience.WithChaos(planCtx, e.chaos)
 	}
 
-	planStart := time.Now()
-	v, err := e.planner(slotCtx, req, sess)
-	usedFallback := false
-	if err != nil && errors.Is(err, context.DeadlineExceeded) && e.fallback != nil {
-		e.metrics.Fallbacks.Inc()
-		// Blame the stage the pipeline was in when the deadline hit and
-		// record it both as a labeled counter and on the trace itself.
-		stage := tr.LastStage()
-		if stage == "" {
-			stage = "unknown"
-		}
-		e.metrics.StageFallback(stage)
-		tr.Mark("fallback", obs.Str("blamed_stage", stage))
-		if e.logger != nil {
-			e.logger.Printf("plan %s: primary planner missed deadline in stage %q after %s, degrading to fallback",
-				reqID, stage, time.Since(planStart).Round(time.Millisecond))
-		}
-		graceCtx, graceCancel := context.WithTimeout(context.Background(), e.fallbackGrace)
-		if tr != nil {
-			graceCtx = obs.WithTrace(graceCtx, tr)
-		}
-		v, err = e.fallback(graceCtx, req, sess)
-		graceCancel()
-		usedFallback = err == nil
+	prio := resilience.Interactive
+	if req.Batch {
+		prio = resilience.Batch
 	}
+	release, err := e.admission.Acquire(planCtx, prio)
+	if err != nil {
+		if e.logger != nil {
+			e.logger.Printf("plan %s: admission: %v", reqID, err)
+		}
+		return nil, err
+	}
+	defer release()
+
+	planStart := time.Now()
+	var blamed string // stage blamed for the exact rung's failure
+	v, rung, outs, err := e.ladder.Descend(planCtx, func(actx context.Context, r resilience.Rung) (any, error) {
+		switch r.Name {
+		case rungExact:
+			if vetoStage, ok := e.breakers.Allow(); !ok {
+				return nil, &resilience.SkipError{Reason: "breaker-open:" + vetoStage}
+			}
+			settled := false
+			defer func() {
+				if !settled { // the planner panicked out of this frame
+					blamed = blame(tr)
+					e.breakers.Result(blamed, false)
+				}
+			}()
+			v, err := e.planner(actx, req, sess)
+			settled = true
+			switch {
+			case err == nil:
+				e.breakers.Result("", true)
+			case breakerFailure(err):
+				blamed = blame(tr)
+				e.breakers.Result(blamed, false)
+			default:
+				blamed = blame(tr)
+				e.breakers.Result("", false) // returns probes, charges nobody
+			}
+			return v, err
+		case rungGreedy:
+			return e.fallback(actx, req, sess)
+		case rungStale:
+			if req.Refresh {
+				return nil, &resilience.SkipError{Reason: "refresh"}
+			}
+			if sv, age, ok := e.cache.GetStale(key); ok {
+				if tr != nil {
+					tr.Mark("stale", obs.Str("age", age.Round(time.Millisecond).String()))
+				}
+				return sv, nil
+			}
+			return nil, &resilience.SkipError{Reason: "no-stale-entry"}
+		case rungMinimal:
+			return e.minimal(actx, req, sess)
+		}
+		return nil, &resilience.SkipError{Reason: "unknown-rung"}
+	})
 	e.metrics.Planning.Observe(time.Since(planStart))
+
+	// Post-descent bookkeeping: contained panics, and the preserved
+	// fallback blame semantics — when the exact rung failed and the
+	// ladder had lower rungs to descend to, record which stage ran the
+	// budget out (as a labeled counter and a mark on the trace).
+	exactFailed := false
+	for _, o := range outs {
+		if o.Panicked {
+			e.metrics.Panics.Inc()
+			if e.logger != nil {
+				e.logger.Printf("plan %s: rung %q panic contained: %v", reqID, o.Rung, o.Err)
+			}
+		}
+		if o.Rung == rungExact && !o.Skipped {
+			exactFailed = true
+		}
+	}
+	if exactFailed && len(e.ladder.Rungs()) > 1 {
+		e.metrics.Fallbacks.Inc()
+		if blamed == "" {
+			blamed = "unknown"
+		}
+		e.metrics.StageFallback(blamed)
+		tr.Mark("fallback", obs.Str("blamed_stage", blamed))
+		if e.logger != nil {
+			e.logger.Printf("plan %s: exact rung failed in stage %q after %s, descending",
+				reqID, blamed, time.Since(planStart).Round(time.Millisecond))
+		}
+	}
 	if err != nil {
 		if e.logger != nil {
 			e.logger.Printf("plan %s: %v", reqID, err)
 		}
 		return nil, err
 	}
-	e.cache.Put(e.Key(req.Transcript), v)
-	return plannedValue{value: v, fallback: usedFallback}, nil
+	e.metrics.LadderRung(rung)
+	if tr != nil && rung != rungExact {
+		tr.Mark("ladder", obs.Str("rung", rung))
+	}
+	// Stale answers came from the cache; re-publishing would refresh
+	// their TTL and let expired data circulate indefinitely.
+	if rung != rungStale {
+		e.cache.Put(key, v)
+	}
+	return plannedValue{value: v, source: rungSource(rung)}, nil
 }

@@ -39,6 +39,7 @@ import (
 	"muve/internal/nlq"
 	"muve/internal/obs"
 	"muve/internal/progressive"
+	"muve/internal/resilience"
 	"muve/internal/speech"
 	"muve/internal/sqldb"
 	"muve/internal/usermodel"
@@ -97,6 +98,13 @@ type Config struct {
 	// Presentation, when non-nil, answers through a progressive strategy
 	// instead of the default single multiplot.
 	Presentation progressive.Method
+	// BudgetFraction, when in (0, 1], caps the ILP planning budget at
+	// this fraction of the calling context's remaining deadline: a
+	// request arriving with 400ms left and BudgetFraction 0.5 gives the
+	// solver at most 200ms regardless of ILPTimeout, leaving the rest
+	// for execution, rendering and the serving layer's cheaper rungs.
+	// 0 disables the cap (ILPTimeout alone governs).
+	BudgetFraction float64
 }
 
 // Option mutates a Config.
@@ -138,6 +146,12 @@ func WithSpeechNoise(wordErrorRate float64, seed int64) Option {
 // (see the progressive package: Inc-Plot, App-1%, App-D, ILP-Inc, ...).
 func WithPresentation(m progressive.Method) Option {
 	return func(c *Config) { c.Presentation = m }
+}
+
+// WithBudgetFraction caps ILP planning at the given fraction of the
+// request context's remaining deadline (see Config.BudgetFraction).
+func WithBudgetFraction(f float64) Option {
+	return func(c *Config) { c.BudgetFraction = f }
 }
 
 // System is a configured MUVE instance over one table.
@@ -233,6 +247,10 @@ func (s *System) Ask(text string) (*Answer, error) {
 // stops consuming CPU early and returns ctx's error.
 func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
 	sp := obs.StartSpan(ctx, "speech")
+	if err := resilience.Inject(ctx, "speech"); err != nil {
+		sp.SetErr(err).End()
+		return nil, err
+	}
 	transcript := text
 	if s.channel != nil {
 		s.chMu.Lock()
@@ -253,6 +271,10 @@ func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
 // generation, planning, execution, rendering-ready assembly.
 func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query) (*Answer, error) {
 	sp := obs.StartSpan(ctx, "nlq")
+	if err := resilience.Inject(ctx, "nlq"); err != nil {
+		sp.SetErr(err).End()
+		return nil, err
+	}
 	cands, err := s.pipe.Generator.CandidatesContext(ctx, top)
 	if err != nil {
 		sp.SetErr(err).End()
@@ -279,9 +301,13 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 	}
 	method := s.cfg.Presentation
 	if method == nil {
-		method = s.defaultMethod()
+		method = s.defaultMethod(ctx)
 	}
 	psp := obs.StartSpan(ctx, "progressive")
+	if err := resilience.Inject(ctx, "progressive"); err != nil {
+		psp.SetErr(err).End()
+		return nil, err
+	}
 	trace, err := method.Present(sess)
 	if err != nil {
 		psp.SetErr(err).End()
@@ -297,6 +323,10 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 	psp.End()
 	ans.Trace = trace
 	vsp := obs.StartSpan(ctx, "viz")
+	if err := resilience.Inject(ctx, "viz"); err != nil {
+		vsp.SetErr(err).End()
+		return nil, err
+	}
 	if len(trace.Events) > 0 {
 		ans.Multiplot = trace.Events[len(trace.Events)-1].Multiplot
 	}
@@ -311,12 +341,24 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 }
 
 // defaultMethod maps the configured solver to a presentation method.
-func (s *System) defaultMethod() progressive.Method {
+// When BudgetFraction is set and ctx carries a deadline, the ILP budget
+// shrinks to that fraction of the remaining time, so a request that
+// already spent most of its deadline upstream (queueing, speech, NLQ)
+// does not hand the solver a budget it can no longer afford.
+func (s *System) defaultMethod(ctx context.Context) progressive.Method {
+	budget := s.cfg.ILPTimeout
+	if f := s.cfg.BudgetFraction; f > 0 {
+		if deadline, ok := ctx.Deadline(); ok {
+			if capped := time.Duration(f * float64(time.Until(deadline))); capped > 0 && capped < budget {
+				budget = capped
+			}
+		}
+	}
 	switch s.cfg.Solver {
 	case SolverILP:
-		return progressive.NewILPDefault(s.cfg.ILPTimeout)
+		return progressive.NewILPDefault(budget)
 	case SolverILPIncremental:
-		return progressive.ILPInc{Budget: s.cfg.ILPTimeout}
+		return progressive.ILPInc{Budget: budget}
 	default:
 		return progressive.NewGreedyDefault()
 	}
