@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve trace-smoke chaos-smoke ci
+.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke ci
 
 all: ci
 
@@ -40,4 +40,10 @@ chaos-smoke:
 	$(GO) run ./cmd/muvebench -chaos "solver:lat=3s@0.4,err=0.2;nlq:panic=0.05" \
 		-chaos-seed 7 -chaos-requests 120
 
-ci: vet build race trace-smoke chaos-smoke
+# Session replay cold vs warm-started incremental planning; fails
+# unless the warm arm reaches the cold arm's final cost in less solver
+# time at equal-or-better cost.
+warmstart-smoke:
+	$(GO) run ./cmd/muvebench -warmstart -warmstart-budget 400ms -seed 1
+
+ci: vet build race trace-smoke chaos-smoke warmstart-smoke

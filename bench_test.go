@@ -183,6 +183,68 @@ func BenchmarkILPSolver8Candidates(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmVsColdIncremental compares incremental ILP planning from
+// scratch against the same solve warm-started with a prior multiplot
+// (the previous utterance's answer, as serving sessions provide it).
+// Both arms report ms-to-cold-cost: how long until they first emit a
+// multiplot at least as good as the cold arm's final one — the warm arm
+// should get there in a fraction of the time.
+func BenchmarkWarmVsColdIncremental(b *testing.B) {
+	// This particular query improves across several k·bⁱ sequences
+	// before the cold run lands its final cost — the regime the
+	// incremental scheme exists for, and where a warm start has
+	// something to skip.
+	tbl, err := workload.Build(workload.NYC311, 4000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := nlq.NewGenerator(nlq.BuildCatalog(tbl, 0))
+	gen.MaxCandidates = 14
+	cands, err := gen.Candidates(sqldb.MustParse(
+		"SELECT sum(response_hours) FROM requests WHERE complaint_type = 'Heating'"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &core.Instance{
+		Candidates: cands,
+		Screen:     core.Screen{WidthPx: 480, Rows: 1, PxPerBar: 48, PxPerChar: 7},
+		Model:      usermodel.DefaultModel(),
+	}
+	budget := 1000 * time.Millisecond
+
+	// One reference cold run pins the quality bar and provides the
+	// prior the warm arm would have inherited from a previous solve.
+	ref := &core.IncrementalILP{TotalBudget: budget}
+	prior, refStats, err := ref.Solve(in, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := refStats.Cost
+
+	run := func(b *testing.B, hint *core.Multiplot) {
+		var msToCost float64
+		for i := 0; i < b.N; i++ {
+			inc := &core.IncrementalILP{TotalBudget: budget, Hint: hint}
+			reached := time.Duration(-1)
+			_, st, err := inc.Solve(in, func(u core.Update) {
+				if reached < 0 && u.Cost <= target+1e-6 {
+					reached = u.Elapsed
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if reached < 0 {
+				reached = st.Duration
+			}
+			msToCost += float64(reached) / float64(time.Millisecond)
+		}
+		b.ReportMetric(msToCost/float64(b.N), "ms-to-cold-cost")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, nil) })
+	b.Run("warm", func(b *testing.B) { run(b, &prior) })
+}
+
 func BenchmarkTextToMultiSQL(b *testing.B) {
 	tbl, err := workload.Build(workload.NYC311, 4000, 9)
 	if err != nil {

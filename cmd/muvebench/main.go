@@ -34,6 +34,16 @@
 // The summary reports the ladder-rung distribution (planned, fallback,
 // stale, minimal, cache, coalesced) so degradation rates are tracked
 // alongside latency.
+//
+// Warm-start mode replays a voice session — a base query plus
+// follow-up utterances that each tweak one predicate — through
+// incremental ILP planning twice, cold and warm-started from the
+// previous utterance's multiplot, and fails (non-zero exit) unless the
+// warm arm reaches the cold arm's final cost in less solver time at
+// equal or better cost:
+//
+//	muvebench -warmstart [-warmstart-utterances 6] \
+//	          [-warmstart-budget 400ms] [-warmstart-json out.json]
 package main
 
 import (
@@ -76,6 +86,11 @@ func run() error {
 		chaosRequests = flag.Int("chaos-requests", 200, "requests to issue in -chaos mode")
 		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent clients in -chaos mode")
 		chaosJSON     = flag.String("chaos-json", "", "write the -chaos summary as JSON to this file")
+
+		warmFlag   = flag.Bool("warmstart", false, "replay a voice session cold vs warm-started instead of running experiments")
+		warmUtts   = flag.Int("warmstart-utterances", 6, "session length in -warmstart mode")
+		warmBudget = flag.Duration("warmstart-budget", 400*time.Millisecond, "per-utterance planning budget in -warmstart mode")
+		warmJSON   = flag.String("warmstart-json", "", "write the -warmstart summary as JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Fast: *fastFlag, Seed: *seedFlag}
@@ -85,6 +100,9 @@ func run() error {
 	}
 	if *chaosFlag != "" {
 		return runChaos(*chaosFlag, *chaosSeed, *chaosRequests, *chaosWorkers, *chaosJSON)
+	}
+	if *warmFlag {
+		return runWarmstart(*seedFlag, *warmUtts, *warmBudget, *warmJSON)
 	}
 
 	all := bench.Experiments()

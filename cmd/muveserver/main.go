@@ -19,7 +19,9 @@
 //
 // /ask and /ask.json accept three optional parameters: sid=<id> binds
 // the request to a server-side session (consecutive utterances reuse
-// state), refresh=1 bypasses the answer cache (and the stale rung), and
+// state, and with -warm-start the ILP solvers seed from the session's
+// previous multiplot — outcomes are counted in muve_warmstart_total),
+// refresh=1 bypasses the answer cache (and the stale rung), and
 // batch=1 queues the request in the low-priority admission lane.
 // Responses carry X-Muve-Source
 // (session|cache|coalesced|planned|fallback|stale|minimal) and
@@ -44,7 +46,8 @@
 //	           [-max-inflight 32] [-cache-entries 1024] [-cache-ttl 5m]
 //	           [-timeout 10s] [-queue-depth 0] [-batch-queue 0]
 //	           [-stale-for 0] [-breaker-threshold 3] [-breaker-cooldown 5s]
-//	           [-budget-fraction 0] [-chaos spec] [-chaos-seed 1]
+//	           [-budget-fraction 0] [-warm-start=true]
+//	           [-chaos spec] [-chaos-seed 1]
 //	           [-trace-buffer 128] [-pprof] [-runtime-trace trace.out]
 //
 // -trace-buffer sizes the in-memory ring of recent request traces (0
@@ -76,6 +79,7 @@ import (
 	"time"
 
 	"muve"
+	"muve/internal/core"
 	"muve/internal/obs"
 	"muve/internal/resilience"
 	"muve/internal/serve"
@@ -108,6 +112,7 @@ func run() error {
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive blamed deadline misses tripping a stage circuit breaker (negative disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker skips the exact rung before probing")
 		budgetFlag   = flag.Float64("budget-fraction", 0, "cap ILP planning at this fraction of the remaining request deadline (0 disables)")
+		warmFlag     = flag.Bool("warm-start", true, "seed ILP planning with the session's previous multiplot (ilp/ilp-inc solvers)")
 		chaosFlag    = flag.String("chaos", "", "fault-injection spec, e.g. 'solver:lat=300ms@0.5,err=0.1' (drills only)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for -chaos randomness")
 		traceBufFlag = flag.Int("trace-buffer", 128, "recent request traces kept for /debug/traces (0 disables)")
@@ -155,7 +160,8 @@ func run() error {
 	sys, err := muve.New(db, ds.String(),
 		muve.WithSolver(solver),
 		muve.WithWidth(*widthFlag),
-		muve.WithBudgetFraction(*budgetFlag))
+		muve.WithBudgetFraction(*budgetFlag),
+		muve.WithWarmStart(*warmFlag))
 	if err != nil {
 		return err
 	}
@@ -255,10 +261,23 @@ type engineConfig struct {
 // their deadline; a stripped-down single-candidate greedy system is
 // always built as the minimal last-resort rung.
 func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (*serve.Engine, error) {
+	metrics := &serve.Metrics{}
 	planner := func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
-		ans, err := sys.AskContext(ctx, req.Transcript)
+		// The previous utterance's multiplot, when the session has one,
+		// warm-starts this solve (muve.WithWarmStart decides whether the
+		// system honors it).
+		var prior *core.Multiplot
+		if sess != nil {
+			if prev, ok := sess.State().(*muve.Answer); ok && prev != nil {
+				prior = &prev.Multiplot
+			}
+		}
+		ans, err := sys.AskContext(ctx, req.Transcript, prior)
 		if err != nil {
 			return nil, err
+		}
+		if ws := string(ans.Stats.WarmStart); ws != "" {
+			metrics.WarmStart(ws)
 		}
 		if sess != nil {
 			// Session state carries the latest answer so follow-up
@@ -276,7 +295,16 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 			return nil, err
 		}
 		fallback = func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
-			return greedySys.AskContext(ctx, req.Transcript)
+			ans, err := greedySys.AskContext(ctx, req.Transcript)
+			if err != nil {
+				return nil, err
+			}
+			if sess != nil {
+				// A degraded answer is still the freshest multiplot for
+				// this session; the next utterance warm-starts from it.
+				sess.SetState(ans)
+			}
+			return ans, nil
 		}
 	}
 	// The minimal rung plans a single plot for the single most likely
@@ -295,6 +323,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		return minimalSys.AskContext(ctx, req.Transcript)
 	}
 	return serve.NewEngine(serve.Config{
+		Metrics:          metrics,
 		Planner:          planner,
 		Fallback:         fallback,
 		Minimal:          minimal,

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -184,6 +185,105 @@ func TestSessionReuse(t *testing.T) {
 		if got := resp.Header.Get("X-Muve-Source"); got != want {
 			t.Errorf("request %d source = %q, want %q", i, got, want)
 		}
+	}
+}
+
+// warmTestServer serves through the incremental ILP solver with
+// warm-starting on, so consecutive session utterances exercise the
+// hint path end to end.
+func warmTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tbl, err := workload.Build(workload.NYC311, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	// SolverILP greedy-seeds its incumbent, so the first utterance is
+	// guaranteed a non-empty multiplot even when the wall-clock budget
+	// starves under -race or a loaded machine; later utterances then
+	// deterministically warm-start from it.
+	sys, err := muve.New(db, "requests",
+		muve.WithSolver(muve.SolverILP),
+		muve.WithILPTimeout(500*time.Millisecond),
+		muve.WithMaxCandidates(8),
+		muve.WithWidth(600),
+		muve.WithWarmStart(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := newEngine(sys, db, "requests", engineConfig{
+		solver:       muve.SolverILP,
+		solverName:   "ilp",
+		widthPx:      600,
+		maxInFlight:  8,
+		cacheEntries: 256,
+		cacheTTL:     time.Minute,
+		timeout:      10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(engine, sys, "requests", tbl.NumRows()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWarmStartMetricAcrossSessionUtterances(t *testing.T) {
+	srv := warmTestServer(t)
+	// refresh=1 forces a fresh plan each time while keeping session
+	// affinity, so the second and third utterances re-plan the identical
+	// instance with the session's previous multiplot as the hint — a
+	// full warm-start hit.
+	url := srv.URL + "/ask.json?q=average+response+hours+in+Queens&sid=alice&refresh=1"
+	for i := 0; i < 3; i++ {
+		status, _, body := fetch(t, url)
+		if status != 200 {
+			t.Fatalf("request %d status = %d: %s", i, status, body)
+		}
+	}
+	_, _, body := fetch(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `muve_warmstart_total{result="hit"}`) {
+		t.Fatalf("metrics missing warm-start hit counter:\n%s", body)
+	}
+	// The first utterance has no prior; the two follow-ups must both
+	// have warm-started from session state.
+	if !strings.Contains(body, `muve_warmstart_total{result="hit"} 2`) {
+		t.Errorf("warm-start hits != 2 in:\n%s", body)
+	}
+}
+
+// TestConcurrentSessionWarmStarts hammers one session from many
+// goroutines (run under -race): the planner's read of the previous
+// answer and write of the new one must be safe against concurrent
+// requests with the same sid.
+func TestConcurrentSessionWarmStarts(t *testing.T) {
+	srv := warmTestServer(t)
+	url := srv.URL + "/ask.json?q=average+response+hours+in+Queens&sid=shared&refresh=1"
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- resp.Status
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent session request failed: %s", e)
 	}
 }
 

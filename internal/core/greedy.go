@@ -59,6 +59,13 @@ type Stats struct {
 	Incumbents int
 	// Rounds counts greedy selection rounds, i.e. plots placed (greedy only).
 	Rounds int
+	// Sequences counts the k·bⁱ sequences an incremental run executed
+	// (IncrementalILP only).
+	Sequences int
+	// WarmStart classifies how the solver's warm-start hint fared: WarmHit,
+	// WarmPartial, WarmInfeasible or WarmNone. Empty for solvers without a
+	// hint surface (greedy) and for solves given no hint.
+	WarmStart WarmStartResult
 }
 
 // Solve runs the greedy algorithm (Algorithm 1). The deadline is ignored:

@@ -32,6 +32,16 @@ type ILPSolver struct {
 	// timeouts can never return something worse than greedy. Off by
 	// default to keep the two solvers' comparison honest.
 	WarmStart bool
+	// Hint, when non-nil, seeds the search with a prior multiplot — the
+	// previous incremental sequence's best, or the previous utterance's
+	// answer in a voice session. The hint is remapped onto the current
+	// instance by (template key, bar label), filtered down to what still
+	// exists, feasibility-checked, and only then handed to branch-and-
+	// bound as its initial incumbent; a hint from a disjoint candidate
+	// set degrades to a cold start, never a mis-seed or an infeasible
+	// model. When both Hint and WarmStart yield a seed, the cheaper
+	// incumbent wins. Stats.WarmStart reports how the hint fared.
+	Hint *Multiplot
 	// MaxBarsPerPlot caps bars per plot (0 = derived from screen width).
 	MaxBarsPerPlot int
 	// Ctx, when non-nil, bounds the solve: a context deadline earlier
@@ -44,6 +54,29 @@ type ILPSolver struct {
 
 // Name identifies the solver in experiment output.
 func (s *ILPSolver) Name() string { return "ILP" }
+
+// WarmStartResult classifies the fate of a warm-start hint (a prior
+// multiplot handed to ILPSolver.Hint) for stats, trace spans and the
+// muve_warmstart_total metric. The zero value "" means no hint was
+// provided.
+type WarmStartResult string
+
+const (
+	// WarmHit: every hint entry mapped onto the current instance and the
+	// derived assignment seeded the search.
+	WarmHit WarmStartResult = "hit"
+	// WarmPartial: part of the hint survived the remap (vanished
+	// templates, labels or over-cap bars were dropped) and the remainder
+	// seeded the search.
+	WarmPartial WarmStartResult = "partial"
+	// WarmInfeasible: the hint mapped onto current variables but the
+	// derived assignment violates the model (e.g. a processing-cost
+	// bound the prior answer busts), so nothing was seeded.
+	WarmInfeasible WarmStartResult = "infeasible"
+	// WarmNone: a hint was provided but nothing in it exists in the
+	// current instance; the solve started cold.
+	WarmNone WarmStartResult = "none"
+)
 
 // ilpVars records the variable layout of one model build for decoding.
 type ilpVars struct {
@@ -93,10 +126,9 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 			opt.Deadline = d
 		}
 	}
-	if s.WarmStart {
-		if warm, ok := s.warmStartValues(in, v); ok {
-			opt.WarmStart = warm
-		}
+	warmRes, seed := s.warmSeed(in, v)
+	if seed != nil {
+		opt.WarmStart = seed
 	}
 	sol, err := v.model.Solve(opt)
 	if err != nil {
@@ -108,6 +140,7 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 		LPSolves:     sol.LPSolves,
 		SimplexIters: sol.SimplexIters,
 		Incumbents:   sol.Incumbents,
+		WarmStart:    warmRes,
 	}
 	switch sol.Status {
 	case ilp.StatusOptimal:
@@ -451,21 +484,172 @@ type zAux struct {
 	u  float64
 }
 
-// warmStartValues maps the greedy solution onto the ILP variable space so
-// the branch-and-bound starts with a feasible incumbent at least as good
-// as greedy. Returns false when the greedy multiplot does not embed into
-// the model's variable space (e.g. greedy used a bar the ILP pruned via
-// MaxBarsPerPlot).
-func (s *ILPSolver) warmStartValues(in *Instance, v *ilpVars) ([]float64, bool) {
-	g := &GreedySolver{MaxBarsPerPlot: s.MaxBarsPerPlot}
-	gm, _, err := g.Solve(in)
-	if err != nil {
-		return nil, false
+// warmSeedTol is the feasibility tolerance for vetting warm-start
+// assignments, matching the branch-and-bound's own check.
+const warmSeedTol = 1e-6
+
+// warmSeed derives the branch-and-bound's initial incumbent from the
+// solver's two warm-start surfaces: a concrete prior-multiplot Hint,
+// and the greedy seed enabled by WarmStart. When both yield a feasible
+// assignment the cheaper incumbent wins — the search prunes against the
+// incumbent bound, so a tighter start pays directly in nodes. The
+// returned WarmStartResult classifies the Hint's fate alone ("" when no
+// hint was given); the greedy seed is a floor, not a hint.
+func (s *ILPSolver) warmSeed(in *Instance, v *ilpVars) (WarmStartResult, []float64) {
+	var res WarmStartResult
+	var seed []float64
+	var seedCost float64
+	if s.Hint != nil {
+		res = WarmNone
+		if hm, mapped := remapHint(in, v, *s.Hint); mapped != WarmNone {
+			res = mapped
+			if x, ok := embedMultiplot(in, v, hm); ok && v.model.Feasible(x, warmSeedTol) {
+				seed, seedCost = x, in.Cost(hm)
+			} else {
+				res = WarmInfeasible
+			}
+		}
 	}
+	if s.WarmStart {
+		g := &GreedySolver{MaxBarsPerPlot: s.MaxBarsPerPlot}
+		if gm, _, err := g.Solve(in); err == nil {
+			if x, ok := embedMultiplot(in, v, gm); ok && v.model.Feasible(x, warmSeedTol) {
+				if gc := in.Cost(gm); seed == nil || gc < seedCost {
+					seed, seedCost = x, gc
+				}
+			}
+		}
+	}
+	return res, seed
+}
+
+// remapHint projects a prior multiplot onto the current instance's
+// variable space. Candidate indices are meaningless across instances —
+// consecutive utterances, and even re-solves after candidate pruning,
+// produce different candidate sets — so plots are matched by template
+// key and bars by label within the template's current group. Anything
+// that no longer exists (vanished template, vanished label, bar slot
+// past the model's per-plot cap) is dropped, degrading the hint to a
+// partial or empty seed instead of mis-seeding. Surviving plots are
+// re-packed first-fit by decreasing width with rows ordered by
+// decreasing used width, so the seed satisfies the model's
+// symmetry-breaking row-order constraints.
+func remapHint(in *Instance, v *ilpVars, hint Multiplot) (Multiplot, WarmStartResult) {
+	total := 0
+	for _, row := range hint.Rows {
+		for _, pl := range row {
+			total += len(pl.Entries)
+		}
+	}
+	if total == 0 {
+		return Multiplot{}, WarmNone
+	}
+	usedQuery := make(map[int]bool)
+	usedTmpl := make(map[string]bool)
+	var plots []Plot
+	for _, row := range hint.Rows {
+		for _, pl := range row {
+			key := pl.Template.Key
+			grp, ok := v.groups[key]
+			if !ok || usedTmpl[key] {
+				continue
+			}
+			bv := v.barVar[key]
+			if len(bv) == 0 || len(bv[0]) == 0 {
+				continue // template exists but cannot display a single bar
+			}
+			nBars := len(bv[0])
+			usedSlot := make(map[int]bool, len(pl.Entries))
+			var entries []Entry
+			for _, e := range pl.Entries {
+				if len(entries) == nBars {
+					break
+				}
+				for j := 0; j < nBars && j < len(grp.Labels); j++ {
+					if usedSlot[j] || grp.Labels[j] != e.Label || usedQuery[grp.Queries[j]] {
+						continue
+					}
+					usedSlot[j] = true
+					usedQuery[grp.Queries[j]] = true
+					entries = append(entries, Entry{
+						Query:       grp.Queries[j],
+						Label:       e.Label,
+						Highlighted: e.Highlighted,
+					})
+					break
+				}
+			}
+			if len(entries) == 0 {
+				continue
+			}
+			usedTmpl[key] = true
+			plots = append(plots, Plot{Template: grp.Template, Entries: entries})
+		}
+	}
+	if len(plots) == 0 {
+		return Multiplot{}, WarmNone
+	}
+	packed := packPlots(in.Screen, plots)
+	placed := 0
+	for _, row := range packed.Rows {
+		for _, pl := range row {
+			placed += len(pl.Entries)
+		}
+	}
+	switch {
+	case placed == 0:
+		return Multiplot{}, WarmNone
+	case placed == total:
+		return packed, WarmHit
+	default:
+		return packed, WarmPartial
+	}
+}
+
+// packPlots lays plots into at most screen.Rows rows, first-fit by
+// decreasing width, and orders rows by decreasing used width — the row
+// order the model's symmetry-breaking constraints require. Plots that
+// fit no row are dropped.
+func packPlots(s Screen, plots []Plot) Multiplot {
+	sorted := append([]Plot(nil), plots...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Width(s) > sorted[j].Width(s)
+	})
+	screenW := s.WidthUnits()
+	bins := make([][]Plot, s.Rows)
+	widths := make([]int, s.Rows)
+	for _, pl := range sorted {
+		w := pl.Width(s)
+		for r := range bins {
+			if widths[r]+w <= screenW {
+				bins[r] = append(bins[r], pl)
+				widths[r] += w
+				break
+			}
+		}
+	}
+	order := make([]int, len(bins))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return widths[order[i]] > widths[order[j]] })
+	out := Multiplot{Rows: make([][]Plot, len(bins))}
+	for ri, bi := range order {
+		out.Rows[ri] = bins[bi]
+	}
+	return out
+}
+
+// embedMultiplot maps a multiplot of the *current* instance onto the
+// ILP variable space as a full assignment, so branch-and-bound can
+// start with it as a feasible incumbent. Returns false when the
+// multiplot does not embed into the model (e.g. a bar the ILP pruned
+// via MaxBarsPerPlot, or a row index past the screen's rows).
+func embedMultiplot(in *Instance, v *ilpVars, m Multiplot) ([]float64, bool) {
 	x := make([]float64, v.model.NumVars())
 	stateHL := make([]bool, len(in.Candidates))
 	stateDisp := make([]bool, len(in.Candidates))
-	for ri, row := range gm.Rows {
+	for ri, row := range m.Rows {
 		for _, pl := range row {
 			pv, ok := v.plotVar[pl.Template.Key]
 			if !ok || ri >= len(pv) {
@@ -508,10 +692,10 @@ func (s *ILPSolver) warmStartValues(in *Instance, v *ilpVars) ([]float64, bool) 
 	}
 	// Processing-group variables: cover the displayed queries with the
 	// same greedy set cover the cost evaluation uses. If the cover busts
-	// the instance's processing-cost bound, the solver's feasibility check
+	// the instance's processing-cost bound, the caller's feasibility check
 	// rejects the warm start, which is the correct outcome.
 	if len(v.groupVars) > 0 {
-		states := gm.QueryStates(len(in.Candidates))
+		states := m.QueryStates(len(in.Candidates))
 		_, chosen := in.groupCover(states)
 		for _, gi := range chosen {
 			x[v.groupVars[gi]] = 1
@@ -519,7 +703,7 @@ func (s *ILPSolver) warmStartValues(in *Instance, v *ilpVars) ([]float64, bool) 
 	}
 	// Continuous product auxiliaries take their implied minimal values
 	// z = gate * total (the big-M constraints are then tight or slack).
-	b, bR, p, pR := gm.Counts()
+	b, bR, p, pR := m.Counts()
 	for qi := range in.Candidates {
 		zs, ok := v.zVars[qi]
 		if !ok {

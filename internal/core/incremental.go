@@ -20,6 +20,13 @@ type IncrementalILP struct {
 	TotalBudget time.Duration
 	// MaxBarsPerPlot is forwarded to the underlying ILP solver.
 	MaxBarsPerPlot int
+	// Hint, when non-nil, warm-starts the first sequence with a prior
+	// multiplot (typically the previous utterance's answer in a voice
+	// session); see ILPSolver.Hint for the remapping semantics. Later
+	// sequences are always seeded with the best multiplot found so far,
+	// so no sequence re-proves the incumbent the last one already paid
+	// for. Stats.WarmStart reports how the first sequence's hint fared.
+	Hint *Multiplot
 	// Ctx, when non-nil, stops refinement between sequences: the best
 	// multiplot found so far is returned (anytime semantics), matching
 	// what a budget expiry would do. Nil means only TotalBudget stops
@@ -74,8 +81,14 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 	haveBest := false
 	updates := 0
 
-	seq := k
+	// The k·bⁱ schedule is tracked separately from the per-sequence
+	// timeout: clamping a sequence to the remaining budget must not feed
+	// the clamped value back into the geometric growth, or one clamp
+	// would corrupt every later sequence length.
+	sched := k
 	var finalStats Stats
+	var warmRes WarmStartResult
+	sequences := 0
 	// Counters accumulate across sequences: each inner solve restarts the
 	// search, and observability wants the total work, not the last slice.
 	var nodes, lpSolves, simplexIters, incumbents int
@@ -87,15 +100,39 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		if elapsed >= budget {
 			break
 		}
-		remaining := budget - elapsed
-		if seq > remaining {
+		seq := sched
+		if remaining := budget - elapsed; seq > remaining {
 			seq = remaining
+			// A near-zero final sliver cannot improve on what a full
+			// sequence already found; skip it rather than burn a model
+			// build on it. With nothing found yet, even a sliver beats
+			// returning empty, so only skip once a best exists.
+			if haveBest && seq < k/4 {
+				break
+			}
 		}
 		inner := &ILPSolver{Timeout: seq, MaxBarsPerPlot: s.MaxBarsPerPlot, Ctx: s.Ctx}
+		// Seed each sequence with the best multiplot so far, so no
+		// sequence re-proves the incumbent the previous one already paid
+		// for; the first sequence takes the caller's cross-utterance
+		// hint, backed by the greedy floor so a useless hint still never
+		// ends worse than greedy.
+		switch {
+		case haveBest:
+			prev := best
+			inner.Hint = &prev
+		case s.Hint != nil:
+			inner.Hint = s.Hint
+			inner.WarmStart = true
+		}
 		m, st, err := inner.Solve(in)
 		if err != nil {
 			return Multiplot{}, Stats{}, err
 		}
+		if sequences == 0 {
+			warmRes = st.WarmStart
+		}
+		sequences++
 		nodes += st.Nodes
 		lpSolves += st.LPSolves
 		simplexIters += st.SimplexIters
@@ -112,7 +149,7 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		if st.Optimal {
 			break
 		}
-		seq = time.Duration(float64(seq) * b)
+		sched = time.Duration(float64(sched) * b)
 	}
 	total := time.Since(start)
 	if emit != nil {
@@ -127,5 +164,7 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		LPSolves:     lpSolves,
 		SimplexIters: simplexIters,
 		Incumbents:   incumbents,
+		Sequences:    sequences,
+		WarmStart:    warmRes,
 	}, nil
 }

@@ -388,6 +388,150 @@ func TestILPTimeoutReturnsFeasible(t *testing.T) {
 	}
 }
 
+func TestILPHintFromSameInstanceHits(t *testing.T) {
+	in := valueVariantInstance([]float64{0.4, 0.25, 0.15, 0.1, 0.05}, DefaultScreen())
+	m1, st1, err := (&ILPSolver{Timeout: 20 * time.Second}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.WarmStart != "" {
+		t.Errorf("no hint given but WarmStart = %q", st1.WarmStart)
+	}
+	// Re-solving the same instance with its own answer as the hint must
+	// remap every entry and start from that incumbent.
+	m2, st2, err := (&ILPSolver{Timeout: 20 * time.Second, Hint: &m1}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.WarmStart != WarmHit {
+		t.Errorf("WarmStart = %q, want %q", st2.WarmStart, WarmHit)
+	}
+	if math.Abs(st2.Cost-st1.Cost) > 1e-6 {
+		t.Errorf("hinted solve cost %v != cold optimal %v", st2.Cost, st1.Cost)
+	}
+	if !m2.FitsScreen(in.Screen) {
+		t.Error("hinted solution overflows screen")
+	}
+}
+
+func TestILPHintFromDisjointInstanceStartsCold(t *testing.T) {
+	// A hint whose templates and labels share nothing with the current
+	// instance (a brand-new utterance) must degrade to a clean cold
+	// start: no crash, no mis-seeding, result identical to no hint.
+	prior := valueVariantInstance([]float64{0.4, 0.3, 0.2}, DefaultScreen())
+	hint, _, err := (&ILPSolver{Timeout: 20 * time.Second}).Solve(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hint.NumPlots() == 0 {
+		t.Fatal("prior solve produced no plots to hint with")
+	}
+	in := randomInstance(rand.New(rand.NewSource(11)), 5, smallScreen())
+	mCold, stCold, err := (&ILPSolver{Timeout: 20 * time.Second}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHint, stHint, err := (&ILPSolver{Timeout: 20 * time.Second, Hint: &hint}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stHint.WarmStart != WarmNone {
+		t.Errorf("WarmStart = %q, want %q", stHint.WarmStart, WarmNone)
+	}
+	if math.Abs(stHint.Cost-stCold.Cost) > 1e-6 {
+		t.Errorf("disjoint hint changed the optimum: %v vs %v\nhinted: %s\ncold:   %s",
+			stHint.Cost, stCold.Cost, mHint, mCold)
+	}
+}
+
+func TestILPHintPartialWhenCandidatesVanish(t *testing.T) {
+	// Solve a 6-way ambiguity, then re-plan after half the candidates
+	// disappeared (the follow-up utterance narrowed the query): the
+	// surviving hint entries seed the solve, the vanished ones drop.
+	wide := valueVariantInstance([]float64{0.25, 0.2, 0.18, 0.15, 0.12, 0.08}, DefaultScreen())
+	hint, _, err := (&ILPSolver{Timeout: 20 * time.Second}).Solve(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shown := 0
+	for _, pl := range hint.Plots() {
+		shown += len(pl.Entries)
+	}
+	if shown < 4 {
+		t.Fatalf("wide solve displayed only %d bars; instance no longer exercises the partial path", shown)
+	}
+	narrow := valueVariantInstance([]float64{0.4, 0.3, 0.2}, DefaultScreen())
+	m, st, err := (&ILPSolver{Timeout: 20 * time.Second, Hint: &hint}).Solve(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmStart != WarmPartial {
+		t.Errorf("WarmStart = %q, want %q", st.WarmStart, WarmPartial)
+	}
+	if !st.Optimal {
+		t.Error("narrow instance should still solve to optimality")
+	}
+	if !m.FitsScreen(narrow.Screen) {
+		t.Error("solution overflows screen")
+	}
+}
+
+func TestIncrementalWarmSessionNeverWorseThanGreedyOrPrior(t *testing.T) {
+	// Replaying a session against the same instance with each answer
+	// hinting the next, costs must be non-increasing utterance over
+	// utterance and never worse than greedy — the warm-start contract.
+	rng := rand.New(rand.NewSource(131))
+	in := randomInstance(rng, 10, smallScreen())
+	_, stG, err := (&GreedySolver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hint *Multiplot
+	prevCost := math.Inf(1)
+	for utt := 0; utt < 3; utt++ {
+		inc := &IncrementalILP{TotalBudget: 300 * time.Millisecond, Hint: hint}
+		m, st, err := inc.Solve(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hint != nil {
+			if st.Cost > prevCost+1e-6 {
+				t.Errorf("utterance %d cost %v worse than prior %v", utt, st.Cost, prevCost)
+			}
+			if st.Cost > stG.Cost+1e-6 {
+				t.Errorf("utterance %d cost %v worse than greedy %v", utt, st.Cost, stG.Cost)
+			}
+			if st.WarmStart == "" {
+				t.Errorf("utterance %d: hint given but WarmStart empty", utt)
+			}
+		}
+		prevCost = st.Cost
+		prev := m
+		hint = &prev
+	}
+}
+
+func TestIncrementalScheduleSurvivesBudgetClamp(t *testing.T) {
+	// A sequence clamped to the remaining budget must not feed the
+	// clamped duration back into the k·bⁱ schedule: on a hard instance a
+	// 1s budget holds at most ceil(log2(1s/62.5ms)) + 1 = 5 sequences.
+	// The pre-fix behavior restarted the geometric growth from the
+	// clamped sliver, burning model builds on near-zero sequences.
+	rng := rand.New(rand.NewSource(83))
+	in := randomInstance(rng, 25, Screen{WidthPx: 1440, Rows: 3, PxPerBar: 48, PxPerChar: 7})
+	inc := DefaultIncremental(time.Second)
+	_, st, err := inc.Solve(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sequences == 0 {
+		t.Fatal("no sequences ran")
+	}
+	if st.Sequences > 5 {
+		t.Errorf("sequences = %d, want <= 5 for a 1s budget at k=62.5ms b=2", st.Sequences)
+	}
+}
+
 func TestIncrementalEmitsImprovingUpdates(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	in := randomInstance(rng, 10, smallScreen())

@@ -203,6 +203,19 @@ func (m *Model) evalObjective(x []float64) float64 {
 	return v
 }
 
+// Feasible reports whether the assignment x (indexed by VarID, one
+// entry per variable) satisfies every bound, integrality requirement
+// and constraint within tol. Callers deriving warm-start assignments
+// use it to vet a candidate seed before handing it to Options.WarmStart
+// — Solve silently discards an infeasible seed, so checking up front is
+// the only way to know whether a seed will actually take.
+func (m *Model) Feasible(x []float64, tol float64) bool {
+	if len(x) != len(m.vars) {
+		return false
+	}
+	return m.feasible(x, tol)
+}
+
 // feasible reports whether x satisfies all constraints and bounds within
 // tolerance.
 func (m *Model) feasible(x []float64, tol float64) bool {

@@ -75,6 +75,10 @@ type Trace struct {
 	// SampleRate is the sample rate of the first emitted visualization:
 	// 1 for exact-first methods, the approximation rate for App-* runs.
 	SampleRate float64
+	// WarmStart reports how the planner's warm-start hint fared
+	// (hit|partial|infeasible|none); empty for methods or runs without a
+	// hint. See core.WarmStartResult.
+	WarmStart core.WarmStartResult
 }
 
 // Method is one presentation strategy.
@@ -101,6 +105,12 @@ func recordSolverStats(sp *obs.Span, name string, st core.Stats) {
 			SetInt("lp_solves", int64(st.LPSolves)).
 			SetInt("simplex_iters", int64(st.SimplexIters)).
 			SetInt("incumbents", int64(st.Incumbents))
+	}
+	if st.Sequences > 0 {
+		sp.SetInt("sequences", int64(st.Sequences))
+	}
+	if st.WarmStart != "" {
+		sp.SetStr("warm_start", string(st.WarmStart))
 	}
 }
 
@@ -248,8 +258,16 @@ func NewGreedyDefault() *Default {
 // NewILPDefault builds the paper's "ILP" method: default presentation with
 // ILP optimization that integrates processing cost into the objective.
 func NewILPDefault(timeout time.Duration) *Default {
+	return NewILPWarm(timeout, nil)
+}
+
+// NewILPWarm builds the "ILP" method with an optional prior-multiplot
+// warm-start hint (the previous utterance's answer in a voice session);
+// a nil hint is NewILPDefault. The greedy seed stays on either way, so
+// a stale or disjoint hint never makes the answer worse than greedy.
+func NewILPWarm(timeout time.Duration, hint *core.Multiplot) *Default {
 	return &Default{name: "ILP", planner: func(ctx context.Context, in *core.Instance) (core.Multiplot, core.Stats, error) {
-		s := &core.ILPSolver{Timeout: timeout, WarmStart: true, Ctx: ctx}
+		s := &core.ILPSolver{Timeout: timeout, WarmStart: true, Hint: hint, Ctx: ctx}
 		return s.Solve(in)
 	}}
 }
@@ -278,6 +296,7 @@ func (d *Default) Present(s *Session) (*Trace, error) {
 	}
 	tr := finishTrace(s, []Event{{At: time.Since(start), Multiplot: filled}})
 	tr.SampleRate = 1
+	tr.WarmStart = st.WarmStart
 	if st.Optimal {
 		tr.EarlyStop = "optimal"
 	}
@@ -458,6 +477,9 @@ func (a *Approx) dynamicRate(s *Session, m core.Multiplot) float64 {
 type ILPInc struct {
 	// Budget bounds total optimization time (default 1s).
 	Budget time.Duration
+	// Hint, when non-nil, warm-starts the first sequence with a prior
+	// multiplot (see core.IncrementalILP.Hint).
+	Hint *core.Multiplot
 }
 
 // Name identifies the method.
@@ -472,6 +494,7 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 	}
 	inc := core.DefaultIncremental(budget)
 	inc.Ctx = s.Ctx
+	inc.Hint = i.Hint
 	var events []Event
 	var execErr error
 	// The span covers the full incremental run, interleaved query
@@ -507,6 +530,7 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 	}
 	tr := finishTrace(s, events)
 	tr.SampleRate = 1
+	tr.WarmStart = st.WarmStart
 	switch {
 	case st.Optimal:
 		tr.EarlyStop = "optimal"

@@ -195,6 +195,7 @@ type Metrics struct {
 	ladderRungs      map[string]*Counter
 	breakerTrips     map[string]*Counter
 	breakerStates    map[string]*Gauge
+	warmstarts       map[string]*Counter
 }
 
 // labeledCounter looks up (or lazily creates) the counter for key in
@@ -224,6 +225,13 @@ func (m *Metrics) labeledCounter(family *map[string]*Counter, key string) *Count
 // rung (exact, greedy, stale, minimal).
 func (m *Metrics) LadderRung(rung string) {
 	m.labeledCounter(&m.ladderRungs, rung).Inc()
+}
+
+// WarmStart counts one ILP planning call's warm-start outcome
+// (hit|partial|infeasible|none), rendered as muve_warmstart_total.
+// Callers skip the call entirely for solves without a hint surface.
+func (m *Metrics) WarmStart(result string) {
+	m.labeledCounter(&m.warmstarts, result).Inc()
 }
 
 // BreakerTrip counts one circuit-breaker trip for the given stage.
@@ -404,6 +412,7 @@ func (m *Metrics) Handler() http.Handler {
 		fallbacks := copyCounters(m.fallbacksByStage)
 		rungs := copyCounters(m.ladderRungs)
 		trips := copyCounters(m.breakerTrips)
+		warms := copyCounters(m.warmstarts)
 		states := make(map[string]*Gauge, len(m.breakerStates))
 		for k, v := range m.breakerStates {
 			states[k] = v
@@ -415,6 +424,7 @@ func (m *Metrics) Handler() http.Handler {
 		writeCounterFamily(w, "muve_fallbacks_by_stage_total", "stage", fallbacks)
 		writeCounterFamily(w, "muve_ladder_rung_total", "rung", rungs)
 		writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
+		writeCounterFamily(w, "muve_warmstart_total", "result", warms)
 		if len(states) > 0 {
 			fmt.Fprintf(w, "# TYPE muve_breaker_state gauge\n")
 			for _, k := range sortedKeys(states) {
@@ -448,6 +458,7 @@ func (m *Metrics) VarsHandler() http.Handler {
 		m.stageMu.RLock()
 		rungs := counterValues(m.ladderRungs)
 		trips := counterValues(m.breakerTrips)
+		warms := counterValues(m.warmstarts)
 		states := make(map[string]int64, len(m.breakerStates))
 		for k, v := range m.breakerStates {
 			states[k] = v.Value()
@@ -476,6 +487,7 @@ func (m *Metrics) VarsHandler() http.Handler {
 			"ladder_rungs":   rungs,
 			"breaker_trips":  trips,
 			"breaker_states": states,
+			"warmstarts":     warms,
 			"planning_ms":    hist(&m.Planning),
 			"request_ms":     hist(&m.EndToEnd),
 		}

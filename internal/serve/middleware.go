@@ -51,6 +51,40 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// per-request deadline and flush control keep working behind the
+// middleware stack.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// flushingStatusWriter adds Flush to a statusWriter. It is a separate
+// type, used only when the underlying writer implements http.Flusher,
+// so a downstream `w.(http.Flusher)` type assertion reports exactly
+// what the connection can actually do: wrapping unconditionally would
+// hide Flusher on real connections (silently breaking streaming
+// handlers), while advertising it unconditionally would lie over
+// writers that cannot flush.
+type flushingStatusWriter struct{ *statusWriter }
+
+// Flush forwards to the underlying writer. Flushing headers before any
+// body write commits status 200, mirroring net/http's own semantics,
+// so the log line records what went on the wire.
+func (w flushingStatusWriter) Flush() {
+	if w.statusWriter.status == 0 {
+		w.statusWriter.status = http.StatusOK
+	}
+	w.statusWriter.ResponseWriter.(http.Flusher).Flush()
+}
+
+// instrument wraps w for status/size capture, preserving its Flusher
+// capability when present.
+func instrument(w http.ResponseWriter) (http.ResponseWriter, *statusWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	if _, ok := w.(http.Flusher); ok {
+		return flushingStatusWriter{sw}, sw
+	}
+	return sw, sw
+}
+
 // WithLogging wraps next with per-request structured logging: it
 // assigns each request an ID (echoed in the X-Request-Id response
 // header and available via RequestID), and logs method, path, status,
@@ -64,8 +98,8 @@ func WithLogging(logger *log.Logger, next http.Handler) http.Handler {
 		start := time.Now()
 		id := fmt.Sprintf("%08x-%04x", uint32(start.UnixNano()), reqSeq.Add(1)&0xffff)
 		w.Header().Set("X-Request-Id", id)
-		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		rw, sw := instrument(w)
+		next.ServeHTTP(rw, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK

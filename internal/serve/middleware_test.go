@@ -73,3 +73,84 @@ func TestRequestIDOutsideMiddleware(t *testing.T) {
 		t.Errorf("ID outside middleware = %q", id)
 	}
 }
+
+// nonFlushingWriter is an http.ResponseWriter that does not implement
+// http.Flusher, standing in for a connection that cannot stream.
+type nonFlushingWriter struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (w *nonFlushingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+func (w *nonFlushingWriter) Write(b []byte) (int, error) { return w.buf.Write(b) }
+func (w *nonFlushingWriter) WriteHeader(code int)        { w.status = code }
+
+func TestMiddlewareForwardsFlusher(t *testing.T) {
+	// The full production stack: logging outermost, then tracing, then
+	// recovery around the handler. httptest.ResponseRecorder implements
+	// http.Flusher, so the handler must still see one through all three
+	// layers.
+	var buf bytes.Buffer
+	flushed := false
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware stack hid http.Flusher from the handler")
+		}
+		io.WriteString(w, "partial")
+		f.Flush()
+		flushed = true
+		io.WriteString(w, " rest")
+	})
+	h := WithLogging(log.New(&buf, "", 0), WithTracing(nil, nil, WithRecovery(nil, nil, handler)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+
+	if !flushed {
+		t.Fatal("Flush path never ran")
+	}
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if got := rec.Body.String(); got != "partial rest" {
+		t.Errorf("body = %q", got)
+	}
+	if !strings.Contains(buf.String(), "200") || !strings.Contains(buf.String(), "12B") {
+		t.Errorf("log line lost status/bytes accounting on the flushing path: %q", buf.String())
+	}
+}
+
+func TestMiddlewareFlushCommitsImplicit200(t *testing.T) {
+	// Flushing before any body write commits the 200 header, and the
+	// log line must record that rather than status 0.
+	var buf bytes.Buffer
+	h := WithLogging(log.New(&buf, "", 0), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.(http.Flusher).Flush()
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !rec.Flushed {
+		t.Fatal("Flush did not propagate")
+	}
+	if !strings.Contains(buf.String(), "200") {
+		t.Errorf("log line = %q, want 200 after header-only flush", buf.String())
+	}
+}
+
+func TestMiddlewareHonestAboutNonFlusher(t *testing.T) {
+	// When the underlying writer cannot flush, the wrapper must not
+	// pretend otherwise: a false positive would make streaming handlers
+	// buffer silently.
+	h := WithLogging(log.New(io.Discard, "", 0), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); ok {
+			t.Error("wrapper advertises Flusher over a writer that has none")
+		}
+	}))
+	h.ServeHTTP(&nonFlushingWriter{}, httptest.NewRequest("GET", "/", nil))
+}

@@ -207,6 +207,9 @@ type Engine struct {
 	minimalGrace  time.Duration
 	timeout       time.Duration
 	keySuffix     string
+	// sessionMaxAge bounds how old a session's remembered answer may be
+	// and still be served (the cache TTL; 0 = unbounded).
+	sessionMaxAge time.Duration
 
 	cache     *Cache
 	flight    flightGroup
@@ -247,6 +250,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.CacheTTL == 0 {
 		cfg.CacheTTL = 5 * time.Minute
+	}
+	// Session reuse is bounded by the same TTL as the shared cache: a
+	// session must never serve an answer the cache would already have
+	// expired. A negative TTL means never expire, for both.
+	sessionMaxAge := cfg.CacheTTL
+	if sessionMaxAge < 0 {
+		sessionMaxAge = 0
 	}
 	m := cfg.Metrics
 	if m == nil {
@@ -302,6 +312,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		minimalGrace:  cfg.MinimalGrace,
 		timeout:       cfg.Timeout,
 		keySuffix:     "\x00" + cfg.Dataset + "\x00" + cfg.Solver + "\x00" + strconv.Itoa(cfg.WidthPx),
+		sessionMaxAge: sessionMaxAge,
 		cache:         cache,
 		sessions:      NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
 		admission:     admission,
@@ -352,7 +363,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 
 	if !req.Refresh {
 		if sess != nil {
-			if v, ok := sess.reuse(key); ok {
+			if v, ok := sess.reuse(key, e.sessionMaxAge, start); ok {
 				e.metrics.SessionHits.Inc()
 				return &Response{Value: v, Source: SourceSession, Elapsed: time.Since(start), Key: key}, nil
 			}
@@ -360,7 +371,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		if v, ok := e.cache.Get(key); ok {
 			e.metrics.CacheHits.Inc()
 			if sess != nil {
-				sess.remember(key, v)
+				sess.remember(key, v, start)
 			}
 			return &Response{Value: v, Source: SourceCache, Elapsed: time.Since(start), Key: key}, nil
 		}
@@ -399,7 +410,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		e.metrics.Coalesced.Inc()
 	}
 	if sess != nil {
-		sess.remember(key, v)
+		sess.remember(key, v, time.Now())
 	}
 	return &Response{Value: v, Source: src, Elapsed: time.Since(start), Key: key}, nil
 }

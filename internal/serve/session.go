@@ -30,25 +30,36 @@ type Session struct {
 	queries  int
 	lastKey  string
 	lastVal  any
+	lastAt   time.Time
 	state    any
 }
 
 // reuse returns the previous answer when key matches the session's
-// last query.
-func (s *Session) reuse(key string) (any, bool) {
+// last query and the answer is no older than maxAge. The session idle
+// TTL refreshes on every touch, so without this bound a session-pinned
+// client chatting steadily would be served the same answer forever —
+// long past the shared cache's TTL. A stale pair is cleared so the
+// request falls through to the cache or planner; maxAge <= 0 means no
+// bound (mirroring the cache's "never expire" configuration).
+func (s *Session) reuse(key string, maxAge time.Duration, now time.Time) (any, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.lastKey == key && s.lastVal != nil {
-		return s.lastVal, true
+	if s.lastKey != key || s.lastVal == nil {
+		return nil, false
 	}
-	return nil, false
+	if maxAge > 0 && now.Sub(s.lastAt) > maxAge {
+		s.lastKey, s.lastVal = "", nil
+		return nil, false
+	}
+	return s.lastVal, true
 }
 
-// remember records the latest (key, answer) pair.
-func (s *Session) remember(key string, val any) {
+// remember records the latest (key, answer) pair, stamped with the
+// time it was served so reuse can refuse answers past the cache TTL.
+func (s *Session) remember(key string, val any, now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lastKey, s.lastVal = key, val
+	s.lastKey, s.lastVal, s.lastAt = key, val, now
 	s.queries++
 }
 

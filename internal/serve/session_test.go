@@ -32,7 +32,7 @@ func TestSessionStoreTTLExpiry(t *testing.T) {
 	now := time.Unix(5000, 0)
 	st.now = func() time.Time { return now }
 	s1 := st.Get("alice")
-	s1.remember("k", "v")
+	s1.remember("k", "v", now)
 
 	// Within TTL the same session (and its state) comes back.
 	now = now.Add(59 * time.Second)
@@ -50,7 +50,7 @@ func TestSessionStoreTTLExpiry(t *testing.T) {
 	if s2 == s1 {
 		t.Fatal("expired session survived")
 	}
-	if _, ok := s2.reuse("k"); ok {
+	if _, ok := s2.reuse("k", 0, now); ok {
 		t.Error("state leaked across session lifetimes")
 	}
 }
@@ -85,9 +85,38 @@ func TestSessionStateRoundTrip(t *testing.T) {
 	if s.Queries() != 0 {
 		t.Errorf("queries = %d", s.Queries())
 	}
-	s.remember("k", "v")
+	s.remember("k", "v", time.Now())
 	if s.Queries() != 1 {
 		t.Errorf("queries = %d after remember", s.Queries())
+	}
+}
+
+func TestSessionReuseRefusesStaleAnswers(t *testing.T) {
+	s := &Session{ID: "alice"}
+	t0 := time.Unix(7000, 0)
+	s.remember("k", "v", t0)
+
+	// Fresh enough: within maxAge the answer comes back.
+	if v, ok := s.reuse("k", time.Minute, t0.Add(59*time.Second)); !ok || v != "v" {
+		t.Fatalf("reuse within maxAge = (%v, %v), want (v, true)", v, ok)
+	}
+	// A different key never matches, regardless of age.
+	if _, ok := s.reuse("other", time.Minute, t0); ok {
+		t.Error("reuse matched a different key")
+	}
+	// Past maxAge the stale pair is refused and cleared, so even an
+	// immediate retry with a generous bound misses.
+	if _, ok := s.reuse("k", time.Minute, t0.Add(2*time.Minute)); ok {
+		t.Fatal("reuse served an answer older than maxAge")
+	}
+	if _, ok := s.reuse("k", time.Hour, t0.Add(2*time.Minute)); ok {
+		t.Error("stale pair was not cleared on refusal")
+	}
+
+	// maxAge <= 0 means no bound (the cache's never-expire config).
+	s.remember("k", "v", t0)
+	if _, ok := s.reuse("k", 0, t0.Add(1000*time.Hour)); !ok {
+		t.Error("maxAge 0 must not expire")
 	}
 }
 
@@ -105,8 +134,8 @@ func TestSessionStoreParallel(t *testing.T) {
 				} else {
 					s.State()
 				}
-				s.remember(fmt.Sprintf("k%d", i%7), i)
-				s.reuse("k0")
+				s.remember(fmt.Sprintf("k%d", i%7), i, time.Now())
+				s.reuse("k0", time.Minute, time.Now())
 			}
 		}(g)
 	}

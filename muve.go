@@ -105,6 +105,13 @@ type Config struct {
 	// for execution, rendering and the serving layer's cheaper rungs.
 	// 0 disables the cap (ILPTimeout alone governs).
 	BudgetFraction float64
+	// WarmStart, when true, lets AskContext/AskQueryContext seed ILP
+	// planning with a prior multiplot passed by the caller (typically
+	// the previous utterance's answer in a voice session). Only the ILP
+	// solvers use the hint; greedy planning ignores it. Off by default:
+	// solver comparisons and experiments stay cold unless a caller opts
+	// in.
+	WarmStart bool
 }
 
 // Option mutates a Config.
@@ -152,6 +159,12 @@ func WithPresentation(m progressive.Method) Option {
 // request context's remaining deadline (see Config.BudgetFraction).
 func WithBudgetFraction(f float64) Option {
 	return func(c *Config) { c.BudgetFraction = f }
+}
+
+// WithWarmStart enables (or disables) seeding ILP planning with a prior
+// multiplot passed to AskContext/AskQueryContext (see Config.WarmStart).
+func WithWarmStart(enabled bool) Option {
+	return func(c *Config) { c.WarmStart = enabled }
 }
 
 // System is a configured MUVE instance over one table.
@@ -245,7 +258,13 @@ func (s *System) Ask(text string) (*Answer, error) {
 // visualization planning (solver checkpoints, ILP deadline capping)
 // and merged query execution, so an abandoned or over-budget request
 // stops consuming CPU early and returns ctx's error.
-func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
+//
+// An optional prior multiplot (typically the previous utterance's
+// Answer.Multiplot) warm-starts ILP planning when Config.WarmStart is
+// on: the first non-nil, non-empty prior seeds the solver's initial
+// incumbent, and Answer.Stats.WarmStart reports how the seed fared.
+// Priors are ignored by the greedy solver and by a custom Presentation.
+func (s *System) AskContext(ctx context.Context, text string, prior ...*core.Multiplot) (*Answer, error) {
 	sp := obs.StartSpan(ctx, "speech")
 	if err := resilience.Inject(ctx, "speech"); err != nil {
 		sp.SetErr(err).End()
@@ -264,12 +283,23 @@ func (s *System) AskContext(ctx context.Context, text string) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.answer(ctx, transcript, top)
+	return s.answer(ctx, transcript, top, firstPrior(prior))
+}
+
+// firstPrior picks the first usable warm-start hint from a variadic
+// prior list: nil and empty multiplots carry no information.
+func firstPrior(prior []*core.Multiplot) *core.Multiplot {
+	for _, p := range prior {
+		if p != nil && p.NumPlots() > 0 {
+			return p
+		}
+	}
+	return nil
 }
 
 // answer runs the shared back half of Ask and AskQuery: candidate
 // generation, planning, execution, rendering-ready assembly.
-func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query) (*Answer, error) {
+func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query, prior *core.Multiplot) (*Answer, error) {
 	sp := obs.StartSpan(ctx, "nlq")
 	if err := resilience.Inject(ctx, "nlq"); err != nil {
 		sp.SetErr(err).End()
@@ -301,7 +331,10 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 	}
 	method := s.cfg.Presentation
 	if method == nil {
-		method = s.defaultMethod(ctx)
+		if !s.cfg.WarmStart {
+			prior = nil
+		}
+		method = s.defaultMethod(ctx, prior)
 	}
 	psp := obs.StartSpan(ctx, "progressive")
 	if err := resilience.Inject(ctx, "progressive"); err != nil {
@@ -332,6 +365,7 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 	}
 	ans.Stats.Cost = in.Cost(ans.Multiplot)
 	ans.Stats.Duration = trace.TTime
+	ans.Stats.WarmStart = trace.WarmStart
 	bars, redBars, plots, _ := ans.Multiplot.Counts()
 	vsp.SetInt("plots", int64(plots)).
 		SetInt("bars", int64(bars)).
@@ -345,7 +379,7 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query)
 // shrinks to that fraction of the remaining time, so a request that
 // already spent most of its deadline upstream (queueing, speech, NLQ)
 // does not hand the solver a budget it can no longer afford.
-func (s *System) defaultMethod(ctx context.Context) progressive.Method {
+func (s *System) defaultMethod(ctx context.Context, prior *core.Multiplot) progressive.Method {
 	budget := s.cfg.ILPTimeout
 	if f := s.cfg.BudgetFraction; f > 0 {
 		if deadline, ok := ctx.Deadline(); ok {
@@ -356,9 +390,9 @@ func (s *System) defaultMethod(ctx context.Context) progressive.Method {
 	}
 	switch s.cfg.Solver {
 	case SolverILP:
-		return progressive.NewILPDefault(budget)
+		return progressive.NewILPWarm(budget, prior)
 	case SolverILPIncremental:
-		return progressive.ILPInc{Budget: budget}
+		return progressive.ILPInc{Budget: budget, Hint: prior}
 	default:
 		return progressive.NewGreedyDefault()
 	}
@@ -431,10 +465,10 @@ func (s *System) AskQuery(q sqldb.Query) (*Answer, error) {
 	return s.AskQueryContext(context.Background(), q)
 }
 
-// AskQueryContext is AskQuery with the cancellation semantics of
-// AskContext.
-func (s *System) AskQueryContext(ctx context.Context, q sqldb.Query) (*Answer, error) {
-	return s.answer(ctx, q.SQL(), q)
+// AskQueryContext is AskQuery with the cancellation and warm-start
+// semantics of AskContext.
+func (s *System) AskQueryContext(ctx context.Context, q sqldb.Query, prior ...*core.Multiplot) (*Answer, error) {
+	return s.answer(ctx, q.SQL(), q, firstPrior(prior))
 }
 
 // Catalog exposes the schema catalog the system matches against, e.g. for

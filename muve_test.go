@@ -242,6 +242,69 @@ func TestAskContextCancellationILP(t *testing.T) {
 	}
 }
 
+func TestAskContextWarmStartsFromPrior(t *testing.T) {
+	db := demoDB(t)
+	// The prior comes from the greedy solver: deterministic, no
+	// wall-clock budget, and the same (db, config) pair yields the same
+	// planning instance as the ILP system below, so the hint maps fully.
+	greedySys, err := New(db, "requests",
+		WithMaxCandidates(8),
+		WithWidth(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans1, err := greedySys.AskContext(context.Background(), "average response hours in Queens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans1.Stats.WarmStart != "" {
+		t.Errorf("first utterance WarmStart = %q, want empty (no prior)", ans1.Stats.WarmStart)
+	}
+	if ans1.Multiplot.NumPlots() == 0 {
+		t.Fatal("first utterance produced no plots to warm-start from")
+	}
+	sys, err := New(db, "requests",
+		WithSolver(SolverILPIncremental),
+		WithILPTimeout(500*time.Millisecond),
+		WithMaxCandidates(8),
+		WithWidth(600),
+		WithWarmStart(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking with the previous answer as the prior maps every hint
+	// entry onto the identical instance: a full warm-start hit. The
+	// hint becomes the incumbent, so even a starved solve can do no
+	// worse than the greedy prior.
+	ans2, err := sys.AskContext(context.Background(), "average response hours in Queens", &ans1.Multiplot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans2.Stats.WarmStart != core.WarmHit {
+		t.Errorf("warm re-ask WarmStart = %q, want %q", ans2.Stats.WarmStart, core.WarmHit)
+	}
+	if ans2.Stats.Cost > ans1.Stats.Cost+1e-6 {
+		t.Errorf("warm re-ask cost %v worse than prior %v", ans2.Stats.Cost, ans1.Stats.Cost)
+	}
+
+	// With the knob off the prior is ignored entirely.
+	coldSys, err := New(db, "requests",
+		WithSolver(SolverILPIncremental),
+		WithILPTimeout(300*time.Millisecond),
+		WithMaxCandidates(8),
+		WithWidth(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans3, err := coldSys.AskContext(context.Background(), "average response hours in Queens", &ans1.Multiplot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans3.Stats.WarmStart != "" {
+		t.Errorf("WarmStart disabled but prior used: %q", ans3.Stats.WarmStart)
+	}
+}
+
 // TestConcurrentAsk exercises the documented guarantee that one System
 // serves concurrent Ask calls (run with -race), including the
 // mutex-guarded speech channel.
