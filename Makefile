@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke ci
+.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke bench-smoke ci
 
 all: ci
 
@@ -46,4 +46,12 @@ chaos-smoke:
 warmstart-smoke:
 	$(GO) run ./cmd/muvebench -warmstart -warmstart-budget 400ms -seed 1
 
-ci: vet build race trace-smoke chaos-smoke warmstart-smoke
+# Branch-and-bound scaling at 1 vs GOMAXPROCS workers (the
+# BenchmarkILPParallel instances); fails if any arm proves a different
+# optimum, or — on multi-core hosts — if the parallel arm is slower
+# than sequential. Writes BENCH_solver.json.
+bench-smoke:
+	$(GO) run ./cmd/muvebench -scaling -scaling-workers 1,max \
+		-scaling-json BENCH_solver.json
+
+ci: vet build race trace-smoke chaos-smoke warmstart-smoke bench-smoke

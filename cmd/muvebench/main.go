@@ -44,6 +44,17 @@
 //
 //	muvebench -warmstart [-warmstart-utterances 6] \
 //	          [-warmstart-budget 400ms] [-warmstart-json out.json]
+//
+// Scaling mode measures the branch-and-bound solver's parallel
+// efficiency: it solves a fixed set of hard correlated-knapsack
+// instances at each requested worker count, prints the scaling table,
+// and fails (non-zero exit) if any arm proves a different optimum or —
+// on multi-core hosts — a multi-worker arm is slower than sequential:
+//
+//	muvebench -scaling [-scaling-workers 1,2,4,8] [-scaling-json out.json]
+//
+// "max" in -scaling-workers stands for GOMAXPROCS; `make bench-smoke`
+// runs "1,max" and writes BENCH_solver.json.
 package main
 
 import (
@@ -91,18 +102,29 @@ func run() error {
 		warmUtts   = flag.Int("warmstart-utterances", 6, "session length in -warmstart mode")
 		warmBudget = flag.Duration("warmstart-budget", 400*time.Millisecond, "per-utterance planning budget in -warmstart mode")
 		warmJSON   = flag.String("warmstart-json", "", "write the -warmstart summary as JSON to this file")
+
+		solverWorkers  = flag.Int("solver-workers", 0, "planner parallelism for experiment and trace modes (0 = GOMAXPROCS)")
+		scalingFlag    = flag.Bool("scaling", false, "measure branch-and-bound scaling across worker counts instead of running experiments")
+		scalingWorkers = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling mode (\"max\" = GOMAXPROCS)")
+		scalingModels  = flag.Int("scaling-models", 4, "instances per arm in -scaling mode")
+		scalingVars    = flag.Int("scaling-vars", 30, "binary variables per instance in -scaling mode")
+		scalingCons    = flag.Int("scaling-cons", 4, "knapsack constraints per instance in -scaling mode")
+		scalingJSON    = flag.String("scaling-json", "", "write the -scaling summary as JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Fast: *fastFlag, Seed: *seedFlag}
 
 	if *traceFlag {
-		return runTrace(*traceQuery, *traceSolver, *traceRuns, *traceChrome, *seedFlag)
+		return runTrace(*traceQuery, *traceSolver, *traceRuns, *traceChrome, *seedFlag, *solverWorkers)
 	}
 	if *chaosFlag != "" {
 		return runChaos(*chaosFlag, *chaosSeed, *chaosRequests, *chaosWorkers, *chaosJSON)
 	}
 	if *warmFlag {
 		return runWarmstart(*seedFlag, *warmUtts, *warmBudget, *warmJSON)
+	}
+	if *scalingFlag {
+		return runScaling(*scalingWorkers, *seedFlag, *scalingModels, *scalingVars, *scalingCons, *scalingJSON)
 	}
 
 	all := bench.Experiments()
@@ -162,7 +184,7 @@ func run() error {
 // prints the first run span-by-span plus a per-stage summary across all
 // runs. It fails (non-zero exit) when the pipeline recorded no spans —
 // that would mean the instrumentation came unwired.
-func runTrace(query, solverName string, runs int, chromePath string, seed int64) error {
+func runTrace(query, solverName string, runs int, chromePath string, seed int64, solverWorkers int) error {
 	var solver muve.SolverKind
 	switch solverName {
 	case "greedy":
@@ -183,7 +205,9 @@ func runTrace(query, solverName string, runs int, chromePath string, seed int64)
 	}
 	db := sqldb.NewDB()
 	db.Register(tbl)
-	sys, err := muve.New(db, workload.NYC311.String(), muve.WithSolver(solver))
+	sys, err := muve.New(db, workload.NYC311.String(),
+		muve.WithSolver(solver),
+		muve.WithSolverWorkers(solverWorkers))
 	if err != nil {
 		return err
 	}

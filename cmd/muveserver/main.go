@@ -103,6 +103,7 @@ func run() error {
 		widthFlag    = flag.Int("width", 1024, "planned screen width in pixels")
 		seedFlag     = flag.Int64("seed", 1, "data seed")
 		inflightFlag = flag.Int("max-inflight", 32, "max concurrently planning requests (excess queue)")
+		workersFlag  = flag.Int("solver-workers", 0, "engine-wide solver parallelism budget split across concurrent requests (0 = GOMAXPROCS)")
 		cacheFlag    = flag.Int("cache-entries", 1024, "answer cache capacity (negative disables)")
 		cacheTTLFlag = flag.Duration("cache-ttl", 5*time.Minute, "answer cache entry lifetime (0 = never expire)")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Second, "per-request planning budget")
@@ -180,6 +181,7 @@ func run() error {
 		solverName:       *solverFlag,
 		widthPx:          *widthFlag,
 		maxInFlight:      *inflightFlag,
+		solverWorkers:    *workersFlag,
 		cacheEntries:     *cacheFlag,
 		cacheTTL:         *cacheTTLFlag,
 		timeout:          *timeoutFlag,
@@ -244,6 +246,7 @@ type engineConfig struct {
 	solverName       string
 	widthPx          int
 	maxInFlight      int
+	solverWorkers    int
 	cacheEntries     int
 	cacheTTL         time.Duration
 	timeout          time.Duration
@@ -328,6 +331,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		Fallback:         fallback,
 		Minimal:          minimal,
 		MaxInFlight:      cfg.maxInFlight,
+		SolverWorkers:    cfg.solverWorkers,
 		Timeout:          cfg.timeout,
 		CacheEntries:     cfg.cacheEntries,
 		CacheTTL:         cfg.cacheTTL,

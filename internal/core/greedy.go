@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -23,6 +25,12 @@ type GreedySolver struct {
 	// is used (the cardinality-constrained Nemhauser variant the paper
 	// mentions for fixed plot widths). Density is the default.
 	PlainGain bool
+	// Workers bounds the goroutines sharding each selection round's
+	// marginal-gain scan over the colored candidates. 0 uses GOMAXPROCS;
+	// 1 forces the sequential scan. Sharding kicks in only past
+	// parallelScanMin candidates, where the per-candidate cost
+	// evaluations dominate the round.
+	Workers int
 	// Ctx, when non-nil, lets callers cancel a solve between phases and
 	// between greedy selection rounds. Nil means never cancelled.
 	Ctx context.Context
@@ -57,6 +65,14 @@ type Stats struct {
 	SimplexIters int
 	// Incumbents counts incumbent-solution updates during search (ILP only).
 	Incumbents int
+	// Workers is the parallelism actually used: branch-and-bound subtree
+	// workers for ILP, marginal-gain scan shards for greedy.
+	Workers int
+	// Steals counts work-stealing load-balance events (ILP only).
+	Steals int
+	// SharedPrunes counts subtrees pruned against an incumbent found by a
+	// different worker (ILP only).
+	SharedPrunes int
 	// Rounds counts greedy selection rounds, i.e. plots placed (greedy only).
 	Rounds int
 	// Sequences counts the k·bⁱ sequences an incremental run executed
@@ -81,7 +97,7 @@ func (g *GreedySolver) Solve(in *Instance) (Multiplot, Stats, error) {
 		return Multiplot{}, Stats{}, err
 	}
 	// Phase 3: pick plots under the width knapsack.
-	m, rounds := g.pickPlots(in, colored)
+	m, rounds, workers := g.pickPlots(in, colored)
 	if err := g.ctxErr(); err != nil {
 		return Multiplot{}, Stats{}, err
 	}
@@ -89,7 +105,7 @@ func (g *GreedySolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	if !g.SkipPolish {
 		m = polish(in, m)
 	}
-	st := Stats{Duration: time.Since(start), Cost: in.Cost(m), Rounds: rounds}
+	st := Stats{Duration: time.Since(start), Cost: in.Cost(m), Rounds: rounds, Workers: workers}
 	return m, st, nil
 }
 
@@ -147,19 +163,95 @@ func (c coloredPlot) materialize() Plot {
 	return Plot{Template: c.group.Template, Entries: nanEntries(entries)}
 }
 
+// parallelScanMin is the candidate-count threshold below which sharding
+// a selection round's scan costs more in goroutine churn than the cost
+// evaluations it spreads out.
+const parallelScanMin = 64
+
+// scanCandidate evaluates one colored candidate against the current
+// multiplot: the fullest row it still fits, its marginal gain, and its
+// selection score. row == -1 means the candidate is inapplicable this
+// round (template used, no row fits, or no positive gain).
+func (g *GreedySolver) scanCandidate(in *Instance, c coloredPlot, usedTemplate map[string]bool, rowUsed []int, current Multiplot, currentCost float64) (row int, score, gain float64) {
+	rows := in.Screen.Rows
+	screenW := in.Screen.WidthUnits()
+	if usedTemplate[c.group.Template.Key] {
+		return -1, 0, 0
+	}
+	// Identical gain in every row; only the capacity differs. Try
+	// the fullest row that still fits, which packs tightly.
+	row = -1
+	for r := 0; r < rows; r++ {
+		if rowUsed[r]+c.width <= screenW {
+			if row == -1 || rowUsed[r] > rowUsed[row] {
+				row = r
+			}
+		}
+	}
+	if row == -1 {
+		return -1, 0, 0
+	}
+	trial := current
+	trial.Rows = append([][]Plot(nil), current.Rows...)
+	trial.Rows[row] = append(append([]Plot(nil), current.Rows[row]...), c.materialize())
+	gain = currentCost - in.Cost(trial)
+	if gain <= 1e-12 {
+		return -1, 0, 0
+	}
+	score = gain
+	if !g.PlainGain {
+		score = gain / float64(c.width)
+	}
+	return row, score, gain
+}
+
+// scanResult is one shard's (or the sequential scan's) round winner.
+type scanResult struct {
+	idx, row    int
+	score, gain float64
+}
+
+// scanShard runs the sequential selection rule over colored[lo:hi] and
+// returns the shard winner. The rule — accept strictly better by 1e-12,
+// keep the earlier candidate on ties — is index-order local, so contiguous
+// shards merged in shard order reproduce the full sequential scan.
+func (g *GreedySolver) scanShard(in *Instance, colored []coloredPlot, lo, hi int, usedTemplate map[string]bool, rowUsed []int, current Multiplot, currentCost float64) scanResult {
+	best := scanResult{idx: -1, row: -1}
+	for ci := lo; ci < hi; ci++ {
+		row, score, gain := g.scanCandidate(in, colored[ci], usedTemplate, rowUsed, current, currentCost)
+		if row == -1 {
+			continue
+		}
+		if score > best.score+1e-12 || (best.idx == -1 && score > 0) {
+			best = scanResult{idx: ci, row: row, score: score, gain: gain}
+		}
+	}
+	return best
+}
+
 // pickPlots is Algorithm 4: greedy maximization of the submodular cost-
 // savings function over (plot, row) items subject to per-row width
 // knapsacks, plus the consistency constraint that each template
 // contributes at most one plot. The second return value is the number of
-// selection rounds that placed a plot.
-func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) (Multiplot, int) {
+// selection rounds that placed a plot; the third is the scan parallelism
+// actually used.
+func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) (Multiplot, int, int) {
 	rows := in.Screen.Rows
-	screenW := in.Screen.WidthUnits()
 	rowUsed := make([]int, rows)
 	usedTemplate := make(map[string]bool)
 	current := Multiplot{Rows: make([][]Plot, rows)}
 	currentCost := in.Cost(current)
 	rounds := 0
+
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(colored) < parallelScanMin || workers > len(colored) {
+		// Below the threshold (or over-provisioned) goroutine churn beats
+		// the spread-out cost evaluations; scan sequentially.
+		workers = 1
+	}
 
 	for {
 		// Checkpoint between selection rounds: an abandoned request
@@ -167,41 +259,41 @@ func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) (Multiplot
 		if g.ctxErr() != nil {
 			break
 		}
-		bestIdx, bestRow := -1, -1
-		var bestScore, bestGain float64
-		for ci, c := range colored {
-			if usedTemplate[c.group.Template.Key] {
-				continue
+		var best scanResult
+		if workers == 1 {
+			best = g.scanShard(in, colored, 0, len(colored), usedTemplate, rowUsed, current, currentCost)
+		} else {
+			// Shard the scan into contiguous index ranges. Each shard
+			// applies the sequential rule locally; merging winners in
+			// shard order then reproduces the sequential pass (Instance
+			// and the shared maps are only read during the scan).
+			shards := make([]scanResult, workers)
+			var wg sync.WaitGroup
+			per := (len(colored) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * per
+				hi := lo + per
+				if hi > len(colored) {
+					hi = len(colored)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					shards[w] = g.scanShard(in, colored, lo, hi, usedTemplate, rowUsed, current, currentCost)
+				}(w, lo, hi)
 			}
-			// Identical gain in every row; only the capacity differs. Try
-			// the fullest row that still fits, which packs tightly.
-			row := -1
-			for r := 0; r < rows; r++ {
-				if rowUsed[r]+c.width <= screenW {
-					if row == -1 || rowUsed[r] > rowUsed[row] {
-						row = r
-					}
+			wg.Wait()
+			best = scanResult{idx: -1, row: -1}
+			for _, s := range shards {
+				if s.idx == -1 {
+					continue
+				}
+				if s.score > best.score+1e-12 || (best.idx == -1 && s.score > 0) {
+					best = s
 				}
 			}
-			if row == -1 {
-				continue
-			}
-			trial := current
-			trial.Rows = append([][]Plot(nil), current.Rows...)
-			trial.Rows[row] = append(append([]Plot(nil), current.Rows[row]...), c.materialize())
-			gain := currentCost - in.Cost(trial)
-			if gain <= 1e-12 {
-				continue
-			}
-			score := gain
-			if !g.PlainGain {
-				score = gain / float64(c.width)
-			}
-			if score > bestScore+1e-12 || (bestIdx == -1 && score > 0) {
-				bestScore, bestGain = score, gain
-				bestIdx, bestRow = ci, row
-			}
 		}
+		bestIdx, bestRow, bestGain := best.idx, best.row, best.gain
 		if bestIdx == -1 {
 			break
 		}
@@ -219,7 +311,7 @@ func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) (Multiplot
 			out.Rows = append(out.Rows, r)
 		}
 	}
-	return out, rounds
+	return out, rounds, workers
 }
 
 // polish removes redundant results shown in several plots and refills the

@@ -44,6 +44,11 @@ type ILPSolver struct {
 	Hint *Multiplot
 	// MaxBarsPerPlot caps bars per plot (0 = derived from screen width).
 	MaxBarsPerPlot int
+	// Parallelism is the number of branch-and-bound subtree workers,
+	// standing in for Gurobi's Threads parameter. 0 uses GOMAXPROCS;
+	// 1 forces the sequential search. Any value returns the same optimal
+	// objective — parallelism trades CPU for wall clock, never quality.
+	Parallelism int
 	// Ctx, when non-nil, bounds the solve: a context deadline earlier
 	// than Timeout wins (the branch-and-bound search then returns its
 	// best incumbent, exactly as on Timeout), and a context already
@@ -117,7 +122,7 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	if err != nil {
 		return Multiplot{}, Stats{}, err
 	}
-	opt := ilp.Options{}
+	opt := ilp.Options{Workers: s.Parallelism}
 	if s.Timeout > 0 {
 		opt.Deadline = start.Add(s.Timeout)
 	}
@@ -140,6 +145,9 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 		LPSolves:     sol.LPSolves,
 		SimplexIters: sol.SimplexIters,
 		Incumbents:   sol.Incumbents,
+		Workers:      sol.Workers,
+		Steals:       sol.Steals,
+		SharedPrunes: sol.SharedPrunes,
 		WarmStart:    warmRes,
 	}
 	switch sol.Status {

@@ -20,6 +20,9 @@ type IncrementalILP struct {
 	TotalBudget time.Duration
 	// MaxBarsPerPlot is forwarded to the underlying ILP solver.
 	MaxBarsPerPlot int
+	// Parallelism is forwarded to every sequence's ILP solver as its
+	// branch-and-bound worker count (see ILPSolver.Parallelism).
+	Parallelism int
 	// Hint, when non-nil, warm-starts the first sequence with a prior
 	// multiplot (typically the previous utterance's answer in a voice
 	// session); see ILPSolver.Hint for the remapping semantics. Later
@@ -91,7 +94,7 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 	sequences := 0
 	// Counters accumulate across sequences: each inner solve restarts the
 	// search, and observability wants the total work, not the last slice.
-	var nodes, lpSolves, simplexIters, incumbents int
+	var nodes, lpSolves, simplexIters, incumbents, steals, sharedPrunes int
 	for {
 		if s.Ctx != nil && s.Ctx.Err() != nil {
 			break
@@ -111,7 +114,7 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 				break
 			}
 		}
-		inner := &ILPSolver{Timeout: seq, MaxBarsPerPlot: s.MaxBarsPerPlot, Ctx: s.Ctx}
+		inner := &ILPSolver{Timeout: seq, MaxBarsPerPlot: s.MaxBarsPerPlot, Parallelism: s.Parallelism, Ctx: s.Ctx}
 		// Seed each sequence with the best multiplot so far, so no
 		// sequence re-proves the incumbent the previous one already paid
 		// for; the first sequence takes the caller's cross-utterance
@@ -137,6 +140,8 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		lpSolves += st.LPSolves
 		simplexIters += st.SimplexIters
 		incumbents += st.Incumbents
+		steals += st.Steals
+		sharedPrunes += st.SharedPrunes
 		improved := !haveBest || st.Cost < bestCost-1e-9
 		if improved {
 			best, bestCost, haveBest = m, st.Cost, true
@@ -164,6 +169,9 @@ func (s *IncrementalILP) Solve(in *Instance, emit func(Update)) (Multiplot, Stat
 		LPSolves:     lpSolves,
 		SimplexIters: simplexIters,
 		Incumbents:   incumbents,
+		Workers:      finalStats.Workers,
+		Steals:       steals,
+		SharedPrunes: sharedPrunes,
 		Sequences:    sequences,
 		WarmStart:    warmRes,
 	}, nil

@@ -1,0 +1,48 @@
+package ilp
+
+import "math/rand"
+
+// HardRandomModel builds a deterministic correlated multidimensional
+// 0/1 knapsack: nVars binaries, nCons capacity rows at 45% of their
+// total weight, and item values correlated with the weights plus noise.
+// Correlated knapsacks are the classic branch-and-bound stress shape —
+// the LP relaxation is tight enough that pruning works but loose enough
+// that the tree is wide, so solve time scales with worker count instead
+// of collapsing at the root. Shared by BenchmarkILPParallel and
+// `muvebench -scaling` so the CI smoke and the experiment table measure
+// the same instances.
+func HardRandomModel(seed int64, nVars, nCons int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	vars := make([]VarID, nVars)
+	for i := range vars {
+		vars[i] = m.AddBinary("x")
+	}
+	w := make([][]float64, nCons)
+	for c := range w {
+		w[c] = make([]float64, nVars)
+		for i := range w[c] {
+			w[c][i] = float64(10 + rng.Intn(50))
+		}
+	}
+	obj := make([]Term, nVars)
+	for i := range vars {
+		v := 0.0
+		for c := range w {
+			v += w[c][i]
+		}
+		v = v/float64(nCons) + float64(rng.Intn(10))
+		obj[i] = Term{Var: vars[i], Coeff: -v} // maximize value as minimization
+	}
+	for c := range w {
+		terms := make([]Term, nVars)
+		total := 0.0
+		for i := range vars {
+			terms[i] = Term{Var: vars[i], Coeff: w[c][i]}
+			total += w[c][i]
+		}
+		m.AddConstraint(terms, LE, 0.45*total)
+	}
+	m.SetObjective(obj, 0)
+	return m
+}

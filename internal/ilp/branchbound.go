@@ -2,6 +2,10 @@ package ilp
 
 import (
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,65 +16,141 @@ type Options struct {
 	// The zero value means no deadline.
 	Deadline time.Time
 	// MaxNodes caps the number of branch-and-bound nodes (0 = unlimited).
+	// The cap is exact across workers: at most MaxNodes relaxations are
+	// solved regardless of parallelism.
 	MaxNodes int
 	// WarmStart, when non-nil, seeds the incumbent with a known feasible
 	// assignment (indexed by VarID). MUVE passes the greedy solution so a
 	// timeout can never return something worse than greedy.
 	WarmStart []float64
+	// Workers is the number of subtree workers exploring the frontier
+	// (the pure-Go substitute for the Gurobi Threads parameter). 0 uses
+	// runtime.GOMAXPROCS(0); 1 forces the sequential search. A completed
+	// search returns the same optimal objective at any worker count;
+	// among equal-objective optima the lexicographically smallest
+	// discovered assignment wins, so the incumbent is canonical whenever
+	// the optimum is unique.
+	Workers int
 }
 
 // intTol is the integrality tolerance.
 const intTol = 1e-6
 
 // Solve minimizes the model objective subject to its constraints via
-// LP-relaxation branch & bound. The returned Solution is never nil when
-// err is nil.
+// LP-relaxation branch & bound over a work-stealing worker pool. The
+// returned Solution is never nil when err is nil.
 func (m *Model) Solve(opt Options) (*Solution, error) {
 	if len(m.vars) == 0 {
 		return nil, ErrNoModel
 	}
-	s := &bbState{
-		model:        m,
-		opt:          opt,
-		incumbentObj: math.Inf(1),
-		complete:     true,
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := &bbShared{
+		model:     m,
+		deadline:  opt.Deadline,
+		maxNodes:  int64(opt.MaxNodes),
+		rootBound: math.Inf(-1),
+	}
+	sh.objBits.Store(math.Float64bits(math.Inf(1)))
+	sh.incOwner.Store(-1)
+	sh.complete.Store(true)
+	sh.workers = make([]*bbWorker, workers)
+	for i := range sh.workers {
+		sh.workers[i] = &bbWorker{id: int32(i), sh: sh}
 	}
 	if opt.WarmStart != nil && m.feasible(opt.WarmStart, 1e-6) {
-		s.incumbent = append([]float64(nil), opt.WarmStart...)
-		s.incumbentObj = m.evalObjective(opt.WarmStart)
-		s.incumbents++
+		sh.incumbent = append([]float64(nil), opt.WarmStart...)
+		sh.incObjVal = m.evalObjective(opt.WarmStart)
+		sh.objBits.Store(math.Float64bits(sh.incObjVal))
+		sh.incumbents.Add(1)
 	}
 
-	rootFixed := make([]int8, len(m.vars)) // -1 unfixed, 0, 1 for binaries
-	for i := range rootFixed {
-		rootFixed[i] = -1
+	root := make([]int8, len(m.vars)) // -1 unfixed, 0, 1 for binaries
+	for i := range root {
+		root[i] = -1
 	}
-	s.rootBound = math.Inf(-1)
-	s.branch(rootFixed, true)
 
+	// Seed phase, single-threaded on worker 0: process the root, then
+	// expand the frontier best-first (lowest parent bound first) until
+	// there is enough independent work to hand out. Small models usually
+	// finish entirely inside this phase, which keeps the parallel
+	// machinery free for the searches that actually need it.
+	w0 := sh.workers[0]
+	var seed []bbNode
+	w0.process(bbNode{fixed: root, bound: math.Inf(-1)}, &seed, true)
+	if workers > 1 {
+		for len(seed) > 0 && len(seed) < 2*workers && !sh.stopped.Load() {
+			best := 0
+			for i := 1; i < len(seed); i++ {
+				if seed[i].bound < seed[best].bound {
+					best = i
+				}
+			}
+			nd := seed[best]
+			seed[best] = seed[len(seed)-1]
+			seed = seed[:len(seed)-1]
+			sh.pending.Add(-1)
+			w0.process(nd, &seed, false)
+		}
+	}
+
+	if len(seed) > 0 && !sh.stopped.Load() {
+		// Deal the frontier out worst-bound first so every worker's deque
+		// ends with (and therefore pops first) its most promising node.
+		sort.Slice(seed, func(i, j int) bool { return seed[i].bound > seed[j].bound })
+		for i, nd := range seed {
+			w := sh.workers[i%workers]
+			w.deque = append(w.deque, nd)
+		}
+		if workers == 1 {
+			w0.run()
+		} else {
+			var wg sync.WaitGroup
+			for _, w := range sh.workers {
+				wg.Add(1)
+				go func(w *bbWorker) {
+					defer wg.Done()
+					w.run()
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+
+	lpSolves, simplexIters := 0, 0
+	for _, w := range sh.workers {
+		lpSolves += w.lpSolves
+		simplexIters += w.simplexIters
+	}
 	sol := &Solution{
-		Nodes:        s.nodes,
-		LPSolves:     s.lpSolves,
-		SimplexIters: s.simplexIters,
-		Incumbents:   s.incumbents,
+		Nodes:        int(sh.nodes.Load()),
+		LPSolves:     lpSolves,
+		SimplexIters: simplexIters,
+		Incumbents:   int(sh.incumbents.Load()),
+		Workers:      workers,
+		Steals:       int(sh.steals.Load()),
+		SharedPrunes: int(sh.sharedPrunes.Load()),
 	}
+	complete := sh.complete.Load()
 	switch {
-	case s.incumbent == nil && s.complete:
+	case sh.incumbent == nil && complete:
 		sol.Status = StatusInfeasible
 		sol.Bound = math.Inf(1)
-	case s.incumbent == nil:
+	case sh.incumbent == nil:
 		sol.Status = StatusTimeout
-		sol.Bound = s.rootBound
-	case s.complete:
+		sol.Bound = sh.rootBound
+	case complete:
 		sol.Status = StatusOptimal
-		sol.Objective = s.incumbentObj
-		sol.Values = s.incumbent
-		sol.Bound = s.incumbentObj
+		sol.Objective = sh.incObjVal
+		sol.Values = sh.incumbent
+		sol.Bound = sh.incObjVal
 	default:
 		sol.Status = StatusFeasible
-		sol.Objective = s.incumbentObj
-		sol.Values = s.incumbent
-		sol.Bound = s.rootBound
+		sol.Objective = sh.incObjVal
+		sol.Values = sh.incumbent
+		sol.Bound = sh.rootBound
 	}
 	if sol.Values != nil {
 		cleanIntegers(m, sol.Values)
@@ -78,72 +158,289 @@ func (m *Model) Solve(opt Options) (*Solution, error) {
 	return sol, nil
 }
 
-// bbState carries search state across recursive branching.
-type bbState struct {
-	model        *Model
-	opt          Options
-	incumbent    []float64
-	incumbentObj float64
-	nodes        int
-	lpSolves     int
-	simplexIters int
-	incumbents   int
-	complete     bool
-	rootBound    float64
-	stopped      bool
+// bbNode is one frontier entry: a partial assignment plus what its
+// parent's relaxation proved about the subtree underneath it.
+type bbNode struct {
+	fixed []int8
+	// bound is the parent LP objective, a valid lower bound for the whole
+	// subtree; nodes whose bound cannot beat the incumbent are dropped at
+	// pop time without paying an LP solve.
+	bound float64
+	// hint holds the structural variables basic at the parent optimum,
+	// used to crash-start the child relaxation (shared by both children,
+	// read-only).
+	hint []VarID
 }
 
-func (s *bbState) deadlineHit() bool {
-	if s.stopped {
-		return true
+// bbShared is the state all workers of one Solve call share.
+type bbShared struct {
+	model    *Model
+	deadline time.Time
+	maxNodes int64
+
+	// Incumbent: objBits mirrors the incumbent objective as float bits
+	// for lock-free bound checks on the hot path; mu guards the actual
+	// solution swap and the exact objective value.
+	objBits   atomic.Uint64
+	incOwner  atomic.Int32 // worker that produced the incumbent; -1 = warm start
+	mu        sync.Mutex
+	incumbent []float64
+	incObjVal float64
+
+	stopped  atomic.Bool // deadline or node cap hit: wind down
+	complete atomic.Bool // false once any subtree was abandoned unproven
+	pending  atomic.Int64
+
+	nodes        atomic.Int64
+	incumbents   atomic.Int64
+	steals       atomic.Int64
+	sharedPrunes atomic.Int64
+
+	// rootBound is written during the single-threaded seed phase only.
+	rootBound float64
+
+	workers []*bbWorker
+}
+
+// incObj returns the current incumbent objective without locking.
+func (sh *bbShared) incObj() float64 { return math.Float64frombits(sh.objBits.Load()) }
+
+// halt stops the search without a completeness proof.
+func (sh *bbShared) halt() {
+	sh.complete.Store(false)
+	sh.stopped.Store(true)
+}
+
+// offer proposes x (model-space, feasible, objective obj) as the new
+// incumbent. Strict improvements always win; ties within 1e-9 go to the
+// lexicographically smaller assignment so a completed search reports a
+// canonical incumbent regardless of worker count or discovery order.
+func (sh *bbShared) offer(x []float64, obj float64, owner int32) {
+	if obj > sh.incObj()+1e-9 {
+		return
 	}
-	if !s.opt.Deadline.IsZero() && time.Now().After(s.opt.Deadline) {
-		s.stopped = true
-		s.complete = false
-		return true
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.incObjVal
+	if sh.incumbent == nil {
+		cur = math.Inf(1)
 	}
-	if s.opt.MaxNodes > 0 && s.nodes >= s.opt.MaxNodes {
-		s.stopped = true
-		s.complete = false
-		return true
+	switch {
+	case obj < cur-1e-9:
+	case obj <= cur+1e-9 && sh.incumbent != nil && lexLess(x, sh.incumbent):
+	default:
+		return
+	}
+	sh.incumbent = append(sh.incumbent[:0], x...)
+	sh.incObjVal = obj
+	// The pruning bound only ever tightens: on a lexicographic tie keep
+	// the smaller of the two (equal within 1e-9) objectives.
+	if bits := math.Float64bits(obj); obj < math.Float64frombits(sh.objBits.Load()) {
+		sh.objBits.Store(bits)
+	}
+	sh.incOwner.Store(owner)
+	sh.incumbents.Add(1)
+}
+
+// lexLess orders assignments lexicographically with a small tolerance,
+// the canonical tie-break among equal-objective incumbents.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		switch d := a[i] - b[i]; {
+		case d < -1e-9:
+			return true
+		case d > 1e-9:
+			return false
+		}
 	}
 	return false
 }
 
-// branch processes one node: solve the LP relaxation with the given binary
-// fixings, prune or dive.
-func (s *bbState) branch(fixed []int8, isRoot bool) {
-	if s.deadlineHit() {
+// bbWorker explores subtrees from a private LIFO deque (depth-first
+// locality, like the old recursion) and steals the shallowest node of a
+// victim's deque when its own runs dry.
+type bbWorker struct {
+	id int32
+	sh *bbShared
+
+	mu    sync.Mutex
+	deque []bbNode
+
+	sc        bbScratch
+	freeFixed [][]int8
+	tick      int
+
+	lpSolves     int
+	simplexIters int
+}
+
+// push appends a node to the worker's own deque.
+func (w *bbWorker) push(nd bbNode) {
+	w.sh.pending.Add(1)
+	w.mu.Lock()
+	w.deque = append(w.deque, nd)
+	w.mu.Unlock()
+}
+
+// pop takes the newest node (deepest, owner side).
+func (w *bbWorker) pop() (bbNode, bool) {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return bbNode{}, false
+	}
+	nd := w.deque[n-1]
+	w.deque[n-1] = bbNode{}
+	w.deque = w.deque[:n-1]
+	w.mu.Unlock()
+	return nd, true
+}
+
+// stealFrom takes the oldest node (shallowest, largest subtree) from a
+// victim's deque.
+func (w *bbWorker) stealFrom(victim *bbWorker) (bbNode, bool) {
+	victim.mu.Lock()
+	n := len(victim.deque)
+	if n == 0 {
+		victim.mu.Unlock()
+		return bbNode{}, false
+	}
+	nd := victim.deque[0]
+	copy(victim.deque, victim.deque[1:])
+	victim.deque[n-1] = bbNode{}
+	victim.deque = victim.deque[:n-1]
+	victim.mu.Unlock()
+	return nd, true
+}
+
+// run drains work until the search stops or the global frontier is
+// empty (pending counts queued plus in-flight nodes, so zero means the
+// whole tree is either explored or pruned).
+func (w *bbWorker) run() {
+	sh := w.sh
+	idle := 0
+	for {
+		if sh.stopped.Load() {
+			return
+		}
+		nd, ok := w.pop()
+		if !ok {
+			for i := 1; i < len(sh.workers) && !ok; i++ {
+				victim := sh.workers[(int(w.id)+i)%len(sh.workers)]
+				nd, ok = w.stealFrom(victim)
+			}
+			if ok {
+				sh.steals.Add(1)
+			}
+		}
+		if !ok {
+			if sh.pending.Load() == 0 {
+				return
+			}
+			idle++
+			if idle < 8 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		w.process(nd, nil, false)
+		sh.pending.Add(-1)
+	}
+}
+
+// checkLimits reports whether the search should stop. The stop flag is
+// checked on every node; the wall clock only every 64 nodes — a
+// time.Now syscall per node is measurable on small instances and worse
+// with many workers.
+func (w *bbWorker) checkLimits() bool {
+	sh := w.sh
+	if sh.stopped.Load() {
+		return true
+	}
+	hit := false
+	if !sh.deadline.IsZero() && w.tick&deadlineCheckMask == 0 && time.Now().After(sh.deadline) {
+		sh.halt()
+		hit = true
+	}
+	w.tick++
+	return hit
+}
+
+// process expands one node: bound-prune, solve the relaxation, adopt an
+// integral optimum, or branch. Children land on the worker's own deque,
+// or in seedQ during the single-threaded best-first seed phase.
+func (w *bbWorker) process(nd bbNode, seedQ *[]bbNode, isRoot bool) {
+	sh := w.sh
+	// Re-check the parent bound against the global incumbent: it may
+	// have tightened since this node was queued.
+	if nd.bound >= sh.incObj()-1e-9 {
+		if o := sh.incOwner.Load(); o >= 0 && o != w.id {
+			sh.sharedPrunes.Add(1)
+		}
+		w.releaseFixed(nd.fixed)
 		return
 	}
-	s.nodes++
-	x, obj, st := s.solveRelaxation(fixed)
+	if w.checkLimits() {
+		w.releaseFixed(nd.fixed)
+		return
+	}
+	// Exact node accounting across workers: reserve a node slot, give it
+	// back when over the cap so reported Nodes never exceeds MaxNodes.
+	if sh.maxNodes > 0 {
+		if sh.nodes.Add(1) > sh.maxNodes {
+			sh.nodes.Add(-1)
+			sh.halt()
+			w.releaseFixed(nd.fixed)
+			return
+		}
+	} else {
+		sh.nodes.Add(1)
+	}
+	x, obj, childHint, st, iters := solveRelaxation(sh.model, nd.fixed, nd.hint, sh.deadline, &w.sc)
+	w.lpSolves++
+	w.simplexIters += iters
 	switch st {
 	case lpInfeasible:
+		w.releaseFixed(nd.fixed)
 		return
 	case lpUnbounded:
 		// With bounded variables this cannot happen unless the model has
-		// unbounded continuous vars; treat as "no useful bound" and give up
-		// on proving optimality below this node.
-		s.complete = false
+		// unbounded continuous vars; treat as "no useful bound" and give
+		// up on proving optimality below this node.
+		sh.complete.Store(false)
+		w.releaseFixed(nd.fixed)
 		return
 	case lpAborted:
-		s.complete = false
+		sh.complete.Store(false)
+		// An aborted relaxation usually means the deadline passed; poll
+		// it immediately so the rest of the pool winds down too.
+		if !sh.deadline.IsZero() && time.Now().After(sh.deadline) {
+			sh.halt()
+		}
+		w.releaseFixed(nd.fixed)
 		return
 	}
 	if isRoot {
-		s.rootBound = obj
+		sh.rootBound = obj
 	}
-	if obj >= s.incumbentObj-1e-9 {
-		return // bound prune
+	if obj >= sh.incObj()-1e-9 {
+		if o := sh.incOwner.Load(); o >= 0 && o != w.id {
+			sh.sharedPrunes.Add(1)
+		}
+		w.releaseFixed(nd.fixed)
+		return
 	}
 	// Find the fractional binary with the highest branching priority,
 	// breaking ties by fractionality.
 	branchVar := -1
 	bestFrac := intTol
 	bestPri := 0
-	for i, vi := range s.model.vars {
-		if !vi.integer || fixed[i] >= 0 {
+	for i, vi := range sh.model.vars {
+		if !vi.integer || nd.fixed[i] >= 0 {
 			continue
 		}
 		f := math.Abs(x[i] - math.Round(x[i]))
@@ -158,34 +455,41 @@ func (s *bbState) branch(fixed []int8, isRoot bool) {
 		}
 	}
 	if branchVar == -1 {
-		// Integral solution: new incumbent.
-		if obj < s.incumbentObj {
-			s.incumbentObj = obj
-			s.incumbent = append([]float64(nil), x...)
-			s.incumbents++
-		}
+		// Integral solution: candidate incumbent.
+		sh.offer(x, obj, w.id)
+		w.releaseFixed(nd.fixed)
 		return
 	}
 	// Rounding heuristic: try the nearest-integer rounding as an incumbent
 	// before descending, so timeouts still surface something feasible.
-	s.tryRounding(x, fixed)
-	// Dive toward the fractional value's rounding first.
+	w.tryRounding(x, nd.fixed)
+	// Dive toward the fractional value's rounding first: push the away
+	// branch below it so the owner's LIFO pop explores the rounding
+	// side, while a thief stealing from the other end gets the subtree
+	// the owner would visit last.
 	first := int8(math.Round(x[branchVar]))
-	for _, val := range []int8{first, 1 - first} {
-		if s.deadlineHit() {
-			return
-		}
-		child := append([]int8(nil), fixed...)
-		child[branchVar] = val
-		s.branch(child, false)
+	away := w.newFixed(nd.fixed)
+	away[branchVar] = 1 - first
+	toward := w.newFixed(nd.fixed)
+	toward[branchVar] = first
+	w.releaseFixed(nd.fixed)
+	if seedQ != nil {
+		sh.pending.Add(2)
+		*seedQ = append(*seedQ, bbNode{fixed: away, bound: obj, hint: childHint},
+			bbNode{fixed: toward, bound: obj, hint: childHint})
+		return
 	}
+	w.push(bbNode{fixed: away, bound: obj, hint: childHint})
+	w.push(bbNode{fixed: toward, bound: obj, hint: childHint})
 }
 
-// tryRounding rounds the LP solution to integers and accepts it as the
-// incumbent when feasible and improving.
-func (s *bbState) tryRounding(x []float64, fixed []int8) {
-	r := append([]float64(nil), x...)
-	for i, vi := range s.model.vars {
+// tryRounding rounds the LP solution to integers and offers it as an
+// incumbent when feasible.
+func (w *bbWorker) tryRounding(x []float64, fixed []int8) {
+	m := w.sh.model
+	r := growFloats(&w.sc.xr, len(x))
+	copy(r, x)
+	for i, vi := range m.vars {
 		if vi.integer {
 			if fixed[i] >= 0 {
 				r[i] = float64(fixed[i])
@@ -194,25 +498,64 @@ func (s *bbState) tryRounding(x []float64, fixed []int8) {
 			}
 		}
 	}
-	if !s.model.feasible(r, 1e-7) {
+	if !m.feasible(r, 1e-7) {
 		return
 	}
-	obj := s.model.evalObjective(r)
-	if obj < s.incumbentObj {
-		s.incumbentObj = obj
-		s.incumbent = r
-		s.incumbents++
+	w.sh.offer(r, m.evalObjective(r), w.id)
+}
+
+// newFixed copies a fixing vector, reusing the worker's freelist.
+func (w *bbWorker) newFixed(src []int8) []int8 {
+	var f []int8
+	if n := len(w.freeFixed); n > 0 {
+		f = w.freeFixed[n-1]
+		w.freeFixed = w.freeFixed[:n-1]
+	} else {
+		f = make([]int8, len(src))
 	}
+	copy(f, src)
+	return f
+}
+
+// releaseFixed returns a fixing vector to the freelist.
+func (w *bbWorker) releaseFixed(f []int8) {
+	if f != nil && len(w.freeFixed) < 64 {
+		w.freeFixed = append(w.freeFixed, f)
+	}
+}
+
+// bbScratch bundles the per-worker buffers of the relaxation builder
+// with the simplex arena underneath it.
+type bbScratch struct {
+	lp    lpScratch
+	prob  lpProblem
+	col   []int
+	varOf []VarID
+	lo    []float64
+	c     []float64
+	aAr   []float64
+	a     [][]float64
+	sense []Sense
+	b     []float64
+	x     []float64
+	xr    []float64
+	hint  []int
 }
 
 // solveRelaxation builds and solves the LP relaxation under the given
 // binary fixings. Fixed binaries are substituted out; remaining variables
 // are shifted to be non-negative and upper bounds become explicit rows.
-func (s *bbState) solveRelaxation(fixed []int8) ([]float64, float64, lpStatus) {
-	m := s.model
+// hint carries the parent-basic structural variables for the crash
+// start; the returned childHint is this node's equivalent for its
+// children. x aliases sc and is only valid until the next call.
+func solveRelaxation(m *Model, fixed []int8, hint []VarID, deadline time.Time, sc *bbScratch) (x []float64, obj float64, childHint []VarID, st lpStatus, iters int) {
 	nv := len(m.vars)
-	col := make([]int, nv) // model var -> LP column, -1 when fixed
-	lo := make([]float64, nv)
+	col := growInts(&sc.col, nv) // model var -> LP column, -1 when fixed
+	lo := growFloats(&sc.lo, nv)
+	if cap(sc.varOf) < nv {
+		sc.varOf = make([]VarID, nv)
+	}
+	varOf := sc.varOf[:nv]
 	n := 0
 	for i, vi := range m.vars {
 		if vi.integer && fixed[i] >= 0 {
@@ -220,26 +563,35 @@ func (s *bbState) solveRelaxation(fixed []int8) ([]float64, float64, lpStatus) {
 			continue
 		}
 		col[i] = n
+		varOf[n] = VarID(i)
 		lo[i] = vi.lo
 		n++
 	}
-	p := &lpProblem{c: make([]float64, n)}
+	c := growFloats(&sc.c, n)
 	objConst := m.objConst
 	for _, t := range m.obj {
-		if c := col[t.Var]; c >= 0 {
-			p.c[c] += t.Coeff
+		if cc := col[t.Var]; cc >= 0 {
+			c[cc] += t.Coeff
 			objConst += t.Coeff * lo[t.Var]
 		} else {
 			objConst += t.Coeff * float64(fixed[t.Var])
 		}
 	}
+	maxRows := len(m.cons) + nv
+	rows := rowViews(&sc.aAr, &sc.a, maxRows, n)
+	if cap(sc.sense) < maxRows {
+		sc.sense = make([]Sense, maxRows)
+	}
+	senses := sc.sense[:maxRows]
+	b := growFloats(&sc.b, maxRows)
+	nr := 0
 	for _, con := range m.cons {
-		row := make([]float64, n)
+		row := rows[nr]
 		rhs := con.rhs
 		any := false
 		for _, t := range con.terms {
-			if c := col[t.Var]; c >= 0 {
-				row[c] += t.Coeff
+			if cc := col[t.Var]; cc >= 0 {
+				row[cc] += t.Coeff
 				rhs -= t.Coeff * lo[t.Var]
 				any = true
 			} else {
@@ -247,7 +599,9 @@ func (s *bbState) solveRelaxation(fixed []int8) ([]float64, float64, lpStatus) {
 			}
 		}
 		if !any {
-			// Constant constraint: check it directly.
+			// Constant constraint: check it directly, and scrub the row
+			// buffer for its next occupant.
+			clear(row)
 			ok := true
 			switch con.sense {
 			case LE:
@@ -258,42 +612,68 @@ func (s *bbState) solveRelaxation(fixed []int8) ([]float64, float64, lpStatus) {
 				ok = math.Abs(rhs) <= 1e-9
 			}
 			if !ok {
-				return nil, 0, lpInfeasible
+				return nil, 0, nil, lpInfeasible, 0
 			}
 			continue
 		}
-		p.a = append(p.a, row)
-		p.sense = append(p.sense, con.sense)
-		p.b = append(p.b, rhs)
+		senses[nr] = con.sense
+		b[nr] = rhs
+		nr++
 	}
 	// Upper-bound rows for shifted variables with finite upper bounds.
 	for i, vi := range m.vars {
-		c := col[i]
-		if c < 0 || math.IsInf(vi.hi, 1) {
+		cc := col[i]
+		if cc < 0 || math.IsInf(vi.hi, 1) {
 			continue
 		}
-		row := make([]float64, n)
-		row[c] = 1
-		p.a = append(p.a, row)
-		p.sense = append(p.sense, LE)
-		p.b = append(p.b, vi.hi-vi.lo)
+		rows[nr][cc] = 1
+		senses[nr] = LE
+		b[nr] = vi.hi - vi.lo
+		nr++
 	}
-	xs, obj, st := p.solveLP(s.opt.Deadline)
-	s.lpSolves++
-	s.simplexIters += p.iters
-	if st != lpOptimal {
-		return nil, 0, st
+	// Map the parent's basic variables to this LP's columns.
+	hintCols := sc.hint[:0]
+	for _, v := range hint {
+		if cc := col[v]; cc >= 0 {
+			hintCols = append(hintCols, cc)
+		}
+	}
+	sc.hint = hintCols
+
+	p := &sc.prob
+	p.c = c
+	p.a = rows[:nr]
+	p.sense = senses[:nr]
+	p.b = b[:nr]
+	p.hint = hintCols
+	xs, lpObj, lst := p.solveLPInto(deadline, &sc.lp)
+	if lst != lpOptimal {
+		return nil, 0, nil, lst, p.iters
+	}
+	// Record which structural variables ended basic, as the crash hint
+	// for child relaxations.
+	nBasic := 0
+	for _, bc := range sc.lp.basis {
+		if bc < n {
+			nBasic++
+		}
+	}
+	childHint = make([]VarID, 0, nBasic)
+	for _, bc := range sc.lp.basis {
+		if bc < n {
+			childHint = append(childHint, varOf[bc])
+		}
 	}
 	// Map back to model space.
-	x := make([]float64, nv)
+	x = growFloats(&sc.x, nv)
 	for i := range m.vars {
-		if c := col[i]; c >= 0 {
-			x[i] = xs[c] + lo[i]
+		if cc := col[i]; cc >= 0 {
+			x[i] = xs[cc] + lo[i]
 		} else {
 			x[i] = float64(fixed[i])
 		}
 	}
-	return x, obj + objConst, lpOptimal
+	return x, lpObj + objConst, childHint, lpOptimal, p.iters
 }
 
 // cleanIntegers snaps integer variables to exact integral values.

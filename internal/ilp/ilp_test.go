@@ -157,37 +157,44 @@ func TestSolveContinuousLowerBound(t *testing.T) {
 	}
 }
 
+// randomBinaryModel draws one small random binary model from the
+// differential-test corpus (shared with the parallel determinism test).
+func randomBinaryModel(rng *rand.Rand) *Model {
+	n := 2 + rng.Intn(7) // up to 8 binaries -> 256 assignments
+	m := NewModel()
+	vars := make([]VarID, n)
+	for i := range vars {
+		vars[i] = m.AddBinary("x")
+	}
+	nCons := 1 + rng.Intn(5)
+	for c := 0; c < nCons; c++ {
+		var terms []Term
+		for i := range vars {
+			if rng.Intn(2) == 0 {
+				terms = append(terms, Term{vars[i], float64(rng.Intn(11) - 5)})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{vars[0], 1})
+		}
+		sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+		rhs := float64(rng.Intn(9) - 2)
+		m.AddConstraint(terms, sense, rhs)
+	}
+	obj := make([]Term, n)
+	for i := range vars {
+		obj[i] = Term{vars[i], float64(rng.Intn(21) - 10)}
+	}
+	m.SetObjective(obj, float64(rng.Intn(5)))
+	return m
+}
+
 func TestSolveMatchesBruteForceOnRandomModels(t *testing.T) {
 	// Differential test: random small binary models, LP-based B&B must
 	// match exhaustive enumeration exactly (both objective and status).
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 120; trial++ {
-		n := 2 + rng.Intn(7) // up to 8 binaries -> 256 assignments
-		m := NewModel()
-		vars := make([]VarID, n)
-		for i := range vars {
-			vars[i] = m.AddBinary("x")
-		}
-		nCons := 1 + rng.Intn(5)
-		for c := 0; c < nCons; c++ {
-			var terms []Term
-			for i := range vars {
-				if rng.Intn(2) == 0 {
-					terms = append(terms, Term{vars[i], float64(rng.Intn(11) - 5)})
-				}
-			}
-			if len(terms) == 0 {
-				terms = append(terms, Term{vars[0], 1})
-			}
-			sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
-			rhs := float64(rng.Intn(9) - 2)
-			m.AddConstraint(terms, sense, rhs)
-		}
-		obj := make([]Term, n)
-		for i := range vars {
-			obj[i] = Term{vars[i], float64(rng.Intn(21) - 10)}
-		}
-		m.SetObjective(obj, float64(rng.Intn(5)))
+		m := randomBinaryModel(rng)
 
 		wantObj, _, wantFeasible := bruteForceBinary(m)
 		sol, err := m.Solve(Options{})

@@ -181,6 +181,15 @@ type Solution struct {
 	// Incumbents counts how many times a new best integer solution was
 	// adopted (warm start, integral relaxations, and rounding heuristic).
 	Incumbents int
+	// Workers is the number of branch-and-bound subtree workers used.
+	Workers int
+	// Steals counts frontier nodes a worker took from another worker's
+	// deque (work-stealing load balance events).
+	Steals int
+	// SharedPrunes counts subtrees pruned against an incumbent that a
+	// different worker discovered — the payoff of sharing the incumbent
+	// atomically instead of searching independently.
+	SharedPrunes int
 	// Bound is the best proven lower bound on the optimum (minimization).
 	Bound float64
 }

@@ -1,0 +1,241 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// countOptima enumerates a pure-binary model and reports the optimal
+// objective, the lexicographically smallest optimal assignment, and how
+// many distinct assignments tie for the optimum within 1e-9.
+func countOptima(m *Model) (best float64, bestX []float64, ties int) {
+	n := len(m.vars)
+	best = math.Inf(1)
+	x := make([]float64, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if !m.feasible(x, 1e-9) {
+				return
+			}
+			obj := m.evalObjective(x)
+			switch {
+			case obj < best-1e-9:
+				best = obj
+				bestX = append(bestX[:0], x...)
+				ties = 1
+			case obj <= best+1e-9:
+				ties++
+				if lexLess(x, bestX) {
+					bestX = append(bestX[:0], x...)
+				}
+			}
+			return
+		}
+		x[i] = 0
+		rec(i + 1)
+		x[i] = 1
+		rec(i + 1)
+	}
+	rec(0)
+	return best, bestX, ties
+}
+
+// TestSolveParallelDeterministicAcrossWorkerCounts is the parallel
+// determinism property test: on the randomized corpus of
+// TestSolveMatchesBruteForceOnRandomModels, Solve must return the
+// identical optimal objective for Workers ∈ {1, 2, 8}, and — whenever
+// the optimum is unique — the identical canonical incumbent. Run under
+// -race this also exercises the work-stealing pool on tiny trees.
+func TestSolveParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	workerCounts := []int{1, 2, 8}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		m := randomBinaryModel(rng)
+		wantObj, wantX, ties := countOptima(m)
+		feasible := !math.IsInf(wantObj, 1)
+		for _, workers := range workerCounts {
+			sol, err := m.Solve(Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			if !feasible {
+				if sol.Status != StatusInfeasible {
+					t.Errorf("trial %d workers %d: status = %v, want infeasible", trial, workers, sol.Status)
+				}
+				continue
+			}
+			if sol.Status != StatusOptimal {
+				t.Errorf("trial %d workers %d: status = %v, want optimal", trial, workers, sol.Status)
+				continue
+			}
+			if math.Abs(sol.Objective-wantObj) > 1e-9 {
+				t.Errorf("trial %d workers %d: objective = %v, want %v", trial, workers, sol.Objective, wantObj)
+			}
+			if sol.Workers != workers {
+				t.Errorf("trial %d: Solution.Workers = %d, want %d", trial, sol.Workers, workers)
+			}
+			if !m.feasible(sol.Values, 1e-6) {
+				t.Errorf("trial %d workers %d: returned infeasible assignment", trial, workers)
+			}
+			if ties == 1 {
+				for i := range wantX {
+					if math.Abs(sol.Values[i]-wantX[i]) > 1e-6 {
+						t.Errorf("trial %d workers %d: unique optimum but incumbent differs at var %d: got %v want %v",
+							trial, workers, i, sol.Values, wantX)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveParallelHardModelAgrees runs a model big enough to outlive
+// the seed phase, so the worker pool (and its shared-incumbent pruning)
+// actually executes, and checks the parallel objective against the
+// sequential one.
+func TestSolveParallelHardModelAgrees(t *testing.T) {
+	m := HardRandomModel(7, 26, 3)
+	seq, err := m.Solve(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Status != StatusOptimal {
+		t.Fatalf("sequential status = %v", seq.Status)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := m.Solve(Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Status != StatusOptimal {
+			t.Fatalf("workers %d: status = %v", workers, par.Status)
+		}
+		if math.Abs(par.Objective-seq.Objective) > 1e-9 {
+			t.Errorf("workers %d: objective = %v, sequential = %v", workers, par.Objective, seq.Objective)
+		}
+		if par.Nodes <= 0 || par.LPSolves <= 0 {
+			t.Errorf("workers %d: counters not reported: %+v", workers, par)
+		}
+	}
+}
+
+// TestSolveParallelDeadlineStillBounded checks the deadline stays exact
+// across workers: a generous-tree model with a short deadline must stop
+// near it instead of letting stragglers finish their subtrees.
+func TestSolveParallelDeadlineStillBounded(t *testing.T) {
+	m := HardRandomModel(11, 40, 4)
+	warm := make([]float64, 40) // all-zero is feasible for <= knapsacks
+	start := time.Now()
+	sol, err := m.Solve(Options{
+		Deadline:  start.Add(30 * time.Millisecond),
+		WarmStart: warm,
+		Workers:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("solve ran %v past a 30ms deadline", elapsed)
+	}
+	if sol.Values == nil {
+		t.Fatal("warm-started solve returned no incumbent")
+	}
+}
+
+// TestSimplexSteadyStateZeroAlloc locks in the satellite requirement:
+// once an lpScratch is warm, repeated LP solves perform zero heap
+// allocations.
+func TestSimplexSteadyStateZeroAlloc(t *testing.T) {
+	p := &lpProblem{
+		c: []float64{-3, -5, -4, 1},
+		a: [][]float64{
+			{2, 3, 0, 1},
+			{0, 2, 5, -1},
+			{3, 2, 4, 0},
+			{1, 1, 1, 1},
+		},
+		sense: []Sense{LE, LE, LE, GE},
+		b:     []float64{8, 10, 15, -2},
+	}
+	var sc lpScratch
+	if _, _, st := p.solveLPInto(time.Time{}, &sc); st != lpOptimal {
+		t.Fatalf("warmup status = %v", st)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, st := p.solveLPInto(time.Time{}, &sc); st != lpOptimal {
+			t.Fatalf("status = %v", st)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state solveLPInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestSolveWorkersDefaultsToGOMAXPROCS pins the Options.Workers zero
+// value contract.
+func TestSolveWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a")
+	m.AddConstraint([]Term{{a, 1}}, LE, 1)
+	m.SetObjective([]Term{{a, -1}}, 0)
+	sol, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Workers < 1 {
+		t.Errorf("Workers = %d, want >= 1", sol.Workers)
+	}
+}
+
+// BenchmarkILPParallel measures wall time to optimality on hard
+// correlated knapsacks at several worker counts. `make bench-smoke`
+// runs the same instances through muvebench -scaling and fails when the
+// multi-worker arm is slower than sequential (on multi-core hosts).
+func BenchmarkILPParallel(b *testing.B) {
+	models := make([]*Model, 4)
+	for i := range models {
+		models[i] = HardRandomModel(int64(100+i), 30, 4)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, m := range models {
+					sol, err := m.Solve(Options{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sol.Status != StatusOptimal {
+						b.Fatalf("status = %v", sol.Status)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimplexSteadyState tracks the zero-alloc LP hot path.
+func BenchmarkSimplexSteadyState(b *testing.B) {
+	p := &lpProblem{
+		c: []float64{-3, -5, -4, 1},
+		a: [][]float64{
+			{2, 3, 0, 1},
+			{0, 2, 5, -1},
+			{3, 2, 4, 0},
+			{1, 1, 1, 1},
+		},
+		sense: []Sense{LE, LE, LE, GE},
+		b:     []float64{8, 10, 15, -2},
+	}
+	var sc lpScratch
+	p.solveLPInto(time.Time{}, &sc) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.solveLPInto(time.Time{}, &sc)
+	}
+}

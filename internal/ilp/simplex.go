@@ -26,6 +26,12 @@ type lpProblem struct {
 	a     [][]float64 // m rows of length n
 	sense []Sense     // length m
 	b     []float64   // length m
+	// hint lists structural columns preferred as entering variables at
+	// the start of phase 2 — the branch-and-bound layer passes the
+	// columns that were basic at the parent node's optimum, so child
+	// relaxations re-walk the parent's basis instead of rediscovering
+	// it from the slack basis (a crash basis in simplex terms).
+	hint []int
 	// iters is the number of simplex iterations the last solveLP call
 	// performed (phase 1 + phase 2), for solver observability.
 	iters int
@@ -37,22 +43,97 @@ const (
 	deadlineCheckMask = 63
 )
 
-// solveLP runs a dense two-phase primal simplex. It returns the primal
-// solution over the structural variables and the objective value.
+// lpScratch is a grow-only arena for everything a solveLP call would
+// otherwise allocate: normalized rows, the dense tableau, basis and
+// cost arrays, the reduced-cost row and the result vector. Each
+// branch-and-bound worker owns one, so the thousands of LP solves a
+// search performs reuse the same backing buffers (steady-state solves
+// are allocation-free; see TestSimplexSteadyStateZeroAlloc).
+type lpScratch struct {
+	rowArena []float64
+	rows     [][]float64
+	b        []float64
+	senses   []Sense
+	tArena   []float64
+	t        [][]float64
+	basis    []int
+	cost     []float64
+	z        []float64
+	artCols  []int
+	isArt    []bool
+	x        []float64
+}
+
+// growFloats returns (*buf)[:n] with zeroed contents, reallocating only
+// when capacity is insufficient. The resliced header is stored back so
+// the scratch field always reflects the last solve's length.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	*buf = s
+	return s
+}
+
+// growInts is growFloats for []int.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	*buf = s
+	return s
+}
+
+// rowViews carves m zeroed row slices of the given width out of one
+// flat arena, reusing the arena and the view headers across calls.
+func rowViews(arena *[]float64, views *[][]float64, m, width int) [][]float64 {
+	need := m * width
+	if cap(*arena) < need {
+		*arena = make([]float64, need)
+	}
+	flat := (*arena)[:need]
+	clear(flat)
+	if cap(*views) < m {
+		*views = make([][]float64, m)
+	}
+	v := (*views)[:m]
+	for i := range v {
+		v[i] = flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	*arena = flat
+	*views = v
+	return v
+}
+
+// solveLP runs a dense two-phase primal simplex with a throwaway
+// scratch arena. Callers on a hot path should hold an lpScratch and use
+// solveLPInto; this wrapper keeps the one-shot call sites (and the
+// historical tests) simple.
 func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
+	var sc lpScratch
+	return p.solveLPInto(deadline, &sc)
+}
+
+// solveLPInto runs a dense two-phase primal simplex. It returns the
+// primal solution over the structural variables and the objective
+// value. The returned slice aliases sc and is only valid until the next
+// solve with the same scratch.
+func (p *lpProblem) solveLPInto(deadline time.Time, sc *lpScratch) ([]float64, float64, lpStatus) {
 	p.iters = 0
-	m := len(p.a)
 	n := len(p.c)
-	if m == 0 {
+	if len(p.a) == 0 {
 		// Unconstrained over x >= 0: each variable sits at 0 unless its
 		// cost is negative, in which case the LP is unbounded.
-		x := make([]float64, n)
 		for _, cj := range p.c {
 			if cj < -simplexTol {
 				return nil, 0, lpUnbounded
 			}
 		}
-		return x, 0, lpOptimal
+		return growFloats(&sc.x, n), 0, lpOptimal
 	}
 
 	// Normalize rows to minimize artificial variables (artificials force a
@@ -64,53 +145,62 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 	//
 	// MUVE's multiplot models consist almost entirely of zero-rhs logical
 	// constraints (q <= p, s >= h, h_i = sum h, ...), so this usually
-	// removes phase 1 altogether.
-	var rows [][]float64
-	var b []float64
-	var senses []Sense
-	appendRow := func(r []float64, bi float64, s Sense) {
-		rows = append(rows, r)
-		b = append(b, bi)
-		senses = append(senses, s)
+	// removes phase 1 altogether. An EQ split is the only case producing
+	// two rows, so 2*len(p.a) bounds the normalized row count.
+	maxRows := 2 * len(p.a)
+	rows := rowViews(&sc.rowArena, &sc.rows, maxRows, n)
+	b := growFloats(&sc.b, maxRows)
+	if cap(sc.senses) < maxRows {
+		sc.senses = make([]Sense, maxRows)
 	}
+	senses := sc.senses[:maxRows]
+	m := 0
 	for i := range p.a {
-		r := append([]float64(nil), p.a[i]...)
+		src := p.a[i]
 		bi := p.b[i]
 		s := p.sense[i]
+		r := rows[m]
 		if bi < 0 {
-			for j := range r {
-				r[j] = -r[j]
-			}
 			bi = -bi
+			for j, v := range src {
+				r[j] = -v
+			}
 			switch s {
 			case LE:
 				s = GE
 			case GE:
 				s = LE
 			}
+		} else {
+			copy(r, src)
 		}
 		if bi == 0 {
 			switch s {
 			case GE:
-				neg := make([]float64, len(r))
 				for j := range r {
-					neg[j] = -r[j]
+					r[j] = -r[j]
 				}
-				appendRow(neg, 0, LE)
+				b[m], senses[m] = 0, LE
+				m++
 				continue
 			case EQ:
-				neg := make([]float64, len(r))
-				for j := range r {
-					neg[j] = -r[j]
+				neg := rows[m+1]
+				for j, v := range r {
+					neg[j] = -v
 				}
-				appendRow(r, 0, LE)
-				appendRow(neg, 0, LE)
+				b[m], senses[m] = 0, LE
+				b[m+1], senses[m+1] = 0, LE
+				m += 2
 				continue
 			}
 		}
-		appendRow(r, bi, s)
+		b[m], senses[m] = bi, s
+		m++
 	}
-	m = len(rows)
+	rows = rows[:m]
+	b = b[:m]
+	senses = senses[:m]
+
 	// Count columns: structural + one slack/surplus per inequality +
 	// artificials for >= and = rows.
 	nSlack, nArt := 0, 0
@@ -128,13 +218,16 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 	total := n + nSlack + nArt
 	// tableau: m rows of length total+1 (last col = rhs), plus cost rows
 	// handled separately.
-	t := make([][]float64, m)
-	basis := make([]int, m)
+	t := rowViews(&sc.tArena, &sc.t, m, total+1)
+	basis := growInts(&sc.basis, m)
 	slackAt := n
 	artAt := n + nSlack
-	artCols := make([]int, 0, nArt)
+	if cap(sc.artCols) < nArt {
+		sc.artCols = make([]int, 0, nArt)
+	}
+	artCols := sc.artCols[:0]
 	for i := 0; i < m; i++ {
-		row := make([]float64, total+1)
+		row := t[i]
 		copy(row, rows[i])
 		row[total] = b[i]
 		switch senses[i] {
@@ -155,8 +248,8 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 			artCols = append(artCols, artAt)
 			artAt++
 		}
-		t[i] = row
 	}
+	sc.artCols = artCols[:0]
 
 	iterCap := 200 * (m + total)
 	if iterCap < 2000 {
@@ -164,12 +257,12 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 	}
 
 	// Phase 1: minimize the sum of artificial variables.
+	cost := growFloats(&sc.cost, total)
 	if nArt > 0 {
-		phase1 := make([]float64, total)
 		for _, c := range artCols {
-			phase1[c] = 1
+			cost[c] = 1
 		}
-		obj, iters, st := runSimplex(t, basis, phase1, total, deadline, iterCap)
+		obj, iters, st := runSimplex(t, basis, cost, total, deadline, iterCap, &sc.z, nil)
 		p.iters += iters
 		if st == lpAborted {
 			return nil, 0, lpAborted
@@ -178,7 +271,13 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 			return nil, 0, lpInfeasible
 		}
 		// Pivot remaining basic artificials out when possible.
-		isArt := make([]bool, total)
+		if cap(sc.isArt) < total {
+			sc.isArt = make([]bool, total)
+		}
+		isArt := sc.isArt[:total]
+		for i := range isArt {
+			isArt[i] = false
+		}
 		for _, c := range artCols {
 			isArt[c] = true
 		}
@@ -186,21 +285,17 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 			if !isArt[basis[i]] {
 				continue
 			}
-			pivoted := false
 			for j := 0; j < n+nSlack; j++ {
 				if math.Abs(t[i][j]) > 1e-7 {
 					pivot(t, basis, i, j, total)
-					pivoted = true
 					break
 				}
 			}
-			if !pivoted {
-				// Redundant row; the artificial stays basic at value 0,
-				// which is harmless as long as it can never re-enter. We
-				// ensure that by zeroing its cost in phase 2 and never
-				// selecting artificial columns (see below).
-				_ = pivoted
-			}
+			// When no pivot column exists the row is redundant; the
+			// artificial stays basic at value 0, which is harmless as
+			// long as it can never re-enter. We ensure that by zeroing
+			// its cost in phase 2 and never selecting artificial
+			// columns (see below).
 		}
 		// Forbid artificial columns from re-entering by zeroing them.
 		for i := 0; i < m; i++ {
@@ -210,12 +305,14 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 				}
 			}
 		}
+		// Reset the cost buffer for phase 2.
+		clear(cost)
 	}
 
-	// Phase 2: minimize the real objective over structural + slack columns.
-	phase2 := make([]float64, total)
-	copy(phase2, p.c)
-	obj, iters, st := runSimplex(t, basis, phase2, n+nSlack, deadline, iterCap)
+	// Phase 2: minimize the real objective over structural + slack
+	// columns, crash-started from the parent basis hint when one is set.
+	copy(cost, p.c)
+	obj, iters, st := runSimplex(t, basis, cost, n+nSlack, deadline, iterCap, &sc.z, p.hint)
 	p.iters += iters
 	switch st {
 	case lpAborted:
@@ -223,7 +320,7 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 	case lpUnbounded:
 		return nil, 0, lpUnbounded
 	}
-	x := make([]float64, n)
+	x := growFloats(&sc.x, n)
 	for i, bc := range basis {
 		if bc < n {
 			x[bc] = t[i][total]
@@ -235,13 +332,15 @@ func (p *lpProblem) solveLP(deadline time.Time) ([]float64, float64, lpStatus) {
 // runSimplex performs primal simplex iterations on the tableau with the
 // given cost vector, allowing entering columns only below colLimit. It
 // returns the objective value of the final basis and the number of
-// iterations performed.
-func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadline time.Time, iterCap int) (float64, int, lpStatus) {
+// iterations performed. zbuf holds the reduced-cost row across calls;
+// prefer, when non-empty, names columns pivoted in first when their
+// reduced cost is negative (the warm-basis crash).
+func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadline time.Time, iterCap int, zbuf *[]float64, prefer []int) (float64, int, lpStatus) {
 	m := len(t)
 	total := len(t[0]) - 1
 	// Reduced cost row: z[j] = cost[j] - cB' B^-1 A_j, maintained by
 	// pivoting a dedicated row.
-	z := make([]float64, total+1)
+	z := growFloats(zbuf, total+1)
 	copy(z, cost)
 	for i := 0; i < m; i++ {
 		cb := cost[basis[i]]
@@ -252,8 +351,24 @@ func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadli
 			z[j] -= cb * t[i][j]
 		}
 	}
+	iter := 0
+	// Crash pivots: re-enter the hinted (parent-basic) columns first.
+	// Each is an ordinary ratio-tested pivot, so correctness does not
+	// depend on the hint — a useless hint only costs the iterations it
+	// spends, an on-target one walks straight back to the parent basis.
+	for _, j := range prefer {
+		if j < 0 || j >= colLimit || z[j] >= -simplexTol {
+			continue
+		}
+		leave := ratioTest(t, basis, j, total)
+		if leave == -1 {
+			return 0, iter, lpUnbounded
+		}
+		pivotWithZ(t, basis, z, leave, j, total)
+		iter++
+	}
 	useBland := false
-	for iter := 0; ; iter++ {
+	for ; ; iter++ {
 		if iter > iterCap {
 			return 0, iter, lpAborted
 		}
@@ -279,25 +394,31 @@ func runSimplex(t [][]float64, basis []int, cost []float64, colLimit int, deadli
 		if enter == -1 {
 			return -z[total], iter, lpOptimal
 		}
-		// Ratio test.
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < m; i++ {
-			a := t[i][enter]
-			if a > simplexTol {
-				ratio := t[i][total] / a
-				if ratio < bestRatio-simplexTol ||
-					(ratio < bestRatio+simplexTol && (leave == -1 || basis[i] < basis[leave])) {
-					bestRatio = ratio
-					leave = i
-				}
-			}
-		}
+		leave := ratioTest(t, basis, enter, total)
 		if leave == -1 {
 			return 0, iter, lpUnbounded
 		}
 		pivotWithZ(t, basis, z, leave, enter, total)
 	}
+}
+
+// ratioTest picks the leaving row for an entering column (lexicographic
+// tie-break on the basic variable index, Bland-style, to dodge cycling).
+func ratioTest(t [][]float64, basis []int, enter, total int) int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	for i := range t {
+		a := t[i][enter]
+		if a > simplexTol {
+			ratio := t[i][total] / a
+			if ratio < bestRatio-simplexTol ||
+				(ratio < bestRatio+simplexTol && (leave == -1 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+	}
+	return leave
 }
 
 // pivot performs a Gauss-Jordan pivot on tableau row r, column c.

@@ -106,6 +106,11 @@ func recordSolverStats(sp *obs.Span, name string, st core.Stats) {
 			SetInt("simplex_iters", int64(st.SimplexIters)).
 			SetInt("incumbents", int64(st.Incumbents))
 	}
+	if st.Workers > 0 {
+		sp.SetInt("workers", int64(st.Workers)).
+			SetInt("steals", int64(st.Steals)).
+			SetInt("shared_prunes", int64(st.SharedPrunes))
+	}
 	if st.Sequences > 0 {
 		sp.SetInt("sequences", int64(st.Sequences))
 	}
@@ -247,12 +252,31 @@ type Default struct {
 
 // NewGreedyDefault builds the paper's "Greedy" method.
 func NewGreedyDefault() *Default {
+	return NewGreedyWorkers(0)
+}
+
+// NewGreedyWorkers builds the "Greedy" method with an explicit scan
+// parallelism (see core.GreedySolver.Workers); 0 is NewGreedyDefault. A
+// per-request allocation in the context (resilience.WithSolverWorkers)
+// overrides the configured value, so an engine's worker split applies
+// to greedy planning too.
+func NewGreedyWorkers(workers int) *Default {
 	return &Default{name: "Greedy", planner: func(ctx context.Context, in *core.Instance) (core.Multiplot, core.Stats, error) {
 		// A fresh solver per call keeps the method safe to share
 		// across concurrent sessions.
-		g := &core.GreedySolver{Ctx: ctx}
+		g := &core.GreedySolver{Ctx: ctx, Workers: ctxWorkers(ctx, workers)}
 		return g.Solve(in)
 	}}
+}
+
+// ctxWorkers resolves the solver parallelism for one planning call: a
+// per-request allocation carried in the context wins over the method's
+// configured default.
+func ctxWorkers(ctx context.Context, configured int) int {
+	if w := resilience.SolverWorkers(ctx); w > 0 {
+		return w
+	}
+	return configured
 }
 
 // NewILPDefault builds the paper's "ILP" method: default presentation with
@@ -266,8 +290,18 @@ func NewILPDefault(timeout time.Duration) *Default {
 // a nil hint is NewILPDefault. The greedy seed stays on either way, so
 // a stale or disjoint hint never makes the answer worse than greedy.
 func NewILPWarm(timeout time.Duration, hint *core.Multiplot) *Default {
+	return NewILPWorkers(timeout, hint, 0)
+}
+
+// NewILPWorkers is NewILPWarm with an explicit branch-and-bound worker
+// count (the Gurobi Threads substitution; see core.ILPSolver.
+// Parallelism). 0 uses GOMAXPROCS. A per-request allocation in the
+// context (resilience.WithSolverWorkers) overrides the configured
+// value, which is how the serving engine's worker split reaches the
+// solver.
+func NewILPWorkers(timeout time.Duration, hint *core.Multiplot, workers int) *Default {
 	return &Default{name: "ILP", planner: func(ctx context.Context, in *core.Instance) (core.Multiplot, core.Stats, error) {
-		s := &core.ILPSolver{Timeout: timeout, WarmStart: true, Hint: hint, Ctx: ctx}
+		s := &core.ILPSolver{Timeout: timeout, WarmStart: true, Hint: hint, Parallelism: ctxWorkers(ctx, workers), Ctx: ctx}
 		return s.Solve(in)
 	}}
 }
@@ -480,6 +514,10 @@ type ILPInc struct {
 	// Hint, when non-nil, warm-starts the first sequence with a prior
 	// multiplot (see core.IncrementalILP.Hint).
 	Hint *core.Multiplot
+	// Workers is the branch-and-bound parallelism for every sequence
+	// (see core.IncrementalILP.Parallelism); 0 uses GOMAXPROCS. A
+	// per-request allocation in the context overrides it.
+	Workers int
 }
 
 // Name identifies the method.
@@ -495,6 +533,7 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 	inc := core.DefaultIncremental(budget)
 	inc.Ctx = s.Ctx
 	inc.Hint = i.Hint
+	inc.Parallelism = ctxWorkers(s.Context(), i.Workers)
 	var events []Event
 	var execErr error
 	// The span covers the full incremental run, interleaved query

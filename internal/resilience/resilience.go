@@ -22,7 +22,12 @@
 //   - Chaos: a deterministic, seedable fault-injection layer that
 //     wraps pipeline stages with latency, error and panic injection,
 //     so the ladder and the breakers are exercised by tests and by
-//     `muvebench -chaos` rather than trusted on faith.
+//     `muvebench -chaos` rather than trusted on faith;
+//   - WorkerSplit: fair division of the solver-worker budget across
+//     concurrent requests, so parallel branch-and-bound accelerates a
+//     lone interactive request without oversubscribing the CPU when
+//     many overlap (interactive lane draws on the full budget, batch
+//     on the remainder).
 //
 // The package depends only on the standard library so every layer of
 // the pipeline (including muve itself) can import it without cycles.

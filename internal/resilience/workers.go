@@ -1,0 +1,120 @@
+package resilience
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// WorkerSplit divides a fixed solver-worker budget between the requests
+// running concurrently in an engine. The planner's branch-and-bound
+// scales with workers, but handing every request GOMAXPROCS workers
+// oversubscribes the CPU as soon as two requests overlap — each solve
+// then runs slower than sequential while burning every core. The split
+// instead tracks how many requests per lane hold an allocation and
+// hands each new request its lane's fair share, with the interactive
+// lane drawing from the full budget and the batch lane only from what
+// interactive traffic leaves over. Shares shrink as concurrency grows
+// and recover as requests release, so a lone interactive request still
+// gets the whole machine.
+type WorkerSplit struct {
+	mu          sync.Mutex
+	total       int
+	interactive int // requests currently holding an interactive share
+	batch       int // requests currently holding a batch share
+}
+
+// NewWorkerSplit returns a split over total solver workers; total <= 0
+// means GOMAXPROCS.
+func NewWorkerSplit(total int) *WorkerSplit {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerSplit{total: total}
+}
+
+// Total reports the budget being divided.
+func (s *WorkerSplit) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Acquire reserves a share of the worker budget for one request on the
+// given lane and returns the worker count the request's solves should
+// use (always >= 1) plus a release that must be called when the request
+// finishes. Release is idempotent.
+//
+// Interactive requests split the full budget evenly among themselves;
+// batch requests split only the remainder the current interactive
+// requests are not entitled to. Both lanes degrade to 1 worker under
+// high concurrency — admission control, not the split, is the layer
+// that sheds load.
+func (s *WorkerSplit) Acquire(p Priority) (workers int, release func()) {
+	s.mu.Lock()
+	if p == Batch {
+		s.batch++
+	} else {
+		s.interactive++
+	}
+	switch p {
+	case Batch:
+		left := s.total - s.interactive
+		if left < s.batch {
+			workers = 1
+		} else {
+			workers = left / s.batch
+		}
+	default:
+		workers = s.total / s.interactive
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.mu.Unlock()
+
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			s.mu.Lock()
+			if p == Batch {
+				s.batch--
+			} else {
+				s.interactive--
+			}
+			s.mu.Unlock()
+		})
+	}
+	return workers, release
+}
+
+// Active reports the requests currently holding a share, per lane.
+func (s *WorkerSplit) Active() (interactive, batch int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interactive, s.batch
+}
+
+// solverWorkersKey carries a per-request solver-worker allocation
+// through a context.
+type solverWorkersKey struct{}
+
+// WithSolverWorkers returns a context carrying a per-request solver
+// parallelism allocation (typically a WorkerSplit share) for the
+// planning layer to pick up. n <= 0 returns ctx unchanged.
+func WithSolverWorkers(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, solverWorkersKey{}, n)
+}
+
+// SolverWorkers reports the solver parallelism allocated to this
+// request's context, or 0 when none was set.
+func SolverWorkers(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	n, _ := ctx.Value(solverWorkersKey{}).(int)
+	return n
+}

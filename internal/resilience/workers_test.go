@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+)
+
+func TestWorkerSplitLoneInteractiveGetsAll(t *testing.T) {
+	s := NewWorkerSplit(8)
+	n, release := s.Acquire(Interactive)
+	if n != 8 {
+		t.Errorf("lone interactive got %d workers, want 8", n)
+	}
+	release()
+	if i, b := s.Active(); i != 0 || b != 0 {
+		t.Errorf("Active after release = (%d, %d), want (0, 0)", i, b)
+	}
+}
+
+func TestWorkerSplitSharesShrinkAndRecover(t *testing.T) {
+	s := NewWorkerSplit(8)
+	n1, rel1 := s.Acquire(Interactive)
+	n2, rel2 := s.Acquire(Interactive)
+	if n1 != 8 || n2 != 4 {
+		t.Errorf("shares = %d, %d; want 8, 4", n1, n2)
+	}
+	rel1()
+	n3, rel3 := s.Acquire(Interactive)
+	if n3 != 4 {
+		t.Errorf("share after one release = %d, want 4 (two holders)", n3)
+	}
+	rel2()
+	rel3()
+}
+
+func TestWorkerSplitBatchGetsRemainder(t *testing.T) {
+	s := NewWorkerSplit(8)
+	_, relI := s.Acquire(Interactive)
+	defer relI()
+	nb, relB := s.Acquire(Batch)
+	defer relB()
+	// One interactive holder is entitled to the full budget; batch still
+	// gets the leftover arithmetic share (8-1)/1 = 7 of nominal slots —
+	// oversubscription is bounded, not forbidden.
+	if nb != 7 {
+		t.Errorf("batch share = %d, want 7", nb)
+	}
+}
+
+func TestWorkerSplitNeverBelowOne(t *testing.T) {
+	s := NewWorkerSplit(2)
+	var releases []func()
+	for i := 0; i < 6; i++ {
+		n, rel := s.Acquire(Batch)
+		releases = append(releases, rel)
+		if n < 1 {
+			t.Fatalf("acquire %d returned %d workers", i, n)
+		}
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if i, b := s.Active(); i != 0 || b != 0 {
+		t.Errorf("Active after releases = (%d, %d), want (0, 0)", i, b)
+	}
+}
+
+func TestWorkerSplitReleaseIdempotent(t *testing.T) {
+	s := NewWorkerSplit(4)
+	_, rel := s.Acquire(Interactive)
+	rel()
+	rel() // second call must not underflow the lane counter
+	if i, _ := s.Active(); i != 0 {
+		t.Errorf("interactive holders = %d, want 0", i)
+	}
+	n, rel2 := s.Acquire(Interactive)
+	defer rel2()
+	if n != 4 {
+		t.Errorf("share after double release = %d, want 4", n)
+	}
+}
+
+func TestWorkerSplitDefaultsToGOMAXPROCS(t *testing.T) {
+	s := NewWorkerSplit(0)
+	if s.Total() < 1 {
+		t.Errorf("Total = %d, want >= 1", s.Total())
+	}
+}
+
+func TestSolverWorkersContext(t *testing.T) {
+	if got := SolverWorkers(context.Background()); got != 0 {
+		t.Errorf("unset SolverWorkers = %d, want 0", got)
+	}
+	ctx := WithSolverWorkers(context.Background(), 3)
+	if got := SolverWorkers(ctx); got != 3 {
+		t.Errorf("SolverWorkers = %d, want 3", got)
+	}
+	if same := WithSolverWorkers(ctx, 0); same != ctx {
+		t.Error("WithSolverWorkers(0) should return ctx unchanged")
+	}
+}

@@ -150,6 +150,13 @@ type Config struct {
 	// MaxInFlight bounds concurrently executing planner calls; excess
 	// requests queue for a slot (default 32, <= 0 uses default).
 	MaxInFlight int
+	// SolverWorkers is the engine-wide solver parallelism budget,
+	// divided fairly between concurrent requests (interactive lane
+	// first, batch from the remainder) and carried to each planning
+	// call through its context. 0 uses GOMAXPROCS. A lone interactive
+	// request gets the whole budget; under concurrency shares shrink
+	// toward sequential solves instead of oversubscribing the CPU.
+	SolverWorkers int
 	// Queue and BatchQueue are admission watermarks: when more than
 	// this many requests of the lane are already waiting for a slot,
 	// new ones fast-fail with a retryable RejectError instead of
@@ -211,15 +218,16 @@ type Engine struct {
 	// and still be served (the cache TTL; 0 = unbounded).
 	sessionMaxAge time.Duration
 
-	cache     *Cache
-	flight    flightGroup
-	sessions  *SessionStore
-	admission *resilience.Admission
-	ladder    *resilience.Ladder
-	breakers  *resilience.BreakerSet
-	chaos     *resilience.Chaos
-	metrics   *Metrics
-	logger    *log.Logger
+	cache       *Cache
+	flight      flightGroup
+	sessions    *SessionStore
+	admission   *resilience.Admission
+	workerSplit *resilience.WorkerSplit
+	ladder      *resilience.Ladder
+	breakers    *resilience.BreakerSet
+	chaos       *resilience.Chaos
+	metrics     *Metrics
+	logger      *log.Logger
 }
 
 // ErrNoPlanner reports a Config without a Planner.
@@ -316,6 +324,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cache:         cache,
 		sessions:      NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
 		admission:     admission,
+		workerSplit:   resilience.NewWorkerSplit(cfg.SolverWorkers),
 		ladder:        resilience.NewLadder(rungs...),
 		breakers:      breakers,
 		chaos:         cfg.Chaos,
@@ -485,6 +494,18 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 		return nil, err
 	}
 	defer release()
+
+	// With a slot held, take this request's share of the solver-worker
+	// budget and carry it to the planner: a lone interactive request
+	// solves with every worker, overlapping requests split the cores
+	// instead of oversubscribing them, and batch traffic only ever uses
+	// what the interactive lane leaves over.
+	alloc, releaseWorkers := e.workerSplit.Acquire(prio)
+	defer releaseWorkers()
+	planCtx = resilience.WithSolverWorkers(planCtx, alloc)
+	if tr != nil {
+		tr.Mark("workers", obs.Int("allocated", int64(alloc)))
+	}
 
 	planStart := time.Now()
 	var blamed string // stage blamed for the exact rung's failure

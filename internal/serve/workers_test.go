@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"muve/internal/resilience"
+)
+
+// TestEngineWorkerSplitReachesPlanner checks the engine hands each
+// planning call a solver-worker allocation through its context: the
+// full budget for a lone interactive request, and a smaller share for
+// batch work running beside it.
+func TestEngineWorkerSplitReachesPlanner(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	block := make(chan struct{})
+	planner := func(ctx context.Context, req Request, sess *Session) (any, error) {
+		mu.Lock()
+		got[req.Transcript] = resilience.SolverWorkers(ctx)
+		mu.Unlock()
+		if req.Transcript == "slow" {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return "ans", nil
+	}
+	e, err := NewEngine(Config{Planner: planner, SolverWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A lone interactive request gets the whole budget.
+	if _, err := e.Do(context.Background(), Request{Transcript: "alone"}); err != nil {
+		t.Fatal(err)
+	}
+	if got["alone"] != 8 {
+		t.Errorf("lone request allocation = %d, want 8", got["alone"])
+	}
+
+	// A batch request running while an interactive one holds its share
+	// gets only the remainder: (8 - 1 interactive) / 1 batch = 7.
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), Request{Transcript: "slow"})
+		done <- err
+	}()
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		_, started := got["slow"]
+		mu.Unlock()
+		if started {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("interactive planner never started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := e.Do(context.Background(), Request{Transcript: "beside", Batch: true}); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got["slow"] != 8 {
+		t.Errorf("interactive allocation = %d, want 8 (full budget)", got["slow"])
+	}
+	if got["beside"] != 7 {
+		t.Errorf("batch allocation = %d, want 7 (remainder)", got["beside"])
+	}
+}

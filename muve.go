@@ -112,6 +112,14 @@ type Config struct {
 	// solver comparisons and experiments stay cold unless a caller opts
 	// in.
 	WarmStart bool
+	// SolverWorkers is the planner's parallelism — branch-and-bound
+	// subtree workers for the ILP solvers, scan shards for greedy —
+	// standing in for Gurobi's Threads parameter. 0 uses GOMAXPROCS;
+	// 1 forces the sequential search. Any value yields the same answer:
+	// parallelism trades CPU for latency, never quality. A per-request
+	// allocation carried in the Ask context (set by the serving engine's
+	// worker split via resilience.WithSolverWorkers) overrides this.
+	SolverWorkers int
 }
 
 // Option mutates a Config.
@@ -165,6 +173,12 @@ func WithBudgetFraction(f float64) Option {
 // multiplot passed to AskContext/AskQueryContext (see Config.WarmStart).
 func WithWarmStart(enabled bool) Option {
 	return func(c *Config) { c.WarmStart = enabled }
+}
+
+// WithSolverWorkers sets the planner's parallelism (see
+// Config.SolverWorkers): 0 = GOMAXPROCS, 1 = sequential.
+func WithSolverWorkers(n int) Option {
+	return func(c *Config) { c.SolverWorkers = n }
 }
 
 // System is a configured MUVE instance over one table.
@@ -388,13 +402,16 @@ func (s *System) defaultMethod(ctx context.Context, prior *core.Multiplot) progr
 			}
 		}
 	}
+	// The configured parallelism is the default; a per-request worker
+	// allocation in the context (the serving engine's WorkerSplit share)
+	// takes precedence inside the progressive planners.
 	switch s.cfg.Solver {
 	case SolverILP:
-		return progressive.NewILPWarm(budget, prior)
+		return progressive.NewILPWorkers(budget, prior, s.cfg.SolverWorkers)
 	case SolverILPIncremental:
-		return progressive.ILPInc{Budget: budget, Hint: prior}
+		return progressive.ILPInc{Budget: budget, Hint: prior, Workers: s.cfg.SolverWorkers}
 	default:
-		return progressive.NewGreedyDefault()
+		return progressive.NewGreedyWorkers(s.cfg.SolverWorkers)
 	}
 }
 
