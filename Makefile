@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke bench-smoke ci
+.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke ci
 
 all: ci
 
@@ -46,6 +46,13 @@ chaos-smoke:
 warmstart-smoke:
 	$(GO) run ./cmd/muvebench -warmstart -warmstart-budget 400ms -seed 1
 
+# Voice answers planned by the exact fact-set ILP and the greedy
+# fallback over the same utterances; fails if greedy ever achieves a
+# strictly better objective than a provably optimal exact selection
+# (which would mean the ILP formulation or cost accounting is wrong).
+speak-smoke:
+	$(GO) run ./cmd/muvebench -voice -voice-utterances 8 -seed 1
+
 # Branch-and-bound scaling at 1 vs GOMAXPROCS workers (the
 # BenchmarkILPParallel instances); fails if any arm proves a different
 # optimum, or — on multi-core hosts — if the parallel arm is slower
@@ -54,4 +61,4 @@ bench-smoke:
 	$(GO) run ./cmd/muvebench -scaling -scaling-workers 1,max \
 		-scaling-json BENCH_solver.json
 
-ci: vet build race trace-smoke chaos-smoke warmstart-smoke bench-smoke
+ci: vet build race trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke

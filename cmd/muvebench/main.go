@@ -35,6 +35,14 @@
 // stale, minimal, cache, coalesced) so degradation rates are tracked
 // alongside latency.
 //
+// Voice mode plans every utterance with the exact fact-set ILP and the
+// greedy fallback over the same candidates and fails (non-zero exit) if
+// greedy ever achieves a strictly better objective than a provably
+// optimal exact selection:
+//
+//	muvebench -voice [-voice-utterances 12] [-voice-words 40] \
+//	          [-voice-json out.json]
+//
 // Warm-start mode replays a voice session — a base query plus
 // follow-up utterances that each tweak one predicate — through
 // incremental ILP planning twice, cold and warm-started from the
@@ -98,6 +106,11 @@ func run() error {
 		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent clients in -chaos mode")
 		chaosJSON     = flag.String("chaos-json", "", "write the -chaos summary as JSON to this file")
 
+		voiceFlag  = flag.Bool("voice", false, "benchmark the voice fact-set planners (exact ILP vs greedy) instead of running experiments; greedy beating a provably optimal exact objective fails the run")
+		voiceUtts  = flag.Int("voice-utterances", 12, "utterances to plan in -voice mode")
+		voiceWords = flag.Int("voice-words", 0, "spoken word budget in -voice mode (0 = default 40)")
+		voiceJSON  = flag.String("voice-json", "", "write the -voice summary as JSON to this file")
+
 		warmFlag   = flag.Bool("warmstart", false, "replay a voice session cold vs warm-started instead of running experiments")
 		warmUtts   = flag.Int("warmstart-utterances", 6, "session length in -warmstart mode")
 		warmBudget = flag.Duration("warmstart-budget", 400*time.Millisecond, "per-utterance planning budget in -warmstart mode")
@@ -119,6 +132,9 @@ func run() error {
 	}
 	if *chaosFlag != "" {
 		return runChaos(*chaosFlag, *chaosSeed, *chaosRequests, *chaosWorkers, *chaosJSON)
+	}
+	if *voiceFlag {
+		return runVoice(*seedFlag, *voiceUtts, *voiceWords, *voiceJSON)
 	}
 	if *warmFlag {
 		return runWarmstart(*seedFlag, *warmUtts, *warmBudget, *warmJSON)

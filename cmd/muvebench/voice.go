@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"muve"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+// voiceReport is the machine-readable summary of a -voice run, written
+// to -voice-json so BENCH_*.json can track the voice planner's quality
+// gap and latency across revisions.
+type voiceReport struct {
+	Seed       int64   `json:"seed"`
+	Utterances int     `json:"utterances"`
+	WordBudget int     `json:"word_budget"`
+	Optimal    int     `json:"exact_optimal"`
+	Violations int     `json:"violations"`
+	ExactMS    float64 `json:"exact_mean_ms"`
+	GreedyMS   float64 `json:"greedy_mean_ms"`
+	// MeanGapPct is greedy's mean objective excess over the exact
+	// optimum, in percent (0 when greedy matched the optimum everywhere).
+	MeanGapPct float64 `json:"greedy_mean_gap_pct"`
+	MaxGapPct  float64 `json:"greedy_max_gap_pct"`
+}
+
+// voiceOutcome is one utterance planned both ways.
+type voiceOutcome struct {
+	utterance  string
+	exactObj   float64
+	greedyObj  float64
+	exactDur   time.Duration
+	greedyDur  time.Duration
+	optimal    bool
+	violation  bool
+	exactWords int
+}
+
+// runVoice benchmarks the voice-answer planners: every utterance is
+// planned by the exact fact-set ILP and by the greedy fallback over
+// the same candidate set, and the run verifies the optimality
+// contract — a provably optimal exact selection is never costlier than
+// greedy's (any violation means the ILP formulation or the greedy cost
+// accounting is wrong, and the run exits non-zero so `make
+// speak-smoke` gates CI on it).
+func runVoice(seed int64, utterances, words int, jsonPath string) error {
+	if utterances <= 0 {
+		utterances = 1
+	}
+	tbl, err := workload.Build(workload.NYC311, 20_000, seed)
+	if err != nil {
+		return err
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	exactSys, err := muve.New(db, tbl.Name,
+		muve.WithSolver(muve.SolverILP),
+		muve.WithSpeakWords(words))
+	if err != nil {
+		return err
+	}
+	greedySys, err := muve.New(db, tbl.Name,
+		muve.WithSolver(muve.SolverGreedy),
+		muve.WithSpeakWords(words))
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	gen := workload.NewQueryGen(tbl, rng)
+	outcomes := make([]voiceOutcome, 0, utterances)
+	ctx := context.Background()
+	for i := 0; i < utterances; i++ {
+		u := workload.Utterance(gen.Random(2))
+		exact, err := exactSys.AskVoiceContext(ctx, u)
+		if err != nil {
+			return fmt.Errorf("exact voice plan for %q: %w", u, err)
+		}
+		greedy, err := greedySys.AskVoiceContext(ctx, u)
+		if err != nil {
+			return fmt.Errorf("greedy voice plan for %q: %w", u, err)
+		}
+		o := voiceOutcome{
+			utterance:  u,
+			exactObj:   exact.Voice.Objective,
+			greedyObj:  greedy.Voice.Objective,
+			exactDur:   exact.Stats.Duration,
+			greedyDur:  greedy.Stats.Duration,
+			optimal:    exact.Stats.Optimal,
+			exactWords: exact.Voice.Words,
+		}
+		// The contract holds only for provably optimal exact solves: a
+		// deadline-cut incumbent may legitimately lose to greedy.
+		const eps = 1e-6
+		o.violation = o.optimal && o.exactObj > o.greedyObj*(1+eps)+eps
+		outcomes = append(outcomes, o)
+	}
+
+	rep := summarizeVoice(seed, words, outcomes)
+	writeVoiceText(os.Stdout, rep, outcomes)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nvoice report written to %s\n", jsonPath)
+	}
+	if rep.Violations > 0 {
+		return fmt.Errorf("%d utterance(s) where greedy beat a provably optimal fact-set ILP", rep.Violations)
+	}
+	return nil
+}
+
+func summarizeVoice(seed int64, words int, outcomes []voiceOutcome) voiceReport {
+	if words <= 0 {
+		words = 40 // speak.DefaultWordBudget, the system's own default
+	}
+	rep := voiceReport{Seed: seed, Utterances: len(outcomes), WordBudget: words}
+	var exactNS, greedyNS float64
+	var gaps int
+	for _, o := range outcomes {
+		exactNS += float64(o.exactDur)
+		greedyNS += float64(o.greedyDur)
+		if o.optimal {
+			rep.Optimal++
+		}
+		if o.violation {
+			rep.Violations++
+		}
+		if o.exactObj > 0 {
+			gap := 100 * (o.greedyObj - o.exactObj) / o.exactObj
+			if gap < 0 {
+				gap = 0
+			}
+			rep.MeanGapPct += gap
+			if gap > rep.MaxGapPct {
+				rep.MaxGapPct = gap
+			}
+			gaps++
+		}
+	}
+	if n := float64(len(outcomes)); n > 0 {
+		rep.ExactMS = exactNS / n / 1e6
+		rep.GreedyMS = greedyNS / n / 1e6
+	}
+	if gaps > 0 {
+		rep.MeanGapPct /= float64(gaps)
+	}
+	return rep
+}
+
+func writeVoiceText(w io.Writer, rep voiceReport, outcomes []voiceOutcome) {
+	fmt.Fprintf(w, "==== voice planner harness ====\n\n")
+	fmt.Fprintf(w, "seed: %d  utterances: %d  word budget: %d\n\n", rep.Seed, rep.Utterances, rep.WordBudget)
+	fmt.Fprintf(w, "%-44s %10s %10s %8s %6s\n", "utterance", "exact-obj", "greedy-obj", "words", "opt")
+	for _, o := range outcomes {
+		u := o.utterance
+		if len(u) > 42 {
+			u = u[:39] + "..."
+		}
+		mark := ""
+		if o.violation {
+			mark = "  VIOLATION"
+		}
+		fmt.Fprintf(w, "%-44s %10.1f %10.1f %8d %6v%s\n", u, o.exactObj, o.greedyObj, o.exactWords, o.optimal, mark)
+	}
+	fmt.Fprintf(w, "\nexact: %d/%d provably optimal, mean %.1fms; greedy mean %.2fms\n",
+		rep.Optimal, rep.Utterances, rep.ExactMS, rep.GreedyMS)
+	fmt.Fprintf(w, "greedy objective gap vs exact: mean %.2f%%, max %.2f%% (%d violation(s))\n",
+		rep.MeanGapPct, rep.MaxGapPct, rep.Violations)
+}

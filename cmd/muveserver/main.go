@@ -8,7 +8,9 @@
 //
 //	GET /                      query form + rendered multiplot
 //	GET /ask?q=...             SVG multiplot for the query
-//	GET /ask.json?q=...        candidate distribution as JSON
+//	GET /ask?q=...&format=voice  spoken-answer transcript (text/plain)
+//	GET /ask.json?q=...        candidate distribution as JSON (with a
+//	                           "voice" object under format=voice)
 //	GET /trend?q=...&by=col    SVG line chart (trend extension)
 //	GET /healthz               liveness probe
 //	GET /metrics               Prometheus text metrics (incl. per-stage
@@ -16,6 +18,14 @@
 //	GET /debug/vars            metrics as JSON (with p50/p95/p99)
 //	GET /debug/traces          recent pipeline traces (?format=json|text|chrome)
 //	GET /debug/pprof/*         Go profiling endpoints (with -pprof)
+//
+// format=voice plans a spoken fact-set answer (internal/speak) instead
+// of a multiplot: the exact fact-set ILP, degrading to greedy fact
+// selection, a stale cached voice answer, and finally a single headline
+// fact. Voice and plot answers are cached under distinct keys, and
+// voice traffic is counted in muve_speak_requests_total,
+// muve_speak_rung_total{rung}, muve_speak_facts_total and
+// muve_speak_words_total (-speak-words bounds the spoken length).
 //
 // /ask and /ask.json accept three optional parameters: sid=<id> binds
 // the request to a server-side session (consecutive utterances reuse
@@ -47,13 +57,18 @@
 //	           [-timeout 10s] [-queue-depth 0] [-batch-queue 0]
 //	           [-stale-for 0] [-breaker-threshold 3] [-breaker-cooldown 5s]
 //	           [-budget-fraction 0] [-warm-start=true]
-//	           [-chaos spec] [-chaos-seed 1]
-//	           [-trace-buffer 128] [-pprof] [-runtime-trace trace.out]
+//	           [-chaos spec] [-chaos-seed 1] [-speak-words 0]
+//	           [-trace-buffer 128] [-trace-sample 1] [-trace-slow 250ms]
+//	           [-pprof] [-runtime-trace trace.out]
 //
 // -trace-buffer sizes the in-memory ring of recent request traces (0
-// disables tracing and /debug/traces serves an empty list). -pprof
-// mounts net/http/pprof under /debug/pprof/. -runtime-trace captures a
-// Go runtime execution trace into the given file for `go tool trace`.
+// disables tracing and /debug/traces serves an empty list).
+// -trace-sample keeps only that fraction of finished traces in the ring
+// (head sampling for heavy traffic; per-stage metrics and exemplars
+// still see every request), except traces at least -trace-slow, which
+// are always kept. -pprof mounts net/http/pprof under /debug/pprof/.
+// -runtime-trace captures a Go runtime execution trace into the given
+// file for `go tool trace`.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.
@@ -83,6 +98,7 @@ import (
 	"muve/internal/obs"
 	"muve/internal/resilience"
 	"muve/internal/serve"
+	"muve/internal/speak"
 	"muve/internal/sqldb"
 	"muve/internal/workload"
 )
@@ -116,7 +132,10 @@ func run() error {
 		warmFlag     = flag.Bool("warm-start", true, "seed ILP planning with the session's previous multiplot (ilp/ilp-inc solvers)")
 		chaosFlag    = flag.String("chaos", "", "fault-injection spec, e.g. 'solver:lat=300ms@0.5,err=0.1' (drills only)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for -chaos randomness")
+		speakFlag    = flag.Int("speak-words", 0, "voice answer word budget for format=voice (0 = default 40)")
 		traceBufFlag = flag.Int("trace-buffer", 128, "recent request traces kept for /debug/traces (0 disables)")
+		sampleFlag   = flag.Float64("trace-sample", 1, "fraction of request traces kept in the /debug/traces ring (1 keeps all; metrics see every request regardless)")
+		slowFlag     = flag.Duration("trace-slow", 250*time.Millisecond, "traces at least this slow bypass -trace-sample and are always kept (0 disables the bypass)")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		rtTraceFlag  = flag.String("runtime-trace", "", "capture a Go runtime trace into this file")
 	)
@@ -162,7 +181,8 @@ func run() error {
 		muve.WithSolver(solver),
 		muve.WithWidth(*widthFlag),
 		muve.WithBudgetFraction(*budgetFlag),
-		muve.WithWarmStart(*warmFlag))
+		muve.WithWarmStart(*warmFlag),
+		muve.WithSpeakWords(*speakFlag))
 	if err != nil {
 		return err
 	}
@@ -191,6 +211,7 @@ func run() error {
 		breakerThreshold: *brkThreshold,
 		breakerCooldown:  *brkCooldown,
 		chaos:            chaos,
+		speakWords:       *speakFlag,
 	})
 	if err != nil {
 		return err
@@ -211,7 +232,7 @@ func run() error {
 	// and the engine's own log lines. Recovery sits innermost so a
 	// panicking handler still produces a finished trace and a log line.
 	handler := serve.WithLogging(log.Default(),
-		serve.WithTracing(ring, engine.Metrics(),
+		serve.WithSampledTracing(ring, obs.NewSampler(*sampleFlag, *slowFlag), engine.Metrics(),
 			serve.WithRecovery(log.Default(), engine.Metrics(), mux)))
 	srv := &http.Server{
 		Addr:              *addrFlag,
@@ -256,24 +277,88 @@ type engineConfig struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	chaos            *resilience.Chaos
+	speakWords       int
+}
+
+// sessionState keeps a session's latest answer per output modality:
+// warm starts must seed from an answer of the same kind, so a voice
+// follow-up must not clobber the multiplot prior (or vice versa).
+type sessionState struct {
+	plot  *muve.Answer
+	voice *muve.Answer
+}
+
+// stateOf unwraps a session's state (nil-safe on both levels).
+func stateOf(sess *serve.Session) *sessionState {
+	if sess == nil {
+		return nil
+	}
+	st, _ := sess.State().(*sessionState)
+	return st
+}
+
+// remember stores ans as the session's freshest answer for its
+// modality, so the next utterance warm-starts from it.
+func remember(sess *serve.Session, mode string, ans *muve.Answer) {
+	if sess == nil {
+		return
+	}
+	st := stateOf(sess)
+	if st == nil {
+		st = &sessionState{}
+	}
+	if mode == serve.ModeVoice {
+		st.voice = ans
+	} else {
+		st.plot = ans
+	}
+	sess.SetState(st)
+}
+
+// recordVoice folds one served voice answer into the speak counters.
+func recordVoice(m *serve.Metrics, ans *muve.Answer) {
+	if ans.Voice == nil {
+		return
+	}
+	m.SpeakFacts.Add(uint64(len(ans.Voice.Facts.Facts)))
+	m.SpeakWords.Add(uint64(ans.Voice.Words))
 }
 
 // newEngine wires a muve.System into a serve.Engine's degradation
-// ladder. When the primary solver is ILP-based, a second greedy system
-// over the same database is the greedy rung for requests that miss
-// their deadline; a stripped-down single-candidate greedy system is
-// always built as the minimal last-resort rung.
+// ladder, routing each rung by the request's answer mode. When the
+// primary solver is ILP-based, a second greedy system over the same
+// database is the greedy rung for requests that miss their deadline; a
+// stripped-down single-candidate greedy system is always built as the
+// minimal last-resort rung. For format=voice the same descent maps to
+// the fact-set planners: exact fact-set ILP → greedy facts → stale →
+// a single headline fact over one candidate.
 func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (*serve.Engine, error) {
 	metrics := &serve.Metrics{}
 	planner := func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
-		// The previous utterance's multiplot, when the session has one,
-		// warm-starts this solve (muve.WithWarmStart decides whether the
-		// system honors it).
-		var prior *core.Multiplot
-		if sess != nil {
-			if prev, ok := sess.State().(*muve.Answer); ok && prev != nil {
-				prior = &prev.Multiplot
+		if req.Mode == serve.ModeVoice {
+			// The previous voice answer's fact set, when the session has
+			// one, warm-starts this fact-set solve (muve.WithWarmStart
+			// decides whether the system honors it).
+			var prior *speak.FactSet
+			if st := stateOf(sess); st != nil && st.voice != nil && st.voice.Voice != nil {
+				prior = &st.voice.Voice.Facts
 			}
+			ans, err := sys.AskVoiceContext(ctx, req.Transcript, prior)
+			if err != nil {
+				return nil, err
+			}
+			if ws := string(ans.Stats.WarmStart); ws != "" {
+				metrics.WarmStart(ws)
+			}
+			recordVoice(metrics, ans)
+			remember(sess, req.Mode, ans)
+			return ans, nil
+		}
+		// The previous utterance's multiplot, when the session has one,
+		// warm-starts this solve.
+		var prior *core.Multiplot
+		if st := stateOf(sess); st != nil && st.plot != nil {
+			prior = &st.plot.Multiplot
 		}
 		ans, err := sys.AskContext(ctx, req.Transcript, prior)
 		if err != nil {
@@ -282,47 +367,61 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		if ws := string(ans.Stats.WarmStart); ws != "" {
 			metrics.WarmStart(ws)
 		}
-		if sess != nil {
-			// Session state carries the latest answer so follow-up
-			// utterances can seed incremental planning.
-			sess.SetState(ans)
-		}
+		remember(sess, req.Mode, ans)
 		return ans, nil
 	}
 	var fallback serve.Planner
 	if cfg.solver != muve.SolverGreedy {
 		greedySys, err := muve.New(db, table,
 			muve.WithSolver(muve.SolverGreedy),
-			muve.WithWidth(cfg.widthPx))
+			muve.WithWidth(cfg.widthPx),
+			muve.WithSpeakWords(cfg.speakWords))
 		if err != nil {
 			return nil, err
 		}
 		fallback = func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
-			ans, err := greedySys.AskContext(ctx, req.Transcript)
+			var ans *muve.Answer
+			var err error
+			if req.Mode == serve.ModeVoice {
+				ans, err = greedySys.AskVoiceContext(ctx, req.Transcript)
+			} else {
+				ans, err = greedySys.AskContext(ctx, req.Transcript)
+			}
 			if err != nil {
 				return nil, err
 			}
-			if sess != nil {
-				// A degraded answer is still the freshest multiplot for
-				// this session; the next utterance warm-starts from it.
-				sess.SetState(ans)
+			if req.Mode == serve.ModeVoice {
+				recordVoice(metrics, ans)
 			}
+			// A degraded answer is still the freshest one for this session;
+			// the next utterance warm-starts from it.
+			remember(sess, req.Mode, ans)
 			return ans, nil
 		}
 	}
-	// The minimal rung plans a single plot for the single most likely
+	// The minimal rung answers over the single most likely
 	// interpretation: no phonetic expansion (K=1), one candidate, greedy
-	// layout. It answers in single-digit milliseconds and is the last
-	// thing tried before giving up with a 503.
+	// planning — a single plot, or for voice a single headline fact. It
+	// answers in single-digit milliseconds and is the last thing tried
+	// before giving up with a 503.
 	minimalSys, err := muve.New(db, table,
 		muve.WithSolver(muve.SolverGreedy),
 		muve.WithWidth(cfg.widthPx),
 		muve.WithK(1),
-		muve.WithMaxCandidates(1))
+		muve.WithMaxCandidates(1),
+		muve.WithSpeakWords(cfg.speakWords))
 	if err != nil {
 		return nil, err
 	}
 	minimal := func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+		if req.Mode == serve.ModeVoice {
+			ans, err := minimalSys.AskVoiceContext(ctx, req.Transcript)
+			if err != nil {
+				return nil, err
+			}
+			recordVoice(metrics, ans)
+			return ans, nil
+		}
 		return minimalSys.AskContext(ctx, req.Transcript)
 	}
 	return serve.NewEngine(serve.Config{
@@ -356,8 +455,14 @@ func answerFor(w http.ResponseWriter, r *http.Request, engine *serve.Engine) (*m
 		http.Error(w, "missing ?q=", http.StatusBadRequest)
 		return nil, false
 	}
+	format := strings.TrimSpace(r.URL.Query().Get("format"))
+	if _, err := muve.ParseAnswerMode(format); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
 	resp, err := engine.Do(r.Context(), serve.Request{
 		Transcript: q,
+		Mode:       format,
 		SessionID:  strings.TrimSpace(r.URL.Query().Get("sid")),
 		Refresh:    r.URL.Query().Get("refresh") == "1",
 		Batch:      r.URL.Query().Get("batch") == "1",
@@ -397,6 +502,12 @@ func newMux(engine *serve.Engine, sys *muve.System, tableName string, numRows in
 		if !ok {
 			return
 		}
+		// format=voice answers with the spoken transcript instead of SVG.
+		if ans.Voice != nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, ans.Voice.Transcript)
+			return
+		}
 		w.Header().Set("Content-Type", "image/svg+xml")
 		fmt.Fprint(w, ans.SVG())
 	})
@@ -409,6 +520,12 @@ func newMux(engine *serve.Engine, sys *muve.System, tableName string, numRows in
 			SQL  string  `json:"sql"`
 			Prob float64 `json:"prob"`
 		}
+		type voiceJSON struct {
+			Transcript string   `json:"transcript"`
+			Words      int      `json:"words"`
+			Objective  float64  `json:"objective"`
+			Facts      []string `json:"facts"`
+		}
 		out := struct {
 			Transcript string     `json:"transcript"`
 			TopQuery   string     `json:"top_query"`
@@ -416,12 +533,21 @@ func newMux(engine *serve.Engine, sys *muve.System, tableName string, numRows in
 			Candidates []candJSON `json:"candidates"`
 			PlanMS     float64    `json:"planning_ms"`
 			Source     string     `json:"source"`
+			Voice      *voiceJSON `json:"voice,omitempty"`
 		}{
 			Transcript: ans.Transcript,
 			TopQuery:   ans.TopQuery.SQL(),
 			Headline:   ans.Headline,
 			PlanMS:     float64(ans.Stats.Duration.Microseconds()) / 1000,
 			Source:     w.Header().Get("X-Muve-Source"),
+		}
+		if ans.Voice != nil {
+			out.Voice = &voiceJSON{
+				Transcript: ans.Voice.Transcript,
+				Words:      ans.Voice.Words,
+				Objective:  ans.Voice.Objective,
+				Facts:      ans.Voice.Facts.Keys(),
+			}
 		}
 		for _, c := range ans.Candidates {
 			out.Candidates = append(out.Candidates, candJSON{SQL: c.Query.SQL(), Prob: c.Prob})

@@ -383,3 +383,65 @@ func TestTrendEndpoint(t *testing.T) {
 		t.Errorf("bad group column status = %d", status)
 	}
 }
+
+func TestAskVoiceTranscript(t *testing.T) {
+	srv := testServer(t)
+	status, ct, body := fetch(t, srv.URL+"/ask?q=how+many+noise+complaints+in+brooklyn&format=voice")
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ct)
+	}
+	if strings.TrimSpace(body) == "" || strings.Contains(body, "<svg") {
+		t.Errorf("voice body = %.80q, want a spoken transcript", body)
+	}
+}
+
+func TestAskVoiceJSONAndMetrics(t *testing.T) {
+	srv := testServer(t)
+	status, _, body := fetch(t, srv.URL+"/ask.json?q=how+many+complaints+in+queens&format=voice")
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var out struct {
+		Source string `json:"source"`
+		Voice  *struct {
+			Transcript string   `json:"transcript"`
+			Words      int      `json:"words"`
+			Facts      []string `json:"facts"`
+		} `json:"voice"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Voice == nil || out.Voice.Transcript == "" || out.Voice.Words == 0 || len(out.Voice.Facts) == 0 {
+		t.Fatalf("voice JSON = %+v", out.Voice)
+	}
+	if out.Source != string(serve.SourcePlanned) {
+		t.Errorf("source = %q, want planned", out.Source)
+	}
+	// The voice request landed in the speak metric families.
+	_, _, metrics := fetch(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"muve_speak_requests_total 1",
+		`muve_speak_rung_total{rung="exact"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+	// A plot-mode request for the same transcript plans separately: the
+	// modes never share a cache entry.
+	status2, ct2, body2 := fetch(t, srv.URL+"/ask?q=how+many+complaints+in+queens")
+	if status2 != 200 || !strings.HasPrefix(body2, "<svg") {
+		t.Errorf("plot after voice = %d %q %.60q", status2, ct2, body2)
+	}
+}
+
+func TestAskUnknownFormatRejected(t *testing.T) {
+	srv := testServer(t)
+	if status, _, _ := fetch(t, srv.URL+"/ask?q=hello&format=hologram"); status != 400 {
+		t.Errorf("unknown format status = %d, want 400", status)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler decides which finished traces are retained in the debug
+// ring. Under load, keeping every trace makes the ring churn so fast
+// that a trace is evicted before anyone can look at it; head sampling
+// keeps a deterministic fraction instead, while an optional slow
+// threshold always retains the traces worth debugging. The decision
+// gates only ring retention: callers still create every trace and fold
+// it into the latency metrics, so muve_stage_seconds sees all requests
+// regardless of the sampling rate.
+//
+// A nil *Sampler is the keep-all sampler, mirroring the package's
+// nil-receiver convention for disabled features.
+type Sampler struct {
+	rate float64
+	slow time.Duration
+
+	mu  sync.Mutex
+	acc float64
+}
+
+// NewSampler builds a sampler keeping the given fraction of traces
+// (clamped to [0, 1]); slow, when positive, additionally keeps every
+// trace at least that slow regardless of rate. rate >= 1 keeps
+// everything and returns nil, the no-op sampler.
+func NewSampler(rate float64, slow time.Duration) *Sampler {
+	if rate >= 1 {
+		return nil
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return &Sampler{rate: rate, slow: slow}
+}
+
+// Keep reports whether a finished trace should be retained. Traces at
+// or over the slow threshold are always kept; the rest are admitted by
+// a fractional accumulator — exactly every 1/rate-th eligible trace,
+// no RNG — so identical request sequences sample identically. Safe for
+// concurrent use; nil keeps everything.
+func (s *Sampler) Keep(tr *Trace) bool {
+	if s == nil {
+		return true
+	}
+	if tr == nil {
+		return false
+	}
+	if s.slow > 0 && tr.Duration() >= s.slow {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acc += s.rate
+	if s.acc >= 1 {
+		s.acc--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// finished returns a sealed trace whose duration is roughly d.
+func finished(d time.Duration) *Trace {
+	tr := NewTrace("q")
+	tr.Begin = time.Now().Add(-d)
+	tr.Finish()
+	return tr
+}
+
+func TestSamplerRateIsDeterministic(t *testing.T) {
+	s := NewSampler(0.25, 0)
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if s.Keep(finished(time.Millisecond)) {
+			kept++
+		}
+	}
+	if kept != 25 {
+		t.Errorf("kept %d of 100 at rate 0.25, want exactly 25", kept)
+	}
+}
+
+func TestSamplerAlwaysKeepsSlow(t *testing.T) {
+	s := NewSampler(0, 100*time.Millisecond)
+	if s.Keep(finished(time.Millisecond)) {
+		t.Error("rate-0 sampler kept a fast trace")
+	}
+	if !s.Keep(finished(time.Second)) {
+		t.Error("sampler dropped a trace over the slow threshold")
+	}
+	if s.Keep(nil) {
+		t.Error("sampler kept a nil trace")
+	}
+}
+
+func TestSamplerKeepAll(t *testing.T) {
+	if NewSampler(1, 0) != nil {
+		t.Error("rate >= 1 should build the nil keep-all sampler")
+	}
+	var s *Sampler
+	if !s.Keep(finished(time.Microsecond)) {
+		t.Error("nil sampler dropped a trace")
+	}
+}
+
+func TestSamplerClampsNegativeRate(t *testing.T) {
+	s := NewSampler(-0.5, 0)
+	for i := 0; i < 10; i++ {
+		if s.Keep(finished(time.Millisecond)) {
+			t.Fatal("negative-rate sampler kept a trace")
+		}
+	}
+}

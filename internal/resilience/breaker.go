@@ -190,6 +190,40 @@ func (s *BreakerSet) Result(blamedStage string, ok bool) {
 	}
 }
 
+// OpenExcept reports whether any breaker outside the exempt list is
+// open and still cooling, naming the first such stage. It is a pure
+// read — no probe charges, no half-open transitions — for callers that
+// only need to know whether a *shared* stage is unhealthy: the serving
+// ladder skips its cheaper planning rungs too when the stage they
+// depend on (say sqldb) is the one that tripped, rather than burning
+// their budget on an attempt doomed by the same fault. Exempt stages
+// (ones only the expensive path touches, like the exact solver) never
+// veto. A nil set reports nothing open.
+func (s *BreakerSet) OpenExcept(exempt ...string) (stage string, open bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	for st, b := range s.byStage {
+		if b.state != Open || now.Sub(b.openedAt) >= s.cfg.Cooldown {
+			continue
+		}
+		exempted := false
+		for _, e := range exempt {
+			if st == e {
+				exempted = true
+				break
+			}
+		}
+		if !exempted {
+			return st, true
+		}
+	}
+	return "", false
+}
+
 // StateOf reports a stage's current state (Closed for unknown stages).
 func (s *BreakerSet) StateOf(stage string) BreakerState {
 	if s == nil {

@@ -246,3 +246,47 @@ func TestBreakerConcurrentTransitions(t *testing.T) {
 	}
 	t.Fatalf("breakers failed to converge to closed: %v", s.States())
 }
+
+func TestBreakerOpenExcept(t *testing.T) {
+	s, clk := newTestSet(1, time.Second)
+	var nilSet *BreakerSet
+	if stage, open := nilSet.OpenExcept(); open || stage != "" {
+		t.Fatalf("nil set reported %q open", stage)
+	}
+	if _, open := s.OpenExcept(); open {
+		t.Fatal("empty set reported a breaker open")
+	}
+
+	// Trip the exact-only solver stage: exempting it hides the trip,
+	// not exempting it reports it.
+	s.Allow()
+	s.Result("solver", false)
+	if stage, open := s.OpenExcept("solver", "speak"); open {
+		t.Fatalf("exempt solver trip reported open (stage %q)", stage)
+	}
+	if stage, open := s.OpenExcept(); !open || stage != "solver" {
+		t.Fatalf("unexempted trip = (%q, %v), want (solver, true)", stage, open)
+	}
+
+	// A shared-stage trip is reported even with the solver exempt.
+	s.Allow()
+	s.Result("sqldb", false)
+	if stage, open := s.OpenExcept("solver", "speak"); !open || stage != "sqldb" {
+		t.Fatalf("shared trip = (%q, %v), want (sqldb, true)", stage, open)
+	}
+
+	// OpenExcept is read-only: no probes were charged, states unchanged.
+	if got := s.StateOf("sqldb"); got != Open {
+		t.Fatalf("sqldb state after reads = %v, want open (still)", got)
+	}
+
+	// Once the cooldown elapses the breaker stops vetoing — Allow's
+	// half-open probe path owns recovery, not this read.
+	clk.Advance(2 * time.Second)
+	if stage, open := s.OpenExcept(); open {
+		t.Fatalf("cooled-down breaker still vetoes (stage %q)", stage)
+	}
+	if got := s.StateOf("sqldb"); got != Open {
+		t.Fatalf("read-only check transitioned sqldb to %v", got)
+	}
+}

@@ -55,16 +55,35 @@ var histBuckets = func() [19]time.Duration {
 	return b
 }()
 
+// exemplar ties one observation to the trace that produced it, so a
+// slow histogram bucket on /metrics links straight to the offending
+// trace in /debug/traces (OpenMetrics exemplar syntax).
+type exemplar struct {
+	traceID string
+	value   float64 // seconds
+	unix    float64 // observation time, unix seconds
+}
+
 // Histogram accumulates durations into fixed log-spaced buckets and
 // reports approximate quantiles. The zero value is ready to use.
 type Histogram struct {
-	counts [len(histBuckets) + 1]atomic.Uint64 // last bucket = +Inf
-	sum    atomic.Int64                        // nanoseconds
-	count  atomic.Uint64
+	counts    [len(histBuckets) + 1]atomic.Uint64 // last bucket = +Inf
+	sum       atomic.Int64                        // nanoseconds
+	count     atomic.Uint64
+	exemplars [len(histBuckets) + 1]atomic.Pointer[exemplar]
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) { h.observe(d, "") }
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// remembers it as the bucket's latest exemplar. Last-writer-wins per
+// bucket: exemplars are a debugging breadcrumb, not a sample survey.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.observe(d, traceID)
+}
+
+func (h *Histogram) observe(d time.Duration, traceID string) {
 	if d < 0 {
 		d = 0
 	}
@@ -77,6 +96,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{
+			traceID: traceID,
+			value:   d.Seconds(),
+			unix:    float64(time.Now().UnixMilli()) / 1000,
+		})
+	}
+}
+
+// exemplarAt returns bucket i's latest exemplar, or nil.
+func (h *Histogram) exemplarAt(i int) *exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count is the number of observations.
@@ -181,6 +215,13 @@ type Metrics struct {
 	// an unbounded backlog is still visible on /metrics.
 	QueueInteractive Gauge
 	QueueBatch       Gauge
+	// SpeakRequests counts requests asking for the voice answer mode.
+	SpeakRequests Counter
+	// SpeakFacts/SpeakWords accumulate the facts and estimated spoken
+	// words across served voice answers; their ratio to SpeakRequests
+	// gives the average answer size at a glance.
+	SpeakFacts Counter
+	SpeakWords Counter
 	// Planning observes planner-call latency (cache misses only).
 	Planning Histogram
 	// EndToEnd observes full Engine.Do latency (hits and misses).
@@ -193,6 +234,7 @@ type Metrics struct {
 	stages           map[string]*Histogram
 	fallbacksByStage map[string]*Counter
 	ladderRungs      map[string]*Counter
+	speakRungs       map[string]*Counter
 	breakerTrips     map[string]*Counter
 	breakerStates    map[string]*Gauge
 	warmstarts       map[string]*Counter
@@ -225,6 +267,14 @@ func (m *Metrics) labeledCounter(family *map[string]*Counter, key string) *Count
 // rung (exact, greedy, stale, minimal).
 func (m *Metrics) LadderRung(rung string) {
 	m.labeledCounter(&m.ladderRungs, rung).Inc()
+}
+
+// SpeakRung counts one voice answer served from the named
+// degradation-ladder rung, rendered as muve_speak_rung_total. Voice
+// requests also count in the shared ladder family; this one isolates
+// the voice modality's health.
+func (m *Metrics) SpeakRung(rung string) {
+	m.labeledCounter(&m.speakRungs, rung).Inc()
 }
 
 // WarmStart counts one ILP planning call's warm-start outcome
@@ -289,9 +339,10 @@ func (m *Metrics) StageFallback(stage string) {
 }
 
 // ObserveTrace folds a finished trace's spans into the per-stage
-// latency histograms. Zero-duration spans are point markers (e.g. the
-// "fallback" blame mark), not latencies, and are skipped. A nil trace
-// is a no-op.
+// latency histograms, stamping each bucket with the trace's ID as an
+// exemplar so /metrics links back to /debug/traces. Zero-duration
+// spans are point markers (e.g. the "fallback" blame mark), not
+// latencies, and are skipped. A nil trace is a no-op.
 func (m *Metrics) ObserveTrace(tr *obs.Trace) {
 	if tr == nil {
 		return
@@ -300,7 +351,7 @@ func (m *Metrics) ObserveTrace(tr *obs.Trace) {
 		if sp.Dur <= 0 {
 			continue
 		}
-		m.Stage(sp.Stage).Observe(sp.Dur)
+		m.Stage(sp.Stage).ObserveExemplar(sp.Dur, tr.ID)
 	}
 }
 
@@ -354,10 +405,14 @@ func writeHistogram(w http.ResponseWriter, name string, h *Histogram) {
 
 // writeStageHistograms renders the per-stage histogram family: one
 // bucket/sum/count series per stage label under a single # TYPE header.
+// Buckets that captured an exemplar append it in OpenMetrics syntax
+// (`# {trace_id="..."} value timestamp`) so scrape UIs can jump from a
+// slow bucket straight to the trace in /debug/traces.
 func writeStageHistograms(w http.ResponseWriter, name string, stages map[string]*Histogram, keys []string) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	for _, stage := range keys {
-		counts, sum, count := stages[stage].snapshot()
+		h := stages[stage]
+		counts, sum, count := h.snapshot()
 		var cum uint64
 		for i, c := range counts {
 			cum += c
@@ -365,7 +420,11 @@ func writeStageHistograms(w http.ResponseWriter, name string, stages map[string]
 			if i < len(histBuckets) {
 				le = fmt.Sprintf("%g", histBuckets[i].Seconds())
 			}
-			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, le, cum)
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d", name, stage, le, cum)
+			if ex := h.exemplarAt(i); ex != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} %g %.3f", ex.traceID, ex.value, ex.unix)
+			}
+			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage, time.Duration(sum).Seconds())
 		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, count)
@@ -391,6 +450,9 @@ func (m *Metrics) Handler() http.Handler {
 			{"muve_errors_total", &m.Errors},
 			{"muve_panics_total", &m.Panics},
 			{"muve_exhausted_total", &m.Exhausted},
+			{"muve_speak_requests_total", &m.SpeakRequests},
+			{"muve_speak_facts_total", &m.SpeakFacts},
+			{"muve_speak_words_total", &m.SpeakWords},
 		}
 		for _, c := range counters {
 			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
@@ -411,6 +473,7 @@ func (m *Metrics) Handler() http.Handler {
 		}
 		fallbacks := copyCounters(m.fallbacksByStage)
 		rungs := copyCounters(m.ladderRungs)
+		speakRungs := copyCounters(m.speakRungs)
 		trips := copyCounters(m.breakerTrips)
 		warms := copyCounters(m.warmstarts)
 		states := make(map[string]*Gauge, len(m.breakerStates))
@@ -423,6 +486,7 @@ func (m *Metrics) Handler() http.Handler {
 		}
 		writeCounterFamily(w, "muve_fallbacks_by_stage_total", "stage", fallbacks)
 		writeCounterFamily(w, "muve_ladder_rung_total", "rung", rungs)
+		writeCounterFamily(w, "muve_speak_rung_total", "rung", speakRungs)
 		writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
 		writeCounterFamily(w, "muve_warmstart_total", "result", warms)
 		if len(states) > 0 {
@@ -457,6 +521,7 @@ func (m *Metrics) VarsHandler() http.Handler {
 		}
 		m.stageMu.RLock()
 		rungs := counterValues(m.ladderRungs)
+		speakRungs := counterValues(m.speakRungs)
 		trips := counterValues(m.breakerTrips)
 		warms := counterValues(m.warmstarts)
 		states := make(map[string]int64, len(m.breakerStates))
@@ -484,7 +549,13 @@ func (m *Metrics) VarsHandler() http.Handler {
 				"interactive": m.QueueInteractive.Value(),
 				"batch":       m.QueueBatch.Value(),
 			},
-			"ladder_rungs":   rungs,
+			"ladder_rungs": rungs,
+			"speak_rungs":  speakRungs,
+			"speak": map[string]uint64{
+				"requests": m.SpeakRequests.Value(),
+				"facts":    m.SpeakFacts.Value(),
+				"words":    m.SpeakWords.Value(),
+			},
 			"breaker_trips":  trips,
 			"breaker_states": states,
 			"warmstarts":     warms,

@@ -169,6 +169,15 @@ func StatusOf(err error) int {
 // middleware. A nil ring disables tracing entirely — next runs without
 // a trace in context, so instrumented code takes its nil fast path.
 func WithTracing(ring *obs.Ring, metrics *Metrics, next http.Handler) http.Handler {
+	return WithSampledTracing(ring, nil, metrics, next)
+}
+
+// WithSampledTracing is WithTracing with head sampling: every request
+// still runs under a trace (metrics and exemplars depend on it), but
+// only traces the sampler keeps land in the debug ring. Slow traces
+// bypass the rate when the sampler has a slow threshold. A nil sampler
+// keeps everything, making this identical to WithTracing.
+func WithSampledTracing(ring *obs.Ring, sampler *obs.Sampler, metrics *Metrics, next http.Handler) http.Handler {
 	if ring == nil {
 		return next
 	}
@@ -177,7 +186,9 @@ func WithTracing(ring *obs.Ring, metrics *Metrics, next http.Handler) http.Handl
 		tr.ID = RequestID(r.Context())
 		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		tr.Finish()
-		ring.Add(tr)
+		if sampler.Keep(tr) {
+			ring.Add(tr)
+		}
 		if metrics != nil {
 			metrics.ObserveTrace(tr)
 		}

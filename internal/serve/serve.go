@@ -48,10 +48,20 @@ import (
 	"muve/internal/resilience"
 )
 
+// ModeVoice is the Request.Mode value for spoken answers. The engine
+// treats modes as opaque key qualifiers except for speak metrics, which
+// count this one.
+const ModeVoice = "voice"
+
 // Request is one query to answer.
 type Request struct {
 	// Transcript is the raw natural-language input.
 	Transcript string
+	// Mode selects the answer modality ("" or "plot" for multiplots,
+	// ModeVoice for spoken fact sets). The mode qualifies the cache key,
+	// so one transcript's plot and voice answers never cross; planners
+	// receive it through the Request and route accordingly.
+	Mode string
 	// SessionID, when non-empty, binds the request to a client session
 	// (created on first use, expired after idle TTL).
 	SessionID string
@@ -93,6 +103,15 @@ const (
 	rungStale   = "stale"
 	rungMinimal = "minimal"
 )
+
+// exactOnlyStages lists breaker stages that never veto the greedy
+// rung: the multiplot ILP's "solver" stage and the fact-set ILP's
+// "speak" stage are touched only by the exact planning rung, and an
+// "unknown" blame (a failure the trace could not attribute to any
+// stage) says nothing about shared-stage health either. A breaker
+// tripped on any other blamed stage (speech, nlq, progressive, viz,
+// sqldb, ...) is shared by all planning rungs and skips greedy too.
+var exactOnlyStages = []string{"solver", "speak", "unknown"}
 
 // rungSource maps the rung that served an answer to its Source label.
 func rungSource(rung string) Source {
@@ -354,6 +373,18 @@ func (e *Engine) Key(transcript string) string {
 	return strings.Join(strings.Fields(strings.ToLower(transcript)), " ") + e.keySuffix
 }
 
+// KeyFor is Key qualified by the request's answer mode: voice and plot
+// answers for one transcript are distinct cache entries. The default
+// plot mode ("" or "plot") adds no qualifier, so existing keys are
+// unchanged.
+func (e *Engine) KeyFor(req Request) string {
+	k := e.Key(req.Transcript)
+	if req.Mode != "" && req.Mode != "plot" {
+		k += "\x00mode=" + req.Mode
+	}
+	return k
+}
+
 // Do answers one request through the serving stack: session reuse,
 // then the shared cache, then coalesced planning under the worker
 // pool. It returns ctx's error if the caller gives up first; planning
@@ -367,7 +398,10 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		e.metrics.EndToEnd.Observe(time.Since(start))
 	}()
 
-	key := e.Key(req.Transcript)
+	if req.Mode == ModeVoice {
+		e.metrics.SpeakRequests.Inc()
+	}
+	key := e.KeyFor(req)
 	sess := e.sessions.Get(req.SessionID)
 
 	if !req.Refresh {
@@ -461,7 +495,7 @@ func breakerFailure(err error) bool {
 func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (any, error) {
 	tr := obs.FromContext(callerCtx)
 	reqID := RequestID(callerCtx)
-	key := e.Key(req.Transcript)
+	key := e.KeyFor(req)
 
 	// The total budget is the sum of the configured rungs' shares; each
 	// rung is then capped at its own Max during the descent, so a rung
@@ -536,6 +570,14 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 			}
 			return v, err
 		case rungGreedy:
+			// Breaker-aware rung ordering: when the stage that tripped is
+			// one the fallback depends on too (anything but the exact-only
+			// solver stages), greedy would fail the same way — skip every
+			// planning rung and jump straight to stale/minimal. Read-only:
+			// probe accounting stays with the exact rung's Allow/Result.
+			if stage, open := e.breakers.OpenExcept(exactOnlyStages...); open {
+				return nil, &resilience.SkipError{Reason: "breaker-open:" + stage}
+			}
 			return e.fallback(actx, req, sess)
 		case rungStale:
 			if req.Refresh {
@@ -590,6 +632,9 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 		return nil, err
 	}
 	e.metrics.LadderRung(rung)
+	if req.Mode == ModeVoice {
+		e.metrics.SpeakRung(rung)
+	}
 	if tr != nil && rung != rungExact {
 		tr.Mark("ladder", obs.Str("rung", rung))
 	}

@@ -174,6 +174,61 @@ func TestMetricsStageHistogramExposition(t *testing.T) {
 	}
 }
 
+func TestStageHistogramExemplars(t *testing.T) {
+	m := &Metrics{}
+	tr := obs.NewTrace("/ask")
+	tr.ID = "deadbeef-0001"
+	tr.RecordSpan("solver", 0, 5*time.Millisecond)
+	tr.Finish()
+	m.ObserveTrace(tr)
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	// The bucket the 5ms observation landed in carries the trace ID as
+	// an OpenMetrics exemplar; cumulative buckets above it do not.
+	want := `muve_stage_seconds_bucket{stage="solver",le="0.0064"} 1 # {trace_id="deadbeef-0001"} 0.005`
+	if !strings.Contains(body, want) {
+		t.Errorf("missing exemplar %q in:\n%s", want, body)
+	}
+	if strings.Contains(body, `le="+Inf"} 1 # {`) {
+		t.Errorf("exemplar leaked into the +Inf bucket:\n%s", body)
+	}
+	// Traces without an ID must not produce empty exemplars.
+	m2 := &Metrics{}
+	anon := obs.NewTrace("/ask")
+	anon.RecordSpan("solver", 0, 5*time.Millisecond)
+	anon.Finish()
+	m2.ObserveTrace(anon)
+	rec2 := httptest.NewRecorder()
+	m2.Handler().ServeHTTP(rec2, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rec2.Body.String(), "# {trace_id=") {
+		t.Errorf("ID-less trace produced an exemplar:\n%s", rec2.Body.String())
+	}
+}
+
+func TestWithSampledTracingGatesOnlyRing(t *testing.T) {
+	ring := obs.NewRing(8)
+	m := &Metrics{}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.StartSpan(r.Context(), "solver")
+		sp.End()
+	})
+	h := WithSampledTracing(ring, obs.NewSampler(0.5, 0), m, inner)
+	for i := 0; i < 4; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ask", nil))
+	}
+	// Half the traces land in the debug ring...
+	if ring.Len() != 2 {
+		t.Errorf("ring holds %d traces at rate 0.5 over 4 requests, want 2", ring.Len())
+	}
+	// ...but the latency histograms see every request: sampling gates
+	// retention, not measurement.
+	if got := m.Stage("solver").Count(); got != 4 {
+		t.Errorf("solver stage observations = %d, want 4", got)
+	}
+}
+
 func TestHistogramQuantileInterpolates(t *testing.T) {
 	var h Histogram
 	// 90 observations of 150µs land in the (100µs, 200µs] bucket; the

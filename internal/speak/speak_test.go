@@ -1,0 +1,333 @@
+package speak
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"muve/internal/core"
+	"muve/internal/sqldb"
+	"muve/internal/usermodel"
+	"muve/internal/workload"
+)
+
+func q(sql string) sqldb.Query { return sqldb.MustParse(sql) }
+
+// valueVariantInstance mirrors the core test helper: candidates differing
+// in one predicate constant, sharing a SlotPredVal template.
+func valueVariantInstance(probs []float64) *core.Instance {
+	cands := make([]core.Candidate, len(probs))
+	for i, p := range probs {
+		cands[i] = core.Candidate{
+			Query: q(fmt.Sprintf("SELECT count(*) FROM r WHERE borough = 'B%02d'", i)),
+			Prob:  p,
+		}
+	}
+	return &core.Instance{Candidates: cands, Screen: core.DefaultScreen(), Model: usermodel.DefaultModel()}
+}
+
+func randomInstance(rng *rand.Rand, nCands int) *core.Instance {
+	aggs := []string{"count(*)", "sum(x)", "avg(x)", "max(x)"}
+	cols := []string{"boro", "agency", "status"}
+	var cands []core.Candidate
+	total := 0.0
+	for len(cands) < nCands {
+		sql := fmt.Sprintf("SELECT %s FROM r WHERE %s = 'v%d'",
+			aggs[rng.Intn(len(aggs))], cols[rng.Intn(len(cols))], rng.Intn(8))
+		p := rng.Float64()
+		cands = append(cands, core.Candidate{Query: q(sql), Prob: p})
+		total += p
+	}
+	for i := range cands {
+		cands[i].Prob /= total * 1.02
+	}
+	return &core.Instance{Candidates: cands, Screen: core.DefaultScreen(), Model: usermodel.DefaultModel()}
+}
+
+func TestExtractFacts(t *testing.T) {
+	in := valueVariantInstance([]float64{0.4, 0.3, 0.2})
+	facts := Extract(in)
+	if len(facts) == 0 {
+		t.Fatal("no facts extracted")
+	}
+	values, ranges := 0, 0
+	seen := map[string]bool{}
+	for _, f := range facts {
+		if f.Words <= 0 {
+			t.Errorf("fact %s has non-positive words %d", f.Key, f.Words)
+		}
+		if len(f.Covers) == 0 {
+			t.Errorf("fact %s covers nothing", f.Key)
+		}
+		if seen[f.Key] {
+			t.Errorf("duplicate fact key %s", f.Key)
+		}
+		seen[f.Key] = true
+		switch f.Kind {
+		case FactValue:
+			values++
+			if len(f.Covers) != 1 {
+				t.Errorf("value fact %s covers %d candidates", f.Key, len(f.Covers))
+			}
+		case FactRange:
+			ranges++
+			if len(f.Covers) < 2 {
+				t.Errorf("range fact %s covers %d candidates", f.Key, len(f.Covers))
+			}
+		}
+	}
+	// Three candidates sharing one SlotPredVal template: at least one
+	// value fact each plus range facts over prefixes of sizes 2 and 3.
+	if values < 3 || ranges < 2 {
+		t.Errorf("got %d value and %d range facts", values, ranges)
+	}
+}
+
+func TestCostModelMirrorsTimeModel(t *testing.T) {
+	c := DefaultCost()
+	if !c.Valid() {
+		t.Fatal("default cost model invalid")
+	}
+	// Transposition of the visual identities: DScoped = 2*DDirect +
+	// remainder halves.
+	w, wD, n, nD := 20, 8, 4, 2
+	want := 2*c.DDirect(wD, nD) + float64(w-wD)*c.CW/2 + float64(n-nD)*c.CF/2
+	if got := c.DScoped(w, wD, n, nD); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DScoped = %v, want %v", got, want)
+	}
+	if got := c.Expected(0, 0, 0, 0, 0, 0); got != c.DM {
+		t.Errorf("all-miss expected cost %v, want DM %v", got, c.DM)
+	}
+	in := valueVariantInstance([]float64{0.6, 0.3})
+	if got := c.Cost(in, FactSet{}); math.Abs(got-c.EmptyCost()) > 1e-9 {
+		t.Errorf("empty set cost %v, want %v", got, c.EmptyCost())
+	}
+}
+
+func TestPlannerCoversLikelyCandidates(t *testing.T) {
+	in := valueVariantInstance([]float64{0.5, 0.3, 0.15})
+	p := &Planner{Timeout: 5 * time.Second}
+	fs, st, err := p.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Facts) == 0 {
+		t.Fatal("planner selected no facts despite likely candidates")
+	}
+	if st.Cost >= DefaultCost().EmptyCost() {
+		t.Errorf("cost %v not better than silence %v", st.Cost, DefaultCost().EmptyCost())
+	}
+	w, _, _, _ := fs.Totals()
+	if w > DefaultWordBudget {
+		t.Errorf("selection speaks %d words, budget %d", w, DefaultWordBudget)
+	}
+	// The dominant candidate must at least be covered; whether directly
+	// or by a scoped range depends on the calibration.
+	if states := fs.States(len(in.Candidates)); states[0] == CoverMissing {
+		t.Error("top candidate left uncovered")
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cost := DefaultCost()
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(5))
+		exact := &Planner{Timeout: 10 * time.Second}
+		ef, est, err := exact.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := &Greedy{}
+		gf, gst, err := greedy.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !est.Optimal {
+			continue // timeout: no optimality claim to check
+		}
+		if est.Cost > gst.Cost+1e-6 {
+			t.Errorf("trial %d: exact cost %v beats greedy %v (exact %v, greedy %v)",
+				trial, est.Cost, gst.Cost, ef.Keys(), gf.Keys())
+		}
+		// The evaluated costs must agree with the cost model.
+		if got := cost.Cost(in, ef); math.Abs(got-est.Cost) > 1e-6 {
+			t.Errorf("trial %d: stats cost %v, evaluated %v", trial, est.Cost, got)
+		}
+	}
+}
+
+func TestWordBudgetBindsBothPlanners(t *testing.T) {
+	in := valueVariantInstance([]float64{0.3, 0.25, 0.2, 0.15})
+	for _, budget := range []int{8, 15} {
+		p := &Planner{WordBudget: budget, Timeout: 5 * time.Second}
+		fs, _, err := p.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, _, _, _ := fs.Totals(); w > budget {
+			t.Errorf("exact speaks %d words over budget %d", w, budget)
+		}
+		g := &Greedy{WordBudget: budget}
+		gf, _, err := g.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, _, _, _ := gf.Totals(); w > budget {
+			t.Errorf("greedy speaks %d words over budget %d", w, budget)
+		}
+	}
+}
+
+func TestWarmStartHintRemap(t *testing.T) {
+	in := valueVariantInstance([]float64{0.5, 0.3, 0.15})
+	p := &Planner{Timeout: 5 * time.Second}
+	fs, st, err := p.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmStart != "" {
+		t.Errorf("cold solve classified warm start %q", st.WarmStart)
+	}
+
+	// Same instance again with the prior answer as hint: full hit.
+	warm := &Planner{Timeout: 5 * time.Second, Hint: &fs}
+	wfs, wst, err := warm.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.WarmStart != core.WarmHit {
+		t.Errorf("identical re-solve warm start %q, want %q", wst.WarmStart, core.WarmHit)
+	}
+	if wst.Optimal && math.Abs(wst.Cost-st.Cost) > 1e-6 {
+		t.Errorf("warm re-solve cost %v differs from cold %v", wst.Cost, st.Cost)
+	}
+	_ = wfs
+
+	// Shifted instance sharing some candidates: hit or partial, never a
+	// worse answer than greedy.
+	shifted := valueVariantInstance([]float64{0.45, 0.3, 0.15})
+	shifted.Candidates[2].Query = q("SELECT count(*) FROM r WHERE agency = 'DOT'")
+	sp := &Planner{Timeout: 5 * time.Second, Hint: &fs, WarmStart: true}
+	_, sst, err := sp.Solve(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch sst.WarmStart {
+	case core.WarmHit, core.WarmPartial:
+	default:
+		t.Errorf("overlapping hint classified %q", sst.WarmStart)
+	}
+
+	// A hint from a disjoint candidate set degrades to none.
+	other := valueVariantInstance([]float64{0.5})
+	other.Candidates[0].Query = q("SELECT sum(x) FROM r WHERE status = 'open'")
+	op := &Planner{Timeout: 5 * time.Second, Hint: &fs}
+	_, ost, err := op.Solve(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.WarmStart != core.WarmNone {
+		t.Errorf("disjoint hint classified %q, want %q", ost.WarmStart, core.WarmNone)
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	in := valueVariantInstance([]float64{0.2, 0.5, 0.1})
+	fs := Headline(in)
+	if len(fs.Facts) != 1 {
+		t.Fatalf("headline selected %d facts, want 1", len(fs.Facts))
+	}
+	f := fs.Facts[0]
+	if f.Kind != FactValue || len(f.Covers) != 1 || f.Covers[0] != 1 {
+		t.Errorf("headline fact %+v does not answer the top candidate", f)
+	}
+}
+
+func TestPlannerHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := valueVariantInstance([]float64{0.5, 0.3})
+	p := &Planner{Ctx: ctx}
+	if _, _, err := p.Solve(in); err == nil {
+		t.Error("cancelled context not honored")
+	}
+	g := &Greedy{Ctx: ctx}
+	if _, _, err := g.Solve(in); err == nil {
+		t.Error("greedy ignored cancelled context")
+	}
+}
+
+func TestRenderTranscript(t *testing.T) {
+	tbl, err := workload.Build(workload.NYC311, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+
+	// Candidates over a real categorical column so execution returns
+	// values.
+	var col string
+	var vals []string
+	for _, c := range tbl.Columns() {
+		if c.Kind == sqldb.KindString {
+			col, vals = c.Name, c.DistinctStrings()
+			break
+		}
+	}
+	if len(vals) > 3 {
+		vals = vals[:3]
+	}
+	if len(vals) < 2 {
+		t.Skip("dataset column has too few distinct values")
+	}
+	probs := []float64{0.5, 0.3, 0.15}
+	var cands []core.Candidate
+	for i, v := range vals {
+		cands = append(cands, core.Candidate{
+			Query: q(fmt.Sprintf("SELECT count(*) FROM %s WHERE %s = '%s'", tbl.Name, col, v)),
+			Prob:  probs[i],
+		})
+	}
+	in := &core.Instance{Candidates: cands, Screen: core.DefaultScreen(), Model: usermodel.DefaultModel()}
+
+	g := &Greedy{}
+	fs, _, err := g.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Facts) == 0 {
+		t.Fatal("greedy selected nothing to render")
+	}
+	va, err := Render(db, in, fs, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.Transcript == "" || va.Words == 0 {
+		t.Fatalf("empty transcript: %+v", va)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(va.Transcript), ".") {
+		t.Errorf("transcript does not end a sentence: %q", va.Transcript)
+	}
+	if va.Objective <= 0 || va.Objective >= DefaultCost().EmptyCost() {
+		t.Errorf("objective %v not in (0, silence)", va.Objective)
+	}
+	// Direct facts must be spoken before scoped ones.
+	sawRange := false
+	for _, f := range va.Facts.Facts {
+		if f.Kind == FactRange {
+			sawRange = true
+		} else if sawRange {
+			t.Error("value fact spoken after a range fact")
+		}
+	}
+}

@@ -40,11 +40,49 @@ import (
 	"muve/internal/obs"
 	"muve/internal/progressive"
 	"muve/internal/resilience"
+	"muve/internal/speak"
 	"muve/internal/speech"
 	"muve/internal/sqldb"
 	"muve/internal/usermodel"
 	"muve/internal/viz"
 )
+
+// AnswerMode selects the output modality: a multiplot to look at or a
+// fact set to listen to.
+type AnswerMode uint8
+
+const (
+	// ModePlot answers with a multiplot (the paper's output), the
+	// default.
+	ModePlot AnswerMode = iota
+	// ModeVoice answers with a spoken fact set planned by
+	// internal/speak: the same candidate distribution, optimized for
+	// listening effort instead of screen space.
+	ModeVoice
+)
+
+// String names the mode.
+func (m AnswerMode) String() string {
+	switch m {
+	case ModePlot:
+		return "plot"
+	case ModeVoice:
+		return "voice"
+	}
+	return fmt.Sprintf("AnswerMode(%d)", uint8(m))
+}
+
+// ParseAnswerMode maps a mode name ("plot", "voice"; "" means plot) to
+// an AnswerMode.
+func ParseAnswerMode(name string) (AnswerMode, error) {
+	switch name {
+	case "", "plot":
+		return ModePlot, nil
+	case "voice":
+		return ModeVoice, nil
+	}
+	return ModePlot, fmt.Errorf("muve: unknown answer mode %q (want plot or voice)", name)
+}
 
 // SolverKind selects the visualization planner.
 type SolverKind uint8
@@ -82,6 +120,14 @@ type Config struct {
 	Model usermodel.TimeModel
 	// Solver picks the planner.
 	Solver SolverKind
+	// Mode selects the output modality (default ModePlot). With
+	// ModeVoice, Ask/AskContext answer through the speak planner: the
+	// ILP solvers map to the exact fact-set ILP, greedy to the greedy
+	// fact heuristic.
+	Mode AnswerMode
+	// SpeakWords bounds a voice answer's spoken length in words
+	// (default speak.DefaultWordBudget). Ignored in plot mode.
+	SpeakWords int
 	// ILPTimeout bounds ILP optimization (default 1s, the paper's
 	// interactive-analysis budget).
 	ILPTimeout time.Duration
@@ -136,6 +182,13 @@ func WithWidth(px int) Option { return func(c *Config) { c.Screen.WidthPx = px }
 
 // WithSolver selects the planner.
 func WithSolver(k SolverKind) Option { return func(c *Config) { c.Solver = k } }
+
+// WithAnswerMode selects the output modality (see Config.Mode).
+func WithAnswerMode(m AnswerMode) Option { return func(c *Config) { c.Mode = m } }
+
+// WithSpeakWords bounds voice answers to n spoken words (see
+// Config.SpeakWords).
+func WithSpeakWords(n int) Option { return func(c *Config) { c.SpeakWords = n } }
 
 // WithILPTimeout bounds ILP optimization time.
 func WithILPTimeout(d time.Duration) Option { return func(c *Config) { c.ILPTimeout = d } }
@@ -260,6 +313,11 @@ type Answer struct {
 	Stats core.Stats
 	// Trace is present when a progressive presentation method ran.
 	Trace *progressive.Trace
+	// Mode is the output modality that produced this answer.
+	Mode AnswerMode
+	// Voice is the planned spoken answer; non-nil exactly when Mode is
+	// ModeVoice (the Multiplot is then empty).
+	Voice *speak.VoiceAnswer
 }
 
 // Ask answers a natural-language query with a multiplot.
@@ -279,10 +337,29 @@ func (s *System) Ask(text string) (*Answer, error) {
 // incumbent, and Answer.Stats.WarmStart reports how the seed fared.
 // Priors are ignored by the greedy solver and by a custom Presentation.
 func (s *System) AskContext(ctx context.Context, text string, prior ...*core.Multiplot) (*Answer, error) {
+	transcript, err := s.transcribe(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	top, err := s.pipe.Translator.Translate(transcript)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Mode == ModeVoice {
+		// Multiplot priors carry no facts; voice sessions pass prior
+		// fact sets through AskVoiceContext instead.
+		return s.answerVoice(ctx, transcript, top, nil)
+	}
+	return s.answer(ctx, transcript, top, firstPrior(prior))
+}
+
+// transcribe runs the speech front end: the optional simulated speech
+// channel under its own span, shared by the plot and voice paths.
+func (s *System) transcribe(ctx context.Context, text string) (string, error) {
 	sp := obs.StartSpan(ctx, "speech")
 	if err := resilience.Inject(ctx, "speech"); err != nil {
 		sp.SetErr(err).End()
-		return nil, err
+		return "", err
 	}
 	transcript := text
 	if s.channel != nil {
@@ -293,11 +370,40 @@ func (s *System) AskContext(ctx context.Context, text string, prior ...*core.Mul
 	sp.SetBool("simulated", s.channel != nil).
 		SetInt("words", int64(len(strings.Fields(transcript)))).
 		End()
+	return transcript, nil
+}
+
+// AskVoice answers a natural-language query with a spoken fact set,
+// regardless of the configured mode.
+func (s *System) AskVoice(text string) (*Answer, error) {
+	return s.AskVoiceContext(context.Background(), text)
+}
+
+// AskVoiceContext is the voice-mode entry point with the cancellation
+// semantics of AskContext. An optional prior fact set (typically the
+// previous utterance's Answer.Voice.Facts) warm-starts the exact
+// fact-set ILP when Config.WarmStart is on, mirroring the multiplot
+// warm-start path; Answer.Stats.WarmStart reports how the hint fared.
+func (s *System) AskVoiceContext(ctx context.Context, text string, prior ...*speak.FactSet) (*Answer, error) {
+	transcript, err := s.transcribe(ctx, text)
+	if err != nil {
+		return nil, err
+	}
 	top, err := s.pipe.Translator.Translate(transcript)
 	if err != nil {
 		return nil, err
 	}
-	return s.answer(ctx, transcript, top, firstPrior(prior))
+	return s.answerVoice(ctx, transcript, top, firstFactPrior(prior))
+}
+
+// firstFactPrior picks the first usable voice warm-start hint.
+func firstFactPrior(prior []*speak.FactSet) *speak.FactSet {
+	for _, p := range prior {
+		if p != nil && len(p.Facts) > 0 {
+			return p
+		}
+	}
+	return nil
 }
 
 // firstPrior picks the first usable warm-start hint from a variadic
@@ -311,9 +417,9 @@ func firstPrior(prior []*core.Multiplot) *core.Multiplot {
 	return nil
 }
 
-// answer runs the shared back half of Ask and AskQuery: candidate
-// generation, planning, execution, rendering-ready assembly.
-func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query, prior *core.Multiplot) (*Answer, error) {
+// candidates expands the top interpretation into the phonetic candidate
+// distribution under the "nlq" span, shared by the plot and voice paths.
+func (s *System) candidates(ctx context.Context, top sqldb.Query) ([]core.Candidate, error) {
 	sp := obs.StartSpan(ctx, "nlq")
 	if err := resilience.Inject(ctx, "nlq"); err != nil {
 		sp.SetErr(err).End()
@@ -325,6 +431,16 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query,
 		return nil, err
 	}
 	sp.SetInt("candidates", int64(len(cands))).End()
+	return cands, nil
+}
+
+// answer runs the shared back half of Ask and AskQuery: candidate
+// generation, planning, execution, rendering-ready assembly.
+func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query, prior *core.Multiplot) (*Answer, error) {
+	cands, err := s.candidates(ctx, top)
+	if err != nil {
+		return nil, err
+	}
 	in := &core.Instance{
 		Candidates: cands,
 		Screen:     s.cfg.Screen,
@@ -386,6 +502,110 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query,
 		SetInt("red_bars", int64(redBars)).
 		End()
 	return ans, nil
+}
+
+// answerVoice runs the voice back half: candidate generation, fact-set
+// planning under the "speak" span, and transcript rendering under the
+// "viz" span — the audio mirror of answer().
+func (s *System) answerVoice(ctx context.Context, transcript string, top sqldb.Query, prior *speak.FactSet) (*Answer, error) {
+	cands, err := s.candidates(ctx, top)
+	if err != nil {
+		return nil, err
+	}
+	in := &core.Instance{
+		Candidates: cands,
+		Screen:     s.cfg.Screen,
+		Model:      s.cfg.Model,
+	}
+	ans := &Answer{
+		Transcript: transcript,
+		TopQuery:   top,
+		Candidates: cands,
+		Headline:   headline(cands),
+		Mode:       ModeVoice,
+	}
+	cost := speak.FromTimeModel(s.cfg.Model)
+	if !s.cfg.WarmStart {
+		prior = nil
+	}
+
+	sp := obs.StartSpan(ctx, "speak")
+	if err := resilience.Inject(ctx, "speak"); err != nil {
+		sp.SetErr(err).End()
+		return nil, err
+	}
+	workers := s.cfg.SolverWorkers
+	if w := resilience.SolverWorkers(ctx); w > 0 {
+		workers = w
+	}
+	var fs speak.FactSet
+	var st core.Stats
+	var planner string
+	switch s.cfg.Solver {
+	case SolverILP, SolverILPIncremental:
+		p := &speak.Planner{
+			Cost:        cost,
+			WordBudget:  s.cfg.SpeakWords,
+			Timeout:     s.speakBudget(ctx),
+			WarmStart:   true, // greedy floor: a timeout never speaks worse than greedy
+			Hint:        prior,
+			Parallelism: workers,
+			Ctx:         ctx,
+		}
+		planner = p.Name()
+		fs, st, err = p.Solve(in)
+	default:
+		g := &speak.Greedy{Cost: cost, WordBudget: s.cfg.SpeakWords, Ctx: ctx}
+		planner = g.Name()
+		fs, st, err = g.Solve(in)
+	}
+	if err != nil {
+		sp.SetErr(err).End()
+		return nil, err
+	}
+	w, _, n, nD := fs.Totals()
+	sp.SetStr("planner", planner).
+		SetInt("facts", int64(n)).
+		SetInt("direct_facts", int64(nD)).
+		SetInt("words", int64(w)).
+		SetFloat("cost", st.Cost).
+		SetBool("optimal", st.Optimal)
+	if st.WarmStart != "" {
+		sp.SetStr("warm_start", string(st.WarmStart))
+	}
+	sp.End()
+
+	vsp := obs.StartSpan(ctx, "viz")
+	if err := resilience.Inject(ctx, "viz"); err != nil {
+		vsp.SetErr(err).End()
+		return nil, err
+	}
+	va, err := speak.Render(s.db, in, fs, cost)
+	if err != nil {
+		vsp.SetErr(err).End()
+		return nil, err
+	}
+	ans.Voice = va
+	ans.Stats = st
+	vsp.SetInt("facts", int64(n)).
+		SetInt("spoken_words", int64(va.Words)).
+		End()
+	return ans, nil
+}
+
+// speakBudget resolves the exact fact-set planner's time budget, capped
+// by BudgetFraction of the context's remaining deadline exactly like
+// defaultMethod caps the multiplot ILP.
+func (s *System) speakBudget(ctx context.Context) time.Duration {
+	budget := s.cfg.ILPTimeout
+	if f := s.cfg.BudgetFraction; f > 0 {
+		if deadline, ok := ctx.Deadline(); ok {
+			if capped := time.Duration(f * float64(time.Until(deadline))); capped > 0 && capped < budget {
+				budget = capped
+			}
+		}
+	}
+	return budget
 }
 
 // defaultMethod maps the configured solver to a presentation method.

@@ -1,0 +1,93 @@
+package muve
+
+import (
+	"context"
+	"testing"
+
+	"muve/internal/core"
+)
+
+func TestAskVoiceEndToEnd(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithAnswerMode(ModeVoice), WithSolver(SolverILP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("how many noise complaints in brooklin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Mode != ModeVoice {
+		t.Errorf("mode %v, want voice", ans.Mode)
+	}
+	if ans.Voice == nil {
+		t.Fatal("voice answer missing")
+	}
+	if ans.Voice.Transcript == "" || len(ans.Voice.Facts.Facts) == 0 {
+		t.Fatalf("empty voice answer: %+v", ans.Voice)
+	}
+	if ans.Multiplot.NumPlots() != 0 {
+		t.Error("voice answer carries a multiplot")
+	}
+	if ans.Headline == "" {
+		t.Error("voice answer lost the headline")
+	}
+}
+
+func TestAskVoiceWarmStartAcrossUtterances(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithSolver(SolverILP), WithWarmStart(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sys.AskVoice("how many noise complaints in brooklin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.WarmStart != "" {
+		t.Errorf("first utterance warm start %q, want cold", first.Stats.WarmStart)
+	}
+	second, err := sys.AskVoiceContext(context.Background(),
+		"how many noise complaints in brooklyn", &first.Voice.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch second.Stats.WarmStart {
+	case core.WarmHit, core.WarmPartial, core.WarmNone:
+	default:
+		t.Errorf("second utterance warm start %q, want classified", second.Stats.WarmStart)
+	}
+}
+
+func TestAskVoiceGreedySolver(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithSpeakWords(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.AskVoice("how many noise complaints in brooklin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _, _, _ := ans.Voice.Facts.Totals(); w > 20 {
+		t.Errorf("voice answer estimates %d words over the 20-word budget", w)
+	}
+}
+
+func TestParseAnswerMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want AnswerMode
+		err  bool
+	}{
+		{"", ModePlot, false},
+		{"plot", ModePlot, false},
+		{"voice", ModeVoice, false},
+		{"hologram", ModePlot, true},
+	} {
+		got, err := ParseAnswerMode(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseAnswerMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
