@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke ci
+.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke slo-smoke ci
 
 all: ci
 
@@ -53,12 +53,22 @@ warmstart-smoke:
 speak-smoke:
 	$(GO) run ./cmd/muvebench -voice -voice-utterances 8 -seed 1
 
-# Branch-and-bound scaling at 1 vs GOMAXPROCS workers (the
-# BenchmarkILPParallel instances); fails if any arm proves a different
-# optimum, or — on multi-core hosts — if the parallel arm is slower
-# than sequential. Writes BENCH_solver.json.
+# Branch-and-bound scaling across explicit worker counts (the
+# BenchmarkILPParallel instances); GOMAXPROCS is raised to the widest
+# arm so every arm is recorded even on single-core runners. Fails if
+# any arm proves a different optimum, or — on multi-core hosts — if a
+# parallel arm is slower than sequential. Writes BENCH_solver.json.
 bench-smoke:
-	$(GO) run ./cmd/muvebench -scaling -scaling-workers 1,max \
+	$(GO) run ./cmd/muvebench -scaling -scaling-workers 1,2,4 \
 		-scaling-json BENCH_solver.json
 
-ci: vet build race trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke
+# SLO engine end to end: replay a workload under chaos against a
+# deliberately tight objective, and fail unless the burn-rate trip
+# fired the flight recorder (>=1 incident bundle) and the report is
+# well formed.
+slo-smoke:
+	$(GO) run ./cmd/muvebench -slo "e2e:p99<5ms" \
+		-slo-chaos "solver:lat=500ms@0.5,err=0.2" \
+		-slo-requests 80 -slo-workers 4 -slo-expect-incidents 1
+
+ci: vet build race trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke slo-smoke

@@ -35,6 +35,23 @@
 // stale, minimal, cache, coalesced) so degradation rates are tracked
 // alongside latency.
 //
+// SLO mode replays a workload through the serving engine while the SLO
+// engine evaluates latency objectives over sliding windows, then prints
+// the windowed-latency table, fast/slow burn rates, any burn-rate trips
+// and the incident bundles the flight recorder captured for them:
+//
+//	muvebench -slo "e2e:p95<500ms;solver:p99<250ms" \
+//	          [-slo-chaos "solver:lat=3s@0.5"] [-slo-requests 200] \
+//	          [-slo-burn 14.4] [-slo-expect-incidents 1] \
+//	          [-slo-json out.json] [-slo-cpuprofile cpu.pprof]
+//
+// -slo-expect-incidents N fails the run (non-zero exit) unless at least
+// N incident bundles were captured — `make slo-smoke` uses a
+// deliberately tight objective under chaos to prove the trip→capture
+// path end to end. -slo-cpuprofile writes a replay-wide CPU profile
+// whose samples carry the stage/lane/mode/rung pprof labels (inspect
+// with `go tool pprof -tags`).
+//
 // Voice mode plans every utterance with the exact fact-set ILP and the
 // greedy fallback over the same candidates and fails (non-zero exit) if
 // greedy ever achieves a strictly better objective than a provably
@@ -61,8 +78,11 @@
 //
 //	muvebench -scaling [-scaling-workers 1,2,4,8] [-scaling-json out.json]
 //
-// "max" in -scaling-workers stands for GOMAXPROCS; `make bench-smoke`
-// runs "1,max" and writes BENCH_solver.json.
+// "max" in -scaling-workers stands for GOMAXPROCS. The run raises
+// GOMAXPROCS to the widest requested arm so every arm is recorded even
+// on single-core runners (where the slower-than-sequential gate is
+// skipped); `make bench-smoke` runs "1,2,4" and writes
+// BENCH_solver.json.
 package main
 
 import (
@@ -116,6 +136,16 @@ func run() error {
 		warmBudget = flag.Duration("warmstart-budget", 400*time.Millisecond, "per-utterance planning budget in -warmstart mode")
 		warmJSON   = flag.String("warmstart-json", "", "write the -warmstart summary as JSON to this file")
 
+		sloSpec    = flag.String("slo", "", "run the SLO replay harness with these objectives (stage:pNN<dur[;...]) instead of experiments")
+		sloChaos   = flag.String("slo-chaos", "", "fault spec injected during the -slo replay (same grammar as -chaos)")
+		sloSeed    = flag.Int64("slo-seed", 1, "workload and fault seed for -slo mode")
+		sloReqs    = flag.Int("slo-requests", 200, "requests to replay in -slo mode")
+		sloWorkers = flag.Int("slo-workers", 8, "concurrent clients in -slo mode")
+		sloBurn    = flag.Float64("slo-burn", 14.4, "burn-rate threshold tripping an objective in -slo mode")
+		sloExpect  = flag.Int("slo-expect-incidents", 0, "fail unless the flight recorder captured at least this many incident bundles")
+		sloJSON    = flag.String("slo-json", "", "write the -slo summary as JSON to this file")
+		sloProfile = flag.String("slo-cpuprofile", "", "write a replay-wide CPU profile (stage-labeled samples) to this file")
+
 		solverWorkers  = flag.Int("solver-workers", 0, "planner parallelism for experiment and trace modes (0 = GOMAXPROCS)")
 		scalingFlag    = flag.Bool("scaling", false, "measure branch-and-bound scaling across worker counts instead of running experiments")
 		scalingWorkers = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling mode (\"max\" = GOMAXPROCS)")
@@ -132,6 +162,9 @@ func run() error {
 	}
 	if *chaosFlag != "" {
 		return runChaos(*chaosFlag, *chaosSeed, *chaosRequests, *chaosWorkers, *chaosJSON)
+	}
+	if *sloSpec != "" {
+		return runSLO(*sloSpec, *sloChaos, *sloSeed, *sloReqs, *sloWorkers, *sloBurn, *sloExpect, *sloJSON, *sloProfile)
 	}
 	if *voiceFlag {
 		return runVoice(*seedFlag, *voiceUtts, *voiceWords, *voiceJSON)

@@ -17,6 +17,9 @@
 //	                           muve_stage_seconds histograms)
 //	GET /debug/vars            metrics as JSON (with p50/p95/p99)
 //	GET /debug/traces          recent pipeline traces (?format=json|text|chrome)
+//	GET /debug/slo             SLO burn-rate report (?format=text; with -slo)
+//	GET /debug/incidents       flight-recorder bundles (?id=inc-N&part=
+//	                           cpu|heap|metrics|traces|slo)
 //	GET /debug/pprof/*         Go profiling endpoints (with -pprof)
 //
 // format=voice plans a spoken fact-set answer (internal/speak) instead
@@ -60,6 +63,9 @@
 //	           [-chaos spec] [-chaos-seed 1] [-speak-words 0]
 //	           [-trace-buffer 128] [-trace-sample 1] [-trace-slow 250ms]
 //	           [-pprof] [-runtime-trace trace.out]
+//	           [-slo "e2e:p95<1s"] [-slo-burn 14.4] [-slo-interval 10s]
+//	           [-incident-buffer 8] [-incident-dir DIR]
+//	           [-incident-profile 1s] [-incident-cooldown 30s]
 //
 // -trace-buffer sizes the in-memory ring of recent request traces (0
 // disables tracing and /debug/traces serves an empty list).
@@ -70,17 +76,32 @@
 // -runtime-trace captures a Go runtime execution trace into the given
 // file for `go tool trace`.
 //
+// SLOs: -slo declares latency objectives ("stage:pNN<dur", semicolon-
+// separated; stage "e2e" is whole-request latency). Every finished
+// trace folds into per-stage sliding windowed histograms; each
+// objective's error-budget burn rate is evaluated over a fast (5m) and
+// slow (1h) window and trips when both reach -slo-burn. A trip — or a
+// circuit breaker opening — fires the flight recorder, which captures
+// an incident bundle (short CPU profile, heap profile, trace-ring
+// snapshot, metrics dump, SLO state) into a ring of -incident-buffer
+// bundles at /debug/incidents, optionally spilled under -incident-dir.
+// /metrics additionally carries Go runtime health as the muve_go_*
+// family, and all pipeline work runs under pprof labels (stage, lane,
+// mode, rung) so `go tool pprof -tags` decomposes CPU by stage.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"html"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -138,6 +159,13 @@ func run() error {
 		slowFlag     = flag.Duration("trace-slow", 250*time.Millisecond, "traces at least this slow bypass -trace-sample and are always kept (0 disables the bypass)")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		rtTraceFlag  = flag.String("runtime-trace", "", "capture a Go runtime trace into this file")
+		sloFlag      = flag.String("slo", "e2e:p95<1s", "latency SLOs, 'stage:pNN<dur[;...]' (stage e2e = whole request); empty disables /debug/slo")
+		sloBurnFlag  = flag.Float64("slo-burn", 14.4, "burn-rate threshold tripping an objective (both fast and slow windows)")
+		sloEvalFlag  = flag.Duration("slo-interval", 10*time.Second, "how often objectives are evaluated for trips")
+		incBufFlag   = flag.Int("incident-buffer", 8, "incident bundles kept for /debug/incidents")
+		incDirFlag   = flag.String("incident-dir", "", "also spill each incident bundle's parts as files under this directory")
+		incProfFlag  = flag.Duration("incident-profile", time.Second, "incident CPU profile duration")
+		incCoolFlag  = flag.Duration("incident-cooldown", 30*time.Second, "minimum spacing between incident captures (suppressed triggers count as repeats)")
 	)
 	flag.Parse()
 
@@ -196,6 +224,15 @@ func run() error {
 		log.Printf("muveserver CHAOS ENABLED: %s (seed %d)", *chaosFlag, *chaosSeed)
 	}
 
+	objectives, err := obs.ParseObjectives(*sloFlag)
+	if err != nil {
+		return err
+	}
+
+	// The flight recorder is built after the engine (its metrics dump
+	// needs the registry), so breaker notifications late-bind to it; the
+	// variable is assigned before the server accepts traffic.
+	var recorder *obs.Recorder
 	engine, err := newEngine(sys, db, ds.String(), engineConfig{
 		solver:           solver,
 		solverName:       *solverFlag,
@@ -212,14 +249,57 @@ func run() error {
 		breakerCooldown:  *brkCooldown,
 		chaos:            chaos,
 		speakWords:       *speakFlag,
+		breakerNotify: func(stage string, to resilience.BreakerState) {
+			if recorder != nil && to == resilience.Open {
+				recorder.Trigger("breaker-open:" + stage)
+			}
+		},
 	})
 	if err != nil {
 		return err
 	}
 
 	ring := obs.NewRing(*traceBufFlag)
-	mux := newMux(engine, sys, ds.String(), tbl.NumRows())
+	gostats := obs.NewGoStats()
+	var slo *obs.SLO
+	if strings.TrimSpace(*sloFlag) != "" {
+		slo = obs.NewSLO(obs.SLOConfig{
+			Objectives:    objectives,
+			BurnThreshold: *sloBurnFlag,
+			OnTrip: func(t obs.Trip) {
+				log.Printf("muveserver SLO TRIP %s fast=%.1f slow=%.1f", t.Objective, t.FastBurn, t.SlowBurn)
+				if recorder != nil {
+					recorder.Trigger("slo-trip:" + t.Objective)
+				}
+			},
+		})
+	}
+	recorder = obs.NewRecorder(obs.RecorderConfig{
+		Capacity:        *incBufFlag,
+		Dir:             *incDirFlag,
+		ProfileDuration: *incProfFlag,
+		Cooldown:        *incCoolFlag,
+		Metrics: func() []byte {
+			var b bytes.Buffer
+			engine.Metrics().WriteProm(&b)
+			gostats.WriteProm(&b)
+			return b.Bytes()
+		},
+		State: func() any {
+			if slo == nil {
+				return nil
+			}
+			return slo.Report()
+		},
+		Traces: ring,
+	})
+
+	mux := newMux(engine, sys, ds.String(), tbl.NumRows(), gostats)
 	mux.Handle("/debug/traces", obs.Handler(ring))
+	if slo != nil {
+		mux.Handle("/debug/slo", slo.Handler())
+	}
+	mux.Handle("/debug/incidents", recorder.Handler())
 	if *pprofFlag {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -231,9 +311,15 @@ func run() error {
 	// the tracer (trace ID), the recovery middleware's panic log lines,
 	// and the engine's own log lines. Recovery sits innermost so a
 	// panicking handler still produces a finished trace and a log line.
+	// The SLO engine observes every finished trace (unsampled), so burn
+	// rates cover all traffic even when the debug ring keeps a fraction.
+	var observers []func(*obs.Trace)
+	if slo != nil {
+		observers = append(observers, slo.ObserveTrace)
+	}
 	handler := serve.WithLogging(log.Default(),
 		serve.WithSampledTracing(ring, obs.NewSampler(*sampleFlag, *slowFlag), engine.Metrics(),
-			serve.WithRecovery(log.Default(), engine.Metrics(), mux)))
+			serve.WithRecovery(log.Default(), engine.Metrics(), mux), observers...))
 	srv := &http.Server{
 		Addr:              *addrFlag,
 		Handler:           handler,
@@ -242,6 +328,9 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if slo != nil {
+		go slo.Run(ctx, *sloEvalFlag)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("muveserver listening on %s (table %s, %d rows, %s solver, %d inflight, %d cache entries)",
@@ -278,6 +367,7 @@ type engineConfig struct {
 	breakerCooldown  time.Duration
 	chaos            *resilience.Chaos
 	speakWords       int
+	breakerNotify    func(stage string, to resilience.BreakerState)
 }
 
 // sessionState keeps a session's latest answer per output modality:
@@ -443,6 +533,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		Dataset:          table,
 		Solver:           cfg.solverName,
 		WidthPx:          cfg.widthPx,
+		BreakerNotify:    cfg.breakerNotify,
 		Logger:           log.Default(),
 	})
 }
@@ -489,13 +580,25 @@ func answerFor(w http.ResponseWriter, r *http.Request, engine *serve.Engine) (*m
 	return ans, true
 }
 
-// newMux builds the HTTP handler tree for a configured engine.
-func newMux(engine *serve.Engine, sys *muve.System, tableName string, numRows int) *http.ServeMux {
+// promWriter is anything appending Prometheus text metrics — the Go
+// runtime gauges ride along on /metrics this way.
+type promWriter interface{ WriteProm(w io.Writer) }
+
+// newMux builds the HTTP handler tree for a configured engine. Any
+// extra promWriters are appended to the /metrics exposition after the
+// engine's own registry.
+func newMux(engine *serve.Engine, sys *muve.System, tableName string, numRows int, extras ...promWriter) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.Handle("/metrics", engine.Metrics().Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		engine.Metrics().WriteProm(w)
+		for _, e := range extras {
+			e.WriteProm(w)
+		}
+	})
 	mux.Handle("/debug/vars", engine.Metrics().VarsHandler())
 	mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
 		ans, ok := answerFor(w, r, engine)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -279,7 +280,18 @@ func (g *GreedySolver) pickPlots(in *Instance, colored []coloredPlot) (Multiplot
 				wg.Add(1)
 				go func(w, lo, hi int) {
 					defer wg.Done()
-					shards[w] = g.scanShard(in, colored, lo, hi, usedTemplate, rowUsed, current, currentCost)
+					scan := func() {
+						shards[w] = g.scanShard(in, colored, lo, hi, usedTemplate, rowUsed, current, currentCost)
+					}
+					if g.Ctx != nil {
+						// Carry the request's pprof labels onto the shard
+						// goroutine so profile samples attribute to the
+						// requesting stage even when the solver runs off a
+						// pool goroutine without labels of its own.
+						pprof.Do(g.Ctx, pprof.Labels(), func(context.Context) { scan() })
+					} else {
+						scan()
+					}
 				}(w, lo, hi)
 			}
 			wg.Wait()

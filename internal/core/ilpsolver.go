@@ -122,7 +122,7 @@ func (s *ILPSolver) Solve(in *Instance) (Multiplot, Stats, error) {
 	if err != nil {
 		return Multiplot{}, Stats{}, err
 	}
-	opt := ilp.Options{Workers: s.Parallelism}
+	opt := ilp.Options{Workers: s.Parallelism, Ctx: s.Ctx}
 	if s.Timeout > 0 {
 		opt.Deadline = start.Add(s.Timeout)
 	}

@@ -1,8 +1,10 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,11 @@ import (
 
 // Options configures a Solve call.
 type Options struct {
+	// Ctx, when non-nil, carries pprof labels (stage, lane, …) onto the
+	// subtree worker goroutines so CPU profiles attribute branch-and-
+	// bound work to the requesting pipeline stage. It does NOT govern
+	// cancellation — Deadline does; label plumbing only.
+	Ctx context.Context
 	// Deadline aborts the search when reached; the best incumbent found so
 	// far is returned with StatusFeasible (or StatusTimeout when none).
 	// The zero value means no deadline.
@@ -112,7 +119,15 @@ func (m *Model) Solve(opt Options) (*Solution, error) {
 				wg.Add(1)
 				go func(w *bbWorker) {
 					defer wg.Done()
-					w.run()
+					// Re-apply the caller's pprof labels: goroutines
+					// inherit labels from their spawner, but Solve may be
+					// dispatched from a pool goroutine that never carried
+					// them — the context is the reliable carrier.
+					if opt.Ctx != nil {
+						pprof.Do(opt.Ctx, pprof.Labels(), func(context.Context) { w.run() })
+					} else {
+						w.run()
+					}
 				}(w)
 			}
 			wg.Wait()

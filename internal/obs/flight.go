@@ -1,0 +1,284 @@
+// Incident flight recorder: when an SLO burn rate trips or a breaker
+// opens, capture a bounded diagnostic bundle — a short CPU profile, a
+// heap profile, the trace-ring snapshot, a metrics dump, and the SLO
+// state — while the incident is still happening, and keep the last few
+// bundles in a ring served at /debug/incidents. The point is to answer
+// "which code was on-CPU when the budget burned" without anyone having
+// been logged in to run pprof at 3am.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RecorderConfig assembles a flight Recorder.
+type RecorderConfig struct {
+	// Capacity bounds the incident ring (default 8).
+	Capacity int
+	// Dir, when non-empty, additionally spills each bundle's parts as
+	// files under Dir (created if missing).
+	Dir string
+	// ProfileDuration is how long the incident CPU profile runs
+	// (default 1s). Keep it short: the recorder holds the process's one
+	// CPU-profiling slot for its duration.
+	ProfileDuration time.Duration
+	// Cooldown rate-limits captures (default 30s): triggers landing
+	// inside it are counted on the previous incident, not captured.
+	Cooldown time.Duration
+	// Metrics, when non-nil, supplies the metrics dump for the bundle
+	// (e.g. the Prometheus text exposition).
+	Metrics func() []byte
+	// State, when non-nil, supplies JSON-marshalable SLO state.
+	State func() any
+	// Traces, when non-nil, is the ring whose snapshot lands in the
+	// bundle as a text listing.
+	Traces *Ring
+	// Clock is the injectable time source (default time.Now).
+	Clock func() time.Time
+}
+
+// Incident is one captured bundle. The profile parts are retrieved by
+// /debug/incidents?id=N&part=cpu|heap|metrics|traces|state.
+type Incident struct {
+	ID       string    `json:"id"`
+	At       time.Time `json:"at"`
+	Reason   string    `json:"reason"`
+	Repeats  int       `json:"repeats,omitempty"` // triggers suppressed into this incident
+	Err      string    `json:"err,omitempty"`     // capture problems, e.g. CPU profiler busy
+	Spilled  string    `json:"spilled,omitempty"` // directory the parts were written to
+	CPUBytes int       `json:"cpu_bytes"`
+	Heap     []byte    `json:"-"`
+	CPU      []byte    `json:"-"`
+	Metrics  []byte    `json:"-"`
+	Traces   []byte    `json:"-"`
+	State    []byte    `json:"-"`
+}
+
+// Recorder captures and retains incident bundles. All methods are safe
+// for concurrent use; captures run asynchronously off the trigger path.
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu       sync.Mutex
+	ring     []*Incident // newest last
+	seq      int
+	last     time.Time // last capture start, for the cooldown
+	inflight sync.WaitGroup
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8
+	}
+	if cfg.ProfileDuration <= 0 {
+		cfg.ProfileDuration = time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Recorder{cfg: cfg}
+}
+
+// Trigger requests an incident capture. It returns immediately: true
+// when a capture started, false when the cooldown suppressed it (the
+// newest incident's Repeats count is bumped instead, so trigger storms
+// stay visible without re-profiling).
+func (r *Recorder) Trigger(reason string) bool {
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	if !r.last.IsZero() && now.Sub(r.last) < r.cfg.Cooldown {
+		if n := len(r.ring); n > 0 {
+			r.ring[n-1].Repeats++
+		}
+		r.mu.Unlock()
+		return false
+	}
+	r.last = now
+	r.seq++
+	inc := &Incident{ID: fmt.Sprintf("inc-%d", r.seq), At: now, Reason: reason}
+	r.mu.Unlock()
+
+	r.inflight.Add(1)
+	go func() {
+		defer r.inflight.Done()
+		r.capture(inc)
+		r.mu.Lock()
+		r.ring = append(r.ring, inc)
+		if len(r.ring) > r.cfg.Capacity {
+			r.ring = r.ring[len(r.ring)-r.cfg.Capacity:]
+		}
+		r.mu.Unlock()
+	}()
+	return true
+}
+
+// Wait blocks until all in-flight captures have landed in the ring —
+// for tests and batch reports, not the serving path.
+func (r *Recorder) Wait() { r.inflight.Wait() }
+
+// capture fills the bundle. Each part degrades independently: a busy
+// CPU profiler (muveserver's -pprof flag, say) forfeits just the CPU
+// part and notes why.
+func (r *Recorder) capture(inc *Incident) {
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		inc.Err = "cpu profile: " + err.Error()
+	} else {
+		time.Sleep(r.cfg.ProfileDuration)
+		pprof.StopCPUProfile()
+		inc.CPU = cpu.Bytes()
+	}
+	inc.CPUBytes = len(inc.CPU)
+
+	var heap bytes.Buffer
+	if p := pprof.Lookup("heap"); p != nil {
+		if err := p.WriteTo(&heap, 0); err == nil {
+			inc.Heap = heap.Bytes()
+		}
+	}
+	if r.cfg.Metrics != nil {
+		inc.Metrics = r.cfg.Metrics()
+	}
+	if r.cfg.State != nil {
+		if b, err := json.MarshalIndent(r.cfg.State(), "", "  "); err == nil {
+			inc.State = b
+		}
+	}
+	if r.cfg.Traces != nil {
+		var tb bytes.Buffer
+		for _, tr := range r.cfg.Traces.Snapshot() {
+			WriteText(&tb, tr)
+		}
+		inc.Traces = tb.Bytes()
+	}
+	if r.cfg.Dir != "" {
+		r.spill(inc)
+	}
+}
+
+// spill writes the bundle's parts as files under cfg.Dir.
+func (r *Recorder) spill(inc *Incident) {
+	dir := filepath.Join(r.cfg.Dir, inc.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		inc.Err = appendErr(inc.Err, "spill: "+err.Error())
+		return
+	}
+	meta, _ := json.MarshalIndent(inc, "", "  ")
+	parts := []struct {
+		name string
+		data []byte
+	}{
+		{"meta.json", meta},
+		{"cpu.pprof", inc.CPU},
+		{"heap.pprof", inc.Heap},
+		{"metrics.prom", inc.Metrics},
+		{"traces.txt", inc.Traces},
+		{"slo.json", inc.State},
+	}
+	for _, p := range parts {
+		if len(p.data) == 0 {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, p.name), p.data, 0o644); err != nil {
+			inc.Err = appendErr(inc.Err, "spill: "+err.Error())
+			return
+		}
+	}
+	inc.Spilled = dir
+}
+
+func appendErr(prev, next string) string {
+	if prev == "" {
+		return next
+	}
+	return prev + "; " + next
+}
+
+// Incidents returns the retained bundles, newest first.
+func (r *Recorder) Incidents() []*Incident {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Incident, len(r.ring))
+	for i, inc := range r.ring {
+		out[len(r.ring)-1-i] = inc
+	}
+	return out
+}
+
+// Get returns the bundle with the given ID, or nil.
+func (r *Recorder) Get(id string) *Incident {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, inc := range r.ring {
+		if inc.ID == id {
+			return inc
+		}
+	}
+	return nil
+}
+
+// Handler serves the incident ring at /debug/incidents:
+//
+//	(no params)        JSON list of incident metadata, newest first
+//	?id=inc-N          one incident's metadata
+//	?id=inc-N&part=P   raw part bytes; P is cpu, heap, metrics,
+//	                   traces or slo
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			incs := r.Incidents()
+			sort.SliceStable(incs, func(i, j int) bool { return incs[i].At.After(incs[j].At) })
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(incs)
+			return
+		}
+		inc := r.Get(id)
+		if inc == nil {
+			http.Error(w, "no such incident", http.StatusNotFound)
+			return
+		}
+		switch part := req.URL.Query().Get("part"); part {
+		case "":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(inc)
+		case "cpu", "heap":
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%q", inc.ID+"-"+part+".pprof"))
+			if part == "cpu" {
+				w.Write(inc.CPU)
+			} else {
+				w.Write(inc.Heap)
+			}
+		case "metrics":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write(inc.Metrics)
+		case "traces":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write(inc.Traces)
+		case "slo":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(inc.State)
+		default:
+			http.Error(w, "unknown part (want cpu|heap|metrics|traces|slo)", http.StatusBadRequest)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRecorder(clk *fakeClock, dir string) *Recorder {
+	ring := NewRing(4)
+	tr := NewTrace("ask")
+	tr.RecordSpan("solver", 0, 3*time.Millisecond)
+	tr.Finish()
+	ring.Add(tr)
+	return NewRecorder(RecorderConfig{
+		Capacity:        2,
+		Dir:             dir,
+		ProfileDuration: 20 * time.Millisecond,
+		Cooldown:        time.Minute,
+		Metrics:         func() []byte { return []byte("muve_test_metric 1\n") },
+		State:           func() any { return map[string]string{"state": "tripped"} },
+		Traces:          ring,
+		Clock:           clk.Now,
+	})
+}
+
+func TestRecorderCaptureBundle(t *testing.T) {
+	clk := newFakeClock()
+	dir := t.TempDir()
+	r := testRecorder(clk, dir)
+
+	if !r.Trigger("slo-trip:test") {
+		t.Fatal("first trigger suppressed")
+	}
+	r.Wait()
+
+	incs := r.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	inc := incs[0]
+	if inc.ID != "inc-1" || inc.Reason != "slo-trip:test" {
+		t.Errorf("incident meta = %+v", inc)
+	}
+	// The CPU part may be forfeited if another profiler holds the slot
+	// (inc.Err says so); every other part must land.
+	if len(inc.CPU) == 0 && inc.Err == "" {
+		t.Error("no CPU profile and no explanation in Err")
+	}
+	if len(inc.Heap) == 0 {
+		t.Error("heap profile missing")
+	}
+	if string(inc.Metrics) != "muve_test_metric 1\n" {
+		t.Errorf("metrics part = %q", inc.Metrics)
+	}
+	var st map[string]string
+	if err := json.Unmarshal(inc.State, &st); err != nil || st["state"] != "tripped" {
+		t.Errorf("state part = %q (%v)", inc.State, err)
+	}
+	if len(inc.Traces) == 0 {
+		t.Error("trace snapshot missing")
+	}
+
+	// Spill: the bundle directory holds the written parts.
+	if inc.Spilled == "" {
+		t.Fatalf("bundle not spilled (err %q)", inc.Err)
+	}
+	for _, name := range []string{"meta.json", "heap.pprof", "metrics.prom", "traces.txt", "slo.json"} {
+		if _, err := os.Stat(filepath.Join(inc.Spilled, name)); err != nil {
+			t.Errorf("spilled part %s: %v", name, err)
+		}
+	}
+}
+
+func TestRecorderCooldownAndRingBound(t *testing.T) {
+	clk := newFakeClock()
+	r := testRecorder(clk, "")
+
+	if !r.Trigger("first") {
+		t.Fatal("first trigger suppressed")
+	}
+	r.Wait()
+	// Inside the cooldown: suppressed, counted on the newest incident.
+	clk.Advance(10 * time.Second)
+	if r.Trigger("storm-1") || r.Trigger("storm-2") {
+		t.Fatal("trigger inside cooldown captured")
+	}
+	if incs := r.Incidents(); len(incs) != 1 || incs[0].Repeats != 2 {
+		t.Fatalf("after storm: %d incidents, repeats %d; want 1 incident with 2 repeats",
+			len(incs), incs[0].Repeats)
+	}
+
+	// Past the cooldown, captures resume; capacity 2 evicts the oldest.
+	for i := 0; i < 3; i++ {
+		clk.Advance(2 * time.Minute)
+		if !r.Trigger("later") {
+			t.Fatalf("trigger %d past cooldown suppressed", i)
+		}
+		r.Wait()
+	}
+	incs := r.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("ring holds %d incidents, want capacity 2", len(incs))
+	}
+	if incs[0].ID != "inc-4" || incs[1].ID != "inc-3" {
+		t.Errorf("ring = [%s %s], want newest-first [inc-4 inc-3]", incs[0].ID, incs[1].ID)
+	}
+}
+
+func TestRecorderHandler(t *testing.T) {
+	clk := newFakeClock()
+	r := testRecorder(clk, "")
+	r.Trigger("handler-test")
+	r.Wait()
+	h := r.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/incidents", nil))
+	var list []Incident
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil || len(list) != 1 {
+		t.Fatalf("list = %q (%v)", rr.Body.String(), err)
+	}
+	if list[0].ID != "inc-1" {
+		t.Errorf("list[0].ID = %s", list[0].ID)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/incidents?id=inc-1&part=metrics", nil))
+	if rr.Code != 200 || rr.Body.String() != "muve_test_metric 1\n" {
+		t.Errorf("metrics part: code %d body %q", rr.Code, rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/incidents?id=inc-1&part=slo", nil))
+	if rr.Code != 200 || !json.Valid(rr.Body.Bytes()) {
+		t.Errorf("slo part: code %d body %q", rr.Code, rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/incidents?id=inc-9", nil))
+	if rr.Code != 404 {
+		t.Errorf("missing incident: code %d, want 404", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/incidents?id=inc-1&part=bogus", nil))
+	if rr.Code != 400 {
+		t.Errorf("bogus part: code %d, want 400", rr.Code)
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGoStatsWriteProm(t *testing.T) {
+	g := NewGoStats()
+	var b bytes.Buffer
+	g.WriteProm(&b)
+	out := b.String()
+	if !strings.Contains(out, "muve_go_") {
+		t.Fatalf("no muve_go_ series in output:\n%s", out)
+	}
+	if !strings.Contains(out, "muve_go_goroutines") {
+		t.Errorf("goroutine gauge missing:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "muve_go_") {
+			t.Errorf("unprefixed series line %q", line)
+		}
+	}
+}
+
+func TestGoStatsSnapshot(t *testing.T) {
+	g := NewGoStats()
+	snap := g.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if v, ok := snap["/sched/goroutines:goroutines"]; !ok || v < 1 {
+		t.Errorf("goroutines gauge = %v (present %v), want >= 1", v, ok)
+	}
+}

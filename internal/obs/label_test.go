@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"testing"
+)
+
+func TestDoAttachesStageLabel(t *testing.T) {
+	if got := Label(context.Background(), "stage"); got != "" {
+		t.Fatalf("unlabeled ctx stage = %q, want empty", got)
+	}
+	Do(context.Background(), "solver", func(ctx context.Context) {
+		if got := Label(ctx, "stage"); got != "solver" {
+			t.Errorf("stage label = %q, want solver", got)
+		}
+		// Nested stages override: the innermost wins, as in the pipeline
+		// (e.g. progressive wrapping its solver call).
+		Do(ctx, "viz", func(ctx context.Context) {
+			if got := Label(ctx, "stage"); got != "viz" {
+				t.Errorf("nested stage label = %q, want viz", got)
+			}
+		})
+		if got := Label(ctx, "stage"); got != "solver" {
+			t.Errorf("stage label after nesting = %q, want solver", got)
+		}
+	})
+}
+
+// TestLabelsReachPoolWorkers pins the re-application idiom the solver
+// pools use: a worker goroutine spawned from an unlabeled pool
+// goroutine regains the request's labels by re-entering pprof.Do with
+// the stored context and an empty label set.
+func TestLabelsReachPoolWorkers(t *testing.T) {
+	var labeled context.Context
+	Do(context.Background(), "solver", func(ctx context.Context) { labeled = ctx })
+
+	results := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Plain spawn from an unlabeled goroutine: reading the goroutine's
+	// own label set via a fresh context shows nothing...
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		pprof.Do(ctx, pprof.Labels(), func(ctx context.Context) {
+			results <- Label(ctx, "stage")
+		})
+	}()
+	// ...while re-applying the stored request context carries "solver"
+	// onto the worker.
+	go func() {
+		defer wg.Done()
+		pprof.Do(labeled, pprof.Labels(), func(ctx context.Context) {
+			results <- Label(ctx, "stage")
+		})
+	}()
+	wg.Wait()
+	close(results)
+	var got []string
+	for s := range results {
+		got = append(got, s)
+	}
+	want := map[string]bool{"": false, "solver": false}
+	for _, s := range got {
+		if _, ok := want[s]; !ok {
+			t.Fatalf("unexpected label %q (all: %v)", s, got)
+		}
+		want[s] = true
+	}
+	for s, seen := range want {
+		if !seen {
+			t.Errorf("label %q never observed (all: %v)", s, got)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("e2e:p95<500ms; solver:p99.9<250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(objs))
+	}
+	if objs[0].Stage != "e2e" || objs[0].Target != 0.95 || objs[0].Threshold != 500*time.Millisecond {
+		t.Errorf("objs[0] = %+v", objs[0])
+	}
+	if d := objs[1].Target - 0.999; objs[1].Stage != "solver" || d < -1e-9 || d > 1e-9 || objs[1].Threshold != 250*time.Millisecond {
+		t.Errorf("objs[1] = %+v", objs[1])
+	}
+	if got := objs[0].String(); got != "e2e:p95<500ms" {
+		t.Errorf("String() = %q", got)
+	}
+	if objs, err := ParseObjectives(" ; "); err != nil || len(objs) != 0 {
+		t.Errorf("blank spec: objs=%v err=%v, want none/nil", objs, err)
+	}
+	for _, bad := range []string{"e2e", "e2e:95<1s", "e2e:p0<1s", "e2e:p100<1s", "e2e:p95<nope", "e2e:p95<-1s", ":p95<1s"} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// sloUnderClock builds an SLO on a fake clock with second slots.
+func sloUnderClock(clk *fakeClock, objs []Objective, onTrip func(Trip)) *SLO {
+	return NewSLO(SLOConfig{
+		Objectives:  objs,
+		SlotDur:     time.Second,
+		ShortWindow: 10 * time.Second,
+		FastWindow:  30 * time.Second,
+		SlowWindow:  2 * time.Minute,
+		Cooldown:    time.Minute,
+		OnTrip:      onTrip,
+		Clock:       clk.Now,
+	})
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	clk := newFakeClock()
+	objs := []Objective{{Stage: "e2e", Target: 0.9, Threshold: 10 * time.Millisecond}}
+	s := sloUnderClock(clk, objs, nil)
+
+	// All good: burn 0.
+	for i := 0; i < 50; i++ {
+		s.Observe("e2e", time.Millisecond)
+	}
+	rep := s.Report()
+	if got := rep.Objectives[0].FastBurn; got != 0 {
+		t.Errorf("all-good fast burn = %v, want 0", got)
+	}
+
+	// Half bad: bad fraction 0.5 over a 0.1 budget = burn ~5.
+	for i := 0; i < 50; i++ {
+		s.Observe("e2e", time.Second)
+	}
+	rep = s.Report()
+	fast := rep.Objectives[0].FastBurn
+	if fast < 4 || fast > 6 {
+		t.Errorf("half-bad fast burn = %v, want ~5", fast)
+	}
+	if rep.Objectives[0].Breached {
+		t.Error("burn ~5 marked breached at default threshold 14.4")
+	}
+	// Budget accounting since boot: 50 bad of 100 total, allowance 10.
+	if used := rep.Objectives[0].BudgetUsed; used < 4.9 || used > 5.1 {
+		t.Errorf("budget used = %v, want ~5.0", used)
+	}
+}
+
+func TestSLOTripAndCooldown(t *testing.T) {
+	clk := newFakeClock()
+	var trips []Trip
+	objs := []Objective{{Stage: "e2e", Target: 0.99, Threshold: time.Millisecond}}
+	s := sloUnderClock(clk, objs, func(tr Trip) { trips = append(trips, tr) })
+
+	// Everything bad: burn = 1/0.01 = 100 on both windows.
+	for i := 0; i < 40; i++ {
+		s.Observe("e2e", time.Second)
+	}
+	fired := s.Check()
+	if len(fired) != 1 || len(trips) != 1 {
+		t.Fatalf("first check fired %d trips (callback %d), want 1", len(fired), len(trips))
+	}
+	if trips[0].FastBurn < 14.4 || trips[0].SlowBurn < 14.4 {
+		t.Errorf("trip burns = %+v, want both >= threshold", trips[0])
+	}
+
+	// Within the cooldown the same breach stays silent.
+	clk.Advance(10 * time.Second)
+	if fired := s.Check(); len(fired) != 0 {
+		t.Fatalf("check inside cooldown fired %d trips, want 0", len(fired))
+	}
+	// Past the cooldown (still breaching: observations are inside the
+	// slow window) it fires again.
+	clk.Advance(55 * time.Second)
+	s.Observe("e2e", time.Second) // keep the fast window breaching too
+	if fired := s.Check(); len(fired) != 1 {
+		t.Fatalf("check past cooldown fired %d trips, want 1", len(fired))
+	}
+}
+
+func TestSLONoTrafficNoTrip(t *testing.T) {
+	clk := newFakeClock()
+	objs := []Objective{{Stage: "e2e", Target: 0.99, Threshold: time.Millisecond}}
+	s := sloUnderClock(clk, objs, func(Trip) { t.Error("trip fired with no traffic") })
+	if fired := s.Check(); len(fired) != 0 {
+		t.Fatalf("idle check fired %d trips", len(fired))
+	}
+}
+
+func TestSLOObserveTrace(t *testing.T) {
+	clk := newFakeClock()
+	s := sloUnderClock(clk, nil, nil)
+
+	tr := NewTrace("ask")
+	tr.RecordSpan("solver", 0, 20*time.Millisecond)
+	tr.RecordSpan("viz", 20*time.Millisecond, 5*time.Millisecond)
+	tr.Finish()
+	s.ObserveTrace(tr)
+	s.ObserveTrace(nil) // nil-safe fast path
+
+	rep := s.Report()
+	stages := map[string]bool{}
+	for _, st := range rep.Stages {
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{StageE2E, "solver", "viz"} {
+		if !stages[want] {
+			t.Errorf("report missing stage %q (have %v)", want, rep.Stages)
+		}
+	}
+}
+
+func TestSLOHandlerJSONAndText(t *testing.T) {
+	clk := newFakeClock()
+	objs := []Objective{{Stage: "e2e", Target: 0.95, Threshold: 100 * time.Millisecond}}
+	s := sloUnderClock(clk, objs, nil)
+	for i := 0; i < 10; i++ {
+		s.Observe("e2e", 5*time.Millisecond)
+	}
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	var rep Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON payload: %v", err)
+	}
+	if len(rep.Objectives) != 1 || rep.Objectives[0].Total != 10 {
+		t.Errorf("payload objectives = %+v", rep.Objectives)
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo?format=text", nil))
+	txt := rr.Body.String()
+	if !strings.Contains(txt, "e2e:p95<100ms") || !strings.Contains(txt, "slo report") {
+		t.Errorf("text payload missing expected content:\n%s", txt)
+	}
+}

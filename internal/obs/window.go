@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed layers sliding-window views over Histogram: observations
+// land in a ring of fixed-duration slots, each slot a full log-bucketed
+// histogram, and a window of any length up to the ring's span is read
+// by merging the slots it covers. This turns the since-boot cumulative
+// histograms into live p50/p95/p99 and request rates over the last
+// 1m/5m/1h — the raw material for SLO burn rates.
+//
+// The hot path is one atomic stamp check plus a Histogram.Observe;
+// rotation (reclaiming the oldest slot for the new epoch) takes a
+// mutex, at most once per slot duration. An observation racing a
+// rotation can land in the slot's new epoch — a bounded error of the
+// racing observations, invisible at window granularity.
+type Windowed struct {
+	slotDur time.Duration
+	slots   []Histogram
+	stamps  []atomic.Int64 // epoch currently owned by the slot; -1 = empty
+	mu      sync.Mutex     // serializes rotations
+	now     func() time.Time
+	birth   time.Time
+}
+
+// NewWindowed builds a ring of slots covering slots*slotDur of history.
+// To read a window of duration W, the ring must hold at least
+// W/slotDur+1 slots (the current slot is always partial).
+func NewWindowed(slotDur time.Duration, slots int) *Windowed {
+	if slotDur <= 0 {
+		slotDur = 10 * time.Second
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	w := &Windowed{
+		slotDur: slotDur,
+		slots:   make([]Histogram, slots),
+		stamps:  make([]atomic.Int64, slots),
+		now:     time.Now,
+	}
+	w.birth = w.now()
+	for i := range w.stamps {
+		w.stamps[i].Store(-1)
+	}
+	return w
+}
+
+// SetClock injects a time source for deterministic tests. Call before
+// any Observe; it also re-pins the birth time.
+func (w *Windowed) SetClock(now func() time.Time) {
+	w.now = now
+	w.birth = now()
+}
+
+// Span is the total history the ring can cover.
+func (w *Windowed) Span() time.Duration {
+	return time.Duration(len(w.slots)) * w.slotDur
+}
+
+// epoch numbers slot intervals since the unix epoch.
+func (w *Windowed) epoch(t time.Time) int64 {
+	return t.UnixNano() / int64(w.slotDur)
+}
+
+// slot returns the histogram owning the current epoch, rotating the
+// ring position to it first when a previous epoch still holds it.
+func (w *Windowed) slot() *Histogram {
+	e := w.epoch(w.now())
+	i := int(e % int64(len(w.slots)))
+	if w.stamps[i].Load() == e {
+		return &w.slots[i]
+	}
+	w.mu.Lock()
+	if w.stamps[i].Load() != e {
+		w.slots[i].Reset()
+		w.stamps[i].Store(e)
+	}
+	w.mu.Unlock()
+	return &w.slots[i]
+}
+
+// Observe records one duration into the current slot.
+func (w *Windowed) Observe(d time.Duration) { w.slot().Observe(d) }
+
+// ObserveExemplar records one duration with a trace exemplar.
+func (w *Windowed) ObserveExemplar(d time.Duration, traceID string) {
+	w.slot().ObserveExemplar(d, traceID)
+}
+
+// WindowStat is a merged snapshot of the slots covering one sliding
+// window: bucket counts plus how much wall-clock the window actually
+// covers (less than Window right after boot).
+type WindowStat struct {
+	// Window is the requested window length.
+	Window time.Duration
+	// Covered is the wall-clock actually covered: min(Window, age of the
+	// series). Rates divide by Covered so a 10s-old process doesn't
+	// report a 1m rate diluted 6×.
+	Covered time.Duration
+	// Count and Sum aggregate the covered slots' observations.
+	Count uint64
+	Sum   time.Duration
+
+	counts [NumBuckets + 1]uint64
+}
+
+// Window merges the slots covering the trailing window of duration d.
+// Requests longer than the ring's span are clamped to it.
+func (w *Windowed) Window(d time.Duration) WindowStat {
+	now := w.now()
+	cur := w.epoch(now)
+	n := int((d + w.slotDur - 1) / w.slotDur)
+	if n < 1 {
+		n = 1
+	}
+	// The current slot is partial, so covering d needs one extra slot;
+	// never more than the ring holds.
+	if n+1 <= len(w.slots) {
+		n++
+	} else {
+		n = len(w.slots)
+	}
+	st := WindowStat{Window: d}
+	oldest := cur - int64(n) + 1
+	for i := range w.slots {
+		e := w.stamps[i].Load()
+		if e < oldest || e > cur {
+			continue
+		}
+		counts, sum, count := w.slots[i].Snapshot()
+		for j, c := range counts {
+			st.counts[j] += c
+		}
+		st.Sum += time.Duration(sum)
+		st.Count += count
+	}
+	covered := now.Sub(w.birth)
+	if covered > d {
+		covered = d
+	}
+	if covered < 0 {
+		covered = 0
+	}
+	st.Covered = covered
+	return st
+}
+
+// Quantile interpolates the window's q-quantile (0 on an empty window).
+func (s WindowStat) Quantile(q float64) time.Duration {
+	return quantileOf(s.counts, s.Count, q)
+}
+
+// Rate is observations per second over the covered interval (0 when
+// nothing has been covered yet).
+func (s WindowStat) Rate() float64 {
+	if s.Covered <= 0 {
+		return 0
+	}
+	return float64(s.Count) / s.Covered.Seconds()
+}
+
+// Mean is the window's average observation (0 when empty).
+func (s WindowStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// FracUnder estimates the fraction of the window's observations at or
+// below threshold (1 on an empty window: no traffic, nothing over).
+func (s WindowStat) FracUnder(threshold time.Duration) float64 {
+	return fracUnder(s.counts, s.Count, threshold)
+}

@@ -119,6 +119,17 @@ func recordSolverStats(sp *obs.Span, name string, st core.Stats) {
 	}
 }
 
+// updateSpan opens a "progressive.update" child span for one
+// visualization update: its duration covers the query execution that
+// produced the update, and its attrs record which update it was (0 is
+// the first paint) and at what sample rate it ran. Nil-safe like every
+// span, so untraced sessions pay only the nil check.
+func updateSpan(s *Session, idx int, rate float64) *obs.Span {
+	return obs.StartSpan(s.Context(), "progressive.update").
+		SetInt("update", int64(idx)).
+		SetFloat("sample_rate", rate)
+}
+
 // fillValues executes the multiplot's queries (merged) and writes results
 // into the entries. sampleRate in (0,1) makes all values approximate.
 func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplot, error) {
@@ -317,17 +328,27 @@ func (d *Default) Present(s *Session) (*Trace, error) {
 		sp.SetErr(err).End()
 		return nil, err
 	}
-	m, st, err := d.planner(s.Context(), s.Instance)
+	var (
+		m   core.Multiplot
+		st  core.Stats
+		err error
+	)
+	obs.Do(s.Context(), "solver", func(ctx context.Context) {
+		m, st, err = d.planner(ctx, s.Instance)
+	})
 	if err != nil {
 		sp.SetErr(err).End()
 		return nil, err
 	}
 	recordSolverStats(sp, d.name, st)
 	sp.End()
+	usp := updateSpan(s, 0, 1)
 	filled, err := fillValues(s, m, 0)
 	if err != nil {
+		usp.SetErr(err).End()
 		return nil, err
 	}
+	usp.End()
 	tr := finishTrace(s, []Event{{At: time.Since(start), Multiplot: filled}})
 	tr.SampleRate = 1
 	tr.WarmStart = st.WarmStart
@@ -349,14 +370,21 @@ func (IncPlot) Name() string { return "Inc-Plot" }
 // Present runs incremental plotting.
 func (IncPlot) Present(s *Session) (*Trace, error) {
 	start := time.Now()
-	g := &core.GreedySolver{Ctx: s.Ctx}
 	sp := obs.StartSpan(s.Context(), "solver")
-	m, st, err := g.Solve(s.Instance)
+	var (
+		m   core.Multiplot
+		st  core.Stats
+		err error
+	)
+	obs.Do(s.Context(), "solver", func(ctx context.Context) {
+		g := &core.GreedySolver{Ctx: ctx}
+		m, st, err = g.Solve(s.Instance)
+	})
 	if err != nil {
 		sp.SetErr(err).End()
 		return nil, err
 	}
-	recordSolverStats(sp, g.Name(), st)
+	recordSolverStats(sp, "Greedy", st)
 	sp.End()
 	// Order plots by covered probability mass.
 	type ref struct {
@@ -380,13 +408,16 @@ func (IncPlot) Present(s *Session) (*Trace, error) {
 	}
 	shown := core.Multiplot{Rows: make([][]core.Plot, len(m.Rows))}
 	var events []Event
-	for _, rf := range refs {
+	for ui, rf := range refs {
 		pl := m.Rows[rf.row][rf.idx]
 		one := core.Multiplot{Rows: [][]core.Plot{{pl}}}
+		usp := updateSpan(s, ui, 1)
 		filled, err := fillValues(s, one, 0)
 		if err != nil {
+			usp.SetErr(err).End()
 			return nil, err
 		}
+		usp.End()
 		shown.Rows[rf.row] = append(shown.Rows[rf.row], filled.Rows[0][0])
 		snapshot := core.Multiplot{}
 		for _, r := range shown.Rows {
@@ -435,14 +466,21 @@ func (a *Approx) Name() string { return a.name }
 // Present runs approximate-first presentation.
 func (a *Approx) Present(s *Session) (*Trace, error) {
 	start := time.Now()
-	g := &core.GreedySolver{Ctx: s.Ctx}
 	sp := obs.StartSpan(s.Context(), "solver")
-	m, st, err := g.Solve(s.Instance)
+	var (
+		m   core.Multiplot
+		st  core.Stats
+		err error
+	)
+	obs.Do(s.Context(), "solver", func(ctx context.Context) {
+		g := &core.GreedySolver{Ctx: ctx}
+		m, st, err = g.Solve(s.Instance)
+	})
 	if err != nil {
 		sp.SetErr(err).End()
 		return nil, err
 	}
-	recordSolverStats(sp, g.Name(), st)
+	recordSolverStats(sp, "Greedy", st)
 	sp.End()
 	rate := a.Rate
 	if rate <= 0 {
@@ -450,16 +488,22 @@ func (a *Approx) Present(s *Session) (*Trace, error) {
 	}
 	var events []Event
 	if rate < 1 {
+		usp := updateSpan(s, 0, rate)
 		approxM, err := fillValues(s, m, rate)
 		if err != nil {
+			usp.SetErr(err).End()
 			return nil, err
 		}
+		usp.End()
 		events = append(events, Event{At: time.Since(start), Multiplot: approxM, Approximate: true})
 	}
+	usp := updateSpan(s, len(events), 1)
 	exact, err := fillValues(s, m, 0)
 	if err != nil {
+		usp.SetErr(err).End()
 		return nil, err
 	}
+	usp.End()
 	events = append(events, Event{At: time.Since(start), Multiplot: exact})
 	tr := finishTrace(s, events)
 	tr.SampleRate = rate
@@ -531,7 +575,6 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 		budget = time.Second
 	}
 	inc := core.DefaultIncremental(budget)
-	inc.Ctx = s.Ctx
 	inc.Hint = i.Hint
 	inc.Parallelism = ctxWorkers(s.Context(), i.Workers)
 	var events []Event
@@ -539,20 +582,32 @@ func (i ILPInc) Present(s *Session) (*Trace, error) {
 	// The span covers the full incremental run, interleaved query
 	// execution included: that is what the user actually waits for.
 	sp := obs.StartSpan(s.Context(), "solver")
-	_, st, err := inc.Solve(s.Instance, func(u core.Update) {
-		if execErr != nil {
-			return
-		}
-		filled, err := fillValues(s, u.Multiplot, 0)
-		if err != nil {
-			execErr = err
-			return
-		}
-		// Skip no-op final updates that repeat the last multiplot.
-		if u.Final && len(events) > 0 && filled.String() == events[len(events)-1].Multiplot.String() {
-			return
-		}
-		events = append(events, Event{At: time.Since(start), Multiplot: filled})
+	var st core.Stats
+	var err error
+	obs.Do(s.Context(), "solver", func(ctx context.Context) {
+		inc.Ctx = ctx
+		_, st, err = inc.Solve(s.Instance, func(u core.Update) {
+			if execErr != nil {
+				return
+			}
+			// One child span per improved multiplot the user sees; a
+			// no-op final update (same multiplot again) ends its span
+			// with noop=true and emits no event, keeping non-noop spans
+			// 1:1 with events.
+			usp := updateSpan(s, len(events), 1).SetBool("final", u.Final)
+			filled, ferr := fillValues(s, u.Multiplot, 0)
+			if ferr != nil {
+				execErr = ferr
+				usp.SetErr(ferr).End()
+				return
+			}
+			if u.Final && len(events) > 0 && filled.String() == events[len(events)-1].Multiplot.String() {
+				usp.SetBool("noop", true).End()
+				return
+			}
+			events = append(events, Event{At: time.Since(start), Multiplot: filled})
+			usp.End()
+		})
 	})
 	if err != nil {
 		sp.SetErr(err).End()

@@ -1,12 +1,14 @@
 package progressive
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
 
 	"muve/internal/core"
 	"muve/internal/nlq"
+	"muve/internal/obs"
 	"muve/internal/sqldb"
 	"muve/internal/usermodel"
 	"muve/internal/workload"
@@ -301,5 +303,70 @@ func TestILPDefaultMethod(t *testing.T) {
 	}
 	if tr.TTime <= 0 {
 		t.Error("TTime missing")
+	}
+}
+
+// countUpdateSpans partitions a trace's progressive.update spans into
+// real updates and noop-final ones, checking required attrs on each.
+func countUpdateSpans(t *testing.T, tr *obs.Trace) (real, noop int) {
+	t.Helper()
+	for _, sp := range tr.Spans() {
+		if sp.Stage != "progressive.update" {
+			continue
+		}
+		var hasUpdate, hasRate, isNoop bool
+		for _, a := range sp.Attrs {
+			switch a.Key {
+			case "update":
+				hasUpdate = true
+			case "sample_rate":
+				hasRate = true
+			case "noop":
+				isNoop = a.Int != 0
+			}
+		}
+		if !hasUpdate || !hasRate {
+			t.Errorf("update span missing attrs: %+v", sp.Attrs)
+		}
+		if isNoop {
+			noop++
+		} else {
+			real++
+		}
+	}
+	return real, noop
+}
+
+func TestUpdateSpansExactlyOncePerEvent(t *testing.T) {
+	cases := []struct {
+		name   string
+		method Method
+	}{
+		{"IncPlot", IncPlot{}},
+		{"Approx", NewApprox(0.05)},
+		{"ILPInc", ILPInc{Budget: 500 * time.Millisecond}},
+		{"Default", NewGreedyDefault()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := session(t, 4000)
+			otr := obs.NewTrace("test")
+			s.Ctx = obs.WithTrace(context.Background(), otr)
+			tr, err := tc.method.Present(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			otr.Finish()
+			real, noop := countUpdateSpans(t, otr)
+			// Every visualization update the user sees has exactly one
+			// child span; suppressed no-op final refinements are the only
+			// extras and are flagged.
+			if real != len(tr.Events) {
+				t.Errorf("%d non-noop update spans for %d events", real, len(tr.Events))
+			}
+			if tc.name != "ILPInc" && noop != 0 {
+				t.Errorf("%d noop spans outside ILPInc", noop)
+			}
+		})
 	}
 }

@@ -21,6 +21,11 @@ type AdmissionConfig struct {
 	// RetryAfter is the back-off hint carried by RejectError
 	// (default 1s).
 	RetryAfter time.Duration
+	// RetryAfterFn, when non-nil, supplies the back-off hint at
+	// rejection time — e.g. a windowed service-time estimate, so the
+	// hint tracks how long a slot actually takes to free up. A
+	// non-positive result falls back to RetryAfter.
+	RetryAfterFn func() time.Duration
 	// OnDepth, when non-nil, is called with a lane's queue depth every
 	// time it changes (under the controller's lock — keep it to a
 	// gauge store).
@@ -53,6 +58,16 @@ func NewAdmission(cfg AdmissionConfig) *Admission {
 	return &Admission{cfg: cfg, free: cfg.Capacity}
 }
 
+// retryAfter resolves the back-off hint for one rejection.
+func (a *Admission) retryAfter() time.Duration {
+	if a.cfg.RetryAfterFn != nil {
+		if d := a.cfg.RetryAfterFn(); d > 0 {
+			return d
+		}
+	}
+	return a.cfg.RetryAfter
+}
+
 // laneMax returns the watermark for a lane (0 = unbounded).
 func (a *Admission) laneMax(p Priority) int {
 	if p == Batch {
@@ -83,7 +98,7 @@ func (a *Admission) Acquire(ctx context.Context, p Priority) (release func(), er
 	if max := a.laneMax(p); max > 0 && len(a.queue[p]) >= max {
 		depth := len(a.queue[p])
 		a.mu.Unlock()
-		return nil, &RejectError{Priority: p, Depth: depth, RetryAfter: a.cfg.RetryAfter}
+		return nil, &RejectError{Priority: p, Depth: depth, RetryAfter: a.retryAfter()}
 	}
 	ch := make(chan struct{})
 	a.queue[p] = append(a.queue[p], ch)

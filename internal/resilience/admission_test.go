@@ -223,3 +223,46 @@ func TestAdmissionConcurrentChurn(t *testing.T) {
 		t.Errorf("served %d + rejected %d != %d", served.Load(), rejected.Load(), 32*50)
 	}
 }
+
+func TestAdmissionRetryAfterFn(t *testing.T) {
+	// reject drives one controller to a watermark rejection and returns
+	// the RejectError carrying the back-off hint.
+	reject := func(fn func() time.Duration) *RejectError {
+		a := NewAdmission(AdmissionConfig{
+			Capacity: 1, MaxQueue: 1, RetryAfter: time.Second, RetryAfterFn: fn,
+		})
+		release, err := a.Acquire(context.Background(), Interactive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer release()
+		done := make(chan struct{})
+		go func() {
+			r, err := a.Acquire(context.Background(), Interactive)
+			if err == nil {
+				<-done
+				r()
+			}
+		}()
+		defer close(done)
+		for a.Depth(Interactive) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		_, err = a.Acquire(context.Background(), Interactive)
+		var rej *RejectError
+		if !errors.As(err, &rej) {
+			t.Fatalf("err = %v, want RejectError", err)
+		}
+		return rej
+	}
+
+	// A live estimate is used verbatim.
+	if rej := reject(func() time.Duration { return 3 * time.Second }); rej.RetryAfter != 3*time.Second {
+		t.Errorf("adaptive hint = %v, want 3s", rej.RetryAfter)
+	}
+	// A non-positive estimate (no observations yet) falls back to the
+	// static default.
+	if rej := reject(func() time.Duration { return 0 }); rej.RetryAfter != time.Second {
+		t.Errorf("empty-window hint = %v, want static 1s", rej.RetryAfter)
+	}
+}

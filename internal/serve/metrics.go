@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -41,144 +42,16 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value reads the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// histBuckets are latency bucket upper bounds: 100µs doubling up to
-// ~26s, which spans a cache hit (~1µs, first bucket) through an ILP
-// solve that exhausted a generous budget. 19 fixed buckets keep
-// Observe a single atomic add with no allocation.
-var histBuckets = func() [19]time.Duration {
-	var b [19]time.Duration
-	d := 100 * time.Microsecond
-	for i := range b {
-		b[i] = d
-		d *= 2
-	}
-	return b
-}()
+// Histogram is obs.Histogram: fixed log-spaced latency buckets (100µs
+// doubling to ~26s plus +Inf), atomic Observe, Prometheus-style
+// Quantile interpolation and per-bucket trace exemplars. It moved to
+// internal/obs so the SLO engine's sliding windows (obs.Windowed)
+// reuse the exact same bucket layout; the alias keeps this package's
+// registry API unchanged.
+type Histogram = obs.Histogram
 
-// exemplar ties one observation to the trace that produced it, so a
-// slow histogram bucket on /metrics links straight to the offending
-// trace in /debug/traces (OpenMetrics exemplar syntax).
-type exemplar struct {
-	traceID string
-	value   float64 // seconds
-	unix    float64 // observation time, unix seconds
-}
-
-// Histogram accumulates durations into fixed log-spaced buckets and
-// reports approximate quantiles. The zero value is ready to use.
-type Histogram struct {
-	counts    [len(histBuckets) + 1]atomic.Uint64 // last bucket = +Inf
-	sum       atomic.Int64                        // nanoseconds
-	count     atomic.Uint64
-	exemplars [len(histBuckets) + 1]atomic.Pointer[exemplar]
-}
-
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) { h.observe(d, "") }
-
-// ObserveExemplar records one duration and, when traceID is non-empty,
-// remembers it as the bucket's latest exemplar. Last-writer-wins per
-// bucket: exemplars are a debugging breadcrumb, not a sample survey.
-func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
-	h.observe(d, traceID)
-}
-
-func (h *Histogram) observe(d time.Duration, traceID string) {
-	if d < 0 {
-		d = 0
-	}
-	i := 0
-	for ; i < len(histBuckets); i++ {
-		if d <= histBuckets[i] {
-			break
-		}
-	}
-	h.counts[i].Add(1)
-	h.sum.Add(int64(d))
-	h.count.Add(1)
-	if traceID != "" {
-		h.exemplars[i].Store(&exemplar{
-			traceID: traceID,
-			value:   d.Seconds(),
-			unix:    float64(time.Now().UnixMilli()) / 1000,
-		})
-	}
-}
-
-// exemplarAt returns bucket i's latest exemplar, or nil.
-func (h *Histogram) exemplarAt(i int) *exemplar {
-	if i < 0 || i >= len(h.exemplars) {
-		return nil
-	}
-	return h.exemplars[i].Load()
-}
-
-// Count is the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean is the average observed duration (0 with no observations).
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(uint64(h.sum.Load()) / n)
-}
-
-// Quantile estimates the q-quantile (0 < q < 1) by locating the bucket
-// containing the rank and interpolating linearly within it, exactly as
-// Prometheus's histogram_quantile does. The first bucket interpolates
-// from 0 and the overflow bucket is assumed to span one more doubling,
-// so estimates are never clamped to a bucket bound.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(total)
-	var cum uint64
-	for i := range h.counts {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		if float64(cum)+float64(c) >= rank {
-			var lo, hi time.Duration
-			switch {
-			case i == 0:
-				lo, hi = 0, histBuckets[0]
-			case i < len(histBuckets):
-				lo, hi = histBuckets[i-1], histBuckets[i]
-			default: // +Inf bucket
-				lo, hi = histBuckets[len(histBuckets)-1], 2*histBuckets[len(histBuckets)-1]
-			}
-			frac := (rank - float64(cum)) / float64(c)
-			if frac < 0 {
-				frac = 0
-			}
-			if frac > 1 {
-				frac = 1
-			}
-			return lo + time.Duration(frac*float64(hi-lo))
-		}
-		cum += c
-	}
-	return 2 * histBuckets[len(histBuckets)-1]
-}
-
-// snapshot copies the bucket counts for rendering.
-func (h *Histogram) snapshot() (counts [len(histBuckets) + 1]uint64, sum int64, count uint64) {
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-	}
-	return counts, h.sum.Load(), h.count.Load()
-}
+// histBuckets are the shared bucket upper bounds (see obs.Buckets).
+var histBuckets = obs.Buckets()
 
 // Metrics is the engine's observability registry. All fields are safe
 // for concurrent use; reading them never blocks request processing.
@@ -376,7 +249,7 @@ func copyCounters(src map[string]*Counter) map[string]*Counter {
 
 // writeCounterFamily renders a labeled counter family; empty families
 // are omitted entirely.
-func writeCounterFamily(w http.ResponseWriter, name, label string, family map[string]*Counter) {
+func writeCounterFamily(w io.Writer, name, label string, family map[string]*Counter) {
 	if len(family) == 0 {
 		return
 	}
@@ -387,8 +260,8 @@ func writeCounterFamily(w http.ResponseWriter, name, label string, family map[st
 }
 
 // writeHistogram renders one histogram in Prometheus text format.
-func writeHistogram(w http.ResponseWriter, name string, h *Histogram) {
-	counts, sum, count := h.snapshot()
+func writeHistogram(w io.Writer, name string, h *Histogram) {
+	counts, sum, count := h.Snapshot()
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	var cum uint64
 	for i, c := range counts {
@@ -408,11 +281,11 @@ func writeHistogram(w http.ResponseWriter, name string, h *Histogram) {
 // Buckets that captured an exemplar append it in OpenMetrics syntax
 // (`# {trace_id="..."} value timestamp`) so scrape UIs can jump from a
 // slow bucket straight to the trace in /debug/traces.
-func writeStageHistograms(w http.ResponseWriter, name string, stages map[string]*Histogram, keys []string) {
+func writeStageHistograms(w io.Writer, name string, stages map[string]*Histogram, keys []string) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	for _, stage := range keys {
 		h := stages[stage]
-		counts, sum, count := h.snapshot()
+		counts, sum, count := h.Snapshot()
 		var cum uint64
 		for i, c := range counts {
 			cum += c
@@ -421,8 +294,8 @@ func writeStageHistograms(w http.ResponseWriter, name string, stages map[string]
 				le = fmt.Sprintf("%g", histBuckets[i].Seconds())
 			}
 			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d", name, stage, le, cum)
-			if ex := h.exemplarAt(i); ex != nil {
-				fmt.Fprintf(w, " # {trace_id=%q} %g %.3f", ex.traceID, ex.value, ex.unix)
+			if ex := h.ExemplarAt(i); ex != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} %g %.3f", ex.TraceID, ex.Value, ex.Unix)
 			}
 			fmt.Fprintln(w)
 		}
@@ -436,66 +309,73 @@ func writeStageHistograms(w http.ResponseWriter, name string, stages map[string]
 func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		counters := []struct {
-			name string
-			c    *Counter
-		}{
-			{"muve_requests_total", &m.Requests},
-			{"muve_cache_hits_total", &m.CacheHits},
-			{"muve_cache_misses_total", &m.CacheMisses},
-			{"muve_session_hits_total", &m.SessionHits},
-			{"muve_coalesced_total", &m.Coalesced},
-			{"muve_fallbacks_total", &m.Fallbacks},
-			{"muve_timeouts_total", &m.Timeouts},
-			{"muve_errors_total", &m.Errors},
-			{"muve_panics_total", &m.Panics},
-			{"muve_exhausted_total", &m.Exhausted},
-			{"muve_speak_requests_total", &m.SpeakRequests},
-			{"muve_speak_facts_total", &m.SpeakFacts},
-			{"muve_speak_words_total", &m.SpeakWords},
-		}
-		for _, c := range counters {
-			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
-		}
-		fmt.Fprintf(w, "# TYPE muve_rejected_total counter\n")
-		fmt.Fprintf(w, "muve_rejected_total{priority=\"interactive\"} %d\n", m.RejectedInteractive.Value())
-		fmt.Fprintf(w, "muve_rejected_total{priority=\"batch\"} %d\n", m.RejectedBatch.Value())
-		fmt.Fprintf(w, "# TYPE muve_inflight gauge\nmuve_inflight %d\n", m.InFlight.Value())
-		fmt.Fprintf(w, "# TYPE muve_queue_depth gauge\n")
-		fmt.Fprintf(w, "muve_queue_depth{priority=\"interactive\"} %d\n", m.QueueInteractive.Value())
-		fmt.Fprintf(w, "muve_queue_depth{priority=\"batch\"} %d\n", m.QueueBatch.Value())
-		writeHistogram(w, "muve_planning_seconds", &m.Planning)
-		writeHistogram(w, "muve_request_seconds", &m.EndToEnd)
-		m.stageMu.RLock()
-		stages := make(map[string]*Histogram, len(m.stages))
-		for k, v := range m.stages {
-			stages[k] = v
-		}
-		fallbacks := copyCounters(m.fallbacksByStage)
-		rungs := copyCounters(m.ladderRungs)
-		speakRungs := copyCounters(m.speakRungs)
-		trips := copyCounters(m.breakerTrips)
-		warms := copyCounters(m.warmstarts)
-		states := make(map[string]*Gauge, len(m.breakerStates))
-		for k, v := range m.breakerStates {
-			states[k] = v
-		}
-		m.stageMu.RUnlock()
-		if len(stages) > 0 {
-			writeStageHistograms(w, "muve_stage_seconds", stages, sortedKeys(stages))
-		}
-		writeCounterFamily(w, "muve_fallbacks_by_stage_total", "stage", fallbacks)
-		writeCounterFamily(w, "muve_ladder_rung_total", "rung", rungs)
-		writeCounterFamily(w, "muve_speak_rung_total", "rung", speakRungs)
-		writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
-		writeCounterFamily(w, "muve_warmstart_total", "result", warms)
-		if len(states) > 0 {
-			fmt.Fprintf(w, "# TYPE muve_breaker_state gauge\n")
-			for _, k := range sortedKeys(states) {
-				fmt.Fprintf(w, "muve_breaker_state{stage=%q} %d\n", k, states[k].Value())
-			}
-		}
+		m.WriteProm(w)
 	})
+}
+
+// WriteProm renders the registry in Prometheus text exposition format.
+// Split out from Handler so incident bundles and composed /metrics
+// endpoints can dump the same exposition without an HTTP round trip.
+func (m *Metrics) WriteProm(w io.Writer) {
+	counters := []struct {
+		name string
+		c    *Counter
+	}{
+		{"muve_requests_total", &m.Requests},
+		{"muve_cache_hits_total", &m.CacheHits},
+		{"muve_cache_misses_total", &m.CacheMisses},
+		{"muve_session_hits_total", &m.SessionHits},
+		{"muve_coalesced_total", &m.Coalesced},
+		{"muve_fallbacks_total", &m.Fallbacks},
+		{"muve_timeouts_total", &m.Timeouts},
+		{"muve_errors_total", &m.Errors},
+		{"muve_panics_total", &m.Panics},
+		{"muve_exhausted_total", &m.Exhausted},
+		{"muve_speak_requests_total", &m.SpeakRequests},
+		{"muve_speak_facts_total", &m.SpeakFacts},
+		{"muve_speak_words_total", &m.SpeakWords},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
+	}
+	fmt.Fprintf(w, "# TYPE muve_rejected_total counter\n")
+	fmt.Fprintf(w, "muve_rejected_total{priority=\"interactive\"} %d\n", m.RejectedInteractive.Value())
+	fmt.Fprintf(w, "muve_rejected_total{priority=\"batch\"} %d\n", m.RejectedBatch.Value())
+	fmt.Fprintf(w, "# TYPE muve_inflight gauge\nmuve_inflight %d\n", m.InFlight.Value())
+	fmt.Fprintf(w, "# TYPE muve_queue_depth gauge\n")
+	fmt.Fprintf(w, "muve_queue_depth{priority=\"interactive\"} %d\n", m.QueueInteractive.Value())
+	fmt.Fprintf(w, "muve_queue_depth{priority=\"batch\"} %d\n", m.QueueBatch.Value())
+	writeHistogram(w, "muve_planning_seconds", &m.Planning)
+	writeHistogram(w, "muve_request_seconds", &m.EndToEnd)
+	m.stageMu.RLock()
+	stages := make(map[string]*Histogram, len(m.stages))
+	for k, v := range m.stages {
+		stages[k] = v
+	}
+	fallbacks := copyCounters(m.fallbacksByStage)
+	rungs := copyCounters(m.ladderRungs)
+	speakRungs := copyCounters(m.speakRungs)
+	trips := copyCounters(m.breakerTrips)
+	warms := copyCounters(m.warmstarts)
+	states := make(map[string]*Gauge, len(m.breakerStates))
+	for k, v := range m.breakerStates {
+		states[k] = v
+	}
+	m.stageMu.RUnlock()
+	if len(stages) > 0 {
+		writeStageHistograms(w, "muve_stage_seconds", stages, sortedKeys(stages))
+	}
+	writeCounterFamily(w, "muve_fallbacks_by_stage_total", "stage", fallbacks)
+	writeCounterFamily(w, "muve_ladder_rung_total", "rung", rungs)
+	writeCounterFamily(w, "muve_speak_rung_total", "rung", speakRungs)
+	writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
+	writeCounterFamily(w, "muve_warmstart_total", "result", warms)
+	if len(states) > 0 {
+		fmt.Fprintf(w, "# TYPE muve_breaker_state gauge\n")
+		for _, k := range sortedKeys(states) {
+			fmt.Fprintf(w, "muve_breaker_state{stage=%q} %d\n", k, states[k].Value())
+		}
+	}
 }
 
 // VarsHandler serves the registry as a JSON object (for the

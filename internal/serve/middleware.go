@@ -177,8 +177,13 @@ func WithTracing(ring *obs.Ring, metrics *Metrics, next http.Handler) http.Handl
 // only traces the sampler keeps land in the debug ring. Slow traces
 // bypass the rate when the sampler has a slow threshold. A nil sampler
 // keeps everything, making this identical to WithTracing.
-func WithSampledTracing(ring *obs.Ring, sampler *obs.Sampler, metrics *Metrics, next http.Handler) http.Handler {
-	if ring == nil {
+//
+// Optional observers see every finished trace regardless of sampling —
+// the SLO engine hangs off this hook, so burn rates are computed over
+// all traffic even when the debug ring keeps 1%. With a nil ring and
+// no observers tracing is disabled entirely (the nil fast path).
+func WithSampledTracing(ring *obs.Ring, sampler *obs.Sampler, metrics *Metrics, next http.Handler, observers ...func(*obs.Trace)) http.Handler {
+	if ring == nil && len(observers) == 0 {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -186,11 +191,14 @@ func WithSampledTracing(ring *obs.Ring, sampler *obs.Sampler, metrics *Metrics, 
 		tr.ID = RequestID(r.Context())
 		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		tr.Finish()
-		if sampler.Keep(tr) {
+		if ring != nil && sampler.Keep(tr) {
 			ring.Add(tr)
 		}
 		if metrics != nil {
 			metrics.ObserveTrace(tr)
+		}
+		for _, obsv := range observers {
+			obsv(tr)
 		}
 	})
 }

@@ -40,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"log"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -183,8 +184,12 @@ type Config struct {
 	// behavior); queue depth is still gauged either way.
 	Queue      int
 	BatchQueue int
-	// RetryAfter is the client back-off hint carried by rejections
-	// (default 1s).
+	// RetryAfter is the client back-off hint carried by rejections when
+	// no service-time estimate exists yet (default 1s). Once the engine
+	// has observed planning latency, rejections instead carry the p90 of
+	// the last minute's service time — the expected wait for a slot to
+	// free — clamped to [RetryAfter/4, 4×RetryAfter] so a pathological
+	// window can't tell clients to hammer or vanish.
 	RetryAfter time.Duration
 	// BreakerThreshold trips a stage's circuit breaker after this many
 	// consecutive blamed deadline misses (default 3; negative disables
@@ -217,6 +222,10 @@ type Config struct {
 	// Metrics, when non-nil, is the registry to record into (so
 	// several engines can share one); nil allocates a fresh one.
 	Metrics *Metrics
+	// BreakerNotify, when non-nil, observes every breaker state change
+	// in addition to the metrics gauges — muveserver points it at the
+	// incident flight recorder so an opening breaker captures a bundle.
+	BreakerNotify func(stage string, to resilience.BreakerState)
 	// Logger, when non-nil, receives engine-level events (fallback
 	// degradations, planner errors) tagged with the request ID from
 	// the logging middleware. Nil disables engine logging.
@@ -247,6 +256,11 @@ type Engine struct {
 	chaos       *resilience.Chaos
 	metrics     *Metrics
 	logger      *log.Logger
+
+	// svcTime is the sliding-window planning service time (cache misses
+	// only): its 1m p90 is the adaptive Retry-After estimate.
+	svcTime    *obs.Windowed
+	retryAfter time.Duration
 }
 
 // ErrNoPlanner reports a Config without a Planner.
@@ -293,6 +307,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.StaleFor > 0 {
 		cache.SetStaleWindow(cfg.StaleFor)
 	}
+	// Sliding planning-latency window: 5s slots covering >1m, so the
+	// 1m p90 service-time estimate behind Retry-After is always live.
+	svcTime := obs.NewWindowed(5*time.Second, 16)
+	e := &Engine{svcTime: svcTime, retryAfter: cfg.RetryAfter}
 	// The admission controller exists even with watermarks disabled so
 	// the queue-depth gauges are always live on /metrics.
 	admission := resilience.NewAdmission(resilience.AdmissionConfig{
@@ -300,6 +318,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		MaxQueue:      cfg.Queue,
 		MaxBatchQueue: cfg.BatchQueue,
 		RetryAfter:    cfg.RetryAfter,
+		RetryAfterFn:  e.RetryEstimate,
 		OnDepth: func(p resilience.Priority, depth int) {
 			if p == resilience.Batch {
 				m.QueueBatch.Set(int64(depth))
@@ -318,6 +337,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 				if to == resilience.Open {
 					m.BreakerTrip(stage)
 				}
+				if cfg.BreakerNotify != nil {
+					cfg.BreakerNotify(stage, to)
+				}
 			},
 		})
 	}
@@ -331,25 +353,44 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Minimal != nil {
 		rungs = append(rungs, resilience.Rung{Name: rungMinimal, Max: cfg.MinimalGrace})
 	}
-	return &Engine{
-		planner:       cfg.Planner,
-		fallback:      cfg.Fallback,
-		minimal:       cfg.Minimal,
-		fallbackGrace: cfg.FallbackGrace,
-		minimalGrace:  cfg.MinimalGrace,
-		timeout:       cfg.Timeout,
-		keySuffix:     "\x00" + cfg.Dataset + "\x00" + cfg.Solver + "\x00" + strconv.Itoa(cfg.WidthPx),
-		sessionMaxAge: sessionMaxAge,
-		cache:         cache,
-		sessions:      NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
-		admission:     admission,
-		workerSplit:   resilience.NewWorkerSplit(cfg.SolverWorkers),
-		ladder:        resilience.NewLadder(rungs...),
-		breakers:      breakers,
-		chaos:         cfg.Chaos,
-		metrics:       m,
-		logger:        cfg.Logger,
-	}, nil
+	e.planner = cfg.Planner
+	e.fallback = cfg.Fallback
+	e.minimal = cfg.Minimal
+	e.fallbackGrace = cfg.FallbackGrace
+	e.minimalGrace = cfg.MinimalGrace
+	e.timeout = cfg.Timeout
+	e.keySuffix = "\x00" + cfg.Dataset + "\x00" + cfg.Solver + "\x00" + strconv.Itoa(cfg.WidthPx)
+	e.sessionMaxAge = sessionMaxAge
+	e.cache = cache
+	e.sessions = NewSessionStore(cfg.MaxSessions, cfg.SessionTTL)
+	e.admission = admission
+	e.workerSplit = resilience.NewWorkerSplit(cfg.SolverWorkers)
+	e.ladder = resilience.NewLadder(rungs...)
+	e.breakers = breakers
+	e.chaos = cfg.Chaos
+	e.metrics = m
+	e.logger = cfg.Logger
+	return e, nil
+}
+
+// RetryEstimate is the adaptive Retry-After hint: the p90 of the last
+// minute's planning service time — roughly how long until a busy slot
+// frees — clamped to [RetryAfter/4, 4×RetryAfter]. Zero before any
+// planning has been observed, which tells the admission controller to
+// use the static default.
+func (e *Engine) RetryEstimate() time.Duration {
+	st := e.svcTime.Window(time.Minute)
+	if st.Count == 0 {
+		return 0
+	}
+	d := st.Quantile(0.90)
+	if min := e.retryAfter / 4; d < min {
+		d = min
+	}
+	if max := 4 * e.retryAfter; d > max {
+		d = max
+	}
+	return d
 }
 
 // Metrics exposes the engine's registry (for mounting its handlers).
@@ -543,59 +584,23 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 
 	planStart := time.Now()
 	var blamed string // stage blamed for the exact rung's failure
-	v, rung, outs, err := e.ladder.Descend(planCtx, func(actx context.Context, r resilience.Rung) (any, error) {
-		switch r.Name {
-		case rungExact:
-			if vetoStage, ok := e.breakers.Allow(); !ok {
-				return nil, &resilience.SkipError{Reason: "breaker-open:" + vetoStage}
-			}
-			settled := false
-			defer func() {
-				if !settled { // the planner panicked out of this frame
-					blamed = blame(tr)
-					e.breakers.Result(blamed, false)
-				}
-			}()
-			v, err := e.planner(actx, req, sess)
-			settled = true
-			switch {
-			case err == nil:
-				e.breakers.Result("", true)
-			case breakerFailure(err):
-				blamed = blame(tr)
-				e.breakers.Result(blamed, false)
-			default:
-				blamed = blame(tr)
-				e.breakers.Result("", false) // returns probes, charges nobody
-			}
-			return v, err
-		case rungGreedy:
-			// Breaker-aware rung ordering: when the stage that tripped is
-			// one the fallback depends on too (anything but the exact-only
-			// solver stages), greedy would fail the same way — skip every
-			// planning rung and jump straight to stale/minimal. Read-only:
-			// probe accounting stays with the exact rung's Allow/Result.
-			if stage, open := e.breakers.OpenExcept(exactOnlyStages...); open {
-				return nil, &resilience.SkipError{Reason: "breaker-open:" + stage}
-			}
-			return e.fallback(actx, req, sess)
-		case rungStale:
-			if req.Refresh {
-				return nil, &resilience.SkipError{Reason: "refresh"}
-			}
-			if sv, age, ok := e.cache.GetStale(key); ok {
-				if tr != nil {
-					tr.Mark("stale", obs.Str("age", age.Round(time.Millisecond).String()))
-				}
-				return sv, nil
-			}
-			return nil, &resilience.SkipError{Reason: "no-stale-entry"}
-		case rungMinimal:
-			return e.minimal(actx, req, sess)
-		}
-		return nil, &resilience.SkipError{Reason: "unknown-rung"}
+	mode := req.Mode
+	if mode == "" {
+		mode = "plot"
+	}
+	v, rung, outs, err := e.ladder.Descend(planCtx, func(actx context.Context, r resilience.Rung) (v any, err error) {
+		// Each rung attempt runs under pprof labels so a CPU profile
+		// decomposes by admission lane, answer mode and ladder rung; the
+		// labeled context flows into the planners, whose own stage labels
+		// nest inside, and worker pools they spawn inherit the set.
+		pprof.Do(actx, pprof.Labels("lane", prio.String(), "mode", mode, "rung", r.Name), func(actx context.Context) {
+			v, err = e.attemptRung(actx, r, req, sess, tr, key, &blamed)
+		})
+		return v, err
 	})
-	e.metrics.Planning.Observe(time.Since(planStart))
+	planDur := time.Since(planStart)
+	e.metrics.Planning.Observe(planDur)
+	e.svcTime.Observe(planDur)
 
 	// Post-descent bookkeeping: contained panics, and the preserved
 	// fallback blame semantics — when the exact rung failed and the
@@ -644,4 +649,60 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 		e.cache.Put(key, v)
 	}
 	return plannedValue{value: v, source: rungSource(rung)}, nil
+}
+
+// attemptRung executes one degradation-ladder rung. blamed receives
+// the stage charged for an exact-rung failure (for breaker accounting
+// and the fallback blame counters).
+func (e *Engine) attemptRung(actx context.Context, r resilience.Rung, req Request, sess *Session, tr *obs.Trace, key string, blamed *string) (any, error) {
+	switch r.Name {
+	case rungExact:
+		if vetoStage, ok := e.breakers.Allow(); !ok {
+			return nil, &resilience.SkipError{Reason: "breaker-open:" + vetoStage}
+		}
+		settled := false
+		defer func() {
+			if !settled { // the planner panicked out of this frame
+				*blamed = blame(tr)
+				e.breakers.Result(*blamed, false)
+			}
+		}()
+		v, err := e.planner(actx, req, sess)
+		settled = true
+		switch {
+		case err == nil:
+			e.breakers.Result("", true)
+		case breakerFailure(err):
+			*blamed = blame(tr)
+			e.breakers.Result(*blamed, false)
+		default:
+			*blamed = blame(tr)
+			e.breakers.Result("", false) // returns probes, charges nobody
+		}
+		return v, err
+	case rungGreedy:
+		// Breaker-aware rung ordering: when the stage that tripped is
+		// one the fallback depends on too (anything but the exact-only
+		// solver stages), greedy would fail the same way — skip every
+		// planning rung and jump straight to stale/minimal. Read-only:
+		// probe accounting stays with the exact rung's Allow/Result.
+		if stage, open := e.breakers.OpenExcept(exactOnlyStages...); open {
+			return nil, &resilience.SkipError{Reason: "breaker-open:" + stage}
+		}
+		return e.fallback(actx, req, sess)
+	case rungStale:
+		if req.Refresh {
+			return nil, &resilience.SkipError{Reason: "refresh"}
+		}
+		if sv, age, ok := e.cache.GetStale(key); ok {
+			if tr != nil {
+				tr.Mark("stale", obs.Str("age", age.Round(time.Millisecond).String()))
+			}
+			return sv, nil
+		}
+		return nil, &resilience.SkipError{Reason: "no-stale-entry"}
+	case rungMinimal:
+		return e.minimal(actx, req, sess)
+	}
+	return nil, &resilience.SkipError{Reason: "unknown-rung"}
 }

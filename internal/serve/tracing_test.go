@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -253,5 +254,66 @@ func TestHistogramQuantileInterpolates(t *testing.T) {
 	last := histBuckets[len(histBuckets)-1]
 	if q := h3.Quantile(0.5); q <= last || q > 2*last {
 		t.Errorf("overflow p50 = %v, want within (%v, %v]", q, last, 2*last)
+	}
+}
+
+func TestWithSampledTracingObserversSeeEveryTrace(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.StartSpan(r.Context(), "solver")
+		sp.End()
+	})
+	var seen int
+	// Sampler keeps nothing, yet the SLO-style observer is fed every
+	// finished trace: sampling gates ring retention, not evaluation.
+	ring := obs.NewRing(8)
+	h := WithSampledTracing(ring, obs.NewSampler(0, 0), nil, inner, func(tr *obs.Trace) {
+		if tr.Len() != 1 {
+			t.Errorf("observer trace has %d spans, want 1", tr.Len())
+		}
+		seen++
+	})
+	for i := 0; i < 5; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ask", nil))
+	}
+	if seen != 5 {
+		t.Errorf("observer saw %d traces, want 5", seen)
+	}
+	if ring.Len() != 0 {
+		t.Errorf("ring holds %d traces at rate 0, want 0", ring.Len())
+	}
+
+	// With no ring at all, observers alone still force the middleware on.
+	seen = 0
+	h = WithSampledTracing(nil, nil, nil, inner, func(*obs.Trace) { seen++ })
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ask", nil))
+	if seen != 1 {
+		t.Errorf("ring-less observer saw %d traces, want 1", seen)
+	}
+}
+
+func TestRetryEstimateTracksServiceTime(t *testing.T) {
+	var calls atomic.Int64
+	e, err := NewEngine(Config{Planner: countingPlanner(&calls, 0), RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No planning observed yet: zero tells admission to use the static
+	// default.
+	if d := e.RetryEstimate(); d != 0 {
+		t.Fatalf("cold estimate = %v, want 0", d)
+	}
+	// Feed the service-time window directly; the estimate is the 1m p90
+	// clamped to [RetryAfter/4, 4*RetryAfter].
+	for i := 0; i < 20; i++ {
+		e.svcTime.Observe(30 * time.Second)
+	}
+	if d := e.RetryEstimate(); d != 4*time.Second {
+		t.Errorf("slow-planner estimate = %v, want clamped to 4s", d)
+	}
+	for i := 0; i < 1000; i++ {
+		e.svcTime.Observe(time.Microsecond)
+	}
+	if d := e.RetryEstimate(); d != time.Second/4 {
+		t.Errorf("fast-planner estimate = %v, want clamped to 250ms", d)
 	}
 }

@@ -92,7 +92,7 @@ func (p *Planner) Solve(in *core.Instance) (FactSet, core.Stats, error) {
 	}
 	v := p.buildModel(in, cost)
 
-	opt := ilp.Options{Workers: p.Parallelism}
+	opt := ilp.Options{Workers: p.Parallelism, Ctx: p.Ctx}
 	if p.Timeout > 0 {
 		opt.Deadline = start.Add(p.Timeout)
 	}

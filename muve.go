@@ -355,22 +355,27 @@ func (s *System) AskContext(ctx context.Context, text string, prior ...*core.Mul
 
 // transcribe runs the speech front end: the optional simulated speech
 // channel under its own span, shared by the plot and voice paths.
-func (s *System) transcribe(ctx context.Context, text string) (string, error) {
-	sp := obs.StartSpan(ctx, "speech")
-	if err := resilience.Inject(ctx, "speech"); err != nil {
-		sp.SetErr(err).End()
-		return "", err
-	}
-	transcript := text
-	if s.channel != nil {
-		s.chMu.Lock()
-		transcript = s.channel.Transcribe(text)
-		s.chMu.Unlock()
-	}
-	sp.SetBool("simulated", s.channel != nil).
-		SetInt("words", int64(len(strings.Fields(transcript)))).
-		End()
-	return transcript, nil
+func (s *System) transcribe(ctx context.Context, text string) (transcript string, err error) {
+	// obs.Do attaches the pprof stage label so CPU samples inside the
+	// speech front end attribute to stage=speech (same for the other
+	// pipeline stages below).
+	obs.Do(ctx, "speech", func(ctx context.Context) {
+		sp := obs.StartSpan(ctx, "speech")
+		if err = resilience.Inject(ctx, "speech"); err != nil {
+			sp.SetErr(err).End()
+			return
+		}
+		transcript = text
+		if s.channel != nil {
+			s.chMu.Lock()
+			transcript = s.channel.Transcribe(text)
+			s.chMu.Unlock()
+		}
+		sp.SetBool("simulated", s.channel != nil).
+			SetInt("words", int64(len(strings.Fields(transcript)))).
+			End()
+	})
+	return transcript, err
 }
 
 // AskVoice answers a natural-language query with a spoken fact set,
@@ -419,19 +424,22 @@ func firstPrior(prior []*core.Multiplot) *core.Multiplot {
 
 // candidates expands the top interpretation into the phonetic candidate
 // distribution under the "nlq" span, shared by the plot and voice paths.
-func (s *System) candidates(ctx context.Context, top sqldb.Query) ([]core.Candidate, error) {
-	sp := obs.StartSpan(ctx, "nlq")
-	if err := resilience.Inject(ctx, "nlq"); err != nil {
-		sp.SetErr(err).End()
-		return nil, err
-	}
-	cands, err := s.pipe.Generator.CandidatesContext(ctx, top)
-	if err != nil {
-		sp.SetErr(err).End()
-		return nil, err
-	}
-	sp.SetInt("candidates", int64(len(cands))).End()
-	return cands, nil
+func (s *System) candidates(ctx context.Context, top sqldb.Query) (cands []core.Candidate, err error) {
+	obs.Do(ctx, "nlq", func(ctx context.Context) {
+		sp := obs.StartSpan(ctx, "nlq")
+		if err = resilience.Inject(ctx, "nlq"); err != nil {
+			sp.SetErr(err).End()
+			return
+		}
+		cands, err = s.pipe.Generator.CandidatesContext(ctx, top)
+		if err != nil {
+			sp.SetErr(err).End()
+			cands = nil
+			return
+		}
+		sp.SetInt("candidates", int64(len(cands))).End()
+	})
+	return cands, err
 }
 
 // answer runs the shared back half of Ask and AskQuery: candidate
@@ -471,7 +479,11 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query,
 		psp.SetErr(err).End()
 		return nil, err
 	}
-	trace, err := method.Present(sess)
+	var trace *progressive.Trace
+	obs.Do(ctx, "progressive", func(ctx context.Context) {
+		sess.Ctx = ctx // carry the stage label into solver goroutines
+		trace, err = method.Present(sess)
+	})
 	if err != nil {
 		psp.SetErr(err).End()
 		return nil, err
@@ -541,24 +553,26 @@ func (s *System) answerVoice(ctx context.Context, transcript string, top sqldb.Q
 	var fs speak.FactSet
 	var st core.Stats
 	var planner string
-	switch s.cfg.Solver {
-	case SolverILP, SolverILPIncremental:
-		p := &speak.Planner{
-			Cost:        cost,
-			WordBudget:  s.cfg.SpeakWords,
-			Timeout:     s.speakBudget(ctx),
-			WarmStart:   true, // greedy floor: a timeout never speaks worse than greedy
-			Hint:        prior,
-			Parallelism: workers,
-			Ctx:         ctx,
+	obs.Do(ctx, "speak", func(ctx context.Context) {
+		switch s.cfg.Solver {
+		case SolverILP, SolverILPIncremental:
+			p := &speak.Planner{
+				Cost:        cost,
+				WordBudget:  s.cfg.SpeakWords,
+				Timeout:     s.speakBudget(ctx),
+				WarmStart:   true, // greedy floor: a timeout never speaks worse than greedy
+				Hint:        prior,
+				Parallelism: workers,
+				Ctx:         ctx,
+			}
+			planner = p.Name()
+			fs, st, err = p.Solve(in)
+		default:
+			g := &speak.Greedy{Cost: cost, WordBudget: s.cfg.SpeakWords, Ctx: ctx}
+			planner = g.Name()
+			fs, st, err = g.Solve(in)
 		}
-		planner = p.Name()
-		fs, st, err = p.Solve(in)
-	default:
-		g := &speak.Greedy{Cost: cost, WordBudget: s.cfg.SpeakWords, Ctx: ctx}
-		planner = g.Name()
-		fs, st, err = g.Solve(in)
-	}
+	})
 	if err != nil {
 		sp.SetErr(err).End()
 		return nil, err
@@ -580,7 +594,10 @@ func (s *System) answerVoice(ctx context.Context, transcript string, top sqldb.Q
 		vsp.SetErr(err).End()
 		return nil, err
 	}
-	va, err := speak.Render(s.db, in, fs, cost)
+	var va *speak.VoiceAnswer
+	obs.Do(ctx, "viz", func(ctx context.Context) {
+		va, err = speak.Render(s.db, in, fs, cost)
+	})
 	if err != nil {
 		vsp.SetErr(err).End()
 		return nil, err
