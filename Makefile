@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke slo-smoke ci
+.PHONY: all build vet test race bench serve trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke slo-smoke fuzz-smoke overload-smoke ci
 
 all: ci
 
@@ -33,11 +33,14 @@ trace-smoke:
 	$(GO) run ./cmd/muvebench -trace -trace-runs 1
 
 # Deterministic fault injection against the serving engine's
-# degradation ladder; fails if any injected fault escapes (a request
-# that neither answers nor fast-fails 429/503, or an unrecovered
-# panic).
+# degradation ladder AND the HTTP transport below the handler; fails
+# if any injected fault escapes (a request that neither answers nor
+# fast-fails 429/503, an unrecovered panic, or transport damage the
+# client could mistake for a clean answer), or if a draining engine
+# fails to shed new planning work with 503.
 chaos-smoke:
-	$(GO) run ./cmd/muvebench -chaos "solver:lat=3s@0.4,err=0.2;nlq:panic=0.05" \
+	$(GO) run ./cmd/muvebench \
+		-chaos "solver:lat=3s@0.4,err=0.2;nlq:panic=0.05;http:partial=0.1,garbage=0.1,slowwrite=5ms@0.2,reset=0.05" \
 		-chaos-seed 7 -chaos-requests 120
 
 # Session replay cold vs warm-started incremental planning; fails
@@ -71,4 +74,19 @@ slo-smoke:
 		-slo-chaos "solver:lat=500ms@0.5,err=0.2" \
 		-slo-requests 80 -slo-workers 4 -slo-expect-incidents 1
 
-ci: vet build race trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke slo-smoke
+# Short fuzz runs over the two operator-facing grammars (chaos specs
+# and SLO objectives). `go test -fuzz` takes one fuzzer per run, so
+# the targets run sequentially; corpus finds land in testdata/fuzz and
+# should be committed as regression seeds.
+fuzz-smoke:
+	$(GO) test ./internal/resilience -run '^$$' -fuzz FuzzParseChaos -fuzztime 10s
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzParseObjectives -fuzztime 10s
+
+# Closed-loop overload ramp to 2x calibrated capacity under transport
+# chaos; fails unless admission sheds load (zero fault escapes),
+# interactive p99 stays under the SLA, and goodput at 2x holds >= 70%
+# of the pre-saturation peak. Writes BENCH_overload.json.
+overload-smoke:
+	$(GO) run ./cmd/muvebench -overload -overload-json BENCH_overload.json
+
+ci: vet build race trace-smoke chaos-smoke warmstart-smoke speak-smoke bench-smoke slo-smoke fuzz-smoke overload-smoke

@@ -5,9 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -22,16 +27,40 @@ import (
 // to -chaos-json so BENCH_*.json can track degradation rates alongside
 // latency across revisions.
 type chaosReport struct {
-	Spec     string         `json:"spec"`
-	Seed     int64          `json:"seed"`
-	Requests int            `json:"requests"`
-	Workers  int            `json:"workers"`
-	Answered int            `json:"answered"`
-	Rejected int            `json:"rejected_429"`
-	Shed     int            `json:"shed_503"`
-	Escaped  int            `json:"escaped"`
-	Rungs    map[string]int `json:"rungs"`
-	Latency  latencyStats   `json:"latency_ms"`
+	Spec      string         `json:"spec"`
+	Seed      int64          `json:"seed"`
+	Requests  int            `json:"requests"`
+	Workers   int            `json:"workers"`
+	Answered  int            `json:"answered"`
+	Rejected  int            `json:"rejected_429"`
+	Shed      int            `json:"shed_503"`
+	Escaped   int            `json:"escaped"`
+	Transport int            `json:"transport_damaged,omitempty"`
+	Rungs     map[string]int `json:"rungs"`
+	Latency   latencyStats   `json:"latency_ms"`
+	Retries   retryCounts    `json:"retries"`
+	Hedge     hedgeCounts    `json:"hedge"`
+	Drain     drainCounts    `json:"drain"`
+}
+
+// retryCounts tracks the client retry contract from both sides: what
+// the harness's clients sent, and what the engine's budgets did.
+type retryCounts struct {
+	Client    int    `json:"client"`
+	Attempted uint64 `json:"attempted"`
+	Denied    uint64 `json:"denied"`
+}
+
+// hedgeCounts summarizes the hedged-exact races.
+type hedgeCounts struct {
+	Started uint64            `json:"started"`
+	Wins    map[string]uint64 `json:"wins,omitempty"`
+}
+
+// drainCounts records the end-of-run crash-only drain exercise.
+type drainCounts struct {
+	Cancelled int  `json:"cancelled"`
+	Shed503   bool `json:"shed_503"`
 }
 
 type latencyStats struct {
@@ -50,6 +79,13 @@ type chaosOutcome struct {
 	elapsed time.Duration
 	escaped bool
 	detail  string
+	// retried marks a request whose client issued a second attempt
+	// after a clean 429/503 shed.
+	retried bool
+	// transport marks injected transport damage the client observed
+	// (advertised via X-Chaos-Transport, or a connection the reset
+	// fault killed) — expected damage, not an escape.
+	transport bool
 }
 
 // runChaos drives the same serve.Engine degradation ladder muveserver
@@ -95,6 +131,22 @@ func runChaos(spec string, seed int64, requests, workers int, jsonPath string) e
 	// than the sum of its rung caps.
 	const hangLimit = 10*time.Second + 2*time.Second + 500*time.Millisecond + 2*time.Second
 
+	// With transport faults in the spec, requests go over real HTTP
+	// through the WithHTTPChaos middleware so slow/partial writes,
+	// resets and garbage actually hit a client; otherwise the harness
+	// drives the engine directly as before.
+	doReq := func(req serve.Request) chaosOutcome {
+		return chaosRequest(engine, req, hangLimit)
+	}
+	if ch.HasHTTP() {
+		srv := chaosHTTPServer(engine, ch)
+		defer srv.Close()
+		client := &http.Client{Timeout: 2 * hangLimit}
+		doReq = func(req serve.Request) chaosOutcome {
+			return chaosHTTPRequest(client, srv.URL, req)
+		}
+	}
+
 	outcomes := make([]chaosOutcome, requests)
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -107,7 +159,7 @@ func runChaos(spec string, seed int64, requests, workers int, jsonPath string) e
 					Transcript: utterances[i%len(utterances)],
 					Batch:      i%4 == 3,
 				}
-				outcomes[i] = chaosRequest(engine, req, hangLimit)
+				outcomes[i] = doReq(req)
 			}
 		}()
 	}
@@ -118,6 +170,14 @@ func runChaos(spec string, seed int64, requests, workers int, jsonPath string) e
 	wg.Wait()
 
 	rep := summarizeChaos(spec, seed, requests, workers, outcomes)
+	// Exercise the crash-only drain path before reading the counters,
+	// so its cancellations land in the report.
+	rep.Drain = drainChaos(engine, utterances)
+	m := engine.Metrics()
+	rep.Retries.Attempted = m.Retries.Value()
+	rep.Retries.Denied = m.RetryDenied.Value()
+	rep.Hedge.Started = m.HedgeStarted.Value()
+	rep.Hedge.Wins = m.HedgeWins()
 	writeChaosText(os.Stdout, rep, outcomes)
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -137,6 +197,9 @@ func runChaos(spec string, seed int64, requests, workers int, jsonPath string) e
 	}
 	if rep.Escaped > 0 {
 		return fmt.Errorf("%d injected fault(s) escaped the resilience layer", rep.Escaped)
+	}
+	if !rep.Drain.Shed503 {
+		return fmt.Errorf("draining engine did not shed new planning work with 503")
 	}
 	return nil
 }
@@ -184,10 +247,124 @@ func chaosEngine(db *sqldb.DB, table string, ch *resilience.Chaos, workers int) 
 		StaleFor:         time.Minute,
 		BreakerThreshold: 3,
 		BreakerCooldown:  300 * time.Millisecond,
+		Hedge:            true,
 		Chaos:            ch,
 		Dataset:          table,
 		Solver:           "ilp",
 	})
+}
+
+// chaosHTTPServer wraps the engine in the minimal middleware stack the
+// transport faults need: WithHTTPChaos outermost (the wire), recovery
+// inside it (rethrowing the reset's abort panic). The handler mirrors
+// muveserver's /ask.json shape closely enough for clients to validate
+// payload integrity.
+func chaosHTTPServer(engine *serve.Engine, ch *resilience.Chaos) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
+		attempt, _ := strconv.Atoi(r.Header.Get(serve.AttemptHeader))
+		resp, err := engine.Do(r.Context(), serve.Request{
+			Transcript: r.URL.Query().Get("q"),
+			Batch:      r.URL.Query().Get("batch") == "1",
+			Refresh:    r.URL.Query().Get("refresh") == "1",
+			Attempt:    attempt,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), serve.StatusOf(err))
+			return
+		}
+		w.Header().Set("X-Muve-Source", string(resp.Source))
+		w.Header().Set("Content-Type", "application/json")
+		ans := resp.Value.(*muve.Answer)
+		json.NewEncoder(w).Encode(struct {
+			Transcript string `json:"transcript"`
+			SQL        string `json:"sql"`
+		}{ans.Transcript, ans.TopQuery.SQL()})
+	})
+	quiet := log.New(io.Discard, "", 0)
+	return httptest.NewServer(serve.WithHTTPChaos(ch,
+		serve.WithDeadline(0,
+			serve.WithRecovery(quiet, engine.Metrics(), mux))))
+}
+
+// chaosHTTPRequest issues one request (plus at most one labeled retry
+// after a clean shed) over real HTTP and classifies what the client
+// saw. Injected transport damage is recognizable — the response carries
+// X-Chaos-Transport, or the connection died under a reset — and is
+// counted, not escaped; damage without that marker is an escape.
+func chaosHTTPRequest(client *http.Client, base string, req serve.Request) chaosOutcome {
+	attempt := func(a int) chaosOutcome {
+		u := base + "/ask?q=" + url.QueryEscape(req.Transcript)
+		if req.Batch {
+			u += "&batch=1"
+		}
+		hreq, err := http.NewRequest(http.MethodGet, u, nil)
+		if err != nil {
+			return chaosOutcome{escaped: true, detail: err.Error()}
+		}
+		if a > 0 {
+			hreq.Header.Set(serve.AttemptHeader, strconv.Itoa(a))
+		}
+		start := time.Now()
+		resp, err := client.Do(hreq)
+		if err != nil {
+			// In-process the only thing that kills a connection is the
+			// injected reset fault (the headers, with their marker, can be
+			// lost with the connection).
+			return chaosOutcome{elapsed: time.Since(start), transport: true, detail: err.Error()}
+		}
+		defer resp.Body.Close()
+		body, readErr := io.ReadAll(resp.Body)
+		o := chaosOutcome{
+			elapsed:   time.Since(start),
+			status:    resp.StatusCode,
+			source:    serve.Source(resp.Header.Get("X-Muve-Source")),
+			transport: resp.Header.Get(serve.ChaosTransportHeader) != "",
+		}
+		if readErr != nil {
+			if !o.transport {
+				o.escaped = true
+				o.detail = fmt.Sprintf("body read failed without injected transport fault: %v", readErr)
+			}
+			return o
+		}
+		if o.status == http.StatusOK && !json.Valid(body) && !o.transport {
+			o.escaped = true
+			o.detail = "malformed 200 body without injected transport fault"
+		}
+		return o
+	}
+	o := attempt(0)
+	if o.status == 429 || o.status == 503 {
+		o = attempt(1)
+		o.retried = true
+	}
+	return o
+}
+
+// drainChaos exercises the crash-only drain path: it puts a few solves
+// in flight, drains the engine, verifies that new planning work is shed
+// with 503 while draining, and closes the engine — cancelling whatever
+// is still running.
+func drainChaos(engine *serve.Engine, utterances []string) drainCounts {
+	var wg sync.WaitGroup
+	for i := 0; i < 3 && i < len(utterances); i++ {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			engine.Do(context.Background(), serve.Request{Transcript: q, Refresh: true})
+		}(utterances[i])
+	}
+	time.Sleep(50 * time.Millisecond) // let the solves enter planning
+	engine.Drain()
+	_, err := engine.Do(context.Background(), serve.Request{
+		Transcript: utterances[len(utterances)-1],
+		Refresh:    true,
+	})
+	d := drainCounts{Shed503: serve.StatusOf(err) == 503}
+	d.Cancelled = engine.Close()
+	wg.Wait()
+	return d
 }
 
 // chaosRequest runs one request with a hang watchdog. The engine plans
@@ -202,22 +379,36 @@ func chaosRequest(engine *serve.Engine, req serve.Request, hangLimit time.Durati
 				done <- chaosOutcome{escaped: true, detail: fmt.Sprintf("panic escaped: %v", r)}
 			}
 		}()
-		start := time.Now()
-		resp, err := engine.Do(context.Background(), req)
-		o := chaosOutcome{elapsed: time.Since(start), status: serve.StatusOf(err)}
-		if err == nil {
-			o.source = resp.Source
-		} else if o.status != 429 && o.status != 503 {
-			o.escaped = true
-			o.detail = fmt.Sprintf("status %d: %v", o.status, err)
+		attempt := func() chaosOutcome {
+			start := time.Now()
+			resp, err := engine.Do(context.Background(), req)
+			o := chaosOutcome{elapsed: time.Since(start), status: serve.StatusOf(err)}
+			if err == nil {
+				o.source = resp.Source
+			} else if o.status != 429 && o.status != 503 {
+				o.escaped = true
+				o.detail = fmt.Sprintf("status %d: %v", o.status, err)
+			}
+			return o
+		}
+		o := attempt()
+		if o.status == 429 || o.status == 503 {
+			// One labeled retry per shed request, like a well-behaved
+			// client: the engine charges it against the retry budget and
+			// may shed it again — that is still a clean outcome.
+			req.Attempt = 1
+			o = attempt()
+			o.retried = true
 		}
 		done <- o
 	}()
+	// The watchdog allows two full ladder descents: the original attempt
+	// plus the labeled retry.
 	select {
 	case o := <-done:
 		return o
-	case <-time.After(hangLimit):
-		return chaosOutcome{elapsed: hangLimit, escaped: true, detail: "request hung past the ladder budget"}
+	case <-time.After(2 * hangLimit):
+		return chaosOutcome{elapsed: 2 * hangLimit, escaped: true, detail: "request hung past the ladder budget"}
 	}
 }
 
@@ -231,6 +422,12 @@ func summarizeChaos(spec string, seed int64, requests, workers int, outcomes []c
 	}
 	lats := make([]float64, 0, len(outcomes))
 	for _, o := range outcomes {
+		if o.transport {
+			rep.Transport++
+		}
+		if o.retried {
+			rep.Retries.Client++
+		}
 		switch {
 		case o.escaped:
 			rep.Escaped++
@@ -238,6 +435,9 @@ func summarizeChaos(spec string, seed int64, requests, workers int, outcomes []c
 			rep.Rejected++
 		case o.status == 503:
 			rep.Shed++
+		case o.status == 0 || (o.status == 200 && o.source == ""):
+			// The connection died under an injected reset before an
+			// attributable answer came through; counted in Transport above.
 		default:
 			rep.Answered++
 			rep.Rungs[string(o.source)]++
@@ -267,7 +467,21 @@ func writeChaosText(w io.Writer, rep chaosReport, outcomes []chaosOutcome) {
 	fmt.Fprintf(w, "%-14s %6d\n", "answered", rep.Answered)
 	fmt.Fprintf(w, "%-14s %6d\n", "rejected-429", rep.Rejected)
 	fmt.Fprintf(w, "%-14s %6d\n", "shed-503", rep.Shed)
+	fmt.Fprintf(w, "%-14s %6d\n", "transport", rep.Transport)
 	fmt.Fprintf(w, "%-14s %6d\n", "escaped", rep.Escaped)
+
+	fmt.Fprintf(w, "\nretries: client=%d engine=%d denied=%d\n",
+		rep.Retries.Client, rep.Retries.Attempted, rep.Retries.Denied)
+	fmt.Fprintf(w, "hedges:  started=%d", rep.Hedge.Started)
+	winners := make([]string, 0, len(rep.Hedge.Wins))
+	for k := range rep.Hedge.Wins {
+		winners = append(winners, k)
+	}
+	sort.Strings(winners)
+	for _, k := range winners {
+		fmt.Fprintf(w, " %s=%d", k, rep.Hedge.Wins[k])
+	}
+	fmt.Fprintf(w, "\ndrain:   cancelled=%d shed-503=%v\n", rep.Drain.Cancelled, rep.Drain.Shed503)
 
 	fmt.Fprintf(w, "\nanswer source / ladder rung distribution:\n")
 	keys := make([]string, 0, len(rep.Rungs))

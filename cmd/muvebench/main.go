@@ -33,7 +33,25 @@
 //
 // The summary reports the ladder-rung distribution (planned, fallback,
 // stale, minimal, cache, coalesced) so degradation rates are tracked
-// alongside latency.
+// alongside latency, plus retry/hedge/drain counters. When the spec
+// includes the reserved "http" stage, requests run over real HTTP
+// through the transport-chaos middleware (slow/partial writes, resets,
+// garbage), and damage without the X-Chaos-Transport marker counts as
+// an escape. The run ends with a drain exercise: the engine must shed
+// new planning work with 503 while draining, and cancelled in-flight
+// solves are reported.
+//
+// Overload mode calibrates the serving stack's peak goodput with a
+// closed loop, then ramps an open-loop arrival process to 2x that
+// capacity — transport chaos on the wire, X-Muve-Deadline on every
+// request, budget-limited labeled retries — and fails (non-zero exit)
+// unless zero faults escape, answered interactive p99 stays under
+// -overload-sla at 2x, and goodput at 2x retains at least 70% of the
+// calibrated peak:
+//
+//	muvebench -overload [-overload-step 1.5s] [-overload-sla 1.5s] \
+//	          [-overload-chaos "http:partial=0.05,..."] \
+//	          [-overload-json BENCH_overload.json]
 //
 // SLO mode replays a workload through the serving engine while the SLO
 // engine evaluates latency objectives over sliding windows, then prints
@@ -126,6 +144,12 @@ func run() error {
 		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent clients in -chaos mode")
 		chaosJSON     = flag.String("chaos-json", "", "write the -chaos summary as JSON to this file")
 
+		overloadFlag  = flag.Bool("overload", false, "run the overload ramp harness instead of experiments: calibrate goodput, ramp arrivals to 2x capacity, gate on zero escapes, bounded interactive p99, and >=70% goodput retention")
+		overloadStep  = flag.Duration("overload-step", 1500*time.Millisecond, "duration of the calibration phase and each ramp step in -overload mode")
+		overloadSLA   = flag.Duration("overload-sla", 1500*time.Millisecond, "interactive p99 gate at 2x load in -overload mode")
+		overloadChaos = flag.String("overload-chaos", "http:partial=0.05,garbage=0.05;solver:lat=150ms@0.2", "fault spec injected during the -overload ramp (same grammar as -chaos; empty disables)")
+		overloadJSON  = flag.String("overload-json", "", "write the -overload summary as JSON to this file")
+
 		voiceFlag  = flag.Bool("voice", false, "benchmark the voice fact-set planners (exact ILP vs greedy) instead of running experiments; greedy beating a provably optimal exact objective fails the run")
 		voiceUtts  = flag.Int("voice-utterances", 12, "utterances to plan in -voice mode")
 		voiceWords = flag.Int("voice-words", 0, "spoken word budget in -voice mode (0 = default 40)")
@@ -162,6 +186,9 @@ func run() error {
 	}
 	if *chaosFlag != "" {
 		return runChaos(*chaosFlag, *chaosSeed, *chaosRequests, *chaosWorkers, *chaosJSON)
+	}
+	if *overloadFlag {
+		return runOverload(*seedFlag, *overloadStep, *overloadSLA, *overloadChaos, *overloadJSON)
 	}
 	if *sloSpec != "" {
 		return runSLO(*sloSpec, *sloChaos, *sloSeed, *sloReqs, *sloWorkers, *sloBurn, *sloExpect, *sloJSON, *sloProfile)

@@ -13,6 +13,7 @@
 //	                           "voice" object under format=voice)
 //	GET /trend?q=...&by=col    SVG line chart (trend extension)
 //	GET /healthz               liveness probe
+//	GET /readyz                readiness probe (503 once draining)
 //	GET /metrics               Prometheus text metrics (incl. per-stage
 //	                           muve_stage_seconds histograms)
 //	GET /debug/vars            metrics as JSON (with p50/p95/p99)
@@ -51,7 +52,35 @@
 // the exact rung for -breaker-cooldown before probing it again. -chaos
 // injects deterministic faults for drills (spec
 // "stage:lat=DUR[@P],err=P,panic=P;...", stages speech|nlq|solver|
-// progressive|viz or *; seeded by -chaos-seed).
+// progressive|viz or *; seeded by -chaos-seed). The reserved stage
+// "http" (never matched by "*") injects transport faults below the
+// handler instead: slowwrite=DUR[@P], stallread=DUR[@P], partial=P,
+// reset=P, garbage=P — slow or truncated response writes, stalled
+// request reads, mid-response connection aborts, and corrupt bytes
+// appended after the body (responses touched this way carry
+// X-Chaos-Transport so harnesses can tell injected damage from real).
+//
+// Overload behavior: -admission-target replaces the static watermarks
+// with a CoDel-style controller — each lane's queue-sojourn low
+// quantile is steered toward the target by shrinking the watermark
+// under sustained excess and re-growing it on recovery (live values in
+// muve_admission_watermark{priority} and the muve_sojourn_*_seconds
+// histograms). Clients propagate deadlines via X-Muve-Deadline
+// (duration or unix-millis; capped by -max-deadline) and label retries
+// via X-Muve-Attempt: retries draw from a per-session token bucket
+// (-retry-burst/-retry-per-sec), and an exhausted budget answers 429
+// with Retry-After instead of amplifying the overload. -hedge races a
+// greedy hedge against exact solves that outlive the windowed p90
+// planning time; the first finisher wins (muve_hedge_total{winner},
+// source "hedged").
+//
+// Shutdown is crash-only: on SIGINT/SIGTERM the server fails /readyz,
+// refuses new planning work (503; cache, session, and stale answers
+// still serve), drains in-flight solves for at most -drain, cancels
+// the stragglers (muve_drain_cancelled_total), and — with -snapshot —
+// spills warm cache entries and session hints to disk. A restarting
+// replica loads the spill as stale-rung answers, so it serves repeat
+// queries immediately while its cache refills.
 //
 // Usage:
 //
@@ -59,6 +88,9 @@
 //	           [-max-inflight 32] [-cache-entries 1024] [-cache-ttl 5m]
 //	           [-timeout 10s] [-queue-depth 0] [-batch-queue 0]
 //	           [-stale-for 0] [-breaker-threshold 3] [-breaker-cooldown 5s]
+//	           [-admission-target 0] [-admission-interval 0] [-hedge]
+//	           [-retry-burst 0] [-retry-per-sec 0] [-max-deadline 0]
+//	           [-drain 10s] [-snapshot FILE]
 //	           [-budget-fraction 0] [-warm-start=true]
 //	           [-chaos spec] [-chaos-seed 1] [-speak-words 0]
 //	           [-trace-buffer 128] [-trace-sample 1] [-trace-slow 250ms]
@@ -88,9 +120,6 @@
 // /metrics additionally carries Go runtime health as the muve_go_*
 // family, and all pipeline work runs under pprof labels (stage, lane,
 // mode, rung) so `go tool pprof -tags` decomposes CPU by stage.
-//
-// The server shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests.
 package main
 
 import (
@@ -111,6 +140,7 @@ import (
 	"runtime/trace"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -147,6 +177,14 @@ func run() error {
 		queueFlag    = flag.Int("queue-depth", 0, "interactive admission watermark: waiting requests beyond this fast-fail with 429 (0 = unbounded)")
 		batchQFlag   = flag.Int("batch-queue", 0, "batch-lane admission watermark (0 = unbounded)")
 		staleFlag    = flag.Duration("stale-for", 0, "serve expired cached answers up to this long past TTL when planning fails (0 disables)")
+		admTarget    = flag.Duration("admission-target", 0, "CoDel sojourn target for the interactive admission lane: watermarks adapt to keep queue wait near this (0 = static watermarks; batch lane targets 4x)")
+		admInterval  = flag.Duration("admission-interval", 0, "CoDel control interval for -admission-target (0 = 500ms default)")
+		hedgeFlag    = flag.Bool("hedge", false, "race a greedy hedge against exact solves that outlive the windowed p90 planning time (needs a non-greedy -solver)")
+		retryBurst   = flag.Float64("retry-burst", 0, "per-session retry budget burst (0 = default 4; negative disables retry budgeting)")
+		retryRate    = flag.Float64("retry-per-sec", 0, "per-session retry budget refill rate (0 = default 0.5)")
+		maxDeadline  = flag.Duration("max-deadline", 0, "cap on client-supplied X-Muve-Deadline values (0 = no cap)")
+		drainFlag    = flag.Duration("drain", 10*time.Second, "shutdown drain deadline: in-flight solves past it are cancelled, not awaited")
+		snapFlag     = flag.String("snapshot", "", "spill warm cache and session hints to this file on drain, and restore them (as stale-rung answers) at startup")
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive blamed deadline misses tripping a stage circuit breaker (negative disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker skips the exact rung before probing")
 		budgetFlag   = flag.Float64("budget-fraction", 0, "cap ILP planning at this fraction of the remaining request deadline (0 disables)")
@@ -247,6 +285,11 @@ func run() error {
 		staleFor:         *staleFlag,
 		breakerThreshold: *brkThreshold,
 		breakerCooldown:  *brkCooldown,
+		admissionTarget:  *admTarget,
+		admissionInt:     *admInterval,
+		hedge:            *hedgeFlag,
+		retryBurst:       *retryBurst,
+		retryPerSec:      *retryRate,
 		chaos:            chaos,
 		speakWords:       *speakFlag,
 		breakerNotify: func(stage string, to resilience.BreakerState) {
@@ -257,6 +300,14 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if *snapFlag != "" {
+		// Best-effort: a bad snapshot means a cold start, not a failed one.
+		if n, s, err := loadSnapshot(*snapFlag, engine, ds.String(), *solverFlag, *widthFlag); err != nil {
+			log.Printf("muveserver snapshot restore skipped: %v", err)
+		} else if n > 0 || s > 0 {
+			log.Printf("muveserver restored %d stale cache entries and %d session hints from %s", n, s, *snapFlag)
+		}
 	}
 
 	ring := obs.NewRing(*traceBufFlag)
@@ -273,6 +324,12 @@ func run() error {
 				}
 			},
 		})
+		// Queue sojourn rides along in the SLO report so /debug/slo shows
+		// what the adaptive admission controller is steering on.
+		if *admTarget > 0 {
+			slo.Attach("sojourn-interactive", engine.SojournSeries(resilience.Interactive))
+			slo.Attach("sojourn-batch", engine.SojournSeries(resilience.Batch))
+		}
 	}
 	recorder = obs.NewRecorder(obs.RecorderConfig{
 		Capacity:        *incBufFlag,
@@ -295,6 +352,18 @@ func run() error {
 	})
 
 	mux := newMux(engine, sys, ds.String(), tbl.NumRows(), gostats)
+	// Readiness is separate from liveness: it flips to 503 the moment
+	// drain starts, so load balancers stop routing before in-flight work
+	// finishes. /healthz stays 200 throughout — the process is alive.
+	var ready atomic.Bool
+	ready.Store(true)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	mux.Handle("/debug/traces", obs.Handler(ring))
 	if slo != nil {
 		mux.Handle("/debug/slo", slo.Handler())
@@ -307,19 +376,26 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	// Logging runs outermost so the request ID it assigns is visible to
-	// the tracer (trace ID), the recovery middleware's panic log lines,
-	// and the engine's own log lines. Recovery sits innermost so a
-	// panicking handler still produces a finished trace and a log line.
-	// The SLO engine observes every finished trace (unsampled), so burn
-	// rates cover all traffic even when the debug ring keeps a fraction.
+	// HTTP chaos sits outermost — closest to the wire — so its transport
+	// faults (slow/partial writes, resets, garbage) corrupt everything
+	// the inner stack produces, including log-instrumented writes.
+	// Logging runs next so the request ID it assigns is visible to the
+	// tracer (trace ID), the recovery middleware's panic log lines, and
+	// the engine's own log lines; deadline propagation sits inside
+	// logging so its 400/504 short-circuits still get a log line.
+	// Recovery sits innermost so a panicking handler still produces a
+	// finished trace and a log line. The SLO engine observes every
+	// finished trace (unsampled), so burn rates cover all traffic even
+	// when the debug ring keeps a fraction.
 	var observers []func(*obs.Trace)
 	if slo != nil {
 		observers = append(observers, slo.ObserveTrace)
 	}
-	handler := serve.WithLogging(log.Default(),
-		serve.WithSampledTracing(ring, obs.NewSampler(*sampleFlag, *slowFlag), engine.Metrics(),
-			serve.WithRecovery(log.Default(), engine.Metrics(), mux), observers...))
+	handler := serve.WithHTTPChaos(chaos,
+		serve.WithLogging(log.Default(),
+			serve.WithDeadline(*maxDeadline,
+				serve.WithSampledTracing(ring, obs.NewSampler(*sampleFlag, *slowFlag), engine.Metrics(),
+					serve.WithRecovery(log.Default(), engine.Metrics(), mux), observers...))))
 	srv := &http.Server{
 		Addr:              *addrFlag,
 		Handler:           handler,
@@ -341,11 +417,30 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("muveserver shutting down, draining in-flight requests")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	// Crash-only drain: fail readiness so load balancers stop routing,
+	// refuse new planning work (cache/session/stale hits still serve),
+	// give in-flight solves the drain deadline, then cancel whatever is
+	// left and spill the warm state. Every step past this point is
+	// best-effort — the exit path must work exactly the same way when
+	// the deadline, not completion, ends it.
+	log.Printf("muveserver shutting down, draining in-flight requests for up to %s", *drainFlag)
+	ready.Store(false)
+	engine.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return err
+	shutErr := srv.Shutdown(shutCtx)
+	if n := engine.Close(); n > 0 {
+		log.Printf("muveserver drain deadline: cancelled %d in-flight solves", n)
+	}
+	if *snapFlag != "" {
+		if err := saveSnapshot(*snapFlag, engine, ds.String(), *solverFlag, *widthFlag); err != nil {
+			log.Printf("muveserver snapshot spill failed: %v", err)
+		} else {
+			log.Printf("muveserver spilled warm state to %s", *snapFlag)
+		}
+	}
+	if shutErr != nil {
+		log.Printf("muveserver drain incomplete (%v); exiting anyway", shutErr)
 	}
 	return nil
 }
@@ -365,6 +460,11 @@ type engineConfig struct {
 	staleFor         time.Duration
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	admissionTarget  time.Duration
+	admissionInt     time.Duration
+	hedge            bool
+	retryBurst       float64
+	retryPerSec      float64
 	chaos            *resilience.Chaos
 	speakWords       int
 	breakerNotify    func(stage string, to resilience.BreakerState)
@@ -515,26 +615,31 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		return minimalSys.AskContext(ctx, req.Transcript)
 	}
 	return serve.NewEngine(serve.Config{
-		Metrics:          metrics,
-		Planner:          planner,
-		Fallback:         fallback,
-		Minimal:          minimal,
-		MaxInFlight:      cfg.maxInFlight,
-		SolverWorkers:    cfg.solverWorkers,
-		Timeout:          cfg.timeout,
-		CacheEntries:     cfg.cacheEntries,
-		CacheTTL:         cfg.cacheTTL,
-		StaleFor:         cfg.staleFor,
-		Queue:            cfg.queue,
-		BatchQueue:       cfg.batchQueue,
-		BreakerThreshold: cfg.breakerThreshold,
-		BreakerCooldown:  cfg.breakerCooldown,
-		Chaos:            cfg.chaos,
-		Dataset:          table,
-		Solver:           cfg.solverName,
-		WidthPx:          cfg.widthPx,
-		BreakerNotify:    cfg.breakerNotify,
-		Logger:           log.Default(),
+		Metrics:           metrics,
+		Planner:           planner,
+		Fallback:          fallback,
+		Minimal:           minimal,
+		MaxInFlight:       cfg.maxInFlight,
+		SolverWorkers:     cfg.solverWorkers,
+		Timeout:           cfg.timeout,
+		CacheEntries:      cfg.cacheEntries,
+		CacheTTL:          cfg.cacheTTL,
+		StaleFor:          cfg.staleFor,
+		Queue:             cfg.queue,
+		BatchQueue:        cfg.batchQueue,
+		BreakerThreshold:  cfg.breakerThreshold,
+		BreakerCooldown:   cfg.breakerCooldown,
+		AdmissionTarget:   cfg.admissionTarget,
+		AdmissionInterval: cfg.admissionInt,
+		Hedge:             cfg.hedge,
+		RetryBurst:        cfg.retryBurst,
+		RetryPerSec:       cfg.retryPerSec,
+		Chaos:             cfg.chaos,
+		Dataset:           table,
+		Solver:            cfg.solverName,
+		WidthPx:           cfg.widthPx,
+		BreakerNotify:     cfg.breakerNotify,
+		Logger:            log.Default(),
 	})
 }
 
@@ -551,18 +656,30 @@ func answerFor(w http.ResponseWriter, r *http.Request, engine *serve.Engine) (*m
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return nil, false
 	}
+	attempt, _ := strconv.Atoi(r.Header.Get(serve.AttemptHeader))
 	resp, err := engine.Do(r.Context(), serve.Request{
 		Transcript: q,
 		Mode:       format,
 		SessionID:  strings.TrimSpace(r.URL.Query().Get("sid")),
 		Refresh:    r.URL.Query().Get("refresh") == "1",
 		Batch:      r.URL.Query().Get("batch") == "1",
+		Attempt:    attempt,
 	})
 	if err != nil {
 		status := serve.StatusOf(err)
+		// Both 429 shapes carry a back-off hint: admission rejections and
+		// exhausted retry budgets.
+		var after time.Duration
 		var rej *resilience.RejectError
-		if errors.As(err, &rej) {
-			secs := int(rej.RetryAfter / time.Second)
+		var rb *resilience.RetryBudgetError
+		switch {
+		case errors.As(err, &rej):
+			after = rej.RetryAfter
+		case errors.As(err, &rb):
+			after = rb.RetryAfter
+		}
+		if after > 0 {
+			secs := int(after / time.Second)
 			if secs < 1 {
 				secs = 1
 			}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"muve"
+	"muve/internal/serve"
+)
+
+// The drain snapshot is the crash-only counterpart of a warm cache: on
+// SIGTERM the server spills every still-servable cached answer and every
+// session's warm-start hint to one JSON file, and a restarted replica
+// loads them back as *stale* cache entries (serve.Cache.PutStale) and
+// restored session state. Restored answers are deliberately reachable
+// only through the degradation ladder's stale rung — they are old by
+// definition — but that is enough for the replica to answer repeat
+// queries immediately while its own cache refills.
+//
+// Everything here is best-effort: a missing, corrupt, or mismatched
+// snapshot (different dataset/solver/width) means a cold start, never a
+// failed one.
+
+// snapshotFile is the on-disk format. Answers are stored as raw JSON so
+// a single unmarshalable entry (or a future Answer shape change) skips
+// that entry rather than the whole file.
+type snapshotFile struct {
+	SavedAt  time.Time     `json:"saved_at"`
+	Dataset  string        `json:"dataset"`
+	Solver   string        `json:"solver"`
+	WidthPx  int           `json:"width_px"`
+	Cache    []snapAnswer  `json:"cache,omitempty"`
+	Sessions []snapSession `json:"sessions,omitempty"`
+}
+
+// snapAnswer is one cache entry: the engine's cache key and the answer.
+type snapAnswer struct {
+	Key    string          `json:"key"`
+	Answer json.RawMessage `json:"answer"`
+}
+
+// snapSession is one session's warm-start hints, per output modality.
+type snapSession struct {
+	ID    string          `json:"id"`
+	Plot  json.RawMessage `json:"plot,omitempty"`
+	Voice json.RawMessage `json:"voice,omitempty"`
+}
+
+// marshalAnswer serializes an answer for the snapshot, dropping the
+// progressive trace (bulky, replay-only) and tolerating unmarshalable
+// content (e.g. NaN plot values) by returning nil.
+func marshalAnswer(ans *muve.Answer) json.RawMessage {
+	if ans == nil {
+		return nil
+	}
+	a := *ans
+	a.Trace = nil
+	b, err := json.Marshal(&a)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// saveSnapshot spills the engine's warm state to path via a temp file
+// and rename, so a crash mid-write leaves either the old snapshot or
+// none — never a torn one.
+func saveSnapshot(path string, engine *serve.Engine, dataset, solver string, widthPx int) error {
+	snap := snapshotFile{
+		SavedAt: time.Now(),
+		Dataset: dataset,
+		Solver:  solver,
+		WidthPx: widthPx,
+	}
+	for _, e := range engine.Cache().Entries() {
+		ans, ok := e.Value.(*muve.Answer)
+		if !ok {
+			continue
+		}
+		if raw := marshalAnswer(ans); raw != nil {
+			snap.Cache = append(snap.Cache, snapAnswer{Key: e.Key, Answer: raw})
+		}
+	}
+	engine.Sessions().Range(func(s *serve.Session) {
+		st := stateOf(s)
+		if st == nil {
+			return
+		}
+		ss := snapSession{ID: s.ID, Plot: marshalAnswer(st.plot), Voice: marshalAnswer(st.voice)}
+		if ss.Plot == nil && ss.Voice == nil {
+			return
+		}
+		snap.Sessions = append(snap.Sessions, ss)
+	})
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSnapshot restores a prior replica's spilled state into the
+// engine. Returns how many cache entries and sessions were restored. A
+// missing file is not an error; a snapshot taken under a different
+// dataset, solver, or width is skipped whole (its cache keys and warm
+// starts would not match this configuration).
+func loadSnapshot(path string, engine *serve.Engine, dataset, solver string, widthPx int) (entries, sessions int, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return 0, 0, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if snap.Dataset != dataset || snap.Solver != solver || snap.WidthPx != widthPx {
+		return 0, 0, fmt.Errorf("snapshot %s: config mismatch (%s/%s/%dpx, want %s/%s/%dpx)",
+			path, snap.Dataset, snap.Solver, snap.WidthPx, dataset, solver, widthPx)
+	}
+	unmarshalAnswer := func(raw json.RawMessage) *muve.Answer {
+		if len(raw) == 0 {
+			return nil
+		}
+		var ans muve.Answer
+		if err := json.Unmarshal(raw, &ans); err != nil {
+			return nil
+		}
+		return &ans
+	}
+	for _, e := range snap.Cache {
+		if ans := unmarshalAnswer(e.Answer); ans != nil {
+			engine.Cache().PutStale(e.Key, ans)
+			entries++
+		}
+	}
+	for _, ss := range snap.Sessions {
+		sess := engine.Sessions().Get(ss.ID)
+		if sess == nil {
+			continue
+		}
+		st := &sessionState{plot: unmarshalAnswer(ss.Plot), voice: unmarshalAnswer(ss.Voice)}
+		if st.plot == nil && st.voice == nil {
+			continue
+		}
+		sess.SetState(st)
+		sessions++
+	}
+	return entries, sessions, nil
+}

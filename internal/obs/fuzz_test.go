@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseObjectives checks that arbitrary SLO specs never panic the
+// parser and that every accepted objective survives a render/reparse
+// round trip: Objective.String() must produce a spec ParseObjectives
+// accepts, and the reparsed objective must match the original (exact
+// stage and threshold; target within float-rendering noise).
+func FuzzParseObjectives(f *testing.F) {
+	f.Add("e2e:p95<500ms")
+	f.Add("e2e:p95<500ms;solver:p99<250ms")
+	f.Add("sojourn-interactive:p99.9<1.5s")
+	f.Add("  e2e : p50<1ms  ")
+	f.Add(";;")
+	f.Add("e2e:p0<1s")
+	f.Add("e2e:p100<1s")
+	f.Add("bad")
+	f.Fuzz(func(t *testing.T, spec string) {
+		objs, err := ParseObjectives(spec)
+		if err != nil {
+			if objs != nil {
+				t.Fatalf("ParseObjectives(%q) returned both objectives and %v", spec, err)
+			}
+			return
+		}
+		for _, o := range objs {
+			if o.Target <= 0 || o.Target >= 1 {
+				t.Fatalf("ParseObjectives(%q) accepted target %g outside (0,1)", spec, o.Target)
+			}
+			if o.Threshold <= 0 {
+				t.Fatalf("ParseObjectives(%q) accepted threshold %v", spec, o.Threshold)
+			}
+			rendered := o.String()
+			back, err := ParseObjectives(rendered)
+			if err != nil {
+				t.Fatalf("rendered objective %q does not reparse: %v", rendered, err)
+			}
+			if len(back) != 1 {
+				t.Fatalf("rendered objective %q reparsed into %d objectives", rendered, len(back))
+			}
+			if back[0].Stage != o.Stage || back[0].Threshold != o.Threshold {
+				t.Fatalf("round trip changed %q into %q", o, back[0])
+			}
+			if math.Abs(back[0].Target-o.Target) > 1e-9 {
+				t.Fatalf("round trip drifted target %g to %g (spec %q)", o.Target, back[0].Target, rendered)
+			}
+		}
+	})
+}

@@ -65,7 +65,9 @@ func ParseObjectives(spec string) ([]Objective, error) {
 			return nil, fmt.Errorf("obs: objective %q: want stage:pNN<duration", part)
 		}
 		p, err := strconv.ParseFloat(pct[1:], 64)
-		if err != nil || p <= 0 || p >= 100 {
+		// The p/100 guard rejects subnormal percentiles whose target
+		// would underflow to 0 (an objective no request can ever miss).
+		if err != nil || p <= 0 || p >= 100 || p/100 <= 0 {
 			return nil, fmt.Errorf("obs: objective %q: percentile %q out of (0,100)", part, pct)
 		}
 		d, err := time.ParseDuration(durStr)
@@ -167,6 +169,22 @@ func (s *SLO) Objectives() []Objective {
 		out[i] = st.obj
 	}
 	return out
+}
+
+// Attach registers an externally owned windowed series under a stage
+// name, so series fed outside the trace path — e.g. admission queue
+// sojourn per lane — appear in the SLO report and can carry objectives
+// like any traced stage. A stage that already has a series keeps it
+// (first writer wins); a nil series is ignored.
+func (s *SLO) Attach(stage string, w *Windowed) {
+	if w == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.series[stage] == nil {
+		s.series[stage] = w
+	}
 }
 
 // seriesFor returns (lazily creating) the stage's windowed series. The

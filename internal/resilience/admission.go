@@ -30,6 +30,19 @@ type AdmissionConfig struct {
 	// time it changes (under the controller's lock — keep it to a
 	// gauge store).
 	OnDepth func(p Priority, depth int)
+	// Controller, when non-nil, makes the interactive lane's watermark
+	// adaptive: laneMax consults Controller.Watermark() instead of
+	// MaxQueue, and every granted request's queue sojourn (0 on the
+	// fast path) is fed to the controller.
+	Controller *CoDel
+	// BatchController is the batch lane's adaptive watermark.
+	BatchController *CoDel
+	// OnSojourn, when non-nil, observes every granted request's queue
+	// sojourn (0 for fast-path grants) — e.g. into a metrics histogram.
+	// Called outside the admission lock.
+	OnSojourn func(p Priority, d time.Duration)
+	// Clock injects a time source for deterministic tests.
+	Clock func() time.Time
 }
 
 // Admission is a slot semaphore with bounded, prioritized waiting:
@@ -55,6 +68,9 @@ func NewAdmission(cfg AdmissionConfig) *Admission {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	return &Admission{cfg: cfg, free: cfg.Capacity}
 }
 
@@ -68,12 +84,40 @@ func (a *Admission) retryAfter() time.Duration {
 	return a.cfg.RetryAfter
 }
 
-// laneMax returns the watermark for a lane (0 = unbounded).
+// controller returns the lane's adaptive watermark controller, or nil.
+func (a *Admission) controller(p Priority) *CoDel {
+	if p == Batch {
+		return a.cfg.BatchController
+	}
+	return a.cfg.Controller
+}
+
+// laneMax returns the watermark for a lane (0 = unbounded). An
+// adaptive lane's watermark comes from its CoDel controller and is
+// never 0.
 func (a *Admission) laneMax(p Priority) int {
+	if c := a.controller(p); c != nil {
+		return c.Watermark()
+	}
 	if p == Batch {
 		return a.cfg.MaxBatchQueue
 	}
 	return a.cfg.MaxQueue
+}
+
+// Watermark reports a lane's current effective watermark (0 means the
+// lane is unbounded).
+func (a *Admission) Watermark(p Priority) int { return a.laneMax(p) }
+
+// granted reports one grant's queue sojourn to the lane's controller
+// and the OnSojourn observer. Called without a.mu held.
+func (a *Admission) granted(p Priority, wait time.Duration) {
+	if c := a.controller(p); c != nil {
+		c.Observe(wait)
+	}
+	if a.cfg.OnSojourn != nil {
+		a.cfg.OnSojourn(p, wait)
+	}
 }
 
 // notifyDepth reports a lane's current depth. Called with a.mu held.
@@ -93,6 +137,7 @@ func (a *Admission) Acquire(ctx context.Context, p Priority) (release func(), er
 	if a.free > 0 {
 		a.free--
 		a.mu.Unlock()
+		a.granted(p, 0)
 		return a.release, nil
 	}
 	if max := a.laneMax(p); max > 0 && len(a.queue[p]) >= max {
@@ -105,8 +150,10 @@ func (a *Admission) Acquire(ctx context.Context, p Priority) (release func(), er
 	a.notifyDepth(p)
 	a.mu.Unlock()
 
+	enqueued := a.cfg.Clock()
 	select {
 	case <-ch:
+		a.granted(p, a.cfg.Clock().Sub(enqueued))
 		return a.release, nil
 	case <-ctx.Done():
 		a.mu.Lock()

@@ -28,11 +28,36 @@ type Fault struct {
 	ErrorP float64
 	// PanicP is the probability of an injected panic.
 	PanicP float64
+
+	// Transport faults, honored only for the reserved stage name
+	// "http" by the serve.WithHTTPChaos middleware (pipeline-stage
+	// Inject ignores them):
+
+	// SlowWrite pauses before each response-body write.
+	SlowWrite time.Duration
+	// SlowWriteP is the probability of SlowWrite per request; 0 with a
+	// non-zero SlowWrite means always.
+	SlowWriteP float64
+	// StallRead pauses before each request-body read.
+	StallRead time.Duration
+	// StallReadP is the probability of StallRead per request.
+	StallReadP float64
+	// PartialP is the probability the response body is silently
+	// truncated partway (the client sees a malformed payload).
+	PartialP float64
+	// ResetP is the probability the connection is aborted mid-response
+	// (the client sees an unexpected EOF / connection reset).
+	ResetP float64
+	// GarbageP is the probability garbage bytes are appended after the
+	// response body (oversized/corrupt payload).
+	GarbageP float64
 }
 
 // ChaosCounts tallies the faults injected into one stage.
 type ChaosCounts struct {
 	Latencies, Errors, Panics int
+	// Transport-fault tallies (stage "http" only).
+	SlowWrites, StallReads, Partials, Resets, Garbage int
 }
 
 // Chaos is a deterministic, seedable fault injector. Pipeline stages
@@ -63,6 +88,12 @@ func NewChaos(seed int64) *Chaos {
 func (c *Chaos) Set(stage string, f Fault) *Chaos {
 	if f.Latency > 0 && f.LatencyP <= 0 {
 		f.LatencyP = 1
+	}
+	if f.SlowWrite > 0 && f.SlowWriteP <= 0 {
+		f.SlowWriteP = 1
+	}
+	if f.StallRead > 0 && f.StallReadP <= 0 {
+		f.StallReadP = 1
 	}
 	c.mu.Lock()
 	c.faults[stage] = f
@@ -99,14 +130,21 @@ func (c *Chaos) Stages() []string {
 //
 // where each fault is one of
 //
-//	lat=DURATION[@PROB]   added latency (e.g. lat=300ms@0.5)
-//	err=PROB              injected error rate
-//	panic=PROB            injected panic rate
+//	lat=DURATION[@PROB]        added latency (e.g. lat=300ms@0.5)
+//	err=PROB                   injected error rate
+//	panic=PROB                 injected panic rate
+//	slowwrite=DURATION[@PROB]  pause before each response write
+//	stallread=DURATION[@PROB]  pause before each request-body read
+//	partial=PROB               truncate the response body
+//	reset=PROB                 abort the connection mid-response
+//	garbage=PROB               append garbage after the body
 //
 // and stage is a pipeline stage name (speech, nlq, solver,
-// progressive, viz) or "*" for all. Example:
+// progressive, viz), "*" for all pipeline stages, or the reserved
+// stage "http" whose transport faults the serve HTTP middleware
+// applies below the handler. Example:
 //
-//	solver:lat=300ms@0.8,err=0.05;nlq:panic=0.02
+//	solver:lat=300ms@0.8,err=0.05;http:reset=0.02,partial=0.05
 func ParseChaos(spec string, seed int64) (*Chaos, error) {
 	c := NewChaos(seed)
 	for _, part := range strings.Split(spec, ";") {
@@ -152,8 +190,43 @@ func ParseChaos(spec string, seed int64) (*Chaos, error) {
 					return nil, err
 				}
 				f.PanicP = p
+			case "slowwrite", "stallread":
+				durStr, probStr, hasProb := strings.Cut(val, "@")
+				d, err := time.ParseDuration(durStr)
+				if err != nil {
+					return nil, fmt.Errorf("resilience: chaos %s %q: %w", key, val, err)
+				}
+				p := 1.0
+				if hasProb {
+					if p, err = parseProb(probStr); err != nil {
+						return nil, err
+					}
+				}
+				if key == "slowwrite" {
+					f.SlowWrite, f.SlowWriteP = d, p
+				} else {
+					f.StallRead, f.StallReadP = d, p
+				}
+			case "partial":
+				p, err := parseProb(val)
+				if err != nil {
+					return nil, err
+				}
+				f.PartialP = p
+			case "reset":
+				p, err := parseProb(val)
+				if err != nil {
+					return nil, err
+				}
+				f.ResetP = p
+			case "garbage":
+				p, err := parseProb(val)
+				if err != nil {
+					return nil, err
+				}
+				f.GarbageP = p
 			default:
-				return nil, fmt.Errorf("resilience: unknown chaos fault %q (want lat|err|panic)", key)
+				return nil, fmt.Errorf("resilience: unknown chaos fault %q (want lat|err|panic|slowwrite|stallread|partial|reset|garbage)", key)
 			}
 		}
 		c.Set(strings.TrimSpace(stage), f)
@@ -243,4 +316,100 @@ func Inject(ctx context.Context, stage string) error {
 		return fmt.Errorf("chaos: stage %q: %w", stage, ErrInjected)
 	}
 	return nil
+}
+
+// HTTPStage is the reserved stage name whose faults the HTTP chaos
+// middleware applies below the handler. It never matches "*": wildcard
+// pipeline faults should not silently corrupt the transport.
+const HTTPStage = "http"
+
+// HTTPPlan is the set of transport-fault decisions drawn for one HTTP
+// request. Zero value = no faults.
+type HTTPPlan struct {
+	// Latency delays the handler before it runs.
+	Latency time.Duration
+	// SlowWrite pauses before each response-body write.
+	SlowWrite time.Duration
+	// StallRead pauses before each request-body read.
+	StallRead time.Duration
+	// Partial silently truncates the response body.
+	Partial bool
+	// Reset aborts the connection mid-response.
+	Reset bool
+	// Garbage appends garbage bytes after the body.
+	Garbage bool
+}
+
+// Any reports whether the plan injects anything.
+func (p HTTPPlan) Any() bool {
+	return p.Latency > 0 || p.SlowWrite > 0 || p.StallRead > 0 ||
+		p.Partial || p.Reset || p.Garbage
+}
+
+// HasHTTP reports whether transport faults are configured, so the
+// middleware can stay a no-op otherwise.
+func (c *Chaos) HasHTTP() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.faults[HTTPStage]
+	return ok
+}
+
+// PlanHTTP draws the transport-fault decisions for one request from
+// the seeded source. Like Inject, it consumes a fixed number of draws
+// per call so a fixed seed yields a reproducible fault sequence. The
+// decisions are returned rather than applied: the middleware owns the
+// mechanics, the injector owns the randomness and the counts.
+func (c *Chaos) PlanHTTP() HTTPPlan {
+	if c == nil {
+		return HTTPPlan{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.faults[HTTPStage]
+	if !ok {
+		return HTTPPlan{}
+	}
+	var p HTTPPlan
+	// Fixed draw order: lat, slowwrite, stallread, partial, reset,
+	// garbage.
+	if f.LatencyP > 0 && c.rng.Float64() < f.LatencyP {
+		p.Latency = f.Latency
+	}
+	if f.SlowWriteP > 0 && c.rng.Float64() < f.SlowWriteP {
+		p.SlowWrite = f.SlowWrite
+	}
+	if f.StallReadP > 0 && c.rng.Float64() < f.StallReadP {
+		p.StallRead = f.StallRead
+	}
+	p.Partial = f.PartialP > 0 && c.rng.Float64() < f.PartialP
+	p.Reset = f.ResetP > 0 && c.rng.Float64() < f.ResetP
+	p.Garbage = f.GarbageP > 0 && c.rng.Float64() < f.GarbageP
+	cnt := c.counts[HTTPStage]
+	if cnt == nil {
+		cnt = &ChaosCounts{}
+		c.counts[HTTPStage] = cnt
+	}
+	if p.Latency > 0 {
+		cnt.Latencies++
+	}
+	if p.SlowWrite > 0 {
+		cnt.SlowWrites++
+	}
+	if p.StallRead > 0 {
+		cnt.StallReads++
+	}
+	if p.Partial {
+		cnt.Partials++
+	}
+	if p.Reset {
+		cnt.Resets++
+	}
+	if p.Garbage {
+		cnt.Garbage++
+	}
+	return p
 }

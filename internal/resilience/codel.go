@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muve/internal/obs"
+)
+
+// CoDelConfig sizes a CoDel admission controller.
+type CoDelConfig struct {
+	// Target is the acceptable queue sojourn: as long as the lane's
+	// standing queue clears faster than this, the watermark is free to
+	// grow. Default 100ms.
+	Target time.Duration
+	// Interval is the control interval: the watermark is re-evaluated
+	// at most once per interval, and a shrink needs the sojourn floor
+	// to stay above Target for a full interval first. Default 500ms.
+	Interval time.Duration
+	// Min and Max bound the watermark. Min is floored at 1 — a zero
+	// watermark would read as "unbounded" to the admission controller,
+	// which is the opposite of what a fully squeezed lane wants.
+	// Defaults 1 and 64.
+	Min, Max int
+	// OnChange, when non-nil, is notified with each new watermark
+	// (called outside the controller's lock — a gauge store is fine).
+	OnChange func(watermark int)
+	// Clock injects a time source for deterministic tests.
+	Clock func() time.Time
+}
+
+// CoDel adapts an admission watermark from observed queue sojourn,
+// after the CoDel queue discipline (Nichols & Jacobson): instead of
+// bounding how *long* the queue is, bound how long anything *waits* in
+// it. Every granted slot reports its queue sojourn; the controller
+// tracks a low quantile of sojourn over a short sliding window — a
+// robust stand-in for CoDel's min-over-interval, since even the
+// luckiest request waits when there is a standing queue. When that
+// floor stays above Target for a full Interval the watermark halves
+// (excess arrivals fast-fail with 429 instead of queueing into the
+// latency SLO); when the floor falls below Target/2 the watermark
+// grows back by ~25% per interval. The asymmetry — fast multiplicative
+// squeeze, gentler multiplicative recovery — keeps interactive p99
+// bounded through the onset of overload without oscillating at the
+// boundary.
+//
+// All methods are safe for concurrent use; a nil *CoDel is inert.
+type CoDel struct {
+	cfg       CoDelConfig
+	sojourn   *obs.Windowed
+	watermark atomic.Int64
+
+	mu         sync.Mutex
+	lastStep   time.Time
+	aboveSince time.Time
+}
+
+// NewCoDel builds a controller starting at the Max watermark.
+func NewCoDel(cfg CoDelConfig) *CoDel {
+	if cfg.Target <= 0 {
+		cfg.Target = 100 * time.Millisecond
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 64
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Min > cfg.Max {
+		cfg.Min = cfg.Max
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	// The ring holds ~3 intervals of history at quarter-interval
+	// resolution, so the 2-interval window read is always covered.
+	slot := cfg.Interval / 4
+	if slot < time.Millisecond {
+		slot = time.Millisecond
+	}
+	c := &CoDel{cfg: cfg, sojourn: obs.NewWindowed(slot, 14)}
+	c.sojourn.SetClock(cfg.Clock)
+	c.watermark.Store(int64(cfg.Max))
+	c.lastStep = cfg.Clock()
+	return c
+}
+
+// Watermark is the lane depth past which admission should fast-fail.
+// Always ≥ 1: an adaptive lane is never unbounded.
+func (c *CoDel) Watermark() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.watermark.Load())
+}
+
+// Series exposes the sojourn histogram ring, e.g. to attach to the SLO
+// engine so /debug/slo shows live sojourn quantiles per lane.
+func (c *CoDel) Series() *obs.Windowed {
+	if c == nil {
+		return nil
+	}
+	return c.sojourn
+}
+
+// Target reports the configured sojourn target.
+func (c *CoDel) Target() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.Target
+}
+
+// Observe records one granted request's queue sojourn (0 for a
+// fast-path grant) and runs the control law if an interval has passed.
+func (c *CoDel) Observe(d time.Duration) {
+	if c == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.sojourn.Observe(d)
+	c.step()
+}
+
+// floorQuantile approximates CoDel's min-sojourn-over-interval: with a
+// standing queue even the fastest grants wait, so a low quantile over
+// the window separates "queue never drains" from "one slow outlier".
+const floorQuantile = 0.10
+
+// step runs the interval-gated control law.
+func (c *CoDel) step() {
+	now := c.cfg.Clock()
+	var set int
+	c.mu.Lock()
+	if now.Sub(c.lastStep) < c.cfg.Interval {
+		c.mu.Unlock()
+		return
+	}
+	c.lastStep = now
+	st := c.sojourn.Window(2 * c.cfg.Interval)
+	if st.Count == 0 {
+		c.mu.Unlock()
+		return
+	}
+	floor := st.Quantile(floorQuantile)
+	w := int(c.watermark.Load())
+	next := w
+	switch {
+	case floor > c.cfg.Target:
+		if c.aboveSince.IsZero() {
+			// First interval above target: arm, don't cut yet —
+			// CoDel tolerates transients shorter than one interval.
+			c.aboveSince = now
+			break
+		}
+		next = w - w/2
+	case floor <= c.cfg.Target/2:
+		c.aboveSince = time.Time{}
+		grow := w / 4
+		if grow < 1 {
+			grow = 1
+		}
+		next = w + grow
+	default:
+		// Between Target/2 and Target: hold, and disarm the cut.
+		c.aboveSince = time.Time{}
+	}
+	if next < c.cfg.Min {
+		next = c.cfg.Min
+	}
+	if next > c.cfg.Max {
+		next = c.cfg.Max
+	}
+	if next != w {
+		c.watermark.Store(int64(next))
+		set = next
+	}
+	c.mu.Unlock()
+	if set != 0 && c.cfg.OnChange != nil {
+		c.cfg.OnChange(set)
+	}
+}

@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// codelClock drives a CoDel deterministically: each tick advances the
+// fake clock and feeds one sojourn observation.
+type codelClock struct {
+	now time.Time
+}
+
+func (c *codelClock) clock() func() time.Time {
+	return func() time.Time { return c.now }
+}
+
+// feed advances the clock by tick per observation, observing d each
+// time — `n` observations spread evenly across the elapsed time.
+func (c *codelClock) feed(cd *CoDel, d, tick time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		c.now = c.now.Add(tick)
+		cd.Observe(d)
+	}
+}
+
+func TestCoDelShrinksUnderSustainedSojourn(t *testing.T) {
+	ck := &codelClock{now: time.Unix(1000, 0)}
+	var changes []int
+	cd := NewCoDel(CoDelConfig{
+		Target:   50 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Max:      32,
+		OnChange: func(w int) { changes = append(changes, w) },
+		Clock:    ck.clock(),
+	})
+	if got := cd.Watermark(); got != 32 {
+		t.Fatalf("initial watermark = %d, want Max 32", got)
+	}
+
+	// One interval of sojourn above target only arms the cut: CoDel
+	// tolerates transients shorter than an interval.
+	ck.feed(cd, 200*time.Millisecond, 10*time.Millisecond, 10)
+	if got := cd.Watermark(); got != 32 {
+		t.Fatalf("watermark cut after a single bad interval: %d", got)
+	}
+	// The second sustained interval halves, and each one after halves
+	// again.
+	ck.feed(cd, 200*time.Millisecond, 10*time.Millisecond, 10)
+	if got := cd.Watermark(); got != 16 {
+		t.Fatalf("watermark after sustained overload = %d, want 16", got)
+	}
+	ck.feed(cd, 200*time.Millisecond, 10*time.Millisecond, 10)
+	if got := cd.Watermark(); got != 8 {
+		t.Fatalf("watermark after third bad interval = %d, want 8", got)
+	}
+	if len(changes) == 0 || changes[len(changes)-1] != 8 {
+		t.Fatalf("OnChange saw %v, want trailing 8", changes)
+	}
+}
+
+func TestCoDelFloorsAtMinAndRecovers(t *testing.T) {
+	ck := &codelClock{now: time.Unix(1000, 0)}
+	cd := NewCoDel(CoDelConfig{
+		Target:   50 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Max:      8,
+		Clock:    ck.clock(),
+	})
+
+	// Push well past the number of halvings needed to reach 1: the
+	// watermark must floor there, never 0 (0 reads as "unbounded").
+	for i := 0; i < 10; i++ {
+		ck.feed(cd, 300*time.Millisecond, 10*time.Millisecond, 10)
+	}
+	if got := cd.Watermark(); got != 1 {
+		t.Fatalf("fully squeezed watermark = %d, want Min floor 1", got)
+	}
+
+	// Recovery: three intervals of fast grants clear the window (the
+	// read spans 2 intervals) and the watermark grows back — by at
+	// least 1 per interval, +25% once it is large enough.
+	for i := 0; i < 3; i++ {
+		ck.feed(cd, 0, 10*time.Millisecond, 10)
+	}
+	if got := cd.Watermark(); got <= 1 {
+		t.Fatalf("watermark did not recover from the floor: %d", got)
+	}
+	before := cd.Watermark()
+	ck.feed(cd, 0, 10*time.Millisecond, 10)
+	if got := cd.Watermark(); got <= before {
+		t.Fatalf("watermark stopped growing during recovery: %d after %d", got, before)
+	}
+}
+
+func TestCoDelHoldsInHysteresisBand(t *testing.T) {
+	ck := &codelClock{now: time.Unix(1000, 0)}
+	cd := NewCoDel(CoDelConfig{
+		Target:   100 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Max:      16,
+		Clock:    ck.clock(),
+	})
+	// Sojourn between Target/2 and Target: neither shrink nor grow.
+	for i := 0; i < 5; i++ {
+		ck.feed(cd, 75*time.Millisecond, 10*time.Millisecond, 10)
+	}
+	if got := cd.Watermark(); got != 16 {
+		t.Fatalf("watermark moved inside the hysteresis band: %d", got)
+	}
+}
+
+func TestCoDelNilIsInert(t *testing.T) {
+	var cd *CoDel
+	cd.Observe(time.Second) // must not panic
+	if got := cd.Watermark(); got != 0 {
+		t.Fatalf("nil watermark = %d, want 0", got)
+	}
+	if cd.Series() != nil || cd.Target() != 0 {
+		t.Fatalf("nil CoDel leaked state")
+	}
+}
+
+// TestAdmissionAdaptiveWatermark wires a CoDel into an Admission and
+// checks that rejections follow the live watermark, not MaxQueue.
+func TestAdmissionAdaptiveWatermark(t *testing.T) {
+	ck := &codelClock{now: time.Unix(1000, 0)}
+	cd := NewCoDel(CoDelConfig{
+		Target:   10 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Max:      2,
+		Clock:    ck.clock(),
+	})
+	a := NewAdmission(AdmissionConfig{
+		Capacity:   1,
+		MaxQueue:   1000, // must be ignored in favor of the controller
+		Controller: cd,
+		Clock:      ck.clock(),
+	})
+	if got := a.Watermark(Interactive); got != 2 {
+		t.Fatalf("effective watermark = %d, want controller's 2", got)
+	}
+
+	release, err := a.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Two waiters fill the adaptive watermark...
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := a.Acquire(ctx, Interactive)
+			if rel != nil {
+				rel()
+			}
+			errs <- err
+		}()
+	}
+	waitDepth := func(want int) {
+		t.Helper()
+		for i := 0; i < 1000; i++ {
+			if a.Depth(Interactive) == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("queue depth never reached %d", want)
+	}
+	waitDepth(2)
+	// ...so the third fast-fails even though MaxQueue would allow it.
+	if _, err := a.Acquire(context.Background(), Interactive); err == nil {
+		t.Fatalf("acquire beyond adaptive watermark succeeded")
+	} else if _, ok := err.(*RejectError); !ok {
+		t.Fatalf("acquire beyond watermark returned %T, want *RejectError", err)
+	}
+	release()
+	cancel()
+	<-errs
+	<-errs
+}

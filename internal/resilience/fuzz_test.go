@@ -1,0 +1,50 @@
+package resilience
+
+import (
+	"testing"
+)
+
+// FuzzParseChaos checks that arbitrary specs never panic the parser
+// and that accepted specs build a usable injector: stages enumerate,
+// HTTP plans draw deterministically per seed, and counts stay
+// readable. Inject is deliberately not called — injected latency
+// sleeps and injected panics are the feature, not a bug to find.
+func FuzzParseChaos(f *testing.F) {
+	f.Add("solver:lat=300ms@0.8,err=0.05")
+	f.Add("*:panic=0.01;nlq:err=0.2")
+	f.Add("http:slowwrite=5ms@0.3,stallread=2ms,partial=0.1,reset=0.05,garbage=0.1")
+	f.Add("speech:lat=1s")
+	f.Add(";;;")
+	f.Add("http:reset=1")
+	f.Add("a:b=c")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseChaos(spec, 1)
+		if err != nil {
+			if c != nil {
+				t.Fatalf("ParseChaos(%q) returned both an injector and %v", spec, err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatalf("ParseChaos(%q) returned nil, nil", spec)
+		}
+		c.Stages()
+		for i := 0; i < 4; i++ {
+			c.PlanHTTP()
+		}
+		c.Injected()
+
+		// Determinism: the same spec and seed must replay the same
+		// transport-fault sequence.
+		c2, err := ParseChaos(spec, 99)
+		if err != nil {
+			t.Fatalf("ParseChaos(%q) accepted then rejected the same spec: %v", spec, err)
+		}
+		c3, _ := ParseChaos(spec, 99)
+		for i := 0; i < 8; i++ {
+			if p2, p3 := c2.PlanHTTP(), c3.PlanHTTP(); p2 != p3 {
+				t.Fatalf("ParseChaos(%q) plan %d diverged for seed 99: %+v vs %+v", spec, i, p2, p3)
+			}
+		}
+	})
+}

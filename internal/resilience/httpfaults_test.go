@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestParseChaosTransportFaults(t *testing.T) {
+	c, err := ParseChaos("http:slowwrite=5ms@0.5,stallread=2ms,partial=0.25,reset=0.1,garbage=0.3", 1)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := c.faults[HTTPStage]
+	if f.SlowWrite != 5*time.Millisecond || f.SlowWriteP != 0.5 {
+		t.Fatalf("slowwrite = %v@%g", f.SlowWrite, f.SlowWriteP)
+	}
+	if f.StallRead != 2*time.Millisecond || f.StallReadP != 1 {
+		t.Fatalf("stallread without @prob = %v@%g, want probability 1", f.StallRead, f.StallReadP)
+	}
+	if f.PartialP != 0.25 || f.ResetP != 0.1 || f.GarbageP != 0.3 {
+		t.Fatalf("partial/reset/garbage = %g/%g/%g", f.PartialP, f.ResetP, f.GarbageP)
+	}
+}
+
+func TestParseChaosTransportFaultErrors(t *testing.T) {
+	for _, spec := range []string{
+		"http:slowwrite=notadur",
+		"http:partial=1.5",
+		"http:reset=-0.1",
+		"http:wat=0.5",
+	} {
+		if _, err := ParseChaos(spec, 1); err == nil {
+			t.Errorf("ParseChaos(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestPlanHTTPDeterministicPerSeed(t *testing.T) {
+	spec := "http:slowwrite=1ms@0.5,partial=0.5,reset=0.5,garbage=0.5"
+	draw := func(seed int64) []HTTPPlan {
+		c, err := ParseChaos(spec, seed)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		out := make([]HTTPPlan, 50)
+		for i := range out {
+			out[i] = c.PlanHTTP()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d diverged for the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Sanity: at 50% each, 50 draws should inject at least once.
+	var any bool
+	for _, p := range a {
+		any = any || p.Any()
+	}
+	if !any {
+		t.Fatalf("no faults drawn across 50 plans at p=0.5")
+	}
+}
+
+func TestPlanHTTPCounts(t *testing.T) {
+	c := NewChaos(7).Set(HTTPStage, Fault{
+		SlowWrite: time.Millisecond, SlowWriteP: 1,
+		StallRead: time.Millisecond, StallReadP: 1,
+		PartialP: 1, ResetP: 1, GarbageP: 1,
+	})
+	for i := 0; i < 3; i++ {
+		p := c.PlanHTTP()
+		if p.SlowWrite == 0 || p.StallRead == 0 || !p.Partial || !p.Reset || !p.Garbage {
+			t.Fatalf("p=1 faults not all drawn: %+v", p)
+		}
+	}
+	got := c.Injected()[HTTPStage]
+	want := ChaosCounts{SlowWrites: 3, StallReads: 3, Partials: 3, Resets: 3, Garbage: 3}
+	if got != want {
+		t.Fatalf("counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestHTTPStageIsolation(t *testing.T) {
+	// "*" wildcard faults must not leak into the transport, and the
+	// reserved "http" stage must not leak into pipeline Inject.
+	wild := NewChaos(1).Set("*", Fault{ErrorP: 1})
+	if wild.HasHTTP() {
+		t.Fatalf("wildcard fault reported as transport fault")
+	}
+	if p := wild.PlanHTTP(); p.Any() {
+		t.Fatalf("wildcard fault drawn into an HTTP plan: %+v", p)
+	}
+
+	httpOnly := NewChaos(1).Set(HTTPStage, Fault{ErrorP: 1, ResetP: 1})
+	if !httpOnly.HasHTTP() {
+		t.Fatalf("HasHTTP false with an http stage configured")
+	}
+	ctx := WithChaos(context.Background(), httpOnly)
+	for i := 0; i < 20; i++ {
+		if err := Inject(ctx, "solver"); err != nil {
+			t.Fatalf("http-stage fault leaked into pipeline stage: %v", err)
+		}
+	}
+}
+
+func TestPlanHTTPNilChaos(t *testing.T) {
+	var c *Chaos
+	if c.HasHTTP() {
+		t.Fatalf("nil chaos has HTTP faults")
+	}
+	if p := c.PlanHTTP(); p.Any() {
+		t.Fatalf("nil chaos drew a plan: %+v", p)
+	}
+}

@@ -8,9 +8,16 @@
 //
 //   - Admission: a bounded admission queue in front of the worker
 //     pool, with per-priority lanes (interactive vs. batch) and a
-//     configurable depth watermark past which excess requests
-//     fast-fail with a RejectError (mapped to HTTP 429 + Retry-After)
-//     instead of queueing until the request timeout;
+//     depth watermark — static, or driven by a CoDel sojourn-target
+//     controller — past which excess requests fast-fail with a
+//     RejectError (mapped to HTTP 429 + Retry-After) instead of
+//     queueing until the request timeout;
+//   - CoDel: the adaptive watermark controller — a low quantile of
+//     queue sojourn over a sliding window stands in for CoDel's
+//     min-over-interval, halving the watermark while the queue fails
+//     to drain under the target and growing it back when it does;
+//   - RetryBudget: a per-session token bucket that keeps client
+//     retries a bounded fraction of first attempts (no retry storms);
 //   - Ladder: a degradation ladder — an ordered list of rungs (exact
 //     ILP → greedy → stale cached answer → minimal single-plot
 //     answer), each attempted only while the remaining deadline budget
@@ -20,17 +27,22 @@
 //     expensive rung entirely while open, and half-open with bounded
 //     probe requests after a cooldown;
 //   - Chaos: a deterministic, seedable fault-injection layer that
-//     wraps pipeline stages with latency, error and panic injection,
-//     so the ladder and the breakers are exercised by tests and by
-//     `muvebench -chaos` rather than trusted on faith;
+//     wraps pipeline stages with latency, error and panic injection —
+//     and, under the reserved "http" stage, transport faults (slow or
+//     partial writes, stalled reads, mid-response resets, garbage
+//     bodies) applied by serve's HTTP chaos middleware — so the
+//     ladder, the breakers and the client-facing contract are
+//     exercised by tests and by `muvebench -chaos` rather than
+//     trusted on faith;
 //   - WorkerSplit: fair division of the solver-worker budget across
 //     concurrent requests, so parallel branch-and-bound accelerates a
 //     lone interactive request without oversubscribing the CPU when
 //     many overlap (interactive lane draws on the full budget, batch
 //     on the remainder).
 //
-// The package depends only on the standard library so every layer of
-// the pipeline (including muve itself) can import it without cycles.
+// The package depends only on the standard library plus internal/obs
+// (itself dependency-free) so every layer of the pipeline (including
+// muve itself) can import it without cycles.
 package resilience
 
 import (

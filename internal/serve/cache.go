@@ -194,6 +194,74 @@ func (c *Cache) Put(key string, value any) {
 	s.index[key] = s.ll.PushFront(&cacheEntry{key: key, value: value, expires: expires})
 }
 
+// CacheEntry is one entry exported by Entries for drain snapshots.
+type CacheEntry struct {
+	Key   string
+	Value any
+	// Expired reports the entry was past TTL (resident only for the
+	// stale window) at snapshot time.
+	Expired bool
+}
+
+// Entries snapshots every resident entry still servable through Get or
+// GetStale (entries past the stale window are skipped, not collected).
+// The crash-only drain path spills these to disk so a restarted
+// replica can serve stale-rung answers immediately.
+func (c *Cache) Entries() []CacheEntry {
+	var out []CacheEntry
+	now := c.now()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			expired := !e.expires.IsZero() && now.After(e.expires)
+			if expired && (c.staleFor <= 0 || now.Sub(e.expires) > c.staleFor) {
+				continue
+			}
+			out = append(out, CacheEntry{Key: e.key, Value: e.value, Expired: expired})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// PutStale inserts key as an already-expired entry: Get misses it, but
+// GetStale serves it for the stale window. This is the snapshot
+// restore path — answers carried across a restart are old enough that
+// only the degradation ladder's stale rung should ever serve them. A
+// no-op when the stale window is disabled (the entry would be
+// unreachable) or storage is off.
+func (c *Cache) PutStale(key string, value any) {
+	if c.perShard == 0 || c.staleFor <= 0 {
+		return
+	}
+	expires := c.now().Add(-time.Nanosecond)
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		// Never downgrade a live entry to stale.
+		e := el.Value.(*cacheEntry)
+		if e.expires.IsZero() || c.now().Before(e.expires) {
+			return
+		}
+		e.value = value
+		e.expires = expires
+		return
+	}
+	for s.ll.Len() >= c.perShard {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		s.ll.Remove(oldest)
+		delete(s.index, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	s.index[key] = s.ll.PushFront(&cacheEntry{key: key, value: value, expires: expires})
+}
+
 // Len counts live entries (including not-yet-collected expired ones).
 func (c *Cache) Len() int {
 	n := 0

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"muve/internal/resilience"
+)
+
+// ChaosTransportHeader advertises the transport faults planned for a
+// response, so harnesses can tell an injected client-visible failure
+// from a real one. Best-effort: a reset can beat the headers onto the
+// wire.
+const ChaosTransportHeader = "X-Chaos-Transport"
+
+// WithHTTPChaos applies the injector's transport faults (stage "http")
+// below the handler: slow and partial response writes, stalled request
+// reads, mid-response connection resets, and garbage appended after
+// the body. Decisions are drawn per request from the seeded injector
+// (deterministic fault sequence for a fixed seed); the middleware owns
+// only the mechanics. Mount it outermost — closest to the wire — so
+// faults apply to everything inner middleware writes; WithRecovery
+// rethrows the reset's http.ErrAbortHandler so the abort reaches
+// net/http. A nil injector or one without "http" faults returns next
+// unchanged.
+func WithHTTPChaos(c *resilience.Chaos, next http.Handler) http.Handler {
+	if !c.HasHTTP() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		plan := c.PlanHTTP()
+		if !plan.Any() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set(ChaosTransportHeader, planLabel(plan))
+		if plan.StallRead > 0 && r.Body != nil {
+			r.Body = &stalledBody{rc: r.Body, delay: plan.StallRead, ctx: r.Context()}
+		}
+		if plan.Latency > 0 {
+			sleepCtx(r.Context(), plan.Latency)
+		}
+		cw := &chaosWriter{rw: w, plan: plan}
+		var out http.ResponseWriter = cw
+		if _, ok := w.(http.Flusher); ok {
+			out = flushingChaosWriter{cw}
+		}
+		next.ServeHTTP(out, r)
+		cw.finish()
+	})
+}
+
+// planLabel renders the plan's faults as a comma-joined list.
+func planLabel(p resilience.HTTPPlan) string {
+	var parts []string
+	if p.Latency > 0 {
+		parts = append(parts, "lat")
+	}
+	if p.SlowWrite > 0 {
+		parts = append(parts, "slowwrite")
+	}
+	if p.StallRead > 0 {
+		parts = append(parts, "stallread")
+	}
+	if p.Partial {
+		parts = append(parts, "partial")
+	}
+	if p.Reset {
+		parts = append(parts, "reset")
+	}
+	if p.Garbage {
+		parts = append(parts, "garbage")
+	}
+	return strings.Join(parts, ",")
+}
+
+// sleepCtx sleeps for d, returning early when ctx fires.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// stalledBody delays the first request-body read.
+type stalledBody struct {
+	rc      io.ReadCloser
+	delay   time.Duration
+	ctx     context.Context
+	stalled bool
+}
+
+func (b *stalledBody) Read(p []byte) (int, error) {
+	if !b.stalled {
+		b.stalled = true
+		sleepCtx(b.ctx, b.delay)
+		if err := b.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return b.rc.Read(p)
+}
+
+func (b *stalledBody) Close() error { return b.rc.Close() }
+
+// chaosWriter applies the response-side faults. Partial truncates the
+// body at half of the first write and silently swallows the rest (the
+// client receives a clean-looking but malformed payload); Reset panics
+// with http.ErrAbortHandler after the first bytes hit the wire, which
+// net/http turns into a connection abort (the client sees an
+// unexpected EOF); Garbage appends corrupt bytes after the handler
+// finishes; SlowWrite sleeps before every underlying write.
+type chaosWriter struct {
+	rw        http.ResponseWriter
+	plan      resilience.HTTPPlan
+	wrote     int
+	truncated bool
+	aborted   bool
+}
+
+func (w *chaosWriter) Header() http.Header  { return w.rw.Header() }
+func (w *chaosWriter) WriteHeader(code int) { w.rw.WriteHeader(code) }
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *chaosWriter) Unwrap() http.ResponseWriter { return w.rw }
+
+func (w *chaosWriter) Write(b []byte) (int, error) {
+	if w.truncated {
+		// Swallow: report success so the handler completes normally and
+		// the truncation stays silent, like a lossy middlebox.
+		return len(b), nil
+	}
+	if w.plan.SlowWrite > 0 {
+		time.Sleep(w.plan.SlowWrite)
+	}
+	if w.plan.Partial && w.wrote == 0 && len(b) > 1 {
+		half := len(b) / 2
+		n, err := w.rw.Write(b[:half])
+		w.wrote += n
+		w.truncated = true
+		if err != nil {
+			return n, err
+		}
+		w.maybeReset()
+		return len(b), nil
+	}
+	n, err := w.rw.Write(b)
+	w.wrote += n
+	if err == nil && n > 0 {
+		w.maybeReset()
+	}
+	return n, err
+}
+
+// maybeReset aborts the connection once some response bytes are out.
+func (w *chaosWriter) maybeReset() {
+	if w.plan.Reset && !w.aborted {
+		w.aborted = true
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// garbageChunk is the corrupt filler appended by the garbage fault:
+// 0xA5 bytes break JSON and SVG parsers alike and compress poorly
+// enough to exercise real write paths.
+var garbageChunk = bytes.Repeat([]byte{0xa5}, 1024)
+
+// finish applies the end-of-response faults. Skipped (by panic
+// unwinding past it) when a reset already aborted the connection.
+func (w *chaosWriter) finish() {
+	if w.plan.Garbage && !w.truncated {
+		const total = 16 << 10 // oversize the body by 16 KiB
+		for written := 0; written < total; written += len(garbageChunk) {
+			if w.plan.SlowWrite > 0 {
+				time.Sleep(w.plan.SlowWrite)
+			}
+			if _, err := w.rw.Write(garbageChunk); err != nil {
+				break
+			}
+		}
+	}
+	// A reset that never triggered mid-body (e.g. an empty response)
+	// still aborts here, before the response completes cleanly.
+	w.maybeReset()
+}
+
+// flushingChaosWriter adds Flush only when the underlying connection
+// can actually flush (same pattern as flushingStatusWriter).
+type flushingChaosWriter struct{ *chaosWriter }
+
+func (w flushingChaosWriter) Flush() {
+	w.chaosWriter.rw.(http.Flusher).Flush()
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"muve/internal/resilience"
+)
+
+// httpFault builds an injector with one always-on transport fault set.
+func httpFault(f resilience.Fault) *resilience.Chaos {
+	return resilience.NewChaos(1).Set(resilience.HTTPStage, f)
+}
+
+func TestWithHTTPChaosNoFaultsIsIdentity(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := WithHTTPChaos(nil, next); !isSameHandler(got, next) {
+		t.Fatalf("nil chaos wrapped the handler")
+	}
+	// Pipeline-only faults (even the wildcard) must not wrap either:
+	// "*" never matches the reserved http stage.
+	pipeOnly := resilience.NewChaos(1).Set("*", resilience.Fault{ErrorP: 1})
+	if got := WithHTTPChaos(pipeOnly, next); !isSameHandler(got, next) {
+		t.Fatalf("pipeline-only chaos wrapped the handler")
+	}
+}
+
+// isSameHandler reports whether WithHTTPChaos returned next untouched.
+// Handlers aren't comparable with ==, so compare the underlying
+// function pointers.
+func isSameHandler(got, want http.Handler) bool {
+	return reflect.ValueOf(got).Pointer() == reflect.ValueOf(want).Pointer()
+}
+
+func TestWithHTTPChaosPartialTruncatesBody(t *testing.T) {
+	full := strings.Repeat("x", 64)
+	h := WithHTTPChaos(httpFault(resilience.Fault{PartialP: 1}),
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if _, err := io.WriteString(w, full); err != nil {
+				t.Errorf("handler write: %v", err)
+			}
+			// Later writes must be silently swallowed, not error.
+			if n, err := io.WriteString(w, full); err != nil || n != len(full) {
+				t.Errorf("post-truncation write = (%d, %v), want clean swallow", n, err)
+			}
+		}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(body) != len(full)/2 {
+		t.Fatalf("client saw %d bytes, want truncation to %d", len(body), len(full)/2)
+	}
+	if got := resp.Header.Get(ChaosTransportHeader); got != "partial" {
+		t.Fatalf("%s = %q, want %q", ChaosTransportHeader, got, "partial")
+	}
+}
+
+func TestWithHTTPChaosGarbageOversizesBody(t *testing.T) {
+	h := WithHTTPChaos(httpFault(resilience.Fault{GarbageP: 1}),
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, `{"ok":true}`)
+		}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(body) < 16<<10 {
+		t.Fatalf("client saw %d bytes, want >= 16KiB of appended garbage", len(body))
+	}
+	if !bytes.HasPrefix(body, []byte(`{"ok":true}`)) {
+		t.Fatalf("garbage corrupted the real body prefix: %q", body[:16])
+	}
+	if body[len(body)-1] != 0xa5 {
+		t.Fatalf("trailing byte = %#x, want 0xa5 garbage", body[len(body)-1])
+	}
+}
+
+func TestWithHTTPChaosResetAbortsConnection(t *testing.T) {
+	// The reset panic must unwind through WithRecovery (which rethrows
+	// http.ErrAbortHandler) and reach net/http as a connection abort.
+	logger := log.New(io.Discard, "", 0)
+	h := WithHTTPChaos(httpFault(resilience.Fault{ResetP: 1}),
+		WithRecovery(logger, &Metrics{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, strings.Repeat("y", 1<<10))
+		})))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatalf("client saw a clean response through an injected reset")
+	}
+}
+
+func TestWithHTTPChaosSlowWriteDelays(t *testing.T) {
+	const delay = 60 * time.Millisecond
+	h := WithHTTPChaos(httpFault(resilience.Fault{SlowWrite: delay, SlowWriteP: 1}),
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "slow")
+		}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "slow" {
+		t.Fatalf("body = %q through slowwrite, want intact", body)
+	}
+	if el := time.Since(start); el < delay {
+		t.Fatalf("request took %v, want >= %v of injected write delay", el, delay)
+	}
+}
+
+func TestWithHTTPChaosStallReadDelaysBody(t *testing.T) {
+	const delay = 60 * time.Millisecond
+	var got []byte
+	h := WithHTTPChaos(httpFault(resilience.Fault{StallRead: delay, StallReadP: 1}),
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			got, _ = io.ReadAll(r.Body)
+			io.WriteString(w, "ok")
+		}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if el := time.Since(start); el < delay {
+		t.Fatalf("request took %v, want >= %v of injected read stall", el, delay)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("handler read %q through stallread, want intact body", got)
+	}
+}

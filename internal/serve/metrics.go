@@ -88,6 +88,23 @@ type Metrics struct {
 	// an unbounded backlog is still visible on /metrics.
 	QueueInteractive Gauge
 	QueueBatch       Gauge
+	// WatermarkInteractive/WatermarkBatch gauge the live CoDel-adaptive
+	// admission watermark per lane (0 when adaptive admission is off).
+	WatermarkInteractive Gauge
+	WatermarkBatch       Gauge
+	// SojournInteractive/SojournBatch observe admission queue sojourn —
+	// enqueue to slot grant, 0 for fast-path grants — per lane.
+	SojournInteractive Histogram
+	SojournBatch       Histogram
+	// Retries counts requests carrying a retry ordinal (Attempt > 0);
+	// RetryDenied counts those refused by the retry budget.
+	Retries     Counter
+	RetryDenied Counter
+	// HedgeStarted counts exact solves that reached the hedge point
+	// (the windowed p90) and launched a concurrent greedy hedge.
+	HedgeStarted Counter
+	// DrainCancelled counts in-flight plans cancelled by Engine.Close.
+	DrainCancelled Counter
 	// SpeakRequests counts requests asking for the voice answer mode.
 	SpeakRequests Counter
 	// SpeakFacts/SpeakWords accumulate the facts and estimated spoken
@@ -111,6 +128,7 @@ type Metrics struct {
 	breakerTrips     map[string]*Counter
 	breakerStates    map[string]*Gauge
 	warmstarts       map[string]*Counter
+	hedgeWins        map[string]*Counter
 }
 
 // labeledCounter looks up (or lazily creates) the counter for key in
@@ -155,6 +173,24 @@ func (m *Metrics) SpeakRung(rung string) {
 // Callers skip the call entirely for solves without a hint surface.
 func (m *Metrics) WarmStart(result string) {
 	m.labeledCounter(&m.warmstarts, result).Inc()
+}
+
+// HedgeWin counts one hedged exact rung resolved by the named winner
+// ("exact" or "hedge"), rendered as muve_hedge_total{winner}.
+func (m *Metrics) HedgeWin(winner string) {
+	m.labeledCounter(&m.hedgeWins, winner).Inc()
+}
+
+// HedgeWins snapshots the hedge-race winner counters
+// (muve_hedge_total) for harness reports.
+func (m *Metrics) HedgeWins() map[string]uint64 {
+	m.stageMu.RLock()
+	defer m.stageMu.RUnlock()
+	out := make(map[string]uint64, len(m.hedgeWins))
+	for k, c := range m.hedgeWins {
+		out[k] = c.Value()
+	}
+	return out
 }
 
 // BreakerTrip counts one circuit-breaker trip for the given stage.
@@ -334,6 +370,10 @@ func (m *Metrics) WriteProm(w io.Writer) {
 		{"muve_speak_requests_total", &m.SpeakRequests},
 		{"muve_speak_facts_total", &m.SpeakFacts},
 		{"muve_speak_words_total", &m.SpeakWords},
+		{"muve_retries_total", &m.Retries},
+		{"muve_retry_denied_total", &m.RetryDenied},
+		{"muve_hedge_started_total", &m.HedgeStarted},
+		{"muve_drain_cancelled_total", &m.DrainCancelled},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
@@ -345,8 +385,15 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE muve_queue_depth gauge\n")
 	fmt.Fprintf(w, "muve_queue_depth{priority=\"interactive\"} %d\n", m.QueueInteractive.Value())
 	fmt.Fprintf(w, "muve_queue_depth{priority=\"batch\"} %d\n", m.QueueBatch.Value())
+	fmt.Fprintf(w, "# TYPE muve_admission_watermark gauge\n")
+	fmt.Fprintf(w, "muve_admission_watermark{priority=\"interactive\"} %d\n", m.WatermarkInteractive.Value())
+	fmt.Fprintf(w, "muve_admission_watermark{priority=\"batch\"} %d\n", m.WatermarkBatch.Value())
 	writeHistogram(w, "muve_planning_seconds", &m.Planning)
 	writeHistogram(w, "muve_request_seconds", &m.EndToEnd)
+	if m.SojournInteractive.Count() > 0 || m.SojournBatch.Count() > 0 {
+		writeHistogram(w, "muve_sojourn_interactive_seconds", &m.SojournInteractive)
+		writeHistogram(w, "muve_sojourn_batch_seconds", &m.SojournBatch)
+	}
 	m.stageMu.RLock()
 	stages := make(map[string]*Histogram, len(m.stages))
 	for k, v := range m.stages {
@@ -357,6 +404,7 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	speakRungs := copyCounters(m.speakRungs)
 	trips := copyCounters(m.breakerTrips)
 	warms := copyCounters(m.warmstarts)
+	hedges := copyCounters(m.hedgeWins)
 	states := make(map[string]*Gauge, len(m.breakerStates))
 	for k, v := range m.breakerStates {
 		states[k] = v
@@ -370,6 +418,7 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	writeCounterFamily(w, "muve_speak_rung_total", "rung", speakRungs)
 	writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
 	writeCounterFamily(w, "muve_warmstart_total", "result", warms)
+	writeCounterFamily(w, "muve_hedge_total", "winner", hedges)
 	if len(states) > 0 {
 		fmt.Fprintf(w, "# TYPE muve_breaker_state gauge\n")
 		for _, k := range sortedKeys(states) {
@@ -404,6 +453,7 @@ func (m *Metrics) VarsHandler() http.Handler {
 		speakRungs := counterValues(m.speakRungs)
 		trips := counterValues(m.breakerTrips)
 		warms := counterValues(m.warmstarts)
+		hedges := counterValues(m.hedgeWins)
 		states := make(map[string]int64, len(m.breakerStates))
 		for k, v := range m.breakerStates {
 			states[k] = v.Value()
@@ -429,8 +479,25 @@ func (m *Metrics) VarsHandler() http.Handler {
 				"interactive": m.QueueInteractive.Value(),
 				"batch":       m.QueueBatch.Value(),
 			},
-			"ladder_rungs": rungs,
-			"speak_rungs":  speakRungs,
+			"admission_watermark": map[string]int64{
+				"interactive": m.WatermarkInteractive.Value(),
+				"batch":       m.WatermarkBatch.Value(),
+			},
+			"sojourn_ms": map[string]any{
+				"interactive": hist(&m.SojournInteractive),
+				"batch":       hist(&m.SojournBatch),
+			},
+			"retries": map[string]uint64{
+				"attempted": m.Retries.Value(),
+				"denied":    m.RetryDenied.Value(),
+			},
+			"hedge": map[string]any{
+				"started": m.HedgeStarted.Value(),
+				"wins":    hedges,
+			},
+			"drain_cancelled": m.DrainCancelled.Value(),
+			"ladder_rungs":    rungs,
+			"speak_rungs":     speakRungs,
 			"speak": map[string]uint64{
 				"requests": m.SpeakRequests.Value(),
 				"facts":    m.SpeakFacts.Value(),

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -124,6 +125,11 @@ func WithRecovery(logger *log.Logger, metrics *Metrics, next http.Handler) http.
 			if p == nil {
 				return
 			}
+			if p == http.ErrAbortHandler {
+				// Deliberate connection abort (http chaos uses it to
+				// inject mid-response resets): let net/http handle it.
+				panic(p)
+			}
 			if metrics != nil {
 				metrics.Panics.Inc()
 			}
@@ -138,19 +144,25 @@ func WithRecovery(logger *log.Logger, metrics *Metrics, next http.Handler) http.
 }
 
 // StatusOf maps an Engine.Do error to the HTTP status that conveys its
-// retry semantics: 429 for admission rejections (with Retry-After set
-// by the caller), 503 for a fully exhausted degradation ladder, 504 for
-// a plain deadline miss, 499 for a caller that went away, and 422 for
+// retry semantics: 429 for admission rejections and exhausted retry
+// budgets (with Retry-After set by the caller), 503 for a fully
+// exhausted degradation ladder or a draining engine, 504 for a plain
+// deadline miss, 499 for a caller that went away, and 422 for
 // everything else (a malformed or unanswerable query).
 func StatusOf(err error) int {
 	var rej *resilience.RejectError
+	var rb *resilience.RetryBudgetError
 	var ex *resilience.ExhaustedError
 	switch {
 	case err == nil:
 		return http.StatusOK
 	case errors.As(err, &rej):
 		return http.StatusTooManyRequests
+	case errors.As(err, &rb):
+		return http.StatusTooManyRequests
 	case errors.As(err, &ex):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -159,6 +171,53 @@ func StatusOf(err error) int {
 	default:
 		return http.StatusUnprocessableEntity
 	}
+}
+
+// DeadlineHeader is the request header carrying the client's deadline:
+// either a Go duration ("750ms") relative to request arrival, or an
+// absolute Unix-milliseconds timestamp. WithDeadline propagates it
+// into the request context.
+const DeadlineHeader = "X-Muve-Deadline"
+
+// AttemptHeader is the request header carrying the client's retry
+// ordinal (0 or absent for a first attempt). The engine charges
+// retries against the session's retry budget.
+const AttemptHeader = "X-Muve-Attempt"
+
+// WithDeadline propagates the X-Muve-Deadline request header into the
+// request context as a deadline, capped at max (0 = no cap), so a
+// client's time budget bounds how long it waits server-side: past the
+// deadline the handler's context fires and the request resolves as a
+// 504 — while detached planning continues for the benefit of the cache
+// and coalesced followers. An already-expired deadline answers 504
+// without entering the handler; a malformed header is a 400.
+func WithDeadline(max time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := r.Header.Get(DeadlineHeader)
+		if h == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d, err := time.ParseDuration(h)
+		if err != nil {
+			ms, err2 := strconv.ParseInt(h, 10, 64)
+			if err2 != nil {
+				http.Error(w, "bad "+DeadlineHeader+": want a duration or unix millis", http.StatusBadRequest)
+				return
+			}
+			d = time.Until(time.UnixMilli(ms))
+		}
+		if d <= 0 {
+			http.Error(w, "deadline already expired", http.StatusGatewayTimeout)
+			return
+		}
+		if max > 0 && d > max {
+			d = max
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // WithTracing wraps next so every request runs under a fresh obs.Trace

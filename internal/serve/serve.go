@@ -39,10 +39,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"muve/internal/obs"
@@ -73,6 +75,12 @@ type Request struct {
 	// Batch marks the request as background work: it waits in the batch
 	// admission lane, which any interactive request overtakes.
 	Batch bool
+	// Attempt is the client's retry ordinal: 0 for a first attempt, n
+	// for the n-th retry (the X-Muve-Attempt header). Retries spend the
+	// session's retry budget; past it they fast-fail with a
+	// RetryBudgetError so a failure spike cannot amplify into a retry
+	// storm.
+	Attempt int
 }
 
 // Source says where an answer came from, cheapest first.
@@ -89,6 +97,9 @@ const (
 	SourcePlanned Source = "planned"
 	// SourceFallback: planned by the fallback after a deadline miss.
 	SourceFallback Source = "fallback"
+	// SourceHedged: the concurrent greedy hedge finished before the
+	// exact solve did; the exact attempt was cancelled.
+	SourceHedged Source = "hedged"
 	// SourceStale: served an expired cache entry still inside the stale
 	// window, because every planning rung above it failed.
 	SourceStale Source = "stale"
@@ -103,6 +114,10 @@ const (
 	rungGreedy  = "greedy"
 	rungStale   = "stale"
 	rungMinimal = "minimal"
+	// rungHedged relabels an exact-rung answer won by the concurrent
+	// greedy hedge (it is not a ladder rung of its own: the hedge races
+	// inside the exact rung's budget).
+	rungHedged = "hedged"
 )
 
 // exactOnlyStages lists breaker stages that never veto the greedy
@@ -119,6 +134,8 @@ func rungSource(rung string) Source {
 	switch rung {
 	case rungGreedy:
 		return SourceFallback
+	case rungHedged:
+		return SourceHedged
 	case rungStale:
 		return SourceStale
 	case rungMinimal:
@@ -184,6 +201,30 @@ type Config struct {
 	// behavior); queue depth is still gauged either way.
 	Queue      int
 	BatchQueue int
+	// AdmissionTarget, when > 0, replaces the static watermarks with
+	// CoDel-style control: each lane's watermark adapts so that queue
+	// sojourn (time from enqueue to slot grant) stays near the target.
+	// The interactive lane uses the target directly; the batch lane
+	// tolerates 4× before shedding, and since freed slots always go to
+	// interactive waiters first, batch is the lane that absorbs the
+	// squeeze when the engine saturates. Queue/BatchQueue then serve as
+	// the watermark ceilings (defaulting to 4×MaxInFlight when unset).
+	AdmissionTarget time.Duration
+	// AdmissionInterval is the CoDel control interval (default 500ms).
+	AdmissionInterval time.Duration
+	// Hedge enables the hedged exact rung: if the exact solve has not
+	// finished by the windowed p90 of recent planning time, the greedy
+	// Fallback starts concurrently and the first finisher wins (the
+	// loser is cancelled). Requires Fallback; answers won by the hedge
+	// are labeled SourceHedged and counted in muve_hedge_total{winner}.
+	Hedge bool
+	// RetryBurst and RetryPerSec size the per-session retry budget
+	// (token bucket; defaults 4 and 0.5). Requests with Attempt > 0
+	// spend a token or fast-fail with a RetryBudgetError (HTTP 429).
+	// Sessionless retries share one engine-wide bucket at 8× the rate.
+	// RetryBurst < 0 disables retry budgeting.
+	RetryBurst  float64
+	RetryPerSec float64
 	// RetryAfter is the client back-off hint carried by rejections when
 	// no service-time estimate exists yet (default 1s). Once the engine
 	// has observed planning latency, rejections instead carry the p90 of
@@ -258,9 +299,29 @@ type Engine struct {
 	logger      *log.Logger
 
 	// svcTime is the sliding-window planning service time (cache misses
-	// only): its 1m p90 is the adaptive Retry-After estimate.
+	// only): its 1m p90 is the adaptive Retry-After estimate and the
+	// hedge trigger delay.
 	svcTime    *obs.Windowed
 	retryAfter time.Duration
+
+	// codel are the per-lane adaptive watermark controllers (nil when
+	// AdmissionTarget is unset; indexed by resilience.Priority).
+	codel [2]*resilience.CoDel
+	// hedge enables the hedged exact rung.
+	hedge bool
+	// retryCfg sizes per-session retry buckets; retryOff disables
+	// budgeting; retryGlobal is the sessionless fallback bucket.
+	retryCfg    resilience.RetryBudgetConfig
+	retryOff    bool
+	retryGlobal *resilience.RetryBudget
+
+	// baseCtx is the root of every planning context; Close cancels it
+	// so in-flight solves observe shutdown. draining gates new plans;
+	// plansActive counts plan calls currently executing.
+	baseCtx     context.Context
+	baseCancel  context.CancelFunc
+	draining    atomic.Bool
+	plansActive atomic.Int64
 }
 
 // ErrNoPlanner reports a Config without a Planner.
@@ -311,14 +372,43 @@ func NewEngine(cfg Config) (*Engine, error) {
 	// 1m p90 service-time estimate behind Retry-After is always live.
 	svcTime := obs.NewWindowed(5*time.Second, 16)
 	e := &Engine{svcTime: svcTime, retryAfter: cfg.RetryAfter}
+	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
+	if cfg.AdmissionTarget > 0 {
+		// CoDel-adaptive watermarks: the configured static watermark (or
+		// 4× the pool) becomes the ceiling the controller may open up to.
+		mkCoDel := func(max int, target time.Duration, g *Gauge) *resilience.CoDel {
+			if max <= 0 {
+				max = 4 * cfg.MaxInFlight
+			}
+			c := resilience.NewCoDel(resilience.CoDelConfig{
+				Target:   target,
+				Interval: cfg.AdmissionInterval,
+				Max:      max,
+				OnChange: func(wm int) { g.Set(int64(wm)) },
+			})
+			g.Set(int64(c.Watermark()))
+			return c
+		}
+		e.codel[resilience.Interactive] = mkCoDel(cfg.Queue, cfg.AdmissionTarget, &m.WatermarkInteractive)
+		e.codel[resilience.Batch] = mkCoDel(cfg.BatchQueue, 4*cfg.AdmissionTarget, &m.WatermarkBatch)
+	}
 	// The admission controller exists even with watermarks disabled so
 	// the queue-depth gauges are always live on /metrics.
 	admission := resilience.NewAdmission(resilience.AdmissionConfig{
-		Capacity:      cfg.MaxInFlight,
-		MaxQueue:      cfg.Queue,
-		MaxBatchQueue: cfg.BatchQueue,
-		RetryAfter:    cfg.RetryAfter,
-		RetryAfterFn:  e.RetryEstimate,
+		Capacity:        cfg.MaxInFlight,
+		MaxQueue:        cfg.Queue,
+		MaxBatchQueue:   cfg.BatchQueue,
+		RetryAfter:      cfg.RetryAfter,
+		RetryAfterFn:    e.RetryEstimate,
+		Controller:      e.codel[resilience.Interactive],
+		BatchController: e.codel[resilience.Batch],
+		OnSojourn: func(p resilience.Priority, d time.Duration) {
+			if p == resilience.Batch {
+				m.SojournBatch.Observe(d)
+			} else {
+				m.SojournInteractive.Observe(d)
+			}
+		},
 		OnDepth: func(p resilience.Priority, depth int) {
 			if p == resilience.Batch {
 				m.QueueBatch.Set(int64(depth))
@@ -370,7 +460,25 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.chaos = cfg.Chaos
 	e.metrics = m
 	e.logger = cfg.Logger
+	e.hedge = cfg.Hedge && cfg.Fallback != nil
+	e.retryOff = cfg.RetryBurst < 0
+	if !e.retryOff {
+		e.retryCfg = resilience.RetryBudgetConfig{Burst: cfg.RetryBurst, PerSec: cfg.RetryPerSec}
+		// Sessionless clients share one bucket; 8× a single session's
+		// budget so a few anonymous callers don't starve each other.
+		e.retryGlobal = resilience.NewRetryBudget(resilience.RetryBudgetConfig{
+			Burst: 8 * orDefault(cfg.RetryBurst, 4), PerSec: 8 * orDefault(cfg.RetryPerSec, 0.5),
+		})
+	}
 	return e, nil
+}
+
+// orDefault substitutes def for a non-positive v.
+func orDefault(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
 }
 
 // RetryEstimate is the adaptive Retry-After hint: the p90 of the last
@@ -405,6 +513,82 @@ func (e *Engine) Cache() *Cache { return e.cache }
 
 // Sessions exposes the session store.
 func (e *Engine) Sessions() *SessionStore { return e.sessions }
+
+// AdmissionWatermark reports a lane's current effective watermark
+// (live when CoDel-adaptive, the static config otherwise; 0 means the
+// lane is unbounded).
+func (e *Engine) AdmissionWatermark(p resilience.Priority) int {
+	return e.admission.Watermark(p)
+}
+
+// SojournSeries exposes a lane's sliding sojourn histogram when the
+// adaptive admission controller is on (nil otherwise) — muveserver
+// attaches it to the SLO engine so /debug/slo reports live sojourn.
+func (e *Engine) SojournSeries(p resilience.Priority) *obs.Windowed {
+	return e.codel[p].Series()
+}
+
+// ErrDraining reports a planning request refused because the engine is
+// shutting down. Cheap paths (cache, session, stale snapshot entries)
+// still serve; servers should map it to HTTP 503.
+var ErrDraining = errors.New("serve: engine is draining")
+
+// Drain puts the engine into lame-duck mode: new planning is refused
+// with ErrDraining while in-flight plans run down and cache/session
+// hits keep serving. Part of the crash-only shutdown sequence —
+// Drain, wait out the drain deadline, then Close.
+func (e *Engine) Drain() { e.draining.Store(true) }
+
+// Draining reports lame-duck mode.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Close drains the engine and cancels every in-flight planning
+// context, so solves still running when the drain deadline expires
+// observe cancellation instead of running headless past process exit.
+// Returns the number of plans that were still in flight.
+func (e *Engine) Close() int {
+	e.Drain()
+	n := int(e.plansActive.Load())
+	e.baseCancel()
+	if n > 0 {
+		e.metrics.DrainCancelled.Add(uint64(n))
+	}
+	return n
+}
+
+// hedgeDelay is the hedge trigger: the windowed p90 of recent planning
+// time (falling back to a quarter of the exact budget while the window
+// is thin), clamped so the hedge neither fires on the heels of the
+// request nor waits past the point where it could still help.
+func (e *Engine) hedgeDelay() time.Duration {
+	st := e.svcTime.Window(time.Minute)
+	d := st.Quantile(0.90)
+	if st.Count < 8 || d <= 0 {
+		d = e.timeout / 4
+	}
+	if min := 5 * time.Millisecond; d < min {
+		d = min
+	}
+	if max := e.timeout / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// retryAllowed spends one token from the request's retry budget: the
+// session's bucket when the request carries one, the shared
+// engine-wide bucket otherwise.
+func (e *Engine) retryAllowed(sess *Session) bool {
+	if e.retryOff {
+		return true
+	}
+	if sess != nil {
+		return sess.retryBudget(func() *resilience.RetryBudget {
+			return resilience.NewRetryBudget(e.retryCfg)
+		}).Allow()
+	}
+	return e.retryGlobal.Allow()
+}
 
 // Key normalizes a transcript into this engine's cache key: voice
 // transcripts differ in case and incidental whitespace without
@@ -444,6 +628,19 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 	key := e.KeyFor(req)
 	sess := e.sessions.Get(req.SessionID)
+
+	if req.Attempt > 0 {
+		e.metrics.Retries.Inc()
+		if !e.retryAllowed(sess) {
+			e.metrics.RetryDenied.Inc()
+			e.metrics.Errors.Inc()
+			ra := e.RetryEstimate()
+			if ra <= 0 {
+				ra = e.retryAfter
+			}
+			return nil, &resilience.RetryBudgetError{RetryAfter: ra}
+		}
+	}
 
 	if !req.Refresh {
 		if sess != nil {
@@ -534,6 +731,11 @@ func breakerFailure(err error) bool {
 // request ID carry through so planning spans are recorded (coalesced
 // followers contribute no spans of their own).
 func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (any, error) {
+	if e.draining.Load() {
+		return nil, ErrDraining
+	}
+	e.plansActive.Add(1)
+	defer e.plansActive.Add(-1)
 	tr := obs.FromContext(callerCtx)
 	reqID := RequestID(callerCtx)
 	key := e.KeyFor(req)
@@ -548,7 +750,10 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 	if e.minimal != nil {
 		total += e.minimalGrace
 	}
-	planCtx, cancel := context.WithTimeout(context.Background(), total)
+	// Detached from the caller (one impatient client must not abort
+	// planning that benefits every coalesced waiter) but rooted in the
+	// engine's base context, so Close cancels in-flight solves.
+	planCtx, cancel := context.WithTimeout(e.baseCtx, total)
 	defer cancel()
 	if tr != nil {
 		planCtx = obs.WithTrace(planCtx, tr)
@@ -584,6 +789,7 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 
 	planStart := time.Now()
 	var blamed string // stage blamed for the exact rung's failure
+	var hedgedWin bool
 	mode := req.Mode
 	if mode == "" {
 		mode = "plot"
@@ -594,7 +800,7 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 		// labeled context flows into the planners, whose own stage labels
 		// nest inside, and worker pools they spawn inherit the set.
 		pprof.Do(actx, pprof.Labels("lane", prio.String(), "mode", mode, "rung", r.Name), func(actx context.Context) {
-			v, err = e.attemptRung(actx, r, req, sess, tr, key, &blamed)
+			v, err = e.attemptRung(actx, r, req, sess, tr, key, &blamed, &hedgedWin)
 		})
 		return v, err
 	})
@@ -636,6 +842,9 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 		}
 		return nil, err
 	}
+	if rung == rungExact && hedgedWin {
+		rung = rungHedged
+	}
 	e.metrics.LadderRung(rung)
 	if req.Mode == ModeVoice {
 		e.metrics.SpeakRung(rung)
@@ -651,14 +860,35 @@ func (e *Engine) plan(callerCtx context.Context, req Request, sess *Session) (an
 	return plannedValue{value: v, source: rungSource(rung)}, nil
 }
 
+// settleExact records the exact attempt's outcome with the circuit
+// breakers: a deadline/injected failure charges the blamed stage, any
+// other failure returns probes without charging, success closes.
+func (e *Engine) settleExact(tr *obs.Trace, blamed *string, v any, err error) (any, error) {
+	switch {
+	case err == nil:
+		e.breakers.Result("", true)
+	case breakerFailure(err):
+		*blamed = blame(tr)
+		e.breakers.Result(*blamed, false)
+	default:
+		*blamed = blame(tr)
+		e.breakers.Result("", false) // returns probes, charges nobody
+	}
+	return v, err
+}
+
 // attemptRung executes one degradation-ladder rung. blamed receives
 // the stage charged for an exact-rung failure (for breaker accounting
-// and the fallback blame counters).
-func (e *Engine) attemptRung(actx context.Context, r resilience.Rung, req Request, sess *Session, tr *obs.Trace, key string, blamed *string) (any, error) {
+// and the fallback blame counters); hedged is set when the greedy
+// hedge beat the exact solve.
+func (e *Engine) attemptRung(actx context.Context, r resilience.Rung, req Request, sess *Session, tr *obs.Trace, key string, blamed *string, hedged *bool) (any, error) {
 	switch r.Name {
 	case rungExact:
 		if vetoStage, ok := e.breakers.Allow(); !ok {
 			return nil, &resilience.SkipError{Reason: "breaker-open:" + vetoStage}
+		}
+		if e.hedge {
+			return e.attemptHedged(actx, req, sess, tr, blamed, hedged)
 		}
 		settled := false
 		defer func() {
@@ -669,17 +899,7 @@ func (e *Engine) attemptRung(actx context.Context, r resilience.Rung, req Reques
 		}()
 		v, err := e.planner(actx, req, sess)
 		settled = true
-		switch {
-		case err == nil:
-			e.breakers.Result("", true)
-		case breakerFailure(err):
-			*blamed = blame(tr)
-			e.breakers.Result(*blamed, false)
-		default:
-			*blamed = blame(tr)
-			e.breakers.Result("", false) // returns probes, charges nobody
-		}
-		return v, err
+		return e.settleExact(tr, blamed, v, err)
 	case rungGreedy:
 		// Breaker-aware rung ordering: when the stage that tripped is
 		// one the fallback depends on too (anything but the exact-only
@@ -705,4 +925,80 @@ func (e *Engine) attemptRung(actx context.Context, r resilience.Rung, req Reques
 		return e.minimal(actx, req, sess)
 	}
 	return nil, &resilience.SkipError{Reason: "unknown-rung"}
+}
+
+// attemptHedged is the hedged exact rung (the "tail at scale" move):
+// the exact solve starts immediately; if it has not finished by the
+// windowed p90 of recent planning time, the greedy fallback starts
+// concurrently and the first success wins, cancelling the loser. Both
+// attempts run in goroutines with their own panic containment (a panic
+// there cannot unwind through the ladder's recover), surfacing as a
+// plain error that never charges a breaker. Breaker accounting: an
+// exact finish settles as usual; a hedge win settles neutrally — the
+// cancelled exact attempt proved nothing about stage health.
+func (e *Engine) attemptHedged(actx context.Context, req Request, sess *Session, tr *obs.Trace, blamed *string, hedged *bool) (any, error) {
+	type result struct {
+		v   any
+		err error
+	}
+	run := func(ctx context.Context, plan Planner) chan result {
+		ch := make(chan result, 1)
+		go func() {
+			var r result
+			defer func() {
+				if p := recover(); p != nil {
+					r = result{err: fmt.Errorf("serve: hedged attempt panic contained: %v", p)}
+				}
+				ch <- r
+			}()
+			r.v, r.err = plan(ctx, req, sess)
+		}()
+		return ch
+	}
+
+	exCtx, exCancel := context.WithCancel(actx)
+	defer exCancel()
+	exc := run(exCtx, e.planner)
+
+	trigger := time.NewTimer(e.hedgeDelay())
+	defer trigger.Stop()
+	select {
+	case r := <-exc:
+		return e.settleExact(tr, blamed, r.v, r.err)
+	case <-trigger.C:
+	}
+
+	// Hedge point: race the greedy fallback against the exact solve.
+	e.metrics.HedgeStarted.Inc()
+	if tr != nil {
+		tr.Mark("hedge", obs.Str("trigger", "p90"))
+	}
+	hCtx, hCancel := context.WithCancel(actx)
+	defer hCancel()
+	hc := run(hCtx, e.fallback)
+
+	var exErr error
+	for exc != nil || hc != nil {
+		select {
+		case r := <-exc:
+			if r.err == nil {
+				hCancel()
+				e.metrics.HedgeWin("exact")
+				return e.settleExact(tr, blamed, r.v, nil)
+			}
+			exErr = r.err
+			exc = nil
+		case r := <-hc:
+			if r.err == nil {
+				exCancel()
+				e.metrics.HedgeWin("hedge")
+				*hedged = true
+				// Neutral settle: the exact attempt never finished.
+				e.breakers.Result("", false)
+				return r.v, nil
+			}
+			hc = nil
+		}
+	}
+	return e.settleExact(tr, blamed, nil, exErr)
 }

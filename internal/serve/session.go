@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"muve/internal/resilience"
 )
 
 // Session is per-client conversational state with a bounded lifetime.
@@ -32,6 +34,7 @@ type Session struct {
 	lastVal  any
 	lastAt   time.Time
 	state    any
+	retries  *resilience.RetryBudget
 }
 
 // reuse returns the previous answer when key matches the session's
@@ -76,6 +79,17 @@ func (s *Session) SetState(v any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.state = v
+}
+
+// retryBudget returns the session's retry bucket, creating it with mk
+// on first use.
+func (s *Session) retryBudget(mk func() *resilience.RetryBudget) *resilience.RetryBudget {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retries == nil {
+		s.retries = mk()
+	}
+	return s.retries
 }
 
 // Queries counts answered requests in this session.
@@ -183,4 +197,19 @@ func (st *SessionStore) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.sessions)
+}
+
+// Range calls f for every live session, outside the store lock (f may
+// take the session's own lock freely). Iteration order is unspecified.
+// Used by the drain snapshot to spill still-warm session hints.
+func (st *SessionStore) Range(f func(s *Session)) {
+	st.mu.Lock()
+	list := make([]*Session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		list = append(list, s)
+	}
+	st.mu.Unlock()
+	for _, s := range list {
+		f(s)
+	}
 }
