@@ -1,0 +1,102 @@
+package muve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"muve/internal/resilience"
+	"muve/internal/serve"
+)
+
+// plotFingerprint flattens an answer's multiplot into (label, exact
+// float bits) pairs, so two answers can be compared bit-identically —
+// Float64bits, not an epsilon — across execution strategies.
+func plotFingerprint(ans *Answer) []string {
+	var fp []string
+	for _, pl := range ans.Multiplot.Plots() {
+		for _, e := range pl.Entries {
+			fp = append(fp, fmt.Sprintf("%s|%s|%016x", pl.Template.Title, e.Label, math.Float64bits(e.Value)))
+		}
+	}
+	return fp
+}
+
+// TestSharedScanAgreesUnderChaos is the end-to-end agreement half of
+// the shared-scan property suite: with fault injection hammering the
+// solver stage (latency + errors), every Ask that *succeeds* must carry
+// exactly the plot values of a chaos-free run — the shared-scan
+// executor and the degradation ladder may change when and how an answer
+// is computed, never what it contains.
+func TestSharedScanAgreesUnderChaos(t *testing.T) {
+	db := demoDB(t)
+	sys, err := New(db, "requests", WithWidth(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"how many noise complaints in brooklin",
+		"how many complaints in queens",
+		"how many noise complaints",
+	}
+
+	// Chaos-free baseline, one fingerprint per query.
+	want := make(map[string][]string, len(queries))
+	for _, q := range queries {
+		ans, err := sys.Ask(q)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", q, err)
+		}
+		want[q] = plotFingerprint(ans)
+		if len(want[q]) == 0 {
+			t.Fatalf("baseline %q produced no bars", q)
+		}
+	}
+
+	chaos := resilience.NewChaos(7)
+	chaos.Set("solver", resilience.Fault{Latency: 5 * time.Millisecond, LatencyP: 0.3, ErrorP: 0.3})
+	e, err := serve.NewEngine(serve.Config{
+		Planner: func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
+			if err := resilience.Inject(ctx, "solver"); err != nil {
+				return nil, err
+			}
+			return sys.AskContext(ctx, req.Transcript)
+		},
+		Chaos:   chaos,
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	successes, failures := 0, 0
+	for i := 0; i < 45; i++ {
+		q := queries[i%len(queries)]
+		r, err := e.Do(context.Background(), serve.Request{Transcript: q})
+		if err != nil {
+			failures++
+			continue
+		}
+		ans, ok := r.Value.(*Answer)
+		if !ok {
+			t.Fatalf("answer type %T", r.Value)
+		}
+		successes++
+		got := plotFingerprint(ans)
+		if len(got) != len(want[q]) {
+			t.Fatalf("chaos run %d (%q, source %s): %d bars, want %d", i, q, r.Source, len(got), len(want[q]))
+		}
+		for j := range got {
+			if got[j] != want[q][j] {
+				t.Fatalf("chaos run %d (%q, source %s): bar %d = %s, want %s", i, q, r.Source, j, got[j], want[q][j])
+			}
+		}
+	}
+	if successes == 0 {
+		t.Fatal("no ask survived chaos — agreement was never exercised")
+	}
+	t.Logf("chaos agreement: %d successes (all bit-identical), %d injected failures", successes, failures)
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"muve/internal/merge"
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+// scanSlowdownTolerance is how much slower than the row-at-a-time
+// baseline the shared scan may run at the gated candidate counts before
+// the smoke fails — headroom for timer noise on loaded CI hosts. The
+// shared scan reads the table once instead of once per candidate, so at
+// 8+ candidates it should be several times faster, not marginally.
+const scanSlowdownTolerance = 1.0
+
+// scanGateAt is the candidate count from which the shared scan must be
+// no slower than executing candidates one at a time. Below it the two
+// strategies do nearly the same work and timer noise dominates.
+const scanGateAt = 8
+
+// scanReport is the machine-readable summary of a -scan run, written to
+// -scan-json (BENCH_scan.json in CI) so the shared-scan latency curve
+// is tracked next to the solver and chaos smokes.
+type scanReport struct {
+	Seed int64 `json:"seed"`
+	Rows int   `json:"rows"`
+	// ThroughputRowsPerSec is the modeled backend scan rate
+	// (sqldb.SetScanThroughput) recreating the paper's disk-bound
+	// conditions; 0 means raw in-memory speed.
+	ThroughputRowsPerSec float64   `json:"throughput_rows_per_sec"`
+	Arms                 []scanArm `json:"arms"`
+	Pass                 bool      `json:"pass"`
+}
+
+// scanArm is one candidate count's measurement.
+type scanArm struct {
+	Candidates int `json:"candidates"`
+	// SeparateMillis executes every candidate as its own table scan
+	// (the row-at-a-time baseline the paper's unmerged strategy uses).
+	SeparateMillis float64 `json:"separate_millis"`
+	// SharedMillis answers all candidates in one shared columnar pass.
+	SharedMillis float64 `json:"shared_millis"`
+	Speedup      float64 `json:"speedup"`
+	// Predicates and SharedPredicates count compiled vs actually
+	// evaluated filters — their gap is the cross-candidate dedup win.
+	Predicates       int64 `json:"predicates"`
+	SharedPredicates int64 `json:"shared_predicates"`
+	ScannedRows      int64 `json:"scanned_rows"`
+}
+
+// scanCandidates builds n phonetically-confusable-style candidates over
+// the NYC311 table: single-aggregate, no GROUP BY, one or two equality
+// predicates with constants cycling through the column domains so
+// neighboring candidates share predicates (exercising dedup) while the
+// set as a whole spans many distinct filters.
+func scanCandidates(n int) []sqldb.Query {
+	aggs := []sqldb.Aggregate{
+		{Func: sqldb.AggCount},
+		{Func: sqldb.AggSum, Col: "response_hours"},
+		{Func: sqldb.AggAvg, Col: "response_hours"},
+		{Func: sqldb.AggMax, Col: "response_hours"},
+	}
+	complaints := []string{"Noise", "Heating", "Parking", "Water Leak", "Rodent", "Graffiti", "Sewer", "Sidewalk"}
+	boroughs := []string{"Brooklyn", "Bronx", "Manhattan", "Queens", "Staten Island"}
+	out := make([]sqldb.Query, n)
+	for i := range out {
+		q := sqldb.Query{
+			Aggs:  []sqldb.Aggregate{aggs[i%len(aggs)]},
+			Table: workload.NYC311.String(),
+			Preds: []sqldb.Predicate{{
+				Col: "complaint_type", Op: sqldb.OpEq,
+				Values: []sqldb.Value{sqldb.Str(complaints[i%len(complaints)])},
+			}},
+		}
+		if i%2 == 1 {
+			q.Preds = append(q.Preds, sqldb.Predicate{
+				Col: "borough", Op: sqldb.OpEq,
+				Values: []sqldb.Value{sqldb.Str(boroughs[(i/2)%len(boroughs)])},
+			})
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// sameResult demands bit-level agreement between the two execution
+// strategies: NULL matches only NULL, numbers must share float64 bits.
+func sameResult(a, b merge.Result) bool {
+	if a.Valid != b.Valid {
+		return false
+	}
+	if !a.Valid {
+		return true
+	}
+	return math.Float64bits(a.Value) == math.Float64bits(b.Value)
+}
+
+// runScan measures the cross-candidate shared-scan executor against
+// executing each candidate as its own scan, across a doubling ladder of
+// candidate counts, under a modeled disk-bound scan rate. It prints the
+// latency curve, writes -scan-json, and fails (non-zero exit) when
+// either
+//
+//   - any candidate's shared-scan value differs from its individually
+//     executed value in a single bit (the correctness contract the
+//     presentation layer relies on), or
+//   - the shared scan is slower than row-at-a-time at >= scanGateAt
+//     candidates (the whole point of the executor is sublinear cost in
+//     the candidate count).
+func runScan(seed int64, rows int, throughput float64, jsonPath string) error {
+	tbl, err := workload.Build(workload.NYC311, rows, seed)
+	if err != nil {
+		return err
+	}
+	db := sqldb.NewDB()
+	db.Register(tbl)
+	db.SetScanThroughput(throughput)
+
+	rep := scanReport{Seed: seed, Rows: rows, ThroughputRowsPerSec: throughput, Pass: true}
+	var slow []string
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		queries := scanCandidates(n)
+
+		start := time.Now()
+		sep, err := merge.ExecuteSeparately(db, queries)
+		if err != nil {
+			return fmt.Errorf("separate execution at %d candidates: %w", n, err)
+		}
+		sepMs := float64(time.Since(start).Microseconds()) / 1000
+
+		plan := merge.BuildSharedPlan(queries)
+		start = time.Now()
+		shared, stats, err := plan.Execute(db, 0, 0)
+		if err != nil {
+			return fmt.Errorf("shared execution at %d candidates: %w", n, err)
+		}
+		sharedMs := float64(time.Since(start).Microseconds()) / 1000
+
+		for qi := range queries {
+			if !sameResult(sep[qi], shared[qi]) {
+				return fmt.Errorf("disagreement at %d candidates, candidate %d: separate %+v, shared %+v",
+					n, qi, sep[qi], shared[qi])
+			}
+		}
+
+		arm := scanArm{
+			Candidates:       n,
+			SeparateMillis:   sepMs,
+			SharedMillis:     sharedMs,
+			Predicates:       stats.Predicates,
+			SharedPredicates: stats.SharedPredicates,
+			ScannedRows:      stats.Rows,
+		}
+		if sharedMs > 0 {
+			arm.Speedup = sepMs / sharedMs
+		}
+		rep.Arms = append(rep.Arms, arm)
+		if n >= scanGateAt && sharedMs > sepMs*scanSlowdownTolerance {
+			rep.Pass = false
+			slow = append(slow, fmt.Sprintf("%d candidates: shared %.1fms vs separate %.1fms", n, sharedMs, sepMs))
+		}
+	}
+
+	fmt.Printf("shared scan vs row-at-a-time: %s, %d rows, seed %d, modeled scan rate %.0f rows/s\n\n",
+		workload.NYC311.String(), rows, seed, throughput)
+	fmt.Printf("%-12s %14s %12s %9s %11s %8s\n", "candidates", "separate(ms)", "shared(ms)", "speedup", "predicates", "shared")
+	for _, a := range rep.Arms {
+		fmt.Printf("%-12d %14.1f %12.1f %8.2fx %11d %8d\n",
+			a.Candidates, a.SeparateMillis, a.SharedMillis, a.Speedup, a.Predicates, a.SharedPredicates)
+	}
+	fmt.Println("\nall candidate values bit-identical across strategies")
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("scan report written to %s\n", jsonPath)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("shared scan slower than row-at-a-time: %s", strings.Join(slow, "; "))
+	}
+	return nil
+}

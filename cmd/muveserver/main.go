@@ -180,6 +180,10 @@ func run() error {
 		admTarget    = flag.Duration("admission-target", 0, "CoDel sojourn target for the interactive admission lane: watermarks adapt to keep queue wait near this (0 = static watermarks; batch lane targets 4x)")
 		admInterval  = flag.Duration("admission-interval", 0, "CoDel control interval for -admission-target (0 = 500ms default)")
 		hedgeFlag    = flag.Bool("hedge", false, "race a greedy hedge against exact solves that outlive the windowed p90 planning time (needs a non-greedy -solver)")
+		hedgeTokFlag = flag.Int("hedge-tokens", 0, "max concurrent hedge attempts; each also charges the batch worker lane (0 = max-inflight/4, min 1)")
+		sketchFlag   = flag.Float64("sketch-rate", 0, "aggregate-sketch sample rate in (0,1): precompute per-template sketches for instant approximate first paints (0 disables)")
+		scanRateFlag = flag.Float64("scan-throughput", 0, "modeled backend scan rate in rows/sec, as if the table lived on disk; makes sampled first paints and -sketch-rate observable (0 = unthrottled in-memory speed)")
+		snapAgeFlag  = flag.Duration("snapshot-max-age", time.Hour, "skip drain snapshots older than this at restore (0 = no age cap)")
 		retryBurst   = flag.Float64("retry-burst", 0, "per-session retry budget burst (0 = default 4; negative disables retry budgeting)")
 		retryRate    = flag.Float64("retry-per-sec", 0, "per-session retry budget refill rate (0 = default 0.5)")
 		maxDeadline  = flag.Duration("max-deadline", 0, "cap on client-supplied X-Muve-Deadline values (0 = no cap)")
@@ -233,6 +237,12 @@ func run() error {
 	}
 	db := sqldb.NewDB()
 	db.Register(tbl)
+	if *scanRateFlag > 0 {
+		db.SetScanThroughput(*scanRateFlag)
+	}
+	if *sketchFlag > 0 {
+		db.EnableSketches(*sketchFlag)
+	}
 	solver := muve.SolverGreedy
 	switch *solverFlag {
 	case "greedy":
@@ -288,6 +298,7 @@ func run() error {
 		admissionTarget:  *admTarget,
 		admissionInt:     *admInterval,
 		hedge:            *hedgeFlag,
+		hedgeTokens:      *hedgeTokFlag,
 		retryBurst:       *retryBurst,
 		retryPerSec:      *retryRate,
 		chaos:            chaos,
@@ -303,7 +314,7 @@ func run() error {
 	}
 	if *snapFlag != "" {
 		// Best-effort: a bad snapshot means a cold start, not a failed one.
-		if n, s, err := loadSnapshot(*snapFlag, engine, ds.String(), *solverFlag, *widthFlag); err != nil {
+		if n, s, err := loadSnapshot(*snapFlag, engine, ds.String(), *solverFlag, *widthFlag, *snapAgeFlag); err != nil {
 			log.Printf("muveserver snapshot restore skipped: %v", err)
 		} else if n > 0 || s > 0 {
 			log.Printf("muveserver restored %d stale cache entries and %d session hints from %s", n, s, *snapFlag)
@@ -463,6 +474,7 @@ type engineConfig struct {
 	admissionTarget  time.Duration
 	admissionInt     time.Duration
 	hedge            bool
+	hedgeTokens      int
 	retryBurst       float64
 	retryPerSec      float64
 	chaos            *resilience.Chaos
@@ -540,6 +552,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 			if ws := string(ans.Stats.WarmStart); ws != "" {
 				metrics.WarmStart(ws)
 			}
+			metrics.RecordScan(ans.Stats.Scan)
 			recordVoice(metrics, ans)
 			remember(sess, req.Mode, ans)
 			return ans, nil
@@ -557,6 +570,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		if ws := string(ans.Stats.WarmStart); ws != "" {
 			metrics.WarmStart(ws)
 		}
+		metrics.RecordScan(ans.Stats.Scan)
 		remember(sess, req.Mode, ans)
 		return ans, nil
 	}
@@ -632,6 +646,7 @@ func newEngine(sys *muve.System, db *sqldb.DB, table string, cfg engineConfig) (
 		AdmissionTarget:   cfg.admissionTarget,
 		AdmissionInterval: cfg.admissionInt,
 		Hedge:             cfg.hedge,
+		HedgeTokens:       cfg.hedgeTokens,
 		RetryBurst:        cfg.retryBurst,
 		RetryPerSec:       cfg.retryPerSec,
 		Chaos:             cfg.chaos,

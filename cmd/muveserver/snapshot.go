@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -24,7 +25,26 @@ import (
 //
 // Everything here is best-effort: a missing, corrupt, or mismatched
 // snapshot (different dataset/solver/width) means a cold start, never a
-// failed one.
+// failed one. The payload is wrapped in a digest envelope — declared
+// length plus CRC32 — so a torn write or bit rot is detected before a
+// single byte of it is trusted, and an age cap keeps a replica from
+// resurrecting answers old enough to mislead. Every refused restore is
+// counted in muve_snapshot_skipped_total{reason}.
+
+// snapshotVersion is the envelope format version. Files written without
+// an envelope (or with a different version) are skipped, not guessed at.
+const snapshotVersion = 1
+
+// snapshotEnvelope wraps the marshaled snapshotFile with enough
+// redundancy to reject damaged files: Length is the payload's byte
+// count (a truncated tail shows up as a shortfall even when the JSON
+// happens to still parse) and CRC32 is its IEEE checksum.
+type snapshotEnvelope struct {
+	Version int             `json:"version"`
+	Length  int             `json:"length"`
+	CRC32   uint32          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
 
 // snapshotFile is the on-disk format. Answers are stored as raw JSON so
 // a single unmarshalable entry (or a future Answer shape change) skips
@@ -69,7 +89,8 @@ func marshalAnswer(ans *muve.Answer) json.RawMessage {
 
 // saveSnapshot spills the engine's warm state to path via a temp file
 // and rename, so a crash mid-write leaves either the old snapshot or
-// none — never a torn one.
+// none — never a torn one. The payload rides inside a length+CRC
+// envelope so the loader can tell a damaged file from a valid one.
 func saveSnapshot(path string, engine *serve.Engine, dataset, solver string, widthPx int) error {
 	snap := snapshotFile{
 		SavedAt: time.Now(),
@@ -97,7 +118,17 @@ func saveSnapshot(path string, engine *serve.Engine, dataset, solver string, wid
 		}
 		snap.Sessions = append(snap.Sessions, ss)
 	})
-	b, err := json.Marshal(&snap)
+	payload, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	env := snapshotEnvelope{
+		Version: snapshotVersion,
+		Length:  len(payload),
+		CRC32:   crc32.ChecksumIEEE(payload),
+		Payload: payload,
+	}
+	b, err := json.Marshal(&env)
 	if err != nil {
 		return err
 	}
@@ -115,10 +146,16 @@ func saveSnapshot(path string, engine *serve.Engine, dataset, solver string, wid
 
 // loadSnapshot restores a prior replica's spilled state into the
 // engine. Returns how many cache entries and sessions were restored. A
-// missing file is not an error; a snapshot taken under a different
-// dataset, solver, or width is skipped whole (its cache keys and warm
-// starts would not match this configuration).
-func loadSnapshot(path string, engine *serve.Engine, dataset, solver string, widthPx int) (entries, sessions int, err error) {
+// missing file is not an error; a damaged, stale, or mismatched
+// snapshot is skipped whole and counted, because restoring half-trusted
+// state is worse than a cold start:
+//
+//   - no envelope or wrong version          → reason "corrupt"
+//   - payload shorter/longer than declared  → reason "truncated"
+//   - CRC32 disagreement                    → reason "corrupt"
+//   - older than maxAge (when maxAge > 0)   → reason "stale"
+//   - different dataset/solver/width        → reason "mismatch"
+func loadSnapshot(path string, engine *serve.Engine, dataset, solver string, widthPx int, maxAge time.Duration) (entries, sessions int, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -126,13 +163,33 @@ func loadSnapshot(path string, engine *serve.Engine, dataset, solver string, wid
 		}
 		return 0, 0, err
 	}
+	skip := func(reason, format string, args ...any) (int, int, error) {
+		engine.Metrics().SnapshotSkipped(reason)
+		return 0, 0, fmt.Errorf("snapshot %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	var env snapshotEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return skip("corrupt", "unreadable envelope: %v", err)
+	}
+	if env.Version != snapshotVersion {
+		return skip("corrupt", "envelope version %d, want %d", env.Version, snapshotVersion)
+	}
+	if len(env.Payload) != env.Length {
+		return skip("truncated", "payload %d bytes, envelope declares %d", len(env.Payload), env.Length)
+	}
+	if sum := crc32.ChecksumIEEE(env.Payload); sum != env.CRC32 {
+		return skip("corrupt", "payload crc32 %08x, envelope declares %08x", sum, env.CRC32)
+	}
 	var snap snapshotFile
-	if err := json.Unmarshal(b, &snap); err != nil {
-		return 0, 0, fmt.Errorf("snapshot %s: %w", path, err)
+	if err := json.Unmarshal(env.Payload, &snap); err != nil {
+		return skip("corrupt", "unreadable payload: %v", err)
+	}
+	if maxAge > 0 && time.Since(snap.SavedAt) > maxAge {
+		return skip("stale", "saved %s ago, age cap %s", time.Since(snap.SavedAt).Round(time.Second), maxAge)
 	}
 	if snap.Dataset != dataset || snap.Solver != solver || snap.WidthPx != widthPx {
-		return 0, 0, fmt.Errorf("snapshot %s: config mismatch (%s/%s/%dpx, want %s/%s/%dpx)",
-			path, snap.Dataset, snap.Solver, snap.WidthPx, dataset, solver, widthPx)
+		return skip("mismatch", "config %s/%s/%dpx, want %s/%s/%dpx",
+			snap.Dataset, snap.Solver, snap.WidthPx, dataset, solver, widthPx)
 	}
 	unmarshalAnswer := func(raw json.RawMessage) *muve.Answer {
 		if len(raw) == 0 {

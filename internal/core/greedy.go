@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"muve/internal/sqldb"
 )
 
 // GreedySolver implements the fast heuristic of Section 6: generate
@@ -83,6 +85,11 @@ type Stats struct {
 	// WarmPartial, WarmInfeasible or WarmNone. Empty for solvers without a
 	// hint surface (greedy) and for solves given no hint.
 	WarmStart WarmStartResult
+	// Scan totals the shared-scan executor's data-path work for the
+	// answer: table passes, rows covered, candidate aggregates answered,
+	// predicate sharing, and sketch activity. Solvers leave it zero; the
+	// presentation layer fills it in after execution.
+	Scan sqldb.ScanStats
 }
 
 // Solve runs the greedy algorithm (Algorithm 1). The deadline is ignored:

@@ -1,0 +1,139 @@
+package merge
+
+import (
+	"fmt"
+
+	"muve/internal/sqldb"
+)
+
+// The shared-scan plan generalizes query merging past its same-template
+// limit. Classic merging (Plan) only batches candidates whose queries
+// differ in a single predicate constant or aggregate; any other
+// phonetically-similar candidate still pays its own table scan. A
+// SharedPlan instead hands EVERY single-aggregate ungrouped candidate on
+// a table — regardless of aggregate function, column, or predicate
+// structure — to sqldb's shared-scan executor, which answers all of them
+// in one pass. Only shapes outside the shared-scan class (grouped or
+// multi-aggregate queries, which MUVE's candidate generator never emits)
+// fall back to individual execution.
+
+// ScanGroup is the set of candidates one shared table pass answers.
+type ScanGroup struct {
+	// Table every member targets.
+	Table string
+	// Members indexes the planner's candidate list.
+	Members []int
+}
+
+// SharedPlan assigns candidates to shared scans.
+type SharedPlan struct {
+	Scans   []ScanGroup
+	Singles []int
+
+	queries []sqldb.Query
+}
+
+// BuildSharedPlan partitions candidates into per-table shared scans.
+// Unlike BuildPlan there is no cost gate: a shared scan is never more
+// expensive than the row-at-a-time alternative, because each distinct
+// predicate is evaluated at most once and the table is read once total.
+func BuildSharedPlan(queries []sqldb.Query) SharedPlan {
+	p := SharedPlan{queries: append([]sqldb.Query(nil), queries...)}
+	byTable := make(map[string]int)
+	for qi, q := range queries {
+		if len(q.Aggs) != 1 || len(q.GroupBy) > 0 {
+			p.Singles = append(p.Singles, qi)
+			continue
+		}
+		gi, ok := byTable[q.Table]
+		if !ok {
+			gi = len(p.Scans)
+			byTable[q.Table] = gi
+			p.Scans = append(p.Scans, ScanGroup{Table: q.Table})
+		}
+		p.Scans[gi].Members = append(p.Scans[gi].Members, qi)
+	}
+	return p
+}
+
+// Candidates returns the number of candidate queries the plan covers.
+func (p SharedPlan) Candidates() int { return len(p.queries) }
+
+// Execute runs every scan group through the shared-scan executor and the
+// leftovers individually, scattering results back to candidate indices.
+// A sampleRate in (0, 1) runs everything on the engine's deterministic
+// sample; results are bit-identical to per-query execution either way.
+func (p SharedPlan) Execute(db *sqldb.DB, sampleRate float64, sampleSeed uint64) (map[int]Result, sqldb.ScanStats, error) {
+	sampled := sampleRate > 0 && sampleRate < 1
+	out := make(map[int]Result, len(p.queries))
+	var stats sqldb.ScanStats
+	for _, g := range p.Scans {
+		qs := make([]sqldb.Query, len(g.Members))
+		for mi, qi := range g.Members {
+			qs[mi] = p.queries[qi]
+		}
+		var (
+			vals []sqldb.Value
+			st   sqldb.ScanStats
+			err  error
+		)
+		if sampled {
+			vals, st, err = db.ExecSharedSampled(qs, sampleRate, sampleSeed)
+		} else {
+			vals, st, err = db.ExecShared(qs)
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("merge: shared scan over %q: %w", g.Table, err)
+		}
+		stats.Add(st)
+		for mi, qi := range g.Members {
+			out[qi] = toResult(vals[mi])
+		}
+	}
+	for _, qi := range p.Singles {
+		q := p.queries[qi]
+		var (
+			res sqldb.Result
+			err error
+		)
+		if sampled {
+			res, err = db.ExecSampled(q, sampleRate, sampleSeed)
+		} else {
+			res, err = db.Exec(q)
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("merge: executing single query: %w", err)
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+			return nil, stats, fmt.Errorf("merge: single query returned unexpected shape")
+		}
+		out[qi] = toResult(res.Rows[0][0])
+	}
+	return out, stats, nil
+}
+
+// ExecuteSketch answers the whole plan from precomputed aggregate
+// sketches, with zero scans at steady state. ok is false — and the map
+// nil — unless every candidate resolves from a sketch (sketching
+// disabled, an unsketchable template, or any Singles); the caller then
+// falls back to a real scan. Sketch answers equal what a sampled
+// execution at the sketch rate would return, so callers treat a hit as
+// an approximate first paint at db.SketchRate().
+func (p SharedPlan) ExecuteSketch(db *sqldb.DB) (map[int]Result, sqldb.ScanStats, bool) {
+	if db.SketchRate() == 0 || len(p.Singles) > 0 || len(p.queries) == 0 {
+		return nil, sqldb.ScanStats{}, false
+	}
+	out := make(map[int]Result, len(p.queries))
+	var stats sqldb.ScanStats
+	for _, g := range p.Scans {
+		for _, qi := range g.Members {
+			v, st, ok := db.SketchLookup(p.queries[qi])
+			if !ok {
+				return nil, stats, false
+			}
+			stats.Add(st)
+			out[qi] = toResult(v)
+		}
+	}
+	return out, stats, true
+}

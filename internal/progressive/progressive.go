@@ -35,6 +35,10 @@ type Session struct {
 	// between planning and each execution round, and forward the
 	// context into the solvers. Nil means run to completion.
 	Ctx context.Context
+
+	// scanStats accumulates shared-scan work across every execution
+	// round of the presentation; finishTrace copies it onto the trace.
+	scanStats sqldb.ScanStats
 }
 
 // Context returns the session context, defaulting to Background.
@@ -79,6 +83,10 @@ type Trace struct {
 	// (hit|partial|infeasible|none); empty for methods or runs without a
 	// hint. See core.WarmStartResult.
 	WarmStart core.WarmStartResult
+	// Scan totals the shared-scan executor's work across all execution
+	// rounds: table passes, rows covered, candidates answered, predicate
+	// sharing, and sketch activity.
+	Scan sqldb.ScanStats
 }
 
 // Method is one presentation strategy.
@@ -130,15 +138,9 @@ func updateSpan(s *Session, idx int, rate float64) *obs.Span {
 		SetFloat("sample_rate", rate)
 }
 
-// fillValues executes the multiplot's queries (merged) and writes results
-// into the entries. sampleRate in (0,1) makes all values approximate.
-func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplot, error) {
-	// Cancellation checkpoint: execution is the expensive half of a
-	// presentation round, so an abandoned request stops here.
-	if err := s.Context().Err(); err != nil {
-		return m, err
-	}
-	// Collect the displayed candidate queries.
+// displayedQueries collects the candidate queries a multiplot shows,
+// deduplicated, with a candidate-index → query-position map.
+func displayedQueries(s *Session, m core.Multiplot) ([]sqldb.Query, map[int]int) {
 	var queries []sqldb.Query
 	pos := make(map[int]int)
 	for _, row := range m.Rows {
@@ -151,16 +153,12 @@ func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplo
 			}
 		}
 	}
-	if len(queries) == 0 {
-		return m, nil
-	}
-	plan := merge.BuildPlan(s.DB, queries)
-	res, err := plan.Execute(s.DB, sampleRate, s.SampleSeed)
-	if err != nil {
-		return m, fmt.Errorf("progressive: executing multiplot queries: %w", err)
-	}
+	return queries, pos
+}
+
+// applyResults writes computed values back into a copy of the multiplot.
+func applyResults(m core.Multiplot, pos map[int]int, res map[int]merge.Result, approx bool) core.Multiplot {
 	out := core.Multiplot{Rows: make([][]core.Plot, len(m.Rows))}
-	approx := sampleRate > 0 && sampleRate < 1
 	for ri, row := range m.Rows {
 		for _, pl := range row {
 			np := core.Plot{Template: pl.Template, Entries: append([]core.Entry(nil), pl.Entries...)}
@@ -176,12 +174,97 @@ func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplo
 			out.Rows[ri] = append(out.Rows[ri], np)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// recordScanStats attaches one execution round's shared-scan counters to
+// its "scan" span and folds them into the session total.
+func recordScanStats(s *Session, sp *obs.Span, st sqldb.ScanStats, rate float64) {
+	s.scanStats.Add(st)
+	sp.SetInt("candidates", st.Candidates).
+		SetInt("scans", st.Scans).
+		SetInt("rows", st.Rows).
+		SetInt("batches", st.Batches).
+		SetInt("preds", st.Predicates).
+		SetInt("shared_preds", st.SharedPredicates).
+		SetFloat("sample_rate", rate)
+	if st.SketchHits > 0 {
+		sp.SetInt("sketch_hits", st.SketchHits).
+			SetInt("sketch_builds", st.SketchBuilds)
+	}
+}
+
+// fillValues executes the multiplot's queries through the shared-scan
+// executor — every displayed candidate aggregate from one table pass —
+// and writes results into the entries. sampleRate in (0,1) makes all
+// values approximate.
+func fillValues(s *Session, m core.Multiplot, sampleRate float64) (core.Multiplot, error) {
+	// Cancellation checkpoint: execution is the expensive half of a
+	// presentation round, so an abandoned request stops here.
+	if err := s.Context().Err(); err != nil {
+		return m, err
+	}
+	queries, pos := displayedQueries(s, m)
+	if len(queries) == 0 {
+		return m, nil
+	}
+	plan := merge.BuildSharedPlan(queries)
+	sp := obs.StartSpan(s.Context(), "scan")
+	var (
+		res map[int]merge.Result
+		st  sqldb.ScanStats
+		err error
+	)
+	obs.Do(s.Context(), "scan", func(ctx context.Context) {
+		res, st, err = plan.Execute(s.DB, sampleRate, s.SampleSeed)
+	})
+	if err != nil {
+		sp.SetErr(err).End()
+		return m, fmt.Errorf("progressive: executing multiplot queries: %w", err)
+	}
+	effRate := 1.0
+	if sampleRate > 0 && sampleRate < 1 {
+		effRate = sampleRate
+	}
+	recordScanStats(s, sp, st, effRate)
+	sp.End()
+	return applyResults(m, pos, res, effRate < 1), nil
+}
+
+// fillValuesSketch answers the multiplot entirely from precomputed
+// aggregate sketches — no table pass at steady state. ok is false when
+// any displayed candidate cannot be sketched; the caller then falls back
+// to a real (sampled or exact) scan.
+func fillValuesSketch(s *Session, m core.Multiplot) (core.Multiplot, bool) {
+	if err := s.Context().Err(); err != nil {
+		return m, false
+	}
+	queries, pos := displayedQueries(s, m)
+	if len(queries) == 0 {
+		return m, false
+	}
+	plan := merge.BuildSharedPlan(queries)
+	sp := obs.StartSpan(s.Context(), "scan").SetBool("sketch", true)
+	var (
+		res map[int]merge.Result
+		st  sqldb.ScanStats
+		ok  bool
+	)
+	obs.Do(s.Context(), "scan", func(ctx context.Context) {
+		res, st, ok = plan.ExecuteSketch(s.DB)
+	})
+	if !ok {
+		sp.SetBool("noop", true).End()
+		return m, false
+	}
+	recordScanStats(s, sp, st, s.DB.SketchRate())
+	sp.End()
+	return applyResults(m, pos, res, true), true
 }
 
 // finishTrace derives FTime/TTime/Updates/InitialRelError from events.
 func finishTrace(s *Session, events []Event) *Trace {
-	tr := &Trace{Events: events}
+	tr := &Trace{Events: events, Scan: s.scanStats}
 	if len(events) == 0 {
 		return tr
 	}
@@ -342,14 +425,28 @@ func (d *Default) Present(s *Session) (*Trace, error) {
 	}
 	recordSolverStats(sp, d.name, st)
 	sp.End()
-	usp := updateSpan(s, 0, 1)
+	var events []Event
+	// Sketch-first: when the DB keeps aggregate sketches and every
+	// displayed candidate resolves from one, paint an instant
+	// approximate multiplot before the exact fill touches the table.
+	if sk := s.DB.SketchRate(); sk > 0 {
+		usp := updateSpan(s, 0, sk).SetBool("sketch", true)
+		if skm, ok := fillValuesSketch(s, m); ok {
+			usp.End()
+			events = append(events, Event{At: time.Since(start), Multiplot: skm, Approximate: true})
+		} else {
+			usp.SetBool("noop", true).End()
+		}
+	}
+	usp := updateSpan(s, len(events), 1)
 	filled, err := fillValues(s, m, 0)
 	if err != nil {
 		usp.SetErr(err).End()
 		return nil, err
 	}
 	usp.End()
-	tr := finishTrace(s, []Event{{At: time.Since(start), Multiplot: filled}})
+	events = append(events, Event{At: time.Since(start), Multiplot: filled})
+	tr := finishTrace(s, events)
 	tr.SampleRate = 1
 	tr.WarmStart = st.WarmStart
 	if st.Optimal {
@@ -488,14 +585,29 @@ func (a *Approx) Present(s *Session) (*Trace, error) {
 	}
 	var events []Event
 	if rate < 1 {
-		usp := updateSpan(s, 0, rate)
-		approxM, err := fillValues(s, m, rate)
-		if err != nil {
-			usp.SetErr(err).End()
-			return nil, err
+		// Sketch-first: when every displayed candidate resolves from a
+		// precomputed aggregate sketch, the first paint costs no table
+		// pass at all; otherwise fall back to the sampled shared scan.
+		if sk := s.DB.SketchRate(); sk > 0 {
+			usp := updateSpan(s, 0, sk).SetBool("sketch", true)
+			if skm, ok := fillValuesSketch(s, m); ok {
+				usp.End()
+				events = append(events, Event{At: time.Since(start), Multiplot: skm, Approximate: true})
+				rate = sk // the first paint's effective rate
+			} else {
+				usp.SetBool("noop", true).End()
+			}
 		}
-		usp.End()
-		events = append(events, Event{At: time.Since(start), Multiplot: approxM, Approximate: true})
+		if len(events) == 0 {
+			usp := updateSpan(s, 0, rate)
+			approxM, err := fillValues(s, m, rate)
+			if err != nil {
+				usp.SetErr(err).End()
+				return nil, err
+			}
+			usp.End()
+			events = append(events, Event{At: time.Since(start), Multiplot: approxM, Approximate: true})
+		}
 	}
 	usp := updateSpan(s, len(events), 1)
 	exact, err := fillValues(s, m, 0)

@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enqueueWaiter starts one queued Acquire and blocks until it is
+// actually in the lane's queue, so tests control arrival order.
+func enqueueWaiter(t *testing.T, a *Admission, ctx context.Context, p Priority, done chan<- error, after func()) {
+	t.Helper()
+	depth := a.Depth(p)
+	go func() {
+		r, err := a.Acquire(ctx, p)
+		if err == nil {
+			if after != nil {
+				after()
+			}
+			r()
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Depth(p) <= depth {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionEarliestDeadlineFirst(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Capacity: 1})
+	release, err := a.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four waiters, arriving in an order that disagrees with their
+	// deadlines: late, early, middle, none. EDF must grant early,
+	// middle, late, then the deadline-less one.
+	order := make(chan string, 4)
+	errs := make(chan error, 4)
+	add := func(name string, deadline time.Duration) {
+		ctx := context.Background()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Now().Add(deadline))
+			t.Cleanup(cancel)
+		}
+		enqueueWaiter(t, a, ctx, Interactive, errs, func() { order <- name })
+	}
+	add("late", 10*time.Hour)
+	add("early", time.Hour)
+	add("middle", 5*time.Hour)
+	add("none", 0)
+
+	release()
+	want := []string{"early", "middle", "late", "none"}
+	for _, w := range want {
+		if got := <-order; got != w {
+			t.Fatalf("grant order: got %q, want %q", got, w)
+		}
+	}
+	for range want {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fakeClock is a settable time source safe for concurrent reads.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmissionShedsExpiredWaiters(t *testing.T) {
+	// The fake clock makes expiry deterministic: the waiters' ctx
+	// deadlines are real-time hours away (their timers never fire
+	// inside the test), but advancing the fake clock past them makes
+	// the controller treat them as expired on the next release.
+	clk := &fakeClock{now: time.Now()}
+	var shedMu sync.Mutex
+	var sheds []Priority
+	a := NewAdmission(AdmissionConfig{
+		Capacity: 1,
+		Clock:    clk.Now,
+		OnShed: func(p Priority) {
+			shedMu.Lock()
+			sheds = append(sheds, p)
+			shedMu.Unlock()
+		},
+	})
+	release, err := a.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expCtx, cancel1 := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancel1()
+	liveCtx, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(5*time.Hour))
+	defer cancel2()
+
+	expired := make(chan error, 1)
+	live := make(chan error, 1)
+	forever := make(chan error, 1)
+	enqueueWaiter(t, a, expCtx, Interactive, expired, nil)
+	enqueueWaiter(t, a, liveCtx, Interactive, live, nil)
+	enqueueWaiter(t, a, context.Background(), Interactive, forever, nil)
+
+	// Two hours pass: the first waiter's deadline is now behind the
+	// clock, the second's is still ahead.
+	clk.Advance(2 * time.Hour)
+	release()
+
+	var shed *ShedError
+	if err := <-expired; !errors.As(err, &shed) {
+		t.Fatalf("expired waiter err = %v, want ShedError", err)
+	}
+	if shed.Priority != Interactive || shed.Waited != 2*time.Hour {
+		t.Errorf("shed = %+v, want interactive after 2h", shed)
+	}
+	if err := <-live; err != nil {
+		t.Fatalf("live waiter: %v", err)
+	}
+	if err := <-forever; err != nil {
+		t.Fatalf("deadline-less waiter: %v", err)
+	}
+	shedMu.Lock()
+	defer shedMu.Unlock()
+	if len(sheds) != 1 || sheds[0] != Interactive {
+		t.Errorf("OnShed calls = %v, want [interactive]", sheds)
+	}
+	if d := a.Depth(Interactive); d != 0 {
+		t.Errorf("depth after drain = %d", d)
+	}
+}
+
+func TestAdmissionShedMapsTo504(t *testing.T) {
+	err := &ShedError{Priority: Interactive, Waited: time.Second}
+	if err.Error() == "" {
+		t.Error("empty ShedError message")
+	}
+}
+
+func TestAdmissionShedSkipsExpiredBeforeBatch(t *testing.T) {
+	// An expired interactive waiter must not block a batch waiter from
+	// taking the freed slot.
+	clk := &fakeClock{now: time.Now()}
+	a := NewAdmission(AdmissionConfig{Capacity: 1, Clock: clk.Now})
+	release, err := a.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expCtx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancel()
+	expired := make(chan error, 1)
+	batch := make(chan error, 1)
+	enqueueWaiter(t, a, expCtx, Interactive, expired, nil)
+	enqueueWaiter(t, a, context.Background(), Batch, batch, nil)
+
+	clk.Advance(2 * time.Hour)
+	release()
+
+	var shed *ShedError
+	if err := <-expired; !errors.As(err, &shed) {
+		t.Fatalf("expired waiter err = %v, want ShedError", err)
+	}
+	if err := <-batch; err != nil {
+		t.Fatalf("batch waiter: %v", err)
+	}
+}

@@ -89,6 +89,23 @@ func (e *RejectError) Error() string {
 		e.Priority, e.Depth, e.RetryAfter)
 }
 
+// ShedError reports a queued request shed by admission control because
+// its deadline passed before a slot freed: granting it a worker would
+// burn capacity computing an answer nobody is waiting for. Servers
+// should map it to HTTP 504.
+type ShedError struct {
+	// Priority is the lane the request was shed from.
+	Priority Priority
+	// Waited is how long the request sat queued before being shed.
+	Waited time.Duration
+}
+
+// Error describes the shed.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("resilience: %s request shed after %s queued (deadline expired)",
+		e.Priority, e.Waited)
+}
+
 // SkipError is returned by a ladder Attempt to decline a rung without
 // charging it as a failure — e.g. the rung's circuit breaker is open,
 // or there is no stale answer to serve. Descend records the skip and

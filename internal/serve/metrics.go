@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"muve/internal/obs"
+	"muve/internal/sqldb"
 )
 
 // Counter is a monotonically increasing metric. The zero value is
@@ -103,6 +104,25 @@ type Metrics struct {
 	// HedgeStarted counts exact solves that reached the hedge point
 	// (the windowed p90) and launched a concurrent greedy hedge.
 	HedgeStarted Counter
+	// HedgeDenied counts hedge launches refused because the hedge token
+	// bucket was empty — the backpressure that keeps a hedging storm
+	// from oversubscribing the solver worker split.
+	HedgeDenied Counter
+	// ScanPasses/ScanRows/ScanCandidates count shared-scan table passes,
+	// the rows those passes covered, and the candidate aggregates they
+	// answered; candidates÷passes is the live sharing factor.
+	ScanPasses     Counter
+	ScanRows       Counter
+	ScanCandidates Counter
+	// ScanPredicates/ScanSharedPredicates count predicate instances
+	// across candidates vs distinct predicates actually evaluated; the
+	// difference is work the scan deduplicated away.
+	ScanPredicates       Counter
+	ScanSharedPredicates Counter
+	// SketchHits/SketchBuilds count candidate values answered from
+	// precomputed aggregate sketches, and sketch (re)builds.
+	SketchHits   Counter
+	SketchBuilds Counter
 	// DrainCancelled counts in-flight plans cancelled by Engine.Close.
 	DrainCancelled Counter
 	// SpeakRequests counts requests asking for the voice answer mode.
@@ -129,6 +149,8 @@ type Metrics struct {
 	breakerStates    map[string]*Gauge
 	warmstarts       map[string]*Counter
 	hedgeWins        map[string]*Counter
+	snapshotSkips    map[string]*Counter
+	sheds            map[string]*Counter
 }
 
 // labeledCounter looks up (or lazily creates) the counter for key in
@@ -191,6 +213,34 @@ func (m *Metrics) HedgeWins() map[string]uint64 {
 		out[k] = c.Value()
 	}
 	return out
+}
+
+// SnapshotSkipped counts one drain-snapshot restore refused for the
+// given reason (truncated|corrupt|stale|mismatch), rendered as
+// muve_snapshot_skipped_total{reason}.
+func (m *Metrics) SnapshotSkipped(reason string) {
+	m.labeledCounter(&m.snapshotSkips, reason).Inc()
+}
+
+// AdmissionShed counts one queued waiter shed because its deadline had
+// already passed before a slot freed, rendered as
+// muve_admission_shed_total{priority}.
+func (m *Metrics) AdmissionShed(priority string) {
+	m.labeledCounter(&m.sheds, priority).Inc()
+}
+
+// RecordScan folds one answer's shared-scan stats into the registry.
+func (m *Metrics) RecordScan(st sqldb.ScanStats) {
+	if st.Empty() {
+		return
+	}
+	m.ScanPasses.Add(uint64(st.Scans))
+	m.ScanRows.Add(uint64(st.Rows))
+	m.ScanCandidates.Add(uint64(st.Candidates))
+	m.ScanPredicates.Add(uint64(st.Predicates))
+	m.ScanSharedPredicates.Add(uint64(st.SharedPredicates))
+	m.SketchHits.Add(uint64(st.SketchHits))
+	m.SketchBuilds.Add(uint64(st.SketchBuilds))
 }
 
 // BreakerTrip counts one circuit-breaker trip for the given stage.
@@ -373,7 +423,15 @@ func (m *Metrics) WriteProm(w io.Writer) {
 		{"muve_retries_total", &m.Retries},
 		{"muve_retry_denied_total", &m.RetryDenied},
 		{"muve_hedge_started_total", &m.HedgeStarted},
+		{"muve_hedge_denied_total", &m.HedgeDenied},
 		{"muve_drain_cancelled_total", &m.DrainCancelled},
+		{"muve_scan_passes_total", &m.ScanPasses},
+		{"muve_scan_rows_total", &m.ScanRows},
+		{"muve_scan_candidates_total", &m.ScanCandidates},
+		{"muve_scan_predicates_total", &m.ScanPredicates},
+		{"muve_scan_shared_predicates_total", &m.ScanSharedPredicates},
+		{"muve_scan_sketch_hits_total", &m.SketchHits},
+		{"muve_scan_sketch_builds_total", &m.SketchBuilds},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value())
@@ -405,6 +463,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	trips := copyCounters(m.breakerTrips)
 	warms := copyCounters(m.warmstarts)
 	hedges := copyCounters(m.hedgeWins)
+	snapSkips := copyCounters(m.snapshotSkips)
+	sheds := copyCounters(m.sheds)
 	states := make(map[string]*Gauge, len(m.breakerStates))
 	for k, v := range m.breakerStates {
 		states[k] = v
@@ -419,6 +479,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	writeCounterFamily(w, "muve_breaker_trips_total", "stage", trips)
 	writeCounterFamily(w, "muve_warmstart_total", "result", warms)
 	writeCounterFamily(w, "muve_hedge_total", "winner", hedges)
+	writeCounterFamily(w, "muve_snapshot_skipped_total", "reason", snapSkips)
+	writeCounterFamily(w, "muve_admission_shed_total", "priority", sheds)
 	if len(states) > 0 {
 		fmt.Fprintf(w, "# TYPE muve_breaker_state gauge\n")
 		for _, k := range sortedKeys(states) {
@@ -454,6 +516,8 @@ func (m *Metrics) VarsHandler() http.Handler {
 		trips := counterValues(m.breakerTrips)
 		warms := counterValues(m.warmstarts)
 		hedges := counterValues(m.hedgeWins)
+		snapSkips := counterValues(m.snapshotSkips)
+		sheds := counterValues(m.sheds)
 		states := make(map[string]int64, len(m.breakerStates))
 		for k, v := range m.breakerStates {
 			states[k] = v.Value()
@@ -493,8 +557,20 @@ func (m *Metrics) VarsHandler() http.Handler {
 			},
 			"hedge": map[string]any{
 				"started": m.HedgeStarted.Value(),
+				"denied":  m.HedgeDenied.Value(),
 				"wins":    hedges,
 			},
+			"scan": map[string]uint64{
+				"passes":            m.ScanPasses.Value(),
+				"rows":              m.ScanRows.Value(),
+				"candidates":        m.ScanCandidates.Value(),
+				"predicates":        m.ScanPredicates.Value(),
+				"shared_predicates": m.ScanSharedPredicates.Value(),
+				"sketch_hits":       m.SketchHits.Value(),
+				"sketch_builds":     m.SketchBuilds.Value(),
+			},
+			"snapshot_skipped": snapSkips,
+			"admission_shed":   sheds,
 			"drain_cancelled": m.DrainCancelled.Value(),
 			"ladder_rungs":    rungs,
 			"speak_rungs":     speakRungs,

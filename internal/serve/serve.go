@@ -44,6 +44,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -218,6 +219,14 @@ type Config struct {
 	// loser is cancelled). Requires Fallback; answers won by the hedge
 	// are labeled SourceHedged and counted in muve_hedge_total{winner}.
 	Hedge bool
+	// HedgeTokens bounds concurrent hedge attempts (default
+	// MaxInFlight/4, min 1). A hedge runs a second planner under the
+	// same admission slot, so without a bound a hedging storm could
+	// oversubscribe the solver-worker split; each hedge also charges the
+	// batch worker lane rather than riding the exact solve's interactive
+	// allocation. Exhausted tokens deny the hedge (the exact solve just
+	// continues alone) and count in muve_hedge_denied_total.
+	HedgeTokens int
 	// RetryBurst and RetryPerSec size the per-session retry budget
 	// (token bucket; defaults 4 and 0.5). Requests with Attempt > 0
 	// spend a token or fast-fail with a RetryBudgetError (HTTP 429).
@@ -307,8 +316,11 @@ type Engine struct {
 	// codel are the per-lane adaptive watermark controllers (nil when
 	// AdmissionTarget is unset; indexed by resilience.Priority).
 	codel [2]*resilience.CoDel
-	// hedge enables the hedged exact rung.
-	hedge bool
+	// hedge enables the hedged exact rung; hedgeTokens is the token
+	// bucket bounding concurrent hedge attempts, so hedging can never
+	// oversubscribe the worker split past its configured headroom.
+	hedge       bool
+	hedgeTokens chan struct{}
 	// retryCfg sizes per-session retry buckets; retryOff disables
 	// budgeting; retryGlobal is the sessionless fallback bucket.
 	retryCfg    resilience.RetryBudgetConfig
@@ -416,6 +428,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 				m.QueueInteractive.Set(int64(depth))
 			}
 		},
+		OnShed: func(p resilience.Priority) {
+			m.AdmissionShed(p.String())
+		},
 	})
 	var breakers *resilience.BreakerSet
 	if cfg.BreakerThreshold >= 0 {
@@ -461,6 +476,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.metrics = m
 	e.logger = cfg.Logger
 	e.hedge = cfg.Hedge && cfg.Fallback != nil
+	if e.hedge {
+		n := cfg.HedgeTokens
+		if n <= 0 {
+			n = cfg.MaxInFlight / 4
+			if n < 1 {
+				n = 1
+			}
+		}
+		e.hedgeTokens = make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			e.hedgeTokens <- struct{}{}
+		}
+	}
 	e.retryOff = cfg.RetryBurst < 0
 	if !e.retryOff {
 		e.retryCfg = resilience.RetryBudgetConfig{Burst: cfg.RetryBurst, PerSec: cfg.RetryPerSec}
@@ -968,14 +996,47 @@ func (e *Engine) attemptHedged(actx context.Context, req Request, sess *Session,
 	case <-trigger.C:
 	}
 
-	// Hedge point: race the greedy fallback against the exact solve.
+	// Hedge point: race the greedy fallback against the exact solve —
+	// but only with a hedge token in hand. The hedge is a second planner
+	// under the SAME admission slot, so it must bring its own compute
+	// accounting: the token bucket bounds how many hedges run at once,
+	// and the attempt charges the batch worker lane instead of riding
+	// the exact solve's interactive allocation (the innermost context
+	// allocation wins inside the planner). No token: the exact solve
+	// just continues alone, which is the pre-hedge behavior.
+	select {
+	case <-e.hedgeTokens:
+	default:
+		e.metrics.HedgeDenied.Inc()
+		if tr != nil {
+			tr.Mark("hedge", obs.Str("trigger", "denied"))
+		}
+		r := <-exc
+		return e.settleExact(tr, blamed, r.v, r.err)
+	}
 	e.metrics.HedgeStarted.Inc()
 	if tr != nil {
 		tr.Mark("hedge", obs.Str("trigger", "p90"))
 	}
 	hCtx, hCancel := context.WithCancel(actx)
 	defer hCancel()
-	hc := run(hCtx, e.fallback)
+	halloc, hReleaseWorkers := e.workerSplit.Acquire(resilience.Batch)
+	hCtx = resilience.WithSolverWorkers(hCtx, halloc)
+	var hOnce sync.Once
+	hRelease := func() {
+		hOnce.Do(func() {
+			hReleaseWorkers()
+			e.hedgeTokens <- struct{}{}
+		})
+	}
+	// The wrapper releases inside the hedge goroutine (panic included),
+	// so the token and worker share return exactly when the hedge
+	// attempt truly stops running — not when this frame returns while a
+	// cancelled hedge is still winding down.
+	hc := run(hCtx, func(ctx context.Context, req Request, sess *Session) (any, error) {
+		defer hRelease()
+		return e.fallback(ctx, req, sess)
+	})
 
 	var exErr error
 	for exc != nil || hc != nil {

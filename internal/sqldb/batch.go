@@ -1,0 +1,227 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// scanBatchRows is the number of rows one shared-scan batch covers. The
+// batch is the unit of predicate vectorization: each distinct predicate
+// fills one selection bitmap per batch, candidates AND the bitmaps they
+// reference, and accumulation walks the surviving bits. 2048 rows keeps
+// a batch's bitmaps (32 words each) and the touched column slices inside
+// the L1 cache while amortizing the per-batch setup across enough rows.
+const scanBatchRows = 2048
+
+// bitmap is a selection vector over the rows of one batch: bit k set
+// means batch-local row k survives. Word granularity makes predicate
+// combination (AND) and population scans cheap.
+type bitmap []uint64
+
+// newBitmap returns a bitmap able to hold n bits.
+func newBitmap(n int) bitmap {
+	return make(bitmap, (n+63)/64)
+}
+
+// setAll sets the first n bits and clears every remaining bit, so
+// trailing-word garbage can never leak into an AND chain.
+func (b bitmap) setAll(n int) {
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		b[i] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		b[full] = (uint64(1) << uint(rem)) - 1
+		full++
+	}
+	for i := full; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// and intersects b with o in place over the first nWords words.
+func (b bitmap) and(o bitmap, nWords int) {
+	for i := 0; i < nWords; i++ {
+		b[i] &= o[i]
+	}
+}
+
+// copyFrom overwrites the first nWords words of b with o's.
+func (b bitmap) copyFrom(o bitmap, nWords int) {
+	copy(b[:nWords], o[:nWords])
+}
+
+// forEach calls f for every set bit among the first n, in increasing
+// order — the property the shared scan relies on for bit-identical
+// float aggregation against the row-at-a-time path.
+func (b bitmap) forEach(n int, f func(k int)) {
+	nWords := (n + 63) / 64
+	for wi := 0; wi < nWords; wi++ {
+		w := b[wi]
+		base := wi << 6
+		for w != 0 {
+			k := base + bits.TrailingZeros64(w)
+			f(k)
+			w &= w - 1
+		}
+	}
+}
+
+// count returns the number of set bits among the first n.
+func (b bitmap) count(n int) int {
+	nWords := (n + 63) / 64
+	total := 0
+	for i := 0; i < nWords; i++ {
+		total += bits.OnesCount64(b[i])
+	}
+	return total
+}
+
+// batchFiller writes match bits for rows [lo, lo+n) into dst: word i of
+// dst receives the verdicts for batch-local rows [64i, 64i+64). Fillers
+// overwrite every word that covers a row, so dst needs no prior clear;
+// bits past n within the last word may be garbage and are masked out by
+// ANDing against a base bitmap whose tail is zero.
+type batchFiller func(dst bitmap, lo, n int)
+
+// batchFilter is one predicate compiled for vectorized evaluation.
+type batchFilter struct {
+	fill batchFiller
+}
+
+// compileBatchFilter resolves a predicate into a per-batch vectorized
+// filler, mirroring compilePredicate's semantics exactly: string
+// constants become dictionary-code comparisons, multi-value INs become
+// a bitset over codes, and the always/never classifications match the
+// row-at-a-time compiler so both paths select identical rows.
+func compileBatchFilter(t *Table, p Predicate) (f batchFilter, always, never bool, err error) {
+	c := t.Column(p.Col)
+	if c == nil {
+		return batchFilter{}, false, false, fmt.Errorf("sqldb: unknown column %q", p.Col)
+	}
+	switch c.Kind {
+	case KindString:
+		codes := make(map[int32]struct{}, len(p.Values))
+		for _, v := range p.Values {
+			if v.K != KindString {
+				continue // numeric literal never equals a string
+			}
+			if code, ok := c.code(v.S); ok {
+				codes[code] = struct{}{}
+			}
+		}
+		if len(codes) == 0 {
+			return batchFilter{}, false, true, nil
+		}
+		col := c.codes
+		if len(codes) == 1 {
+			var want int32
+			for k := range codes {
+				want = k
+			}
+			return batchFilter{fill: func(dst bitmap, lo, n int) {
+				fillCompare(dst, n, func(k int) bool { return col[lo+k] == want })
+			}}, false, false, nil
+		}
+		member := make([]bool, len(c.dict))
+		for k := range codes {
+			member[k] = true
+		}
+		return batchFilter{fill: func(dst bitmap, lo, n int) {
+			fillCompare(dst, n, func(k int) bool { return member[col[lo+k]] })
+		}}, false, false, nil
+	case KindInt:
+		wants := make(map[int64]struct{}, len(p.Values))
+		for _, v := range p.Values {
+			switch v.K {
+			case KindInt:
+				wants[v.I] = struct{}{}
+			case KindFloat:
+				if v.F == math.Trunc(v.F) {
+					wants[int64(v.F)] = struct{}{}
+				}
+			}
+		}
+		if len(wants) == 0 {
+			return batchFilter{}, false, true, nil
+		}
+		col := c.ints
+		if len(wants) == 1 {
+			var want int64
+			for k := range wants {
+				want = k
+			}
+			return batchFilter{fill: func(dst bitmap, lo, n int) {
+				fillCompare(dst, n, func(k int) bool { return col[lo+k] == want })
+			}}, false, false, nil
+		}
+		return batchFilter{fill: func(dst bitmap, lo, n int) {
+			fillCompare(dst, n, func(k int) bool {
+				_, ok := wants[col[lo+k]]
+				return ok
+			})
+		}}, false, false, nil
+	case KindFloat:
+		wants := make([]float64, 0, len(p.Values))
+		for _, v := range p.Values {
+			if v.K == KindInt || v.K == KindFloat {
+				wants = append(wants, v.AsFloat())
+			}
+		}
+		if len(wants) == 0 {
+			return batchFilter{}, false, true, nil
+		}
+		col := c.floats
+		return batchFilter{fill: func(dst bitmap, lo, n int) {
+			fillCompare(dst, n, func(k int) bool {
+				x := col[lo+k]
+				for _, w := range wants {
+					if x == w {
+						return true
+					}
+				}
+				return false
+			})
+		}}, false, false, nil
+	}
+	return batchFilter{}, false, false, fmt.Errorf("sqldb: predicate on invalid column %q", p.Col)
+}
+
+// fillCompare accumulates per-row verdicts into 64-bit words, flushing
+// one word per 64 rows — the scalar core every filler shares.
+func fillCompare(dst bitmap, n int, match func(k int) bool) {
+	var w uint64
+	for k := 0; k < n; k++ {
+		if match(k) {
+			w |= 1 << uint(k&63)
+		}
+		if k&63 == 63 {
+			dst[k>>6] = w
+			w = 0
+		}
+	}
+	if n&63 != 0 {
+		dst[(n-1)>>6] = w
+	}
+}
+
+// fillSample writes the deterministic sample bitmap for rows [lo, lo+n):
+// exactly the rows filterRowsRange keeps (rowHash at or below the rate
+// threshold), including every trailing bit cleared, so it doubles as the
+// AND base that masks filler tail garbage.
+func fillSample(dst bitmap, lo, n int, seed, threshold uint64) {
+	var w uint64
+	for k := 0; k < n; k++ {
+		if rowHash(uint64(lo+k), seed) <= threshold {
+			w |= 1 << uint(k&63)
+		}
+		if k&63 == 63 {
+			dst[k>>6] = w
+			w = 0
+		}
+	}
+	if n&63 != 0 {
+		dst[(n-1)>>6] = w
+	}
+}

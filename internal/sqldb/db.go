@@ -16,6 +16,8 @@ type DB struct {
 	tables         map[string]*Table
 	parallelism    int
 	scanThroughput float64 // rows/s; 0 = unthrottled
+
+	sketch sketchStore
 }
 
 // NewDB returns an empty database.

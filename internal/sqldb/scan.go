@@ -1,0 +1,260 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ScanStats describes the work one or more shared scans performed. The
+// serving layer aggregates these per answer and exports them as
+// muve_scan_* metrics; zero-valued stats mean no shared scan ran.
+type ScanStats struct {
+	// Scans is the number of table passes executed.
+	Scans int64
+	// Rows is the total rows covered by those passes (table rows per
+	// scan, regardless of sampling — sampling reduces rows *read*, which
+	// the throughput throttle accounts separately).
+	Rows int64
+	// Batches is the number of vectorized batches processed.
+	Batches int64
+	// Candidates is the number of candidate aggregates answered.
+	Candidates int64
+	// Predicates is the total predicate instances across candidates.
+	Predicates int64
+	// SharedPredicates is the number of distinct predicates actually
+	// evaluated; Predicates − SharedPredicates filters were deduplicated.
+	SharedPredicates int64
+	// SketchHits counts candidate values answered from a precomputed
+	// aggregate sketch instead of any scan.
+	SketchHits int64
+	// SketchBuilds counts sketch constructions (each one sampled scan).
+	SketchBuilds int64
+}
+
+// Add accumulates o into s.
+func (s *ScanStats) Add(o ScanStats) {
+	s.Scans += o.Scans
+	s.Rows += o.Rows
+	s.Batches += o.Batches
+	s.Candidates += o.Candidates
+	s.Predicates += o.Predicates
+	s.SharedPredicates += o.SharedPredicates
+	s.SketchHits += o.SketchHits
+	s.SketchBuilds += o.SketchBuilds
+}
+
+// Empty reports whether no scan work was recorded.
+func (s ScanStats) Empty() bool { return s == ScanStats{} }
+
+// scanCandidate is one candidate aggregate being accumulated during a
+// shared scan.
+type scanCandidate struct {
+	filters []int // sorted indices into the distinct-filter list
+	never   bool  // some predicate can match no row
+	acc     func(i int) float64
+	agg     Aggregate
+	state   aggState
+}
+
+// sharedScan evaluates every candidate query — each a single ungrouped
+// aggregate over t — in ONE pass over the table. Distinct predicates are
+// compiled once and evaluated once per batch into selection bitmaps;
+// candidates sharing the same predicate signature share the combined
+// bitmap; surviving rows are folded into per-candidate accumulators in
+// ascending row order, which makes every aggregate bit-identical to the
+// row-at-a-time path (same float additions in the same order, same
+// deterministic sample membership).
+func sharedScan(t *Table, queries []Query, opt execOptions) ([]Value, ScanStats, error) {
+	stats := ScanStats{Scans: 1, Rows: int64(t.NumRows()), Candidates: int64(len(queries))}
+	if len(queries) == 0 {
+		return nil, ScanStats{}, nil
+	}
+
+	// Compile: dedup predicates across candidates by their rendered form
+	// (which covers column, operator and constants).
+	filterIdx := make(map[string]int)
+	var fills []batchFiller
+	var nevers []bool
+	cands := make([]*scanCandidate, len(queries))
+	for qi, q := range queries {
+		if err := q.Validate(t); err != nil {
+			return nil, ScanStats{}, err
+		}
+		if len(q.Aggs) != 1 || len(q.GroupBy) != 0 {
+			return nil, ScanStats{}, fmt.Errorf("sqldb: shared scan requires single ungrouped aggregates, got %q", q.SQL())
+		}
+		cand := &scanCandidate{agg: q.Aggs[0], acc: numericAccessor(t, q.Aggs[0])}
+		stats.Predicates += int64(len(q.Preds))
+		for _, p := range q.Preds {
+			key := p.String()
+			fi, ok := filterIdx[key]
+			if !ok {
+				f, _, never, err := compileBatchFilter(t, p)
+				if err != nil {
+					return nil, ScanStats{}, err
+				}
+				fi = len(fills)
+				filterIdx[key] = fi
+				fills = append(fills, f.fill)
+				nevers = append(nevers, never)
+			}
+			if nevers[fi] {
+				cand.never = true
+			} else {
+				cand.filters = append(cand.filters, fi)
+			}
+		}
+		sort.Ints(cand.filters)
+		cands[qi] = cand
+	}
+	stats.SharedPredicates = int64(len(fills))
+
+	// Group candidates by filter signature so each distinct conjunction
+	// combines its bitmaps — and walks its surviving rows — exactly once.
+	type scanGroup struct {
+		filters []int
+		members []*scanCandidate
+	}
+	groupIdx := make(map[string]int)
+	var groups []*scanGroup
+	for _, cand := range cands {
+		if cand.never {
+			continue // empty selection; its zero state already renders correctly
+		}
+		sig := fmt.Sprint(cand.filters)
+		gi, ok := groupIdx[sig]
+		if !ok {
+			gi = len(groups)
+			groupIdx[sig] = gi
+			groups = append(groups, &scanGroup{filters: cand.filters})
+		}
+		groups[gi].members = append(groups[gi].members, cand)
+	}
+
+	// Only fill bitmaps some live group still references.
+	used := make([]bool, len(fills))
+	for _, g := range groups {
+		for _, fi := range g.filters {
+			used[fi] = true
+		}
+	}
+
+	sampling := opt.sampleRate > 0 && opt.sampleRate < 1
+	var threshold uint64
+	if sampling {
+		// Must match filterRowsRange's expression exactly so both paths
+		// agree on sample membership.
+		threshold = uint64(opt.sampleRate * float64(math.MaxUint64))
+	}
+
+	base := newBitmap(scanBatchRows)
+	cur := newBitmap(scanBatchRows)
+	filterBms := make([]bitmap, len(fills))
+	for fi := range filterBms {
+		if used[fi] {
+			filterBms[fi] = newBitmap(scanBatchRows)
+		}
+	}
+
+	rows := t.NumRows()
+	for lo := 0; lo < rows; lo += scanBatchRows {
+		n := rows - lo
+		if n > scanBatchRows {
+			n = scanBatchRows
+		}
+		stats.Batches++
+		nWords := (n + 63) / 64
+		if sampling {
+			fillSample(base, lo, n, opt.sampleSeed, threshold)
+		} else {
+			base.setAll(n)
+		}
+		for fi := range filterBms {
+			if used[fi] {
+				fills[fi](filterBms[fi], lo, n)
+			}
+		}
+		for _, g := range groups {
+			sel := base
+			if len(g.filters) > 0 {
+				cur.copyFrom(base, nWords)
+				for _, fi := range g.filters {
+					cur.and(filterBms[fi], nWords)
+				}
+				sel = cur
+			}
+			members := g.members
+			sel.forEach(n, func(k int) {
+				i := lo + k
+				for _, m := range members {
+					if m.acc == nil {
+						m.state.count++
+					} else {
+						m.state.add(m.acc(i))
+					}
+				}
+			})
+		}
+	}
+
+	scale := 1.0
+	if sampling {
+		scale = 1 / opt.sampleRate
+	}
+	out := make([]Value, len(queries))
+	for qi, cand := range cands {
+		out[qi] = cand.state.value(cand.agg.Func, scale)
+	}
+	return out, stats, nil
+}
+
+// ExecShared evaluates a set of single-aggregate ungrouped queries, all
+// against the same table, in one shared table pass and returns one
+// scalar Value per query (positionally). This is the cross-candidate
+// generalization of the paper's query merging: merging batches only
+// same-template candidates into IN + GROUP BY, while the shared scan
+// feeds arbitrary candidate aggregates — different functions, columns
+// and predicates — from a single scan's worth of data movement.
+func (db *DB) ExecShared(queries []Query) ([]Value, ScanStats, error) {
+	return db.execShared(queries, 0, 0)
+}
+
+// ExecSharedSampled is ExecShared over the deterministic uniform sample
+// with the given rate in (0, 1]; COUNT and SUM are scaled, and sample
+// membership matches ExecSampled for the same seed, so approximate
+// shared-scan answers agree bit-for-bit with per-query sampled answers.
+func (db *DB) ExecSharedSampled(queries []Query, rate float64, seed uint64) ([]Value, ScanStats, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, ScanStats{}, fmt.Errorf("sqldb: sample rate %v outside (0, 1]", rate)
+	}
+	return db.execShared(queries, rate, seed)
+}
+
+func (db *DB) execShared(queries []Query, rate float64, seed uint64) ([]Value, ScanStats, error) {
+	if len(queries) == 0 {
+		return nil, ScanStats{}, nil
+	}
+	name := queries[0].Table
+	for _, q := range queries[1:] {
+		if q.Table != name {
+			return nil, ScanStats{}, fmt.Errorf("sqldb: shared scan spans tables %q and %q", name, q.Table)
+		}
+	}
+	t, err := db.Table(name)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	start := time.Now()
+	vals, stats, err := sharedScan(t, queries, execOptions{sampleRate: rate, sampleSeed: seed})
+	// The whole point: one scan's worth of data movement feeds every
+	// candidate, so the throughput model charges the table ONCE — not
+	// once per query like the row-at-a-time path.
+	effective := float64(t.NumRows())
+	if rate > 0 && rate < 1 {
+		effective *= rate
+	}
+	db.throttle(start, effective)
+	return vals, stats, err
+}

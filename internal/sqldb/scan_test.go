@@ -1,0 +1,275 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomScanTable builds a table with the column shapes MUVE queries
+// touch: two dictionary-encoded string columns (one low-, one
+// higher-cardinality), a small-domain int column and a float column.
+func randomScanTable(t *testing.T, rng *rand.Rand, rows int) *Table {
+	t.Helper()
+	tbl, err := NewTable("sales",
+		ColumnDef{Name: "cat", Kind: KindString},
+		ColumnDef{Name: "region", Kind: KindString},
+		ColumnDef{Name: "qty", Kind: KindInt},
+		ColumnDef{Name: "price", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"apples", "oranges", "bananas", "grapes", "melons"}
+	for i := 0; i < rows; i++ {
+		err := tbl.AppendRow(
+			Str(cats[rng.Intn(len(cats))]),
+			Str(fmt.Sprintf("region-%d", rng.Intn(12))),
+			Int(int64(rng.Intn(10))),
+			Float(math.Round(rng.Float64()*1000)/10),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// randomScanQuery draws a candidate in the shared-scan query class: one
+// aggregate, no GROUP BY, 0–3 predicates. Constants are sometimes drawn
+// outside the data domain so never-matching predicates are exercised.
+func randomScanQuery(rng *rand.Rand) Query {
+	aggs := []Aggregate{
+		{Func: AggCount},
+		{Func: AggCount, Col: "qty"},
+		{Func: AggSum, Col: "price"},
+		{Func: AggSum, Col: "qty"},
+		{Func: AggAvg, Col: "price"},
+		{Func: AggMin, Col: "price"},
+		{Func: AggMax, Col: "qty"},
+	}
+	q := Query{Aggs: []Aggregate{aggs[rng.Intn(len(aggs))]}, Table: "sales"}
+	cats := []string{"apples", "oranges", "bananas", "grapes", "melons", "kiwis"} // kiwis never occurs
+	for np := rng.Intn(4); np > 0; np-- {
+		switch rng.Intn(4) {
+		case 0:
+			q.Preds = append(q.Preds, Predicate{Col: "cat", Op: OpEq,
+				Values: []Value{Str(cats[rng.Intn(len(cats))])}})
+		case 1:
+			vals := []Value{}
+			for k := rng.Intn(3) + 2; k > 0; k-- {
+				vals = append(vals, Str(fmt.Sprintf("region-%d", rng.Intn(15))))
+			}
+			q.Preds = append(q.Preds, Predicate{Col: "region", Op: OpIn, Values: vals})
+		case 2:
+			q.Preds = append(q.Preds, Predicate{Col: "qty", Op: OpEq,
+				Values: []Value{Int(int64(rng.Intn(12)))}})
+		default:
+			q.Preds = append(q.Preds, Predicate{Col: "price", Op: OpEq,
+				Values: []Value{Float(math.Round(rng.Float64()*1000) / 10)}})
+		}
+	}
+	return q
+}
+
+// sameValue demands bit-level agreement: Null matches only Null, and
+// numeric results must have identical float64 bit patterns.
+func sameValue(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return math.Float64bits(a.AsFloat()) == math.Float64bits(b.AsFloat())
+}
+
+// TestSharedScanBitIdentical is the core correctness property of the
+// shared-scan executor: for random tables and random candidate sets,
+// every aggregate must be bit-identical to running each query alone
+// through the row-at-a-time path — exact and sampled.
+func TestSharedScanBitIdentical(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			rows := rng.Intn(3000)
+			db := NewDB()
+			db.Register(randomScanTable(t, rng, rows))
+
+			nq := rng.Intn(24) + 1
+			queries := make([]Query, nq)
+			for i := range queries {
+				queries[i] = randomScanQuery(rng)
+			}
+
+			// Exact: shared scan vs one Exec per query.
+			shared, stats, err := db.ExecShared(queries)
+			if err != nil {
+				t.Fatalf("ExecShared: %v", err)
+			}
+			if stats.Scans != 1 || stats.Candidates != int64(nq) {
+				t.Fatalf("stats = %+v, want 1 scan over %d candidates", stats, nq)
+			}
+			for i, q := range queries {
+				res, err := db.Exec(q)
+				if err != nil {
+					t.Fatalf("Exec(%s): %v", q.SQL(), err)
+				}
+				want := res.Rows[0][0]
+				if !sameValue(shared[i], want) {
+					t.Fatalf("exact mismatch on %s: shared=%v rowwise=%v", q.SQL(), shared[i], want)
+				}
+			}
+
+			// Sampled: same property under deterministic sampling.
+			rate := 0.05 + rng.Float64()*0.9
+			seed := rng.Uint64()
+			sharedS, _, err := db.ExecSharedSampled(queries, rate, seed)
+			if err != nil {
+				t.Fatalf("ExecSharedSampled: %v", err)
+			}
+			for i, q := range queries {
+				res, err := db.ExecSampled(q, rate, seed)
+				if err != nil {
+					t.Fatalf("ExecSampled(%s): %v", q.SQL(), err)
+				}
+				want := res.Rows[0][0]
+				if !sameValue(sharedS[i], want) {
+					t.Fatalf("sampled (rate=%v) mismatch on %s: shared=%v rowwise=%v",
+						rate, q.SQL(), sharedS[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedScanDedupsPredicates checks that repeated predicates across
+// candidates are compiled and evaluated once.
+func TestSharedScanDedupsPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := NewDB()
+	db.Register(randomScanTable(t, rng, 500))
+	pred := Predicate{Col: "cat", Op: OpEq, Values: []Value{Str("apples")}}
+	queries := []Query{
+		{Aggs: []Aggregate{{Func: AggCount}}, Table: "sales", Preds: []Predicate{pred}},
+		{Aggs: []Aggregate{{Func: AggSum, Col: "price"}}, Table: "sales", Preds: []Predicate{pred}},
+		{Aggs: []Aggregate{{Func: AggAvg, Col: "qty"}}, Table: "sales", Preds: []Predicate{pred}},
+	}
+	_, stats, err := db.ExecShared(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Predicates != 3 || stats.SharedPredicates != 1 {
+		t.Fatalf("stats = %+v, want 3 predicate instances deduplicated to 1", stats)
+	}
+}
+
+// TestSharedScanRejectsMixedTables checks the same-table precondition.
+func TestSharedScanRejectsMixedTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := NewDB()
+	db.Register(randomScanTable(t, rng, 10))
+	_, _, err := db.ExecShared([]Query{
+		{Aggs: []Aggregate{{Func: AggCount}}, Table: "sales"},
+		{Aggs: []Aggregate{{Func: AggCount}}, Table: "other"},
+	})
+	if err == nil {
+		t.Fatal("expected error for queries spanning tables")
+	}
+}
+
+// TestSketchMatchesSampledQuery: a sketch answer must be bit-identical
+// to running the same query through ExecSampled at the sketch rate and
+// seed — the sketch is a cache of that computation, not a new estimator.
+func TestSketchMatchesSampledQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := NewDB()
+	db.Register(randomScanTable(t, rng, 2500))
+	db.EnableSketches(0.2)
+	cats := []string{"apples", "oranges", "bananas", "grapes", "melons", "kiwis"}
+	aggs := []Aggregate{{Func: AggCount}, {Func: AggSum, Col: "price"}, {Func: AggAvg, Col: "qty"}}
+	builds := int64(0)
+	for _, a := range aggs {
+		for _, cat := range cats {
+			q := Query{Aggs: []Aggregate{a}, Table: "sales",
+				Preds: []Predicate{{Col: "cat", Op: OpEq, Values: []Value{Str(cat)}}}}
+			got, stats, ok := db.SketchLookup(q)
+			if !ok {
+				t.Fatalf("SketchLookup(%s) not ok", q.SQL())
+			}
+			builds += stats.SketchBuilds
+			res, err := db.ExecSampled(q, 0.2, sketchSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := res.Rows[0][0]; !sameValue(got, want) {
+				t.Fatalf("sketch mismatch on %s: sketch=%v sampled=%v", q.SQL(), got, want)
+			}
+		}
+	}
+	// One build per aggregate template, shared across all constants.
+	if builds != int64(len(aggs)) {
+		t.Fatalf("got %d sketch builds, want %d (one per template)", builds, len(aggs))
+	}
+}
+
+// TestSketchErrorBound: sketch first-paint estimates of COUNT and SUM
+// must land within a loose relative-error bound of the exact answer on
+// well-populated groups — the property the progressive first paint
+// relies on for a useful approximate plot.
+func TestSketchErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db := NewDB()
+	db.Register(randomScanTable(t, rng, 20000))
+	db.EnableSketches(0.2)
+	for _, cat := range []string{"apples", "oranges", "bananas", "grapes", "melons"} {
+		for _, a := range []Aggregate{{Func: AggCount}, {Func: AggSum, Col: "price"}} {
+			q := Query{Aggs: []Aggregate{a}, Table: "sales",
+				Preds: []Predicate{{Col: "cat", Op: OpEq, Values: []Value{Str(cat)}}}}
+			approx, _, ok := db.SketchLookup(q)
+			if !ok {
+				t.Fatalf("SketchLookup(%s) not ok", q.SQL())
+			}
+			res, err := db.Exec(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := res.Rows[0][0]
+			relErr := math.Abs(approx.AsFloat()-exact.AsFloat()) / math.Abs(exact.AsFloat())
+			// ~4000 sampled rows per group at rate 0.2; 20% is far
+			// beyond any plausible sampling deviation and still tight
+			// enough to catch scaling bugs (a missing 1/rate is 400%).
+			if relErr > 0.20 {
+				t.Fatalf("%s: sketch=%v exact=%v relative error %.3f > 0.20",
+					q.SQL(), approx, exact, relErr)
+			}
+		}
+	}
+}
+
+// TestSketchInvalidatedByAppend: appending a row bumps the table
+// generation and must force a sketch rebuild.
+func TestSketchInvalidatedByAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := NewDB()
+	tbl := randomScanTable(t, rng, 300)
+	db.Register(tbl)
+	db.EnableSketches(0.5)
+	q := Query{Aggs: []Aggregate{{Func: AggCount}}, Table: "sales",
+		Preds: []Predicate{{Col: "cat", Op: OpEq, Values: []Value{Str("apples")}}}}
+	_, stats, ok := db.SketchLookup(q)
+	if !ok || stats.SketchBuilds != 1 {
+		t.Fatalf("first lookup: ok=%v stats=%+v, want one build", ok, stats)
+	}
+	_, stats, _ = db.SketchLookup(q)
+	if stats.SketchBuilds != 0 {
+		t.Fatalf("second lookup rebuilt: %+v", stats)
+	}
+	if err := tbl.AppendRow(Str("apples"), Str("region-0"), Int(1), Float(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _ = db.SketchLookup(q)
+	if stats.SketchBuilds != 1 {
+		t.Fatalf("lookup after append did not rebuild: %+v", stats)
+	}
+}

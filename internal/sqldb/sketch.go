@@ -1,0 +1,163 @@
+package sqldb
+
+import (
+	"sync"
+	"time"
+)
+
+// Aggregate sketches give the progressive path an instant approximate
+// first paint. MUVE's candidate queries overwhelmingly share a template
+// — same aggregate, same predicate column, different (phonetically
+// confusable) constant. One sampled GROUP BY over the predicate column
+// therefore precomputes the approximate answer for EVERY constant at
+// once; subsequent candidates of the same template are answered from the
+// in-memory sketch with zero data movement. Sketches are keyed by table
+// generation, so any append invalidates them implicitly.
+
+// sketchSeed fixes the sample for sketch builds; a deterministic sample
+// keeps sketch answers stable across candidates and runs.
+const sketchSeed = 0x5eedc0de
+
+// sketchKey identifies a sketch template: one aggregate computed per
+// distinct value of one predicate column.
+type sketchKey struct {
+	table   string
+	agg     Aggregate
+	predCol string
+}
+
+// sketch holds the per-constant approximate values of one template at
+// one table generation.
+type sketch struct {
+	gen  uint64
+	rate float64
+	vals map[string]Value // predicate constant → scaled aggregate
+}
+
+// sketchStore caches sketches per DB; a separate lock keeps builds off
+// the table-registry lock.
+type sketchStore struct {
+	mu       sync.Mutex
+	rate     float64
+	sketches map[sketchKey]*sketch
+}
+
+// EnableSketches turns on aggregate sketching at the given sample rate
+// in (0, 1); rate 0 disables. The rate bounds build cost (one sampled
+// grouped scan per template per table generation) and first-paint error.
+func (db *DB) EnableSketches(rate float64) {
+	db.sketch.mu.Lock()
+	defer db.sketch.mu.Unlock()
+	if rate <= 0 || rate >= 1 {
+		db.sketch.rate = 0
+		db.sketch.sketches = nil
+		return
+	}
+	db.sketch.rate = rate
+	if db.sketch.sketches == nil {
+		db.sketch.sketches = make(map[sketchKey]*sketch)
+	}
+}
+
+// SketchRate returns the configured sketch sample rate (0 = disabled).
+func (db *DB) SketchRate() float64 {
+	db.sketch.mu.Lock()
+	defer db.sketch.mu.Unlock()
+	return db.sketch.rate
+}
+
+// sketchable extracts the template of a query the sketch store can
+// answer: a single ungrouped aggregate with exactly one string-equality
+// predicate on a string column.
+func sketchable(t *Table, q Query) (key sketchKey, constant string, ok bool) {
+	if len(q.Aggs) != 1 || len(q.GroupBy) != 0 || len(q.Preds) != 1 {
+		return sketchKey{}, "", false
+	}
+	p := q.Preds[0]
+	if p.Op != OpEq || len(p.Values) != 1 || p.Values[0].K != KindString {
+		return sketchKey{}, "", false
+	}
+	c := t.Column(p.Col)
+	if c == nil || c.Kind != KindString {
+		return sketchKey{}, "", false
+	}
+	if err := q.Validate(t); err != nil {
+		return sketchKey{}, "", false
+	}
+	return sketchKey{table: q.Table, agg: q.Aggs[0], predCol: p.Col}, p.Values[0].S, true
+}
+
+// SketchLookup answers a query from an aggregate sketch when possible.
+// The returned value is what ExecSampled(q, rate, sketchSeed) would
+// produce — bit-identical, since the sketch is built by the same
+// deterministic sample and the same ascending-row accumulation — so it
+// carries the usual sampled-COUNT/SUM scaling. ok is false when
+// sketching is disabled or the query doesn't match a sketchable
+// template; stats records whether the sketch had to be (re)built.
+func (db *DB) SketchLookup(q Query) (Value, ScanStats, bool) {
+	if db.SketchRate() == 0 {
+		return Value{}, ScanStats{}, false
+	}
+	t, err := db.Table(q.Table)
+	if err != nil {
+		return Value{}, ScanStats{}, false
+	}
+	key, constant, ok := sketchable(t, q)
+	if !ok {
+		return Value{}, ScanStats{}, false
+	}
+
+	db.sketch.mu.Lock()
+	defer db.sketch.mu.Unlock()
+	rate := db.sketch.rate
+	if rate == 0 {
+		return Value{}, ScanStats{}, false
+	}
+	var stats ScanStats
+	s := db.sketch.sketches[key]
+	if s == nil || s.gen != t.Generation() || s.rate != rate {
+		s, err = buildSketch(db, t, key, rate)
+		if err != nil {
+			return Value{}, ScanStats{}, false
+		}
+		db.sketch.sketches[key] = s
+		stats.SketchBuilds++
+		stats.Scans++
+		stats.Rows += int64(t.NumRows())
+	}
+	stats.SketchHits++
+	if v, ok := s.vals[constant]; ok {
+		return v, stats, true
+	}
+	// Constant absent from the sample (or the data): exactly what the
+	// sampled query would see — an empty selection.
+	var empty aggState
+	return empty.value(key.agg.Func, 1/rate), stats, true
+}
+
+// buildSketch runs the sampled grouped scan that materializes one
+// template's sketch. Called with the sketch lock held: concurrent
+// lookups of the same cold template build once.
+func buildSketch(db *DB, t *Table, key sketchKey, rate float64) (*sketch, error) {
+	q := Query{
+		Aggs:    []Aggregate{key.agg},
+		Table:   key.table,
+		GroupBy: []string{key.predCol},
+	}
+	start := time.Now()
+	res, err := execute(t, q, execOptions{sampleRate: rate, sampleSeed: sketchSeed})
+	// The build reads the sampled fraction of the table, like any
+	// sampled scan.
+	db.throttle(start, float64(t.NumRows())*rate)
+	if err != nil {
+		return nil, err
+	}
+	s := &sketch{gen: t.Generation(), rate: rate, vals: make(map[string]Value, len(res.Rows))}
+	for _, row := range res.Rows {
+		if len(row) != 2 {
+			continue
+		}
+		s.vals[row[0].S] = row[1]
+	}
+	return s, nil
+}

@@ -173,6 +173,11 @@ type Table struct {
 	// statistics filled by Analyze; used by the cost model
 	analyzed  bool
 	distincts map[string]int
+
+	// gen counts mutations: any append bumps it, so derived artifacts
+	// (aggregate sketches, cached answers) keyed by generation detect
+	// staleness without comparing data.
+	gen uint64
 }
 
 // NewTable creates an empty table with the given column definitions.
@@ -236,9 +241,14 @@ func (t *Table) AppendRow(vals ...Value) error {
 		}
 	}
 	t.rows++
+	t.gen++
 	t.analyzed = false
 	return nil
 }
+
+// Generation returns the table's mutation counter. Two calls returning
+// the same value bracket a span during which the data did not change.
+func (t *Table) Generation() uint64 { return t.gen }
 
 // truncate shortens the column to n rows (internal rollback helper).
 func (c *Column) truncate(n int) {

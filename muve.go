@@ -508,6 +508,7 @@ func (s *System) answer(ctx context.Context, transcript string, top sqldb.Query,
 	ans.Stats.Cost = in.Cost(ans.Multiplot)
 	ans.Stats.Duration = trace.TTime
 	ans.Stats.WarmStart = trace.WarmStart
+	ans.Stats.Scan = trace.Scan
 	bars, redBars, plots, _ := ans.Multiplot.Counts()
 	vsp.SetInt("plots", int64(plots)).
 		SetInt("bars", int64(bars)).
