@@ -81,6 +81,7 @@ slo-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/resilience -run '^$$' -fuzz FuzzParseChaos -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzParseObjectives -fuzztime 10s
+	$(GO) test ./internal/merge -run '^$$' -fuzz FuzzSharedPlan -fuzztime 10s
 
 # Cross-candidate shared-scan executor vs row-at-a-time execution over
 # a doubling candidate ladder under a modeled disk-bound scan rate;

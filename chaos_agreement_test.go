@@ -9,6 +9,7 @@ import (
 
 	"muve/internal/resilience"
 	"muve/internal/serve"
+	"muve/internal/sqldb"
 )
 
 // plotFingerprint flattens an answer's multiplot into (label, exact
@@ -20,6 +21,17 @@ func plotFingerprint(ans *Answer) []string {
 		for _, e := range pl.Entries {
 			fp = append(fp, fmt.Sprintf("%s|%s|%016x", pl.Template.Title, e.Label, math.Float64bits(e.Value)))
 		}
+	}
+	return fp
+}
+
+// seriesFingerprint flattens a trend answer's series the same way:
+// (label, X bits, Y bits) triples, demanding bit-identical grouped
+// aggregates AND identical group order across execution strategies.
+func seriesFingerprint(ans *TrendAnswer) []string {
+	var fp []string
+	for _, p := range ans.Series.Points {
+		fp = append(fp, fmt.Sprintf("%s|%016x|%016x", p.Label, math.Float64bits(p.X), math.Float64bits(p.Y)))
 	}
 	return fp
 }
@@ -41,9 +53,18 @@ func TestSharedScanAgreesUnderChaos(t *testing.T) {
 		"how many complaints in queens",
 		"how many noise complaints",
 	}
+	// Grouped candidates ride the same shared scans as the multiplot
+	// queries; trends exercise them end to end. Keyed by the transcript
+	// the chaos planner dispatches on.
+	trends := map[string]sqldb.Query{
+		"trend: response hours by borough": sqldb.MustParse(
+			"SELECT avg(response_hours) FROM requests GROUP BY borough"),
+		"trend: complaints by year": sqldb.MustParse(
+			"SELECT count(*) FROM requests GROUP BY year"),
+	}
 
 	// Chaos-free baseline, one fingerprint per query.
-	want := make(map[string][]string, len(queries))
+	want := make(map[string][]string, len(queries)+len(trends))
 	for _, q := range queries {
 		ans, err := sys.Ask(q)
 		if err != nil {
@@ -54,6 +75,17 @@ func TestSharedScanAgreesUnderChaos(t *testing.T) {
 			t.Fatalf("baseline %q produced no bars", q)
 		}
 	}
+	for name, tq := range trends {
+		ans, err := sys.Trend(tq)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", name, err)
+		}
+		want[name] = seriesFingerprint(ans)
+		if len(want[name]) == 0 {
+			t.Fatalf("baseline %q produced no points", name)
+		}
+		queries = append(queries, name)
+	}
 
 	chaos := resilience.NewChaos(7)
 	chaos.Set("solver", resilience.Fault{Latency: 5 * time.Millisecond, LatencyP: 0.3, ErrorP: 0.3})
@@ -61,6 +93,9 @@ func TestSharedScanAgreesUnderChaos(t *testing.T) {
 		Planner: func(ctx context.Context, req serve.Request, sess *serve.Session) (any, error) {
 			if err := resilience.Inject(ctx, "solver"); err != nil {
 				return nil, err
+			}
+			if tq, ok := trends[req.Transcript]; ok {
+				return sys.Trend(tq)
 			}
 			return sys.AskContext(ctx, req.Transcript)
 		},
@@ -80,12 +115,16 @@ func TestSharedScanAgreesUnderChaos(t *testing.T) {
 			failures++
 			continue
 		}
-		ans, ok := r.Value.(*Answer)
-		if !ok {
+		successes++
+		var got []string
+		switch ans := r.Value.(type) {
+		case *Answer:
+			got = plotFingerprint(ans)
+		case *TrendAnswer:
+			got = seriesFingerprint(ans)
+		default:
 			t.Fatalf("answer type %T", r.Value)
 		}
-		successes++
-		got := plotFingerprint(ans)
 		if len(got) != len(want[q]) {
 			t.Fatalf("chaos run %d (%q, source %s): %d bars, want %d", i, q, r.Source, len(got), len(want[q]))
 		}

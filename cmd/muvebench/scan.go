@@ -25,6 +25,14 @@ const scanSlowdownTolerance = 1.0
 // strategies do nearly the same work and timer noise dominates.
 const scanGateAt = 8
 
+// scanGroupedSpeedupGate is the minimum speedup the shared scan must
+// deliver on the grouped ladder at >= scanGateAt candidates. Grouped
+// candidates each pay a full table pass when run alone, while the
+// shared executor amortizes one pass across all of them; under the
+// modeled disk-bound scan rate the win at 8 candidates approaches 8x,
+// so 4x leaves a 2x cushion for accumulator and emission overhead.
+const scanGroupedSpeedupGate = 4.0
+
 // scanReport is the machine-readable summary of a -scan run, written to
 // -scan-json (BENCH_scan.json in CI) so the shared-scan latency curve
 // is tracked next to the solver and chaos smokes.
@@ -36,7 +44,12 @@ type scanReport struct {
 	// conditions; 0 means raw in-memory speed.
 	ThroughputRowsPerSec float64   `json:"throughput_rows_per_sec"`
 	Arms                 []scanArm `json:"arms"`
-	Pass                 bool      `json:"pass"`
+	// GroupedArms measures the same ladder over trend-shaped candidates:
+	// GROUP BY a categorical column, some with multiple aggregates. These
+	// arms gate a >= 4x speedup at >= 8 candidates, since each grouped
+	// candidate run alone costs a full table pass.
+	GroupedArms []scanArm `json:"grouped_arms"`
+	Pass        bool      `json:"pass"`
 }
 
 // scanArm is one candidate count's measurement.
@@ -53,6 +66,11 @@ type scanArm struct {
 	Predicates       int64 `json:"predicates"`
 	SharedPredicates int64 `json:"shared_predicates"`
 	ScannedRows      int64 `json:"scanned_rows"`
+	// Groups and Aggregates are only set on grouped arms: total output
+	// groups emitted and total aggregate accumulators maintained across
+	// the candidate set.
+	Groups     int64 `json:"groups,omitempty"`
+	Aggregates int64 `json:"aggregates,omitempty"`
 }
 
 // scanCandidates builds n phonetically-confusable-style candidates over
@@ -88,6 +106,67 @@ func scanCandidates(n int) []sqldb.Query {
 		out[i] = q
 	}
 	return out
+}
+
+// scanGroupedCandidates builds n trend-shaped candidates: one or two
+// aggregates GROUP BY a categorical column, with predicates cycling the
+// way phonetic confusion sets do. Every third candidate carries a
+// second aggregate so multi-aggregate accumulator tuples are measured,
+// and the grouping column rotates across borough/agency/status to mix
+// dictionary cardinalities.
+func scanGroupedCandidates(n int) []sqldb.Query {
+	aggs := []sqldb.Aggregate{
+		{Func: sqldb.AggCount},
+		{Func: sqldb.AggSum, Col: "response_hours"},
+		{Func: sqldb.AggAvg, Col: "response_hours"},
+		{Func: sqldb.AggMax, Col: "response_hours"},
+	}
+	groupCols := []string{"borough", "agency", "status"}
+	complaints := []string{"Noise", "Heating", "Parking", "Water Leak", "Rodent", "Graffiti", "Sewer", "Sidewalk"}
+	out := make([]sqldb.Query, n)
+	for i := range out {
+		q := sqldb.Query{
+			Aggs:    []sqldb.Aggregate{aggs[i%len(aggs)]},
+			Table:   workload.NYC311.String(),
+			GroupBy: []string{groupCols[i%len(groupCols)]},
+			Preds: []sqldb.Predicate{{
+				Col: "complaint_type", Op: sqldb.OpEq,
+				Values: []sqldb.Value{sqldb.Str(complaints[i%len(complaints)])},
+			}},
+		}
+		if i%3 == 2 {
+			q.Aggs = append(q.Aggs, aggs[(i+1)%len(aggs)])
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// sameFullResult demands bit-level agreement on full result shapes:
+// identical columns, group rows in identical order, and identical
+// float64 bits in every aggregate cell.
+func sameFullResult(a, b sqldb.Result) bool {
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			av, bv := a.Rows[i][j], b.Rows[i][j]
+			if av.K != bv.K || av.S != bv.S || av.I != bv.I ||
+				math.Float64bits(av.F) != math.Float64bits(bv.F) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // sameResult demands bit-level agreement between the two execution
@@ -168,6 +247,57 @@ func runScan(seed int64, rows int, throughput float64, jsonPath string) error {
 		}
 	}
 
+	// Grouped ladder: trend-shaped candidates through the same doubling
+	// counts. Correctness is gated on full-result bit agreement (group
+	// keys, order, every aggregate cell); performance on a hard speedup
+	// floor, since each grouped candidate executed alone pays a whole
+	// table pass the shared executor amortizes away.
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		queries := scanGroupedCandidates(n)
+
+		start := time.Now()
+		sep, err := merge.ExecuteSeparatelyResults(db, queries)
+		if err != nil {
+			return fmt.Errorf("separate grouped execution at %d candidates: %w", n, err)
+		}
+		sepMs := float64(time.Since(start).Microseconds()) / 1000
+
+		plan := merge.BuildSharedPlan(queries)
+		start = time.Now()
+		shared, stats, err := plan.ExecuteResults(db, 0, 0)
+		if err != nil {
+			return fmt.Errorf("shared grouped execution at %d candidates: %w", n, err)
+		}
+		sharedMs := float64(time.Since(start).Microseconds()) / 1000
+
+		for qi := range queries {
+			if !sameFullResult(sep[qi], shared[qi]) {
+				return fmt.Errorf("grouped disagreement at %d candidates, candidate %d (%s): results differ",
+					n, qi, queries[qi].SQL())
+			}
+		}
+
+		arm := scanArm{
+			Candidates:       n,
+			SeparateMillis:   sepMs,
+			SharedMillis:     sharedMs,
+			Predicates:       stats.Predicates,
+			SharedPredicates: stats.SharedPredicates,
+			ScannedRows:      stats.Rows,
+			Groups:           stats.Groups,
+			Aggregates:       stats.Aggregates,
+		}
+		if sharedMs > 0 {
+			arm.Speedup = sepMs / sharedMs
+		}
+		rep.GroupedArms = append(rep.GroupedArms, arm)
+		if n >= scanGateAt && arm.Speedup < scanGroupedSpeedupGate {
+			rep.Pass = false
+			slow = append(slow, fmt.Sprintf("%d grouped candidates: %.2fx speedup < %.0fx gate (shared %.1fms vs separate %.1fms)",
+				n, arm.Speedup, scanGroupedSpeedupGate, sharedMs, sepMs))
+		}
+	}
+
 	fmt.Printf("shared scan vs row-at-a-time: %s, %d rows, seed %d, modeled scan rate %.0f rows/s\n\n",
 		workload.NYC311.String(), rows, seed, throughput)
 	fmt.Printf("%-12s %14s %12s %9s %11s %8s\n", "candidates", "separate(ms)", "shared(ms)", "speedup", "predicates", "shared")
@@ -175,7 +305,13 @@ func runScan(seed int64, rows int, throughput float64, jsonPath string) error {
 		fmt.Printf("%-12d %14.1f %12.1f %8.2fx %11d %8d\n",
 			a.Candidates, a.SeparateMillis, a.SharedMillis, a.Speedup, a.Predicates, a.SharedPredicates)
 	}
-	fmt.Println("\nall candidate values bit-identical across strategies")
+	fmt.Printf("\ngrouped + multi-aggregate candidates (GROUP BY borough/agency/status):\n\n")
+	fmt.Printf("%-12s %14s %12s %9s %8s %6s\n", "candidates", "separate(ms)", "shared(ms)", "speedup", "groups", "aggs")
+	for _, a := range rep.GroupedArms {
+		fmt.Printf("%-12d %14.1f %12.1f %8.2fx %8d %6d\n",
+			a.Candidates, a.SeparateMillis, a.SharedMillis, a.Speedup, a.Groups, a.Aggregates)
+	}
+	fmt.Println("\nall candidate results bit-identical across strategies (values, group keys, and group order)")
 
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -194,7 +330,7 @@ func runScan(seed int64, rows int, throughput float64, jsonPath string) error {
 		fmt.Printf("scan report written to %s\n", jsonPath)
 	}
 	if !rep.Pass {
-		return fmt.Errorf("shared scan slower than row-at-a-time: %s", strings.Join(slow, "; "))
+		return fmt.Errorf("shared scan failed performance gates: %s", strings.Join(slow, "; "))
 	}
 	return nil
 }

@@ -86,9 +86,11 @@ type Stats struct {
 	// hint surface (greedy) and for solves given no hint.
 	WarmStart WarmStartResult
 	// Scan totals the shared-scan executor's data-path work for the
-	// answer: table passes, rows covered, candidate aggregates answered,
-	// predicate sharing, and sketch activity. Solvers leave it zero; the
-	// presentation layer fills it in after execution.
+	// answer: table passes, rows covered, candidate aggregates answered
+	// (including grouped candidates' output groups and multi-aggregate
+	// accumulator tuples), predicate sharing, and sketch activity.
+	// Solvers leave it zero; the presentation layer fills it in after
+	// execution.
 	Scan sqldb.ScanStats
 }
 

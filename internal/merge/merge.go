@@ -361,6 +361,21 @@ func SeparateCost(db *sqldb.DB, queries []sqldb.Query) (float64, error) {
 	return total, nil
 }
 
+// ExecuteSeparatelyResults runs every query individually and returns
+// full Results — the unmerged baseline for candidate sets that include
+// grouped or multi-aggregate shapes.
+func ExecuteSeparatelyResults(db *sqldb.DB, queries []sqldb.Query) (map[int]sqldb.Result, error) {
+	out := make(map[int]sqldb.Result, len(queries))
+	for qi, q := range queries {
+		res, err := db.Exec(q)
+		if err != nil {
+			return nil, err
+		}
+		out[qi] = res
+	}
+	return out, nil
+}
+
 // ExecuteSeparately runs every query individually (the unmerged baseline).
 func ExecuteSeparately(db *sqldb.DB, queries []sqldb.Query) (map[int]Result, error) {
 	out := make(map[int]Result, len(queries))

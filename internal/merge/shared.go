@@ -10,12 +10,15 @@ import (
 // limit. Classic merging (Plan) only batches candidates whose queries
 // differ in a single predicate constant or aggregate; any other
 // phonetically-similar candidate still pays its own table scan. A
-// SharedPlan instead hands EVERY single-aggregate ungrouped candidate on
-// a table — regardless of aggregate function, column, or predicate
-// structure — to sqldb's shared-scan executor, which answers all of them
-// in one pass. Only shapes outside the shared-scan class (grouped or
-// multi-aggregate queries, which MUVE's candidate generator never emits)
-// fall back to individual execution.
+// SharedPlan instead hands EVERY candidate on a table — regardless of
+// aggregate function, column, predicate structure, GROUP BY shape, or
+// aggregate count — to sqldb's shared-scan executor, which answers all
+// of them in one pass. This subsumes the old same-template IN + GROUP
+// BY merge path: a value-merged group is just several grouped
+// candidates riding the same scan. The only candidates executed
+// individually are singletons, where the shared machinery (predicate
+// dedup maps, selection bitmaps) has nothing to amortize and measured
+// slightly slower than the direct executor.
 
 // ScanGroup is the set of candidates one shared table pass answers.
 type ScanGroup struct {
@@ -27,7 +30,11 @@ type ScanGroup struct {
 
 // SharedPlan assigns candidates to shared scans.
 type SharedPlan struct {
-	Scans   []ScanGroup
+	Scans []ScanGroup
+	// Singles are candidates routed through the direct row-at-a-time
+	// executor: the sole member of a one-candidate table group, where a
+	// shared pass has nothing to share and only pays setup overhead
+	// (BENCH_scan.json's 1-candidate arm measured 0.996× speedup).
 	Singles []int
 
 	queries []sqldb.Query
@@ -37,14 +44,13 @@ type SharedPlan struct {
 // Unlike BuildPlan there is no cost gate: a shared scan is never more
 // expensive than the row-at-a-time alternative, because each distinct
 // predicate is evaluated at most once and the table is read once total.
+// Any query shape the engine executes — grouped, multi-aggregate, or
+// plain scalar — joins its table's scan group; only singleton groups
+// are demoted to direct execution.
 func BuildSharedPlan(queries []sqldb.Query) SharedPlan {
 	p := SharedPlan{queries: append([]sqldb.Query(nil), queries...)}
 	byTable := make(map[string]int)
 	for qi, q := range queries {
-		if len(q.Aggs) != 1 || len(q.GroupBy) > 0 {
-			p.Singles = append(p.Singles, qi)
-			continue
-		}
 		gi, ok := byTable[q.Table]
 		if !ok {
 			gi = len(p.Scans)
@@ -53,19 +59,31 @@ func BuildSharedPlan(queries []sqldb.Query) SharedPlan {
 		}
 		p.Scans[gi].Members = append(p.Scans[gi].Members, qi)
 	}
+	scans := p.Scans[:0]
+	for _, g := range p.Scans {
+		if len(g.Members) == 1 {
+			p.Singles = append(p.Singles, g.Members[0])
+			continue
+		}
+		scans = append(scans, g)
+	}
+	p.Scans = scans
 	return p
 }
 
 // Candidates returns the number of candidate queries the plan covers.
 func (p SharedPlan) Candidates() int { return len(p.queries) }
 
-// Execute runs every scan group through the shared-scan executor and the
-// leftovers individually, scattering results back to candidate indices.
-// A sampleRate in (0, 1) runs everything on the engine's deterministic
-// sample; results are bit-identical to per-query execution either way.
-func (p SharedPlan) Execute(db *sqldb.DB, sampleRate float64, sampleSeed uint64) (map[int]Result, sqldb.ScanStats, error) {
+// ExecuteResults runs every scan group through the shared-scan executor
+// and the singletons through the direct executor, scattering full
+// Results back to candidate indices. This is the general entry point:
+// grouped and multi-aggregate candidates come back with their full row
+// and column shape. A sampleRate in (0, 1) runs everything on the
+// engine's deterministic sample; results are bit-identical to per-query
+// execution either way.
+func (p SharedPlan) ExecuteResults(db *sqldb.DB, sampleRate float64, sampleSeed uint64) (map[int]sqldb.Result, sqldb.ScanStats, error) {
 	sampled := sampleRate > 0 && sampleRate < 1
-	out := make(map[int]Result, len(p.queries))
+	out := make(map[int]sqldb.Result, len(p.queries))
 	var stats sqldb.ScanStats
 	for _, g := range p.Scans {
 		qs := make([]sqldb.Query, len(g.Members))
@@ -73,21 +91,21 @@ func (p SharedPlan) Execute(db *sqldb.DB, sampleRate float64, sampleSeed uint64)
 			qs[mi] = p.queries[qi]
 		}
 		var (
-			vals []sqldb.Value
-			st   sqldb.ScanStats
-			err  error
+			res []sqldb.Result
+			st  sqldb.ScanStats
+			err error
 		)
 		if sampled {
-			vals, st, err = db.ExecSharedSampled(qs, sampleRate, sampleSeed)
+			res, st, err = db.ExecSharedResultsSampled(qs, sampleRate, sampleSeed)
 		} else {
-			vals, st, err = db.ExecShared(qs)
+			res, st, err = db.ExecSharedResults(qs)
 		}
 		if err != nil {
 			return nil, stats, fmt.Errorf("merge: shared scan over %q: %w", g.Table, err)
 		}
 		stats.Add(st)
 		for mi, qi := range g.Members {
-			out[qi] = toResult(vals[mi])
+			out[qi] = res[mi]
 		}
 	}
 	for _, qi := range p.Singles {
@@ -104,8 +122,26 @@ func (p SharedPlan) Execute(db *sqldb.DB, sampleRate float64, sampleSeed uint64)
 		if err != nil {
 			return nil, stats, fmt.Errorf("merge: executing single query: %w", err)
 		}
+		out[qi] = res
+	}
+	return out, stats, nil
+}
+
+// Execute is the scalar view of ExecuteResults for the multiplot
+// candidate class (single ungrouped aggregates): one Result value per
+// candidate index. It errors when a candidate's result is not scalar —
+// callers with grouped or multi-aggregate candidates use
+// ExecuteResults.
+func (p SharedPlan) Execute(db *sqldb.DB, sampleRate float64, sampleSeed uint64) (map[int]Result, sqldb.ScanStats, error) {
+	full, stats, err := p.ExecuteResults(db, sampleRate, sampleSeed)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make(map[int]Result, len(full))
+	for qi, res := range full {
 		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
-			return nil, stats, fmt.Errorf("merge: single query returned unexpected shape")
+			return nil, stats, fmt.Errorf("merge: candidate %q is not scalar (%dx%d); use ExecuteResults",
+				p.queries[qi].SQL(), len(res.Rows), len(res.Cols))
 		}
 		out[qi] = toResult(res.Rows[0][0])
 	}
@@ -114,25 +150,36 @@ func (p SharedPlan) Execute(db *sqldb.DB, sampleRate float64, sampleSeed uint64)
 
 // ExecuteSketch answers the whole plan from precomputed aggregate
 // sketches, with zero scans at steady state. ok is false — and the map
-// nil — unless every candidate resolves from a sketch (sketching
-// disabled, an unsketchable template, or any Singles); the caller then
-// falls back to a real scan. Sketch answers equal what a sampled
-// execution at the sketch rate would return, so callers treat a hit as
-// an approximate first paint at db.SketchRate().
+// nil — unless every candidate (scan-group members and singletons
+// alike) resolves from a sketch; the caller then falls back to a real
+// scan. Sketch answers equal what a sampled execution at the sketch
+// rate would return, so callers treat a hit as an approximate first
+// paint at db.SketchRate().
 func (p SharedPlan) ExecuteSketch(db *sqldb.DB) (map[int]Result, sqldb.ScanStats, bool) {
-	if db.SketchRate() == 0 || len(p.Singles) > 0 || len(p.queries) == 0 {
+	if db.SketchRate() == 0 || len(p.queries) == 0 {
 		return nil, sqldb.ScanStats{}, false
 	}
 	out := make(map[int]Result, len(p.queries))
 	var stats sqldb.ScanStats
+	lookup := func(qi int) bool {
+		v, st, ok := db.SketchLookup(p.queries[qi])
+		if !ok {
+			return false
+		}
+		stats.Add(st)
+		out[qi] = toResult(v)
+		return true
+	}
 	for _, g := range p.Scans {
 		for _, qi := range g.Members {
-			v, st, ok := db.SketchLookup(p.queries[qi])
-			if !ok {
+			if !lookup(qi) {
 				return nil, stats, false
 			}
-			stats.Add(st)
-			out[qi] = toResult(v)
+		}
+	}
+	for _, qi := range p.Singles {
+		if !lookup(qi) {
+			return nil, stats, false
 		}
 	}
 	return out, stats, true

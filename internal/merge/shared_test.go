@@ -1,0 +1,229 @@
+package merge
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"muve/internal/sqldb"
+	"muve/internal/workload"
+)
+
+func TestBuildSharedPlanShapes(t *testing.T) {
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT sum(response_hours), avg(response_hours) FROM requests WHERE agency = 'NYPD' GROUP BY borough"),
+		q("SELECT count(*) FROM dob_jobs"),
+		q("SELECT max(response_hours) FROM requests GROUP BY status, year"),
+	}
+	p := BuildSharedPlan(queries)
+	if p.Candidates() != 4 {
+		t.Fatalf("Candidates() = %d", p.Candidates())
+	}
+	// All three requests queries — scalar, grouped multi-agg, composite
+	// GROUP BY — share one scan; the lone dob_jobs query is demoted to
+	// the direct executor.
+	if len(p.Scans) != 1 || len(p.Scans[0].Members) != 3 || p.Scans[0].Table != "requests" {
+		t.Fatalf("scans = %+v", p.Scans)
+	}
+	if len(p.Singles) != 1 || p.Singles[0] != 2 {
+		t.Fatalf("singles = %v, want [2]", p.Singles)
+	}
+}
+
+func TestExecuteResultsMatchesSeparate(t *testing.T) {
+	db := mergeDB(t)
+	queries := []sqldb.Query{
+		q("SELECT count(*) FROM requests WHERE borough = 'Brooklyn'"),
+		q("SELECT count(*), avg(response_hours) FROM requests WHERE agency = 'NYPD' GROUP BY borough"),
+		q("SELECT sum(response_hours) FROM requests GROUP BY status, year"),
+		q("SELECT min(response_hours), max(response_hours) FROM requests"),
+		q("SELECT count(*) FROM requests WHERE borough = 'Atlantis' GROUP BY agency"),
+	}
+	p := BuildSharedPlan(queries)
+	got, stats, err := p.ExecuteResults(db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scans != 1 {
+		t.Fatalf("stats = %+v, want exactly one shared scan", stats)
+	}
+	want, err := ExecuteSeparatelyResults(db, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		if diff := resultDiff(got[qi], want[qi]); diff != "" {
+			t.Errorf("exact mismatch on %s: %s", queries[qi].SQL(), diff)
+		}
+	}
+	// Sampled execution agrees with per-query sampled execution too.
+	gotS, _, err := p.ExecuteResults(db, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, query := range queries {
+		res, err := db.ExecSampled(query, 0.3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := resultDiff(gotS[qi], res); diff != "" {
+			t.Errorf("sampled mismatch on %s: %s", query.SQL(), diff)
+		}
+	}
+}
+
+// resultDiff reports the first bit-level disagreement between two full
+// results, or "" when identical.
+func resultDiff(a, b sqldb.Result) string {
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+		return fmt.Sprintf("shape %dx%d vs %dx%d", len(a.Rows), len(a.Cols), len(b.Rows), len(b.Cols))
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return fmt.Sprintf("col %d: %q vs %q", i, a.Cols[i], b.Cols[i])
+		}
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return fmt.Sprintf("row %d width %d vs %d", i, len(a.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range a.Rows[i] {
+			av, bv := a.Rows[i][j], b.Rows[i][j]
+			if av.K != bv.K || av.S != bv.S || av.I != bv.I ||
+				math.Float64bits(av.F) != math.Float64bits(bv.F) {
+				return fmt.Sprintf("row %d col %d: %v vs %v", i, j, av, bv)
+			}
+		}
+	}
+	return ""
+}
+
+// The fuzz DB is built once per process: fuzz workers each pay one
+// build, then every input reuses it read-only.
+var (
+	fuzzDBOnce sync.Once
+	fuzzDB     *sqldb.DB
+)
+
+func sharedFuzzDB() *sqldb.DB {
+	fuzzDBOnce.Do(func() {
+		tbl, err := workload.Build(workload.NYC311, 2000, 9)
+		if err != nil {
+			panic(err)
+		}
+		fuzzDB = sqldb.NewDB()
+		fuzzDB.Register(tbl)
+	})
+	return fuzzDB
+}
+
+// fuzzQueries decodes a byte string into a deterministic candidate set
+// over the requests table. Every byte steers one decision, so the fuzzer
+// can mutate aggregate shapes, GROUP BY keys, and predicate constants
+// independently. Constants include out-of-domain strings so never-
+// matching predicates and empty grouped results stay covered.
+func fuzzQueries(data []byte) []sqldb.Query {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := int(data[0])
+		data = data[1:]
+		return b
+	}
+	aggs := []sqldb.Aggregate{
+		{Func: sqldb.AggCount},
+		{Func: sqldb.AggCount, Col: "response_hours"},
+		{Func: sqldb.AggSum, Col: "response_hours"},
+		{Func: sqldb.AggAvg, Col: "response_hours"},
+		{Func: sqldb.AggMin, Col: "response_hours"},
+		{Func: sqldb.AggMax, Col: "year"},
+		{Func: sqldb.AggSum, Col: "year"},
+	}
+	strCols := []string{"complaint_type", "borough", "agency", "status", "channel_type"}
+	consts := []string{"Brooklyn", "Bronx", "Queens", "NYPD", "Noise", "Open", "Closed", "phone", "Atlantis", ""}
+	groupings := [][]string{
+		nil,
+		{"borough"},
+		{"agency"},
+		{"status"},
+		{"year"},
+		{"borough", "status"},
+		{"agency", "year"},
+	}
+	nq := next()%12 + 1
+	queries := make([]sqldb.Query, 0, nq)
+	for i := 0; i < nq; i++ {
+		qq := sqldb.Query{Table: "requests"}
+		for na := next()%3 + 1; na > 0; na-- {
+			qq.Aggs = append(qq.Aggs, aggs[next()%len(aggs)])
+		}
+		qq.GroupBy = groupings[next()%len(groupings)]
+		for np := next() % 3; np > 0; np-- {
+			col := strCols[next()%len(strCols)]
+			if next()%4 == 0 {
+				vals := []sqldb.Value{}
+				for k := next()%3 + 1; k > 0; k-- {
+					vals = append(vals, sqldb.Str(consts[next()%len(consts)]))
+				}
+				qq.Preds = append(qq.Preds, sqldb.Predicate{Col: col, Op: sqldb.OpIn, Values: vals})
+			} else {
+				qq.Preds = append(qq.Preds, sqldb.Predicate{Col: col, Op: sqldb.OpEq,
+					Values: []sqldb.Value{sqldb.Str(consts[next()%len(consts)])}})
+			}
+		}
+		queries = append(queries, qq)
+	}
+	return queries
+}
+
+// FuzzSharedPlan drives random candidate sets through BuildSharedPlan +
+// ExecuteResults and demands bit-identical agreement with the unmerged
+// per-query baseline — the shared executor's core guarantee under
+// adversarial query shapes.
+func FuzzSharedPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 0, 1, 1, 1, 0})
+	f.Add([]byte{7, 2, 3, 4, 5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{11, 0, 5, 2, 8, 0, 9, 9, 9, 1, 4, 2, 0, 6, 3, 250, 128, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := sharedFuzzDB()
+		queries := fuzzQueries(data)
+		p := BuildSharedPlan(queries)
+		got, _, err := p.ExecuteResults(db, 0, 0)
+		if err != nil {
+			t.Fatalf("ExecuteResults: %v", err)
+		}
+		want, err := ExecuteSeparatelyResults(db, queries)
+		if err != nil {
+			t.Fatalf("ExecuteSeparatelyResults: %v", err)
+		}
+		for qi := range queries {
+			if diff := resultDiff(got[qi], want[qi]); diff != "" {
+				t.Fatalf("mismatch on %s: %s", queries[qi].SQL(), diff)
+			}
+		}
+		// Sampled path: the seed derives from the input so the fuzzer can
+		// explore sample-membership boundaries too.
+		var seed uint64
+		for _, b := range data {
+			seed = seed*131 + uint64(b)
+		}
+		rate := 0.05 + float64(seed%90)/100
+		gotS, _, err := p.ExecuteResults(db, rate, seed)
+		if err != nil {
+			t.Fatalf("ExecuteResults sampled: %v", err)
+		}
+		for qi, query := range queries {
+			res, err := db.ExecSampled(query, rate, seed)
+			if err != nil {
+				t.Fatalf("ExecSampled: %v", err)
+			}
+			if diff := resultDiff(gotS[qi], res); diff != "" {
+				t.Fatalf("sampled mismatch on %s: %s", query.SQL(), diff)
+			}
+		}
+	})
+}

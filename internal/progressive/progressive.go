@@ -188,6 +188,12 @@ func recordScanStats(s *Session, sp *obs.Span, st sqldb.ScanStats, rate float64)
 		SetInt("preds", st.Predicates).
 		SetInt("shared_preds", st.SharedPredicates).
 		SetFloat("sample_rate", rate)
+	if st.Aggregates > 0 {
+		sp.SetInt("aggs", st.Aggregates)
+	}
+	if st.Groups > 0 {
+		sp.SetInt("groups", st.Groups)
+	}
 	if st.SketchHits > 0 {
 		sp.SetInt("sketch_hits", st.SketchHits).
 			SetInt("sketch_builds", st.SketchBuilds)

@@ -119,6 +119,11 @@ type Metrics struct {
 	// difference is work the scan deduplicated away.
 	ScanPredicates       Counter
 	ScanSharedPredicates Counter
+	// ScanGroups counts output groups emitted for grouped candidates;
+	// ScanAggs counts aggregate accumulators maintained (aggs −
+	// candidates is the multi-aggregate ride-along).
+	ScanGroups Counter
+	ScanAggs   Counter
 	// SketchHits/SketchBuilds count candidate values answered from
 	// precomputed aggregate sketches, and sketch (re)builds.
 	SketchHits   Counter
@@ -239,6 +244,8 @@ func (m *Metrics) RecordScan(st sqldb.ScanStats) {
 	m.ScanCandidates.Add(uint64(st.Candidates))
 	m.ScanPredicates.Add(uint64(st.Predicates))
 	m.ScanSharedPredicates.Add(uint64(st.SharedPredicates))
+	m.ScanGroups.Add(uint64(st.Groups))
+	m.ScanAggs.Add(uint64(st.Aggregates))
 	m.SketchHits.Add(uint64(st.SketchHits))
 	m.SketchBuilds.Add(uint64(st.SketchBuilds))
 }
@@ -430,6 +437,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 		{"muve_scan_candidates_total", &m.ScanCandidates},
 		{"muve_scan_predicates_total", &m.ScanPredicates},
 		{"muve_scan_shared_predicates_total", &m.ScanSharedPredicates},
+		{"muve_scan_groups_total", &m.ScanGroups},
+		{"muve_scan_aggs_total", &m.ScanAggs},
 		{"muve_scan_sketch_hits_total", &m.SketchHits},
 		{"muve_scan_sketch_builds_total", &m.SketchBuilds},
 	}
@@ -566,14 +575,16 @@ func (m *Metrics) VarsHandler() http.Handler {
 				"candidates":        m.ScanCandidates.Value(),
 				"predicates":        m.ScanPredicates.Value(),
 				"shared_predicates": m.ScanSharedPredicates.Value(),
+				"groups":            m.ScanGroups.Value(),
+				"aggs":              m.ScanAggs.Value(),
 				"sketch_hits":       m.SketchHits.Value(),
 				"sketch_builds":     m.SketchBuilds.Value(),
 			},
 			"snapshot_skipped": snapSkips,
 			"admission_shed":   sheds,
-			"drain_cancelled": m.DrainCancelled.Value(),
-			"ladder_rungs":    rungs,
-			"speak_rungs":     speakRungs,
+			"drain_cancelled":  m.DrainCancelled.Value(),
+			"ladder_rungs":     rungs,
+			"speak_rungs":      speakRungs,
 			"speak": map[string]uint64{
 				"requests": m.SpeakRequests.Value(),
 				"facts":    m.SpeakFacts.Value(),

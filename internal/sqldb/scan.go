@@ -26,6 +26,13 @@ type ScanStats struct {
 	// SharedPredicates is the number of distinct predicates actually
 	// evaluated; Predicates − SharedPredicates filters were deduplicated.
 	SharedPredicates int64
+	// Groups is the total output groups emitted for grouped candidates
+	// (zero when every candidate was ungrouped).
+	Groups int64
+	// Aggregates is the total aggregate accumulators maintained across
+	// candidates; Aggregates − Candidates counts the extra aggregates
+	// multi-aggregate candidates rode along for free.
+	Aggregates int64
 	// SketchHits counts candidate values answered from a precomputed
 	// aggregate sketch instead of any scan.
 	SketchHits int64
@@ -41,6 +48,8 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.Candidates += o.Candidates
 	s.Predicates += o.Predicates
 	s.SharedPredicates += o.SharedPredicates
+	s.Groups += o.Groups
+	s.Aggregates += o.Aggregates
 	s.SketchHits += o.SketchHits
 	s.SketchBuilds += o.SketchBuilds
 }
@@ -48,25 +57,162 @@ func (s *ScanStats) Add(o ScanStats) {
 // Empty reports whether no scan work was recorded.
 func (s ScanStats) Empty() bool { return s == ScanStats{} }
 
-// scanCandidate is one candidate aggregate being accumulated during a
-// shared scan.
+// scanCandidate is one candidate query being accumulated during a
+// shared scan. Ungrouped candidates keep one aggState per aggregate in
+// `states`; a single-string-column GROUP BY — the shape every merged
+// MUVE query and trend query has — keeps a dense states slice indexed
+// directly by dictionary code (states[code*nAggs+j]); composite group
+// keys fall back to hash aggregation, mirroring groupAggregate.
 type scanCandidate struct {
 	filters []int // sorted indices into the distinct-filter list
 	never   bool  // some predicate can match no row
-	acc     func(i int) float64
-	agg     Aggregate
-	state   aggState
+	q       Query
+	accs    []func(i int) float64
+	nAggs   int
+
+	// Flat accumulator storage: ungrouped (len nAggs) or dictionary-code
+	// indexed (len nCodes*nAggs, keyCol non-nil).
+	states []aggState
+	keyCol *Column
+	seen   []bool
+
+	// Composite-key fallback (keyCols non-nil).
+	keyCols []*Column
+	hashed  map[string]*hashedGroup
+	keyBuf  []byte
 }
 
-// sharedScan evaluates every candidate query — each a single ungrouped
-// aggregate over t — in ONE pass over the table. Distinct predicates are
-// compiled once and evaluated once per batch into selection bitmaps;
-// candidates sharing the same predicate signature share the combined
-// bitmap; surviving rows are folded into per-candidate accumulators in
-// ascending row order, which makes every aggregate bit-identical to the
-// row-at-a-time path (same float additions in the same order, same
-// deterministic sample membership).
-func sharedScan(t *Table, queries []Query, opt execOptions) ([]Value, ScanStats, error) {
+// hashedGroup is one composite group's accumulator tuple.
+type hashedGroup struct {
+	key    []Value
+	states []aggState
+}
+
+// newScanCandidate sets up accumulator storage for one validated query.
+func newScanCandidate(t *Table, q Query) *scanCandidate {
+	c := &scanCandidate{q: q, nAggs: len(q.Aggs)}
+	c.accs = make([]func(i int) float64, c.nAggs)
+	for j, a := range q.Aggs {
+		c.accs[j] = numericAccessor(t, a)
+	}
+	switch {
+	case len(q.GroupBy) == 0:
+		c.states = make([]aggState, c.nAggs)
+	case len(q.GroupBy) == 1 && t.Column(q.GroupBy[0]).Kind == KindString:
+		c.keyCol = t.Column(q.GroupBy[0])
+		c.states = make([]aggState, len(c.keyCol.dict)*c.nAggs)
+		c.seen = make([]bool, len(c.keyCol.dict))
+	default:
+		c.keyCols = make([]*Column, len(q.GroupBy))
+		for k, g := range q.GroupBy {
+			c.keyCols[k] = t.Column(g)
+		}
+		c.hashed = make(map[string]*hashedGroup, 64)
+	}
+	return c
+}
+
+// fold accumulates row i into the candidate's aggregates. Rows arrive
+// in ascending order, so every group's accumulator sees exactly the
+// float additions — in exactly the order — the row-at-a-time path
+// performs for that group.
+func (c *scanCandidate) fold(i int) {
+	states := c.states
+	switch {
+	case c.keyCol != nil:
+		code := c.keyCol.codes[i]
+		c.seen[code] = true
+		states = c.states[int(code)*c.nAggs : (int(code)+1)*c.nAggs]
+	case c.keyCols != nil:
+		c.keyBuf = c.keyBuf[:0]
+		for _, kc := range c.keyCols {
+			c.keyBuf = appendKeyPart(c.keyBuf, kc, i)
+		}
+		g, ok := c.hashed[string(c.keyBuf)]
+		if !ok {
+			key := make([]Value, len(c.keyCols))
+			for k, kc := range c.keyCols {
+				key[k] = kc.Value(i)
+			}
+			g = &hashedGroup{key: key, states: make([]aggState, c.nAggs)}
+			c.hashed[string(c.keyBuf)] = g
+		}
+		states = g.states
+	}
+	for j := 0; j < c.nAggs; j++ {
+		if c.accs[j] == nil {
+			states[j].count++
+		} else {
+			states[j].add(c.accs[j](i))
+		}
+	}
+}
+
+// groupCount returns the number of output groups a grouped candidate
+// produced (zero for ungrouped candidates).
+func (c *scanCandidate) groupCount() int64 {
+	switch {
+	case c.keyCol != nil:
+		var n int64
+		for _, ok := range c.seen {
+			if ok {
+				n++
+			}
+		}
+		return n
+	case c.keyCols != nil:
+		return int64(len(c.hashed))
+	}
+	return 0
+}
+
+// result renders the candidate's final Result, matching the
+// row-at-a-time executor's shape and ordering exactly: ungrouped
+// candidates emit one row; dictionary-code groups emit in dictionary
+// string order (emitGroupedResult); composite groups emit sorted by
+// their serialized key, like groupAggregate.
+func (c *scanCandidate) result(scale float64) Result {
+	switch {
+	case c.keyCol != nil:
+		return emitGroupedResult(c.q, c.keyCol, c.states, c.seen, scale)
+	case c.keyCols != nil:
+		cols := append(append([]string(nil), c.q.GroupBy...), aggColNames(c.q)...)
+		res := Result{Cols: cols}
+		keys := make([]string, 0, len(c.hashed))
+		for k := range c.hashed {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := c.hashed[k]
+			row := make([]Value, 0, len(g.key)+c.nAggs)
+			row = append(row, g.key...)
+			for j, a := range c.q.Aggs {
+				row = append(row, g.states[j].value(a.Func, scale))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res
+	default:
+		row := make([]Value, c.nAggs)
+		for j, a := range c.q.Aggs {
+			row[j] = c.states[j].value(a.Func, scale)
+		}
+		return Result{Cols: aggColNames(c.q), Rows: [][]Value{row}}
+	}
+}
+
+// sharedScan evaluates every candidate query over t — any mix of
+// ungrouped, grouped and multi-aggregate shapes — in ONE pass over the
+// table. Distinct predicates are compiled once and evaluated once per
+// batch into selection bitmaps; candidates sharing the same predicate
+// signature share the combined bitmap; surviving rows are folded into
+// per-candidate accumulators in ascending row order, which makes every
+// result bit-identical to the row-at-a-time path (same float additions
+// in the same order, same deterministic sample membership, same group
+// output order by construction: ascending batches, ascending set bits,
+// and group emission ordered exactly as the serial executor orders it).
+func sharedScan(t *Table, queries []Query, opt execOptions) ([]Result, ScanStats, error) {
 	stats := ScanStats{Scans: 1, Rows: int64(t.NumRows()), Candidates: int64(len(queries))}
 	if len(queries) == 0 {
 		return nil, ScanStats{}, nil
@@ -82,11 +228,9 @@ func sharedScan(t *Table, queries []Query, opt execOptions) ([]Value, ScanStats,
 		if err := q.Validate(t); err != nil {
 			return nil, ScanStats{}, err
 		}
-		if len(q.Aggs) != 1 || len(q.GroupBy) != 0 {
-			return nil, ScanStats{}, fmt.Errorf("sqldb: shared scan requires single ungrouped aggregates, got %q", q.SQL())
-		}
-		cand := &scanCandidate{agg: q.Aggs[0], acc: numericAccessor(t, q.Aggs[0])}
+		cand := newScanCandidate(t, q)
 		stats.Predicates += int64(len(q.Preds))
+		stats.Aggregates += int64(len(q.Aggs))
 		for _, p := range q.Preds {
 			key := p.String()
 			fi, ok := filterIdx[key]
@@ -189,11 +333,7 @@ func sharedScan(t *Table, queries []Query, opt execOptions) ([]Value, ScanStats,
 			sel.forEach(n, func(k int) {
 				i := lo + k
 				for _, m := range members {
-					if m.acc == nil {
-						m.state.count++
-					} else {
-						m.state.add(m.acc(i))
-					}
+					m.fold(i)
 				}
 			})
 		}
@@ -203,36 +343,87 @@ func sharedScan(t *Table, queries []Query, opt execOptions) ([]Value, ScanStats,
 	if sampling {
 		scale = 1 / opt.sampleRate
 	}
-	out := make([]Value, len(queries))
+	out := make([]Result, len(queries))
 	for qi, cand := range cands {
-		out[qi] = cand.state.value(cand.agg.Func, scale)
+		out[qi] = cand.result(scale)
+		stats.Groups += cand.groupCount()
 	}
 	return out, stats, nil
 }
 
-// ExecShared evaluates a set of single-aggregate ungrouped queries, all
-// against the same table, in one shared table pass and returns one
-// scalar Value per query (positionally). This is the cross-candidate
-// generalization of the paper's query merging: merging batches only
-// same-template candidates into IN + GROUP BY, while the shared scan
-// feeds arbitrary candidate aggregates — different functions, columns
-// and predicates — from a single scan's worth of data movement.
-func (db *DB) ExecShared(queries []Query) ([]Value, ScanStats, error) {
+// ExecSharedResults evaluates a set of queries of any supported shape —
+// ungrouped or grouped, single- or multi-aggregate — all against the
+// same table, in one shared table pass, and returns one full Result per
+// query (positionally). This is the cross-candidate generalization of
+// the paper's query merging: merging batches only same-template
+// candidates into IN + GROUP BY, while the shared scan feeds arbitrary
+// candidate shapes — different functions, columns, predicates, group
+// keys and aggregate counts — from a single scan's worth of data
+// movement.
+func (db *DB) ExecSharedResults(queries []Query) ([]Result, ScanStats, error) {
 	return db.execShared(queries, 0, 0)
 }
 
-// ExecSharedSampled is ExecShared over the deterministic uniform sample
-// with the given rate in (0, 1]; COUNT and SUM are scaled, and sample
-// membership matches ExecSampled for the same seed, so approximate
-// shared-scan answers agree bit-for-bit with per-query sampled answers.
-func (db *DB) ExecSharedSampled(queries []Query, rate float64, seed uint64) ([]Value, ScanStats, error) {
+// ExecSharedResultsSampled is ExecSharedResults over the deterministic
+// uniform sample with the given rate in (0, 1]; COUNT and SUM are
+// scaled, and sample membership matches ExecSampled for the same seed,
+// so approximate shared-scan answers agree bit-for-bit with per-query
+// sampled answers.
+func (db *DB) ExecSharedResultsSampled(queries []Query, rate float64, seed uint64) ([]Result, ScanStats, error) {
 	if rate <= 0 || rate > 1 {
 		return nil, ScanStats{}, fmt.Errorf("sqldb: sample rate %v outside (0, 1]", rate)
 	}
 	return db.execShared(queries, rate, seed)
 }
 
-func (db *DB) execShared(queries []Query, rate float64, seed uint64) ([]Value, ScanStats, error) {
+// ExecShared evaluates a set of single-aggregate ungrouped queries, all
+// against the same table, in one shared table pass and returns one
+// scalar Value per query (positionally). It is the scalar convenience
+// form of ExecSharedResults for the multiplot candidate class.
+func (db *DB) ExecShared(queries []Query) ([]Value, ScanStats, error) {
+	if err := requireScalar(queries); err != nil {
+		return nil, ScanStats{}, err
+	}
+	res, stats, err := db.execShared(queries, 0, 0)
+	return scalars(res), stats, err
+}
+
+// ExecSharedSampled is ExecShared over the deterministic uniform sample
+// with the given rate in (0, 1].
+func (db *DB) ExecSharedSampled(queries []Query, rate float64, seed uint64) ([]Value, ScanStats, error) {
+	if err := requireScalar(queries); err != nil {
+		return nil, ScanStats{}, err
+	}
+	if rate <= 0 || rate > 1 {
+		return nil, ScanStats{}, fmt.Errorf("sqldb: sample rate %v outside (0, 1]", rate)
+	}
+	res, stats, err := db.execShared(queries, rate, seed)
+	return scalars(res), stats, err
+}
+
+// requireScalar guards the scalar ExecShared entry points.
+func requireScalar(queries []Query) error {
+	for _, q := range queries {
+		if len(q.Aggs) != 1 || len(q.GroupBy) != 0 {
+			return fmt.Errorf("sqldb: ExecShared requires single ungrouped aggregates, got %q (use ExecSharedResults)", q.SQL())
+		}
+	}
+	return nil
+}
+
+// scalars extracts the single value of each scalar result.
+func scalars(res []Result) []Value {
+	if res == nil {
+		return nil
+	}
+	out := make([]Value, len(res))
+	for i, r := range res {
+		out[i] = r.Rows[0][0]
+	}
+	return out
+}
+
+func (db *DB) execShared(queries []Query, rate float64, seed uint64) ([]Result, ScanStats, error) {
 	if len(queries) == 0 {
 		return nil, ScanStats{}, nil
 	}
@@ -247,7 +438,7 @@ func (db *DB) execShared(queries []Query, rate float64, seed uint64) ([]Value, S
 		return nil, ScanStats{}, err
 	}
 	start := time.Now()
-	vals, stats, err := sharedScan(t, queries, execOptions{sampleRate: rate, sampleSeed: seed})
+	res, stats, err := sharedScan(t, queries, execOptions{sampleRate: rate, sampleSeed: seed})
 	// The whole point: one scan's worth of data movement feeds every
 	// candidate, so the throughput model charges the table ONCE — not
 	// once per query like the row-at-a-time path.
@@ -256,5 +447,5 @@ func (db *DB) execShared(queries []Query, rate float64, seed uint64) ([]Value, S
 		effective *= rate
 	}
 	db.throttle(start, effective)
-	return vals, stats, err
+	return res, stats, err
 }

@@ -273,3 +273,234 @@ func TestSketchInvalidatedByAppend(t *testing.T) {
 		t.Fatalf("lookup after append did not rebuild: %+v", stats)
 	}
 }
+
+// randomGroupedScanQuery draws a candidate from the generalized
+// shared-scan query class: 1–3 aggregates, optionally grouped by a
+// single dictionary column (the dense accumulator path), an int column
+// or a composite key (the hashed fallback). Predicates reuse
+// randomScanQuery's never-matching constants so empty groups and empty
+// results are exercised.
+func randomGroupedScanQuery(rng *rand.Rand) Query {
+	q := randomScanQuery(rng)
+	extras := []Aggregate{
+		{Func: AggCount},
+		{Func: AggSum, Col: "price"},
+		{Func: AggAvg, Col: "qty"},
+		{Func: AggMin, Col: "qty"},
+		{Func: AggMax, Col: "price"},
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		q.Aggs = append(q.Aggs, extras[rng.Intn(len(extras))])
+	}
+	switch rng.Intn(5) {
+	case 0: // ungrouped — multi-aggregate scalar rows still ride along
+	case 1:
+		q.GroupBy = []string{"cat"} // low-cardinality dictionary codes
+	case 2:
+		q.GroupBy = []string{"region"} // higher-cardinality dictionary codes
+	case 3:
+		q.GroupBy = []string{"qty"} // int key: hashed fallback
+	default:
+		q.GroupBy = []string{"cat", "qty"} // composite key: hashed fallback
+	}
+	return q
+}
+
+// sameResultBits demands bit-level agreement on full result shapes:
+// identical columns, row counts, row order, group keys, and float64 bit
+// patterns for every aggregate cell.
+func sameResultBits(a, b Result) string {
+	if len(a.Cols) != len(b.Cols) {
+		return fmt.Sprintf("cols %v vs %v", a.Cols, b.Cols)
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return fmt.Sprintf("col %d: %q vs %q", i, a.Cols[i], b.Cols[i])
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Sprintf("%d rows vs %d rows", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return fmt.Sprintf("row %d width %d vs %d", i, len(a.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range a.Rows[i] {
+			av, bv := a.Rows[i][j], b.Rows[i][j]
+			if av.K != bv.K || av.S != bv.S || av.I != bv.I ||
+				math.Float64bits(av.F) != math.Float64bits(bv.F) {
+				return fmt.Sprintf("row %d col %d: %v vs %v", i, j, av, bv)
+			}
+		}
+	}
+	return ""
+}
+
+// TestSharedScanGroupedBitIdentical extends the core shared-scan
+// property to the full query class: random mixes of grouped,
+// composite-key and multi-aggregate candidates must come back
+// bit-identical — including group order — to executing each query alone,
+// exact and sampled.
+func TestSharedScanGroupedBitIdentical(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(5000 + trial)))
+			rows := rng.Intn(3000)
+			db := NewDB()
+			db.Register(randomScanTable(t, rng, rows))
+
+			nq := rng.Intn(24) + 1
+			queries := make([]Query, nq)
+			var wantAggs int64
+			for i := range queries {
+				queries[i] = randomGroupedScanQuery(rng)
+				wantAggs += int64(len(queries[i].Aggs))
+			}
+
+			shared, stats, err := db.ExecSharedResults(queries)
+			if err != nil {
+				t.Fatalf("ExecSharedResults: %v", err)
+			}
+			if stats.Scans != 1 || stats.Candidates != int64(nq) {
+				t.Fatalf("stats = %+v, want 1 scan over %d candidates", stats, nq)
+			}
+			if stats.Aggregates != wantAggs {
+				t.Fatalf("stats.Aggregates = %d, want %d", stats.Aggregates, wantAggs)
+			}
+			var wantGroups int64
+			for i, q := range queries {
+				res, err := db.Exec(q)
+				if err != nil {
+					t.Fatalf("Exec(%s): %v", q.SQL(), err)
+				}
+				if len(q.GroupBy) > 0 {
+					wantGroups += int64(len(res.Rows))
+				}
+				if diff := sameResultBits(shared[i], res); diff != "" {
+					t.Fatalf("exact mismatch on %s: %s", q.SQL(), diff)
+				}
+			}
+			if stats.Groups != wantGroups {
+				t.Fatalf("stats.Groups = %d, want %d", stats.Groups, wantGroups)
+			}
+
+			rate := 0.05 + rng.Float64()*0.9
+			seed := rng.Uint64()
+			sharedS, _, err := db.ExecSharedResultsSampled(queries, rate, seed)
+			if err != nil {
+				t.Fatalf("ExecSharedResultsSampled: %v", err)
+			}
+			for i, q := range queries {
+				res, err := db.ExecSampled(q, rate, seed)
+				if err != nil {
+					t.Fatalf("ExecSampled(%s): %v", q.SQL(), err)
+				}
+				if diff := sameResultBits(sharedS[i], res); diff != "" {
+					t.Fatalf("sampled (rate=%v) mismatch on %s: %s", rate, q.SQL(), diff)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedScanScalarWrapperRejectsGrouped: the scalar ExecShared entry
+// point must refuse grouped and multi-aggregate candidates rather than
+// silently flattening them.
+func TestSharedScanScalarWrapperRejectsGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	db := NewDB()
+	db.Register(randomScanTable(t, rng, 100))
+	for _, q := range []Query{
+		{Aggs: []Aggregate{{Func: AggCount}}, Table: "sales", GroupBy: []string{"cat"}},
+		{Aggs: []Aggregate{{Func: AggCount}, {Func: AggSum, Col: "qty"}}, Table: "sales"},
+	} {
+		if _, _, err := db.ExecShared([]Query{q, q}); err == nil {
+			t.Errorf("ExecShared accepted non-scalar candidate %s", q.SQL())
+		}
+		if _, _, err := db.ExecSharedSampled([]Query{q, q}, 0.5, 1); err == nil {
+			t.Errorf("ExecSharedSampled accepted non-scalar candidate %s", q.SQL())
+		}
+	}
+}
+
+// TestGroupedSketchMatchesSampledQuery: a grouped sketch answer must be
+// bit-identical — rows, order, and float bits — to ExecSampled at the
+// sketch rate and seed, with one build covering every constant of the
+// template, and absent constants answering with zero rows.
+func TestGroupedSketchMatchesSampledQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	db := NewDB()
+	db.Register(randomScanTable(t, rng, 2500))
+	db.EnableSketches(0.2)
+	cats := []string{"apples", "oranges", "bananas", "grapes", "melons", "kiwis"}
+	aggs := []Aggregate{{Func: AggCount}, {Func: AggSum, Col: "price"}, {Func: AggAvg, Col: "qty"}}
+	builds := int64(0)
+	for _, a := range aggs {
+		for _, cat := range cats {
+			q := Query{Aggs: []Aggregate{a}, Table: "sales", GroupBy: []string{"region"},
+				Preds: []Predicate{{Col: "cat", Op: OpEq, Values: []Value{Str(cat)}}}}
+			got, stats, ok := db.SketchLookupResult(q)
+			if !ok {
+				t.Fatalf("SketchLookupResult(%s) not ok", q.SQL())
+			}
+			builds += stats.SketchBuilds
+			want, err := db.ExecSampled(q, 0.2, sketchSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := sameResultBits(got, want); diff != "" {
+				t.Fatalf("grouped sketch mismatch on %s: %s", q.SQL(), diff)
+			}
+			if cat == "kiwis" && len(got.Rows) != 0 {
+				t.Fatalf("absent constant returned %d rows", len(got.Rows))
+			}
+		}
+	}
+	// One build per (aggregate, group column) template, shared across
+	// constants — the property that makes trend first paints free.
+	if builds != int64(len(aggs)) {
+		t.Fatalf("got %d sketch builds, want %d (one per template)", builds, len(aggs))
+	}
+	// Scalar lookups must still refuse grouped queries.
+	q := Query{Aggs: []Aggregate{{Func: AggCount}}, Table: "sales", GroupBy: []string{"region"},
+		Preds: []Predicate{{Col: "cat", Op: OpEq, Values: []Value{Str("apples")}}}}
+	if _, _, ok := db.SketchLookup(q); ok {
+		t.Fatal("scalar SketchLookup answered a grouped query")
+	}
+}
+
+// TestGroupedSketchInvalidatedByAppend: appends bump the generation and
+// force a grouped-sketch rebuild, and lookups never alias sketch-owned
+// rows (mutating a returned result must not corrupt the cache).
+func TestGroupedSketchInvalidatedByAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	db := NewDB()
+	tbl := randomScanTable(t, rng, 400)
+	db.Register(tbl)
+	db.EnableSketches(0.5)
+	q := Query{Aggs: []Aggregate{{Func: AggCount}}, Table: "sales", GroupBy: []string{"region"},
+		Preds: []Predicate{{Col: "cat", Op: OpEq, Values: []Value{Str("apples")}}}}
+	first, stats, ok := db.SketchLookupResult(q)
+	if !ok || stats.SketchBuilds != 1 {
+		t.Fatalf("first lookup: ok=%v stats=%+v, want one build", ok, stats)
+	}
+	if len(first.Rows) > 0 {
+		first.Rows[0][1] = Float(-1) // must not leak into the cache
+	}
+	second, stats, _ := db.SketchLookupResult(q)
+	if stats.SketchBuilds != 0 {
+		t.Fatalf("second lookup rebuilt: %+v", stats)
+	}
+	if len(second.Rows) > 0 && second.Rows[0][1].AsFloat() == -1 {
+		t.Fatal("sketch cache aliases returned rows")
+	}
+	if err := tbl.AppendRow(Str("apples"), Str("region-0"), Int(1), Float(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _ = db.SketchLookupResult(q)
+	if stats.SketchBuilds != 1 {
+		t.Fatalf("lookup after append did not rebuild: %+v", stats)
+	}
+}

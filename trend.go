@@ -14,6 +14,16 @@ import (
 type TrendAnswer struct {
 	Query  sqldb.Query
 	Series viz.Series
+	// FirstPaint is the instant approximate series answered from a
+	// grouped aggregate sketch before the exact scan ran — the trend
+	// analogue of the multiplot's sketch-first paint. Nil when sketching
+	// is disabled or the query has no sketchable template; its values
+	// equal a sampled execution at the DB's sketch rate.
+	FirstPaint *viz.Series
+	// Scan records sketch build/hit activity for the first paint; the
+	// exact fill itself runs through the direct executor (a trend is a
+	// single candidate, which the shared planner routes there too).
+	Scan sqldb.ScanStats
 }
 
 // ANSI renders the trend as a terminal line chart.
@@ -25,7 +35,9 @@ func (a *TrendAnswer) SVG() string { return viz.RenderSeriesSVG(a.Series, 0, 0) 
 // Trend executes a single-aggregate query grouped by one column and
 // returns its result as an ordered series. Numeric group keys order
 // numerically (time series); string keys order lexicographically with
-// their labels preserved.
+// their labels preserved. When the DB keeps aggregate sketches and the
+// query matches a grouped sketch template, the answer also carries an
+// instant approximate FirstPaint series computed without any table scan.
 //
 // Trends bypass multiplot planning: the paper notes its visualization
 // method "would have to change fundamentally" for multi-row results, so
@@ -38,14 +50,26 @@ func (s *System) Trend(q sqldb.Query) (*TrendAnswer, error) {
 	if len(q.GroupBy) != 1 {
 		return nil, fmt.Errorf("muve: trend queries need exactly one GROUP BY column, got %d", len(q.GroupBy))
 	}
+	ans := &TrendAnswer{Query: q}
+	if s.db.SketchRate() > 0 {
+		if res, st, ok := s.db.SketchLookupResult(q); ok {
+			first := seriesFromResult(q, res)
+			ans.FirstPaint = &first
+			ans.Scan.Add(st)
+		}
+	}
 	res, err := s.db.Exec(q)
 	if err != nil {
 		return nil, err
 	}
-	ans := &TrendAnswer{
-		Query:  q,
-		Series: viz.Series{Title: q.Aggs[0].String() + " by " + q.GroupBy[0]},
-	}
+	ans.Series = seriesFromResult(q, res)
+	return ans, nil
+}
+
+// seriesFromResult converts a grouped single-aggregate Result into an
+// ordered series.
+func seriesFromResult(q sqldb.Query, res sqldb.Result) viz.Series {
+	ser := viz.Series{Title: q.Aggs[0].String() + " by " + q.GroupBy[0]}
 	for i, row := range res.Rows {
 		key, val := row[0], row[1]
 		p := viz.SeriesPoint{Y: val.AsFloat()}
@@ -62,11 +86,11 @@ func (s *System) Trend(q sqldb.Query) (*TrendAnswer, error) {
 			p.Label = key.S
 		}
 		if !math.IsNaN(p.Y) {
-			ans.Series.Points = append(ans.Series.Points, p)
+			ser.Points = append(ser.Points, p)
 		}
 	}
-	ans.Series.Sort()
-	return ans, nil
+	ser.Sort()
+	return ser
 }
 
 // TrendText translates a transcript, keeps its most likely interpretation,

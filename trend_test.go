@@ -101,3 +101,72 @@ func TestTrendText(t *testing.T) {
 		}
 	}
 }
+
+func TestTrendFirstPaint(t *testing.T) {
+	sys := trendSystem(t)
+
+	// Without sketches there is no first paint.
+	ans, err := sys.Trend(sqldb.MustParse(
+		"SELECT avg(dep_delay), carrier FROM flights WHERE origin = 'JFK' GROUP BY carrier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.FirstPaint != nil {
+		t.Fatal("first paint without sketches enabled")
+	}
+
+	sys.db.EnableSketches(0.25)
+	ans, err = sys.Trend(sqldb.MustParse(
+		"SELECT avg(dep_delay), carrier FROM flights WHERE origin = 'JFK' GROUP BY carrier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.FirstPaint == nil {
+		t.Fatal("no first paint from grouped sketch")
+	}
+	if len(ans.FirstPaint.Points) == 0 {
+		t.Fatal("first paint has no points")
+	}
+	if ans.Scan.SketchBuilds != 1 {
+		t.Fatalf("scan stats = %+v, want one sketch build", ans.Scan)
+	}
+	// The approximate series covers the same carriers as the exact one
+	// (rate 0.25 over thousands of rows leaves every carrier populated).
+	exactLabels := map[string]bool{}
+	for _, p := range ans.Series.Points {
+		exactLabels[p.Label] = true
+	}
+	for _, p := range ans.FirstPaint.Points {
+		if !exactLabels[p.Label] {
+			t.Errorf("first-paint carrier %q missing from exact series", p.Label)
+		}
+	}
+
+	// A second ask answers from the cached sketch — no rebuild, and the
+	// paint is deterministic.
+	again, err := sys.Trend(sqldb.MustParse(
+		"SELECT avg(dep_delay), carrier FROM flights WHERE origin = 'JFK' GROUP BY carrier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Scan.SketchBuilds != 0 {
+		t.Fatalf("second trend rebuilt sketch: %+v", again.Scan)
+	}
+	if len(again.FirstPaint.Points) != len(ans.FirstPaint.Points) {
+		t.Fatal("first paint not deterministic across asks")
+	}
+
+	// Numeric grouping columns have no dictionary to sketch over; the
+	// trend still answers exactly, just without a first paint.
+	ans, err = sys.Trend(sqldb.MustParse(
+		"SELECT avg(dep_delay), month FROM flights WHERE origin = 'JFK' GROUP BY month"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.FirstPaint != nil {
+		t.Fatal("first paint for non-sketchable int grouping column")
+	}
+	if len(ans.Series.Points) != 12 {
+		t.Fatalf("exact series has %d points, want 12", len(ans.Series.Points))
+	}
+}
